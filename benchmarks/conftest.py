@@ -1,0 +1,46 @@
+"""Shared benchmark plumbing.
+
+Every paper figure/table gets one benchmark that executes its experiment
+module once (simulated runs are deterministic — repeated rounds would
+measure Python overhead, not the system), records the experiment's
+summary numbers in the benchmark's ``extra_info``, and writes the
+rendered figure/table to ``benchmarks/_output/<exp_id>.txt`` so a full
+benchmark run regenerates the paper's evaluation section as text
+artifacts.
+
+Set ``REPRO_FULL=1`` to run the full-size (slower) configurations.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "_output"
+FAST = os.environ.get("REPRO_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def run_exp(benchmark, output_dir):
+    """Run one experiment under pytest-benchmark and persist its output."""
+
+    def _run(exp_id: str):
+        from repro.harness import run_experiment
+
+        out = benchmark.pedantic(
+            lambda: run_experiment(exp_id, fast=FAST), rounds=1, iterations=1
+        )
+        text = out.text + "\nFindings:\n" + "\n".join(f"* {f}" for f in out.findings)
+        (output_dir / f"{exp_id}.txt").write_text(text + "\n")
+        benchmark.extra_info["findings"] = out.findings
+        return out
+
+    return _run

@@ -1,0 +1,78 @@
+"""Ablations of the mechanisms behind the reproduced effects."""
+
+
+def test_ablation_ncl_degree_cost(run_exp):
+    out = run_exp("ablate-ncl-degree")
+    # Zeroing the per-neighbor posting cost must restore NCL's lead.
+    assert out.data["ncl_free"] < out.data["ncl"]
+    assert out.data["ncl_free"] < out.data["nsr"]
+
+
+def test_ablation_congestion(run_exp):
+    out = run_exp("ablate-congestion")
+    # At Aries bandwidth tiny messages never saturate the NIC...
+    a0, a1 = out.data["aries_nsr"]
+    assert a0 / a1 < 1.1
+    # ...but on a bandwidth-starved NIC, unaggregated NSR pays more for
+    # serialization than aggregated NCL does.
+    n0, n1 = out.data["starved_nsr"]
+    c0, c1 = out.data["starved_ncl"]
+    assert n0 / n1 > 1.1
+    assert n0 / n1 >= (c0 / c1) * 0.99
+
+
+def test_ablation_tiebreak(run_exp):
+    out = run_exp("ablate-tiebreak")
+    # Without distinct weights the ordered path serializes (paper §III).
+    assert out.data["iters_plain"] > 3 * out.data["iters_hash"]
+
+
+def test_ablation_eager_reject(run_exp):
+    out = run_exp("ablate-eager-reject")
+    assert abs(out.data["weight_deferred"] - out.data["greedy_weight"]) < 1e-9
+    assert out.data["weight_eager"] >= 0.5 * out.data["greedy_weight"]
+
+
+def test_ablation_probe_cost(run_exp):
+    out = run_exp("ablate-probe-cost")
+    # NSR/NCL gap widens monotonically with per-message software cost.
+    gaps = [out.data[s][0] / out.data[s][1] for s in (0.25, 1.0, 4.0)]
+    assert gaps[0] < gaps[-1]
+
+
+def test_extension_incl(run_exp):
+    out = run_exp("ext-incl")
+    # The honest negative result: nonblocking neighborhood collectives do
+    # not rescue matching (they help regular workloads like BFS).
+    for key in ("sbm", "rgg"):
+        t_ncl, t_incl = out.data[key]
+        assert t_incl > 0.6 * t_ncl  # same order; no dramatic win either way
+
+
+def test_extension_coloring(run_exp):
+    out = run_exp("ext-coloring")
+    # The comm-model ordering transfers to the second kernel.
+    assert out.data["ncl"] < out.data["nsr"]
+    assert out.data["rma"] < out.data["nsr"]
+
+
+def test_ablation_eager_threshold(run_exp):
+    out = run_exp("ablate-eager-threshold")
+    bfs_forced, match_forced = out.data[64]
+    bfs_free, match_free = out.data[1 << 20]
+    assert bfs_forced > 1.05 * bfs_free        # BFS pays for rendezvous
+    assert abs(match_forced - match_free) < 0.05 * match_free  # matching doesn't
+
+
+def test_extension_edge_balance(run_exp):
+    out = run_exp("ext-edge-balance")
+    assert out.data["sigma_balanced"] < 0.6 * out.data["sigma_uniform"]
+    t_uni, t_bal = out.data["nsr"]
+    assert t_bal < t_uni  # the paper's conjecture holds for the baseline
+
+
+def test_extension_quality(run_exp):
+    out = run_exp("ext-quality")
+    for name, ratios in out.data.items():
+        for algo, r in ratios.items():
+            assert 0.5 <= r <= 1.0 + 1e-9, (name, algo, r)

@@ -1,0 +1,65 @@
+"""Microbenchmarks of the simulated-MPI engine itself (real wall time).
+
+Unlike the figure/table benchmarks (which report *virtual* time), these
+measure the simulator's own throughput so regressions in the engine's
+hot paths are visible.
+"""
+
+from repro.mpisim import Engine, cori_aries, zero_latency
+
+
+def _pingpong(rounds):
+    def prog(ctx):
+        for i in range(rounds):
+            if ctx.rank == 0:
+                ctx.isend(1, i)
+                ctx.recv(source=1)
+            else:
+                ctx.recv(source=0)
+                ctx.isend(0, i)
+
+    return prog
+
+
+def test_engine_pingpong_throughput(benchmark):
+    benchmark.pedantic(
+        lambda: Engine(2, cori_aries()).run(_pingpong(500)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_engine_allreduce_throughput(benchmark):
+    def prog(ctx):
+        for _ in range(200):
+            ctx.allreduce(ctx.rank)
+
+    benchmark.pedantic(
+        lambda: Engine(8, cori_aries()).run(prog), rounds=3, iterations=1
+    )
+
+
+def test_engine_neighbor_alltoallv_throughput(benchmark):
+    def prog(ctx):
+        p = ctx.nprocs
+        topo = ctx.dist_graph_create_adjacent(
+            sorted({(ctx.rank - 1) % p, (ctx.rank + 1) % p})
+        )
+        for _ in range(100):
+            topo.neighbor_alltoallv([[1, 2, 3]] * topo.degree)
+
+    benchmark.pedantic(
+        lambda: Engine(8, cori_aries()).run(prog), rounds=3, iterations=1
+    )
+
+
+def test_matching_simulation_throughput(benchmark):
+    from repro.graph.generators import rmat_graph
+    from repro.matching import run_matching
+
+    g = rmat_graph(9, seed=1)
+    benchmark.pedantic(
+        lambda: run_matching(g, 8, "ncl", machine=zero_latency()),
+        rounds=3,
+        iterations=1,
+    )

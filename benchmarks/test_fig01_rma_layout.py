@@ -1,0 +1,7 @@
+"""Fig. 1 — the RMA remote-displacement scheme."""
+
+
+def test_fig01_rma_displacement_layout(run_exp):
+    out = run_exp("fig1")
+    assert out.data["tiling_ok"]
+    assert out.data["offsets_ok"]

@@ -1,0 +1,7 @@
+"""Fig. 2 — Send-Recv call-count matrices: matching vs Graph500 BFS."""
+
+
+def test_fig02_comm_matrix(run_exp):
+    out = run_exp("fig2")
+    # Matching's irregular traffic is far heavier than BFS's bulk waves.
+    assert out.data["message_ratio"] > 3.0

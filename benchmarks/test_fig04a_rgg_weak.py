@@ -1,0 +1,8 @@
+"""Fig. 4a — weak scaling on random geometric graphs (bounded topology)."""
+
+
+def test_fig04a_rgg_weak_scaling(run_exp):
+    out = run_exp("fig4a")
+    # Paper: 2-3.5x NCL/RMA speedups over NSR, growing with scale.
+    assert out.data["speedup_ncl"] > 2.0
+    assert out.data["speedup_rma"] > 1.5

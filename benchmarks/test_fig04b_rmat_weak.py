@@ -1,0 +1,7 @@
+"""Fig. 4b — weak scaling on Graph500 R-MAT graphs."""
+
+
+def test_fig04b_rmat_weak_scaling(run_exp):
+    out = run_exp("fig4b")
+    # Paper: 1.2-3x best-of RMA/NCL speedups over NSR on every point.
+    assert all(s > 1.2 for s in out.data["speedups"])

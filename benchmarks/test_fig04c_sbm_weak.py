@@ -1,0 +1,8 @@
+"""Fig. 4c — weak scaling on stochastic block partition graphs (the
+contrast case: the complete process graph makes NSR win at scale)."""
+
+
+def test_fig04c_sbm_crossover(run_exp):
+    out = run_exp("fig4c")
+    # Paper: NSR 1.5-2.7x better than NCL at the top of the range.
+    assert out.data["nsr_advantage_over_ncl"] > 1.2

@@ -1,0 +1,9 @@
+"""Fig. 5 — strong scaling on the four protein k-mer graphs."""
+
+
+def test_fig05_kmer_strong_scaling(run_exp):
+    out = run_exp("fig5")
+    # One-sided models beat NSR on every k-mer point (paper: RMA 25-35%
+    # over NSR/NCL, up to 2-3x).
+    speedups = [v for k, v in out.data.items() if "speedup" in k]
+    assert all(s > 1.0 for s in speedups)

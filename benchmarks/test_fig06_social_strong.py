@@ -1,0 +1,11 @@
+"""Fig. 6 — strong scaling on social networks (Orkut/Friendster proxies)."""
+
+
+def test_fig06_social_strong_scaling(run_exp):
+    out = run_exp("fig6")
+    for label in ("orkut", "friendster"):
+        adv = out.data[f"{label}_ncl_advantage"]
+        # NCL/RMA win (paper: 2-5x) but the advantage shrinks with p
+        # (paper: scalability adversely affected at larger process counts).
+        assert adv[0] > 2.0
+        assert adv[-1] < adv[0]

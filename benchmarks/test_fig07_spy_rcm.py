@@ -1,0 +1,8 @@
+"""Fig. 7 — adjacency spy plots, original vs RCM reordering."""
+
+
+def test_fig07_rcm_band_concentration(run_exp):
+    out = run_exp("fig7")
+    for name in ("cage15", "hv15r"):
+        b0, b1 = out.data[f"{name}_bandwidth"]
+        assert b1 < 0.5 * b0  # RCM at least halves the bandwidth

@@ -1,0 +1,16 @@
+"""Fig. 8 — runtime impact of RCM on all four implementations."""
+
+
+def test_fig08_reordering_runtimes(run_exp):
+    out = run_exp("fig8")
+    for key, times in out.data.items():
+        if key.endswith("_p32") and "rcm" not in key:
+            # MBP is the slowest Send-Recv code everywhere (paper: NSR
+            # beats MBP 1.2-2x; NCL/RMA beat it 2.5-7x).
+            assert times["mbp"] > times["nsr"]
+            assert times["mbp"] > 2.0 * min(times["ncl"], times["rma"])
+    rcm_keys = [k for k in out.data if "rcm" in k]
+    for k in rcm_keys:
+        t = out.data[k]
+        # On reordered graphs the one-sided models still beat Send-Recv.
+        assert min(t["ncl"], t["rma"]) < t["nsr"]

@@ -1,0 +1,9 @@
+"""Fig. 9 — byte-volume matrices, HV15R original vs RCM."""
+
+
+def test_fig09_volume_concentration(run_exp):
+    out = run_exp("fig9")
+    tot_o, tot_r = out.data["total_bytes"]
+    # Paper: reordering increases overall communication volume under the
+    # naive 1D partitioning.
+    assert tot_r > tot_o * 0.95

@@ -1,0 +1,16 @@
+"""Fig. 10 — Dolan-Moré performance profiles over the input suite."""
+
+
+def test_fig10_performance_profile(run_exp):
+    out = run_exp("fig10")
+    times = out.data["times"]
+    wins = {"nsr": 0, "rma": 0, "ncl": 0}
+    worst_nsr = 0.0
+    for t in times.values():
+        best = min(t, key=t.get)
+        wins[best] += 1
+        worst_nsr = max(worst_nsr, t["nsr"] / min(t.values()))
+    # One-sided models win the overwhelming majority; NSR is competitive
+    # on a small fraction (paper: ~10%) and up to ~6x off the best.
+    assert wins["rma"] + wins["ncl"] >= 0.75 * len(times)
+    assert worst_nsr > 3.0

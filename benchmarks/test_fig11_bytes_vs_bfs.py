@@ -1,0 +1,8 @@
+"""Fig. 11 — byte-volume matrices: matching vs Graph500 BFS."""
+
+
+def test_fig11_byte_granularity(run_exp):
+    out = run_exp("fig11")
+    m_gran, b_gran = out.data["granularity"]
+    # Matching moves tiny fixed-size records; BFS ships bulk frontiers.
+    assert m_gran < b_gran

@@ -1,0 +1,6 @@
+"""Table II — dataset inventory across all seven paper categories."""
+
+
+def test_table02_datasets(run_exp):
+    out = run_exp("table2")
+    assert len(out.data["rows"]) >= 14

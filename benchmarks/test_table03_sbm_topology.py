@@ -1,0 +1,12 @@
+"""Table III — SBM process-graph topology (complete at every scale)."""
+
+
+def test_table03_sbm_topology(run_exp):
+    out = run_exp("table3")
+    for label, stats in out.data["stats"]:
+        p = stats["nprocs"]
+        assert stats["dmax"] == p - 1
+        # essentially complete (paper: dmax = davg = p-1); allow a hair of
+        # slack at the leanest scale where a couple of rank pairs may not
+        # share an edge
+        assert stats["davg"] >= 0.98 * (p - 1)

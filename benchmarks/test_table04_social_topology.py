@@ -1,0 +1,8 @@
+"""Table IV — social-network process-graph topology (near-complete)."""
+
+
+def test_table04_social_topology(run_exp):
+    out = run_exp("table4")
+    for label, stats in out.data["stats"]:
+        p = stats["nprocs"]
+        assert stats["davg"] >= 0.9 * (p - 1)

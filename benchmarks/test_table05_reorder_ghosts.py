@@ -1,0 +1,9 @@
+"""Table V — RCM impact on ghost-augmented edges |E'|."""
+
+
+def test_table05_reorder_ghosts(run_exp):
+    out = run_exp("table5")
+    for name, d in out.data.items():
+        # Paper: total |E'| grows slightly; sigma|E'| drops 30-40%.
+        assert 0.95 < d["total_change"] < 1.25
+        assert d["sigma_change"] < 0.85

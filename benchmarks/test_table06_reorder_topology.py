@@ -1,0 +1,7 @@
+"""Table VI — RCM impact on the process topology (davg roughly doubles)."""
+
+
+def test_table06_reorder_topology(run_exp):
+    out = run_exp("table6")
+    for name, d in out.data.items():
+        assert d["davg_ratio"] > 1.3

@@ -1,0 +1,12 @@
+"""Table VII — best speedup over the Send-Recv baseline per input."""
+
+
+def test_table07_best_speedups(run_exp):
+    out = run_exp("table7")
+    speedups = [d["speedup"] for d in out.data.values()]
+    versions = [d["version"] for d in out.data.values()]
+    # Paper: 1.4-6x best speedups, mixed RMA/NCL winners; the one SBM row
+    # is where the baseline stays competitive.
+    assert max(speedups) > 3.0
+    assert sum(s > 1.4 for s in speedups) >= 0.8 * len(speedups)
+    assert {"RMA", "NCL"} & set(versions)

@@ -1,0 +1,10 @@
+"""Table VIII — power/energy and memory usage per communication model."""
+
+
+def test_table08_power_memory(run_exp):
+    out = run_exp("table8")
+    fr = out.data["friendster"]
+    # Paper's headline claims on the Friendster row.
+    assert fr["nsr"]["energy_kj"] > 2.5 * fr["ncl"]["energy_kj"]
+    assert fr["nsr"]["mem_mb"] > fr["rma"]["mem_mb"] > fr["ncl"]["mem_mb"]
+    assert min(("nsr", "rma", "ncl"), key=lambda m: fr[m]["edp"]) in ("ncl", "rma")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Two owner-computes kernels, one communication substrate.
+
+The paper's §IV-D claim: the Send-Recv / RMA / neighborhood-collective
+substrate "can be applied to any graph algorithm imitating the
+owner-computes model." This example runs both kernels we implement —
+half-approximate weighted matching and speculative greedy coloring —
+over all three models on the same graph, and shows the communication-model
+ordering transferring between applications.
+
+Run:  python examples/coloring_and_matching.py
+"""
+
+import numpy as np
+
+from repro.coloring import check_coloring_valid, greedy_coloring, run_coloring
+from repro.graph.generators import rgg_graph
+from repro.matching import check_matching_valid, greedy_matching, run_matching
+from repro.util.tables import TextTable, format_seconds
+
+
+def main() -> None:
+    g = rgg_graph(6000, target_avg_degree=8, seed=13)
+    p = 16
+    print(f"RGG: |V|={g.num_vertices}, |E|={g.num_edges}, {p} simulated ranks\n")
+
+    serial_match = greedy_matching(g)
+    serial_colors = greedy_coloring(g)
+
+    table = TextTable(
+        ["model", "matching time", "matching == serial", "coloring time",
+         "coloring valid", "colors"],
+        title="matching and coloring under each communication model",
+    )
+    for model in ("nsr", "rma", "ncl"):
+        mr = run_matching(g, p, model)
+        check_matching_valid(g, mr.mate)
+        cr = run_coloring(g, p, model)
+        check_coloring_valid(g, cr.colors)
+        table.add_row(
+            [
+                model.upper(),
+                format_seconds(mr.makespan),
+                bool(np.array_equal(mr.mate, serial_match.mate)),
+                format_seconds(cr.makespan),
+                True,
+                cr.num_colors,
+            ]
+        )
+    print(table.render())
+    print(f"serial first-fit coloring uses {int(serial_colors.max()) + 1} colors;")
+    print("the distributed speculative coloring may differ in palette size but")
+    print("is identical across communication models — like matching, the")
+    print("algorithm outcome is decoupled from the transport.")
+
+
+if __name__ == "__main__":
+    main()

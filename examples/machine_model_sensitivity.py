@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""How machine parameters decide which communication model wins.
+
+The paper's conclusions are tied to Cray Aries characteristics (fast RDMA,
+cheap collectives). This example re-runs one experiment under different
+machine models — the Aries-like default, a commodity cluster, and custom
+ablated machines — to show where the crossovers move. This is the kind of
+what-if a simulator buys you that a testbed doesn't.
+
+Run:  python examples/machine_model_sensitivity.py
+"""
+
+from repro.graph.generators import rmat_graph, sbm_hilo_graph
+from repro.matching import run_matching
+from repro.mpisim import commodity_cluster, cori_aries
+from repro.util.tables import TextTable, format_seconds
+
+MACHINES = [
+    ("cori-aries (default)", cori_aries()),
+    ("commodity cluster", commodity_cluster()),
+    ("aries, free RMA puts", cori_aries().with_overrides(o_put=1e-9)),
+    ("aries, pricey probes", cori_aries().with_overrides(o_probe=2e-6, o_recv=3e-6)),
+    ("aries, free NCL posting", cori_aries().with_overrides(o_ncl_per_neighbor=0.0)),
+]
+
+
+def sweep(g, p, title):
+    table = TextTable(
+        ["machine", "NSR", "RMA", "NCL", "winner"],
+        title=title,
+    )
+    for name, machine in MACHINES:
+        times = {
+            m: run_matching(g, p, m, machine=machine, compute_weight=False).makespan
+            for m in ("nsr", "rma", "ncl")
+        }
+        winner = min(times, key=times.get).upper()
+        table.add_row(
+            [name] + [format_seconds(times[m]) for m in ("nsr", "rma", "ncl")] + [winner]
+        )
+    print(table.render())
+
+
+def main() -> None:
+    g1 = rmat_graph(9, seed=11)
+    sweep(g1, 16, f"R-MAT (|E|={g1.num_edges}) on 16 ranks")
+
+    g2 = sbm_hilo_graph(64 * 32, avg_degree=8.0, seed=11)
+    sweep(g2, 32, f"SBM, complete process graph (|E|={g2.num_edges}) on 32 ranks")
+
+    print("reading the table: the one-sided/neighborhood advantage is a")
+    print("property of the machine as much as of the algorithm — zero out")
+    print("the per-neighbor posting cost and NCL wins even on the SBM input")
+    print("that defeats it on the Aries-like model (the paper's Fig. 4c).")
+
+
+if __name__ == "__main__":
+    main()

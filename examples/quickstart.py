@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: compare the three MPI communication models on one graph.
+
+Reproduces the paper's core experiment in miniature: run distributed
+half-approximate weighted matching over simulated Send-Recv (NSR), MPI-3
+RMA, and MPI-3 neighborhood collectives (NCL), and compare simulated
+execution time, message counts, and memory — then verify all three agree
+with the serial algorithm exactly.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.graph.generators import rmat_graph
+from repro.matching import (
+    check_matching_valid,
+    greedy_matching,
+    run_matching,
+)
+from repro.util.tables import TextTable, format_seconds
+
+
+def main() -> None:
+    # A Graph500-style R-MAT graph (the paper's synthetic workhorse).
+    g = rmat_graph(scale=10, seed=42)
+    print(f"graph: |V|={g.num_vertices}, |E|={g.num_edges}")
+
+    serial = greedy_matching(g)
+    print(f"serial half-approx matching weight: {serial.weight:.4f}\n")
+
+    nprocs = 16
+    table = TextTable(
+        ["model", "sim. time", "speedup vs NSR", "messages", "peak MB/rank"],
+        title=f"Distributed matching on {nprocs} simulated ranks",
+    )
+    baseline = None
+    for model in ("nsr", "rma", "ncl"):
+        res = run_matching(g, nprocs=nprocs, model=model)
+        check_matching_valid(g, res.mate)
+        assert np.array_equal(res.mate, serial.mate), "must equal the serial result"
+        if baseline is None:
+            baseline = res.makespan
+        table.add_row(
+            [
+                model.upper(),
+                format_seconds(res.makespan),
+                f"{baseline / res.makespan:.2f}x",
+                res.total_messages(),
+                f"{res.counters.avg_peak_memory() / 2**20:.2f}",
+            ]
+        )
+    print(table.render())
+    print("all three models computed the identical matching — the")
+    print("locally-dominant matching is unique once weights are distinct.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""RCM reordering and what it does to distributed matching (paper §V-C).
+
+Takes the Cage15-shaped proxy, applies our Reverse Cuthill-McKee
+implementation, and reports:
+
+* matrix bandwidth before/after (the Fig. 7 spy-plot story);
+* per-rank ghost-edge balance before/after (Table V: sigma drops);
+* process-graph degree before/after (Table VI: davg roughly doubles);
+* matching runtime per communication model on both orderings (Fig. 8).
+
+Run:  python examples/reordering_study.py
+"""
+
+from repro.graph import (
+    bandwidth_stats,
+    ghost_stats_from_parts,
+    partition_graph,
+    process_graph_stats_from_parts,
+    rcm_reorder,
+)
+from repro.graph.generators import cage15_proxy
+from repro.graph.spy import adjacency_density, render_ascii
+from repro.matching import run_matching
+from repro.util.tables import TextTable, format_seconds
+
+
+def main() -> None:
+    p = 32
+    g = cage15_proxy(8000, seed=3)
+    gr, perm = rcm_reorder(g)
+    print(f"Cage15-shaped proxy: |V|={g.num_vertices}, |E|={g.num_edges}\n")
+
+    print("adjacency density, original ordering:")
+    print(render_ascii(adjacency_density(g, bins=20)))
+    print("\nadjacency density, RCM-reordered:")
+    print(render_ascii(adjacency_density(gr, bins=20)))
+
+    b0, b1 = bandwidth_stats(g), bandwidth_stats(gr)
+    parts0, parts1 = partition_graph(g, p), partition_graph(gr, p)
+    gh0, gh1 = ghost_stats_from_parts(parts0), ghost_stats_from_parts(parts1)
+    pg0, pg1 = (
+        process_graph_stats_from_parts(parts0),
+        process_graph_stats_from_parts(parts1),
+    )
+
+    t = TextTable(["metric", "original", "RCM"], title="\nstructure summary")
+    t.add_row(["matrix bandwidth", b0.bandwidth, b1.bandwidth])
+    t.add_row(["|E'| total (ghost-augmented edges)", gh0.total, gh1.total])
+    t.add_row(["sigma(|E'|) across ranks", f"{gh0.sigma:.0f}", f"{gh1.sigma:.0f}"])
+    t.add_row(["process-graph davg", f"{pg0.davg:.1f}", f"{pg1.davg:.1f}"])
+    print(t.render())
+
+    t2 = TextTable(
+        ["model", "original", "RCM", "RCM effect"],
+        title=f"matching runtime on {p} simulated ranks",
+    )
+    for model in ("nsr", "rma", "ncl"):
+        t_orig = run_matching(g, p, model, compute_weight=False).makespan
+        t_rcm = run_matching(gr, p, model, compute_weight=False).makespan
+        t2.add_row(
+            [
+                model.upper(),
+                format_seconds(t_orig),
+                format_seconds(t_rcm),
+                f"{t_orig / t_rcm:.2f}x",
+            ]
+        )
+    print(t2.render())
+    print("RCM balances per-rank load (sigma drops) at the cost of more ghost")
+    print("edges and a denser process graph — the paper's 'counter-intuitive'")
+    print("reordering result under naive 1D partitioning.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of Ghosh et al., "Exploring MPI Communication
+Models for Graph Applications Using Graph Matching as a Case Study"
+(IPDPS 2019), on a deterministic simulated-MPI substrate.
+
+Subpackages
+-----------
+- :mod:`repro.mpisim`   — simulated MPI runtime (engine, cost model, RMA,
+  neighborhood collectives, energy/memory model);
+- :mod:`repro.graph`    — CSR graphs, generators for every paper input
+  family, 1D distribution with ghosts, RCM reordering, partition stats;
+- :mod:`repro.matching` — serial + distributed half-approximate weighted
+  matching over four communication backends (the paper's contribution);
+- :mod:`repro.bfs`      — Graph500-style BFS (communication contrast);
+- :mod:`repro.harness`  — experiments regenerating every paper table and
+  figure.
+
+Quickstart::
+
+    from repro.graph.generators import rmat_graph
+    from repro.matching import run_matching
+
+    g = rmat_graph(10, seed=1)
+    for model in ("nsr", "rma", "ncl"):
+        r = run_matching(g, nprocs=8, model=model)
+        print(model, r.makespan, r.weight)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

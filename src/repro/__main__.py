@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``datasets`` — list the Table II dataset registry;
+- ``experiments`` — list every reproducible figure/table/ablation;
+- ``run <exp_id> [--full]`` — run one experiment and print its output;
+- ``report [path] [--full]`` — regenerate EXPERIMENTS.md;
+- ``match <dataset> [-p N] [-m MODEL] [--machine NAME]`` — one matching
+  run with a results summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_datasets(args) -> int:
+    from repro.harness.spec import all_specs
+    from repro.util.tables import TextTable, format_si
+
+    t = TextTable(["name", "category", "paper id", "|V|", "|E|", "default p"])
+    for spec in all_specs():
+        g = spec.instantiate()
+        t.add_row(
+            [
+                spec.name,
+                spec.category,
+                spec.paper_identifier,
+                format_si(g.num_vertices),
+                format_si(g.num_edges),
+                ",".join(map(str, spec.default_procs)),
+            ]
+        )
+    print(t.render())
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.harness.experiments.base import all_experiment_ids
+
+    for eid in all_experiment_ids():
+        print(eid)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.harness.experiments.base import run_experiment
+
+    out = run_experiment(args.exp_id, fast=not args.full)
+    print(out.text)
+    if out.findings:
+        print("Findings:")
+        for f in out.findings:
+            print(f"* {f}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.report import generate_experiments_md
+
+    generate_experiments_md(args.path, fast=not args.full)
+    print(f"wrote {args.path}")
+    return 0
+
+
+def _cmd_bundle(args) -> int:
+    """Run every experiment and write machine-readable artifacts (CSV,
+    rendered text) into a directory — the full figure/table data bundle."""
+    from pathlib import Path
+
+    from repro.harness.experiments.base import all_experiment_ids, run_experiment
+
+    outdir = Path(args.dir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    ids = args.only.split(",") if args.only else all_experiment_ids()
+    for eid in ids:
+        out = run_experiment(eid, fast=not args.full)
+        (outdir / f"{eid}.txt").write_text(
+            out.text + "\nFindings:\n" + "\n".join(f"* {f}" for f in out.findings) + "\n"
+        )
+        for key, value in out.data.items():
+            if isinstance(value, str) and ("," in value and "\n" in value):
+                (outdir / f"{eid}_{key.replace('_csv', '')}.csv").write_text(value)
+        print(f"wrote {eid}")
+    return 0
+
+
+def _cmd_match(args) -> int:
+    from repro.harness.spec import get_graph
+    from repro.matching import run_matching
+    from repro.mpisim.machine import get_machine
+    from repro.util.tables import format_seconds
+
+    g = get_graph(args.dataset)
+    res = run_matching(
+        g, nprocs=args.nprocs, model=args.model, machine=get_machine(args.machine)
+    )
+    print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
+    print(f"model: {res.model} on {res.nprocs} simulated ranks")
+    print(f"simulated time: {format_seconds(res.makespan)}")
+    print(f"matching: {res.num_matched_edges} edges, weight {res.weight:.6g}")
+    print(f"messages: {res.total_messages()}  iterations: {res.iterations}")
+    print(f"peak memory: {res.counters.avg_peak_memory() / 2**20:.2f} MB/rank avg")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IPDPS'19 MPI graph-matching reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the dataset registry").set_defaults(
+        fn=_cmd_datasets
+    )
+    sub.add_parser("experiments", help="list experiment ids").set_defaults(
+        fn=_cmd_experiments
+    )
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("exp_id")
+    p_run.add_argument("--full", action="store_true", help="full-size configuration")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_bundle = sub.add_parser(
+        "bundle", help="write all experiment artifacts (text + CSV) to a directory"
+    )
+    p_bundle.add_argument("dir", nargs="?", default="artifacts")
+    p_bundle.add_argument("--only", default="", help="comma-separated experiment ids")
+    p_bundle.add_argument("--full", action="store_true")
+    p_bundle.set_defaults(fn=_cmd_bundle)
+
+    p_match = sub.add_parser("match", help="run one matching configuration")
+    p_match.add_argument("dataset")
+    p_match.add_argument("-p", "--nprocs", type=int, default=16)
+    p_match.add_argument(
+        "-m", "--model", default="ncl", choices=["nsr", "rma", "ncl", "mbp", "incl"]
+    )
+    p_match.add_argument("--machine", default="cori-aries")
+    p_match.set_defaults(fn=_cmd_match)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `python -m repro datasets | head`
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""`repro.bfs` — Graph500-style BFS, the communication-pattern contrast
+workload for Figs. 2 and 11 of the paper."""
+
+from repro.bfs.distributed import bfs_rank_main, run_bfs
+from repro.bfs.graph500 import Graph500Result, pick_search_roots, run_graph500
+from repro.bfs.serial import bfs_levels, bfs_parents, validate_bfs_levels
+
+__all__ = [
+    "bfs_levels",
+    "bfs_parents",
+    "validate_bfs_levels",
+    "bfs_rank_main",
+    "run_bfs",
+    "run_graph500",
+    "pick_search_roots",
+    "Graph500Result",
+]

@@ -1,0 +1,59 @@
+"""Serial BFS used as the oracle for the distributed Graph500-style BFS."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def bfs_levels(g: CSRGraph, root: int) -> np.ndarray:
+    """Level (hop distance) per vertex; -1 for unreachable vertices."""
+    n = g.num_vertices
+    if not 0 <= root < n:
+        raise ValueError(f"root {root} out of range")
+    level = np.full(n, -1, dtype=np.int64)
+    level[root] = 0
+    q: deque[int] = deque([root])
+    while q:
+        v = q.popleft()
+        lv = level[v] + 1
+        for u in g.neighbors(v):
+            u = int(u)
+            if level[u] < 0:
+                level[u] = lv
+                q.append(u)
+    return level
+
+
+def bfs_parents(g: CSRGraph, root: int) -> np.ndarray:
+    """Parent array (Graph500 output format); root's parent is itself."""
+    n = g.num_vertices
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[root] = root
+    q: deque[int] = deque([root])
+    while q:
+        v = q.popleft()
+        for u in g.neighbors(v):
+            u = int(u)
+            if parent[u] < 0:
+                parent[u] = v
+                q.append(u)
+    return parent
+
+
+def validate_bfs_levels(g: CSRGraph, root: int, level: np.ndarray) -> None:
+    """Graph500-style validation: every edge spans at most one level."""
+    u, v, _ = g.edge_list()
+    lu, lv = level[u], level[v]
+    both = (lu >= 0) & (lv >= 0)
+    if np.any(np.abs(lu[both] - lv[both]) > 1):
+        raise AssertionError("edge spans more than one BFS level")
+    reach_u = lu >= 0
+    reach_v = lv >= 0
+    if np.any(reach_u != reach_v):
+        raise AssertionError("edge between reached and unreached vertex")
+    if level[root] != 0:
+        raise AssertionError("root level must be 0")

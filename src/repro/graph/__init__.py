@@ -1,0 +1,72 @@
+"""`repro.graph` — graph substrate: CSR storage, generators for every
+input family in the paper's Table II, 1D block distribution with ghost
+vertices, RCM reordering, and the partition/topology statistics behind
+Tables III-VI and Figs. 7-9."""
+
+from repro.graph.bandwidth import BandwidthStats, bandwidth_reduction, bandwidth_stats
+from repro.graph.build import assign_weights, build_graph, dedupe_edges, hash_jitter
+from repro.graph.csr import CSRGraph, from_edges, from_scipy, to_networkx
+from repro.graph.distribution import (
+    BlockDistribution,
+    LocalGraph,
+    edge_balanced_distribution,
+    partition_graph,
+    process_graph_adjacency,
+)
+from repro.graph.partition_stats import (
+    GhostStats,
+    ProcessGraphStats,
+    ghost_stats,
+    ghost_stats_from_parts,
+    ghost_table,
+    process_graph_stats,
+    process_graph_stats_from_parts,
+    topology_table,
+)
+from repro.graph.reorder import (
+    degree_sort_permutation,
+    random_permutation,
+    rcm_permutation,
+    rcm_reorder,
+)
+from repro.graph.spy import (
+    adjacency_density,
+    diagonal_mass_fraction,
+    grid_to_csv,
+    render_ascii,
+)
+
+__all__ = [
+    "CSRGraph",
+    "from_edges",
+    "from_scipy",
+    "to_networkx",
+    "build_graph",
+    "dedupe_edges",
+    "assign_weights",
+    "hash_jitter",
+    "BlockDistribution",
+    "LocalGraph",
+    "partition_graph",
+    "edge_balanced_distribution",
+    "process_graph_adjacency",
+    "rcm_permutation",
+    "rcm_reorder",
+    "random_permutation",
+    "degree_sort_permutation",
+    "BandwidthStats",
+    "bandwidth_stats",
+    "bandwidth_reduction",
+    "ProcessGraphStats",
+    "GhostStats",
+    "process_graph_stats",
+    "process_graph_stats_from_parts",
+    "ghost_stats",
+    "ghost_stats_from_parts",
+    "topology_table",
+    "ghost_table",
+    "adjacency_density",
+    "render_ascii",
+    "grid_to_csv",
+    "diagonal_mass_fraction",
+]

@@ -1,0 +1,91 @@
+"""Graph construction helpers shared by all generators.
+
+Generators produce raw edge arrays (possibly with duplicates — R-MAT in
+particular samples with replacement); these helpers canonicalize them and
+assign edge weights. Weight assignment includes a deterministic hash-based
+jitter that makes all weights distinct, which (a) implements the paper's
+tie-breaking fix for pathological uniform-weight inputs and (b) makes the
+half-approx locally-dominant matching *unique*, giving tests a strong
+cross-implementation oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, from_edges
+from repro.util.hashing import edge_hash_array
+from repro.util.rng import make_rng
+
+
+def dedupe_edges(
+    u: np.ndarray, v: np.ndarray, num_vertices: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Canonicalize raw endpoint arrays: drop self-loops and duplicates."""
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    mask = lo != hi
+    lo, hi = lo[mask], hi[mask]
+    keys = lo * np.int64(num_vertices) + hi
+    _, idx = np.unique(keys, return_index=True)
+    return lo[idx], hi[idx]
+
+
+def hash_jitter(u: np.ndarray, v: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Deterministic per-edge jitter in (0, 1), identical on both endpoints."""
+    h = edge_hash_array(u, v, salt=salt)
+    return (h.astype(np.float64) + 1.0) / 18446744073709551616.0  # / 2^64
+
+
+def assign_weights(
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    seed: int,
+    scheme: str = "uniform",
+    distinct: bool = True,
+    salt: int = 0,
+) -> np.ndarray:
+    """Assign edge weights.
+
+    Schemes:
+
+    * ``uniform`` — i.i.d. uniform in (0, 1];
+    * ``degree``  — placeholder for callers that post-process (returns 1s);
+    * ``unit``    — all ones (the pathological case from §III unless
+      ``distinct`` adds the hash jitter).
+
+    With ``distinct=True`` (default) a hash-derived jitter of magnitude
+    ~1e-9 is added, making every weight unique while leaving the weight
+    distribution essentially unchanged.
+    """
+    n = len(u)
+    if scheme == "uniform":
+        rng = make_rng(seed, "weights")
+        w = rng.uniform(1e-3, 1.0, size=n)
+    elif scheme in ("unit", "degree"):
+        w = np.ones(n, dtype=np.float64)
+    else:
+        raise ValueError(f"unknown weight scheme {scheme!r}")
+    if distinct:
+        w = w + hash_jitter(u, v, salt=salt) * 1e-9
+    return w
+
+
+def build_graph(
+    num_vertices: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    *,
+    seed: int,
+    weight_scheme: str = "uniform",
+    distinct_weights: bool = True,
+) -> CSRGraph:
+    """Canonicalize raw edges, assign weights, build the CSR graph."""
+    uu, vv = dedupe_edges(u, v, num_vertices)
+    w = assign_weights(
+        uu, vv, seed=seed, scheme=weight_scheme, distinct=distinct_weights
+    )
+    return from_edges(num_vertices, uu, vv, w)

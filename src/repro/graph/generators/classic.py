@@ -1,0 +1,84 @@
+"""Classic deterministic graph families (paths, grids, stars, ...).
+
+Paths and grids with ordered vertex numbering are the paper's pathological
+inputs for uniform-weight matching (§III); they double as structural test
+fixtures throughout the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import build_graph
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+
+
+def path_graph(n: int, *, seed: int = 0, weight_scheme: str = "uniform",
+               distinct_weights: bool = True) -> CSRGraph:
+    """Path 0-1-2-...-(n-1)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    u = np.arange(n - 1, dtype=np.int64)
+    return build_graph(n, u, u + 1, seed=seed, weight_scheme=weight_scheme,
+                       distinct_weights=distinct_weights)
+
+
+def cycle_graph(n: int, *, seed: int = 0, weight_scheme: str = "uniform",
+                distinct_weights: bool = True) -> CSRGraph:
+    if n < 3:
+        raise ValueError("cycle needs n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    return build_graph(n, u, v, seed=seed, weight_scheme=weight_scheme,
+                       distinct_weights=distinct_weights)
+
+
+def grid2d_graph(rows: int, cols: int, *, seed: int = 0,
+                 weight_scheme: str = "uniform",
+                 distinct_weights: bool = True) -> CSRGraph:
+    """rows x cols 4-neighbor grid, row-major vertex numbering."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dims must be >= 1")
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    us = [ids[:, :-1].ravel(), ids[:-1, :].ravel()]
+    vs = [ids[:, 1:].ravel(), ids[1:, :].ravel()]
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    return build_graph(rows * cols, u, v, seed=seed, weight_scheme=weight_scheme,
+                       distinct_weights=distinct_weights)
+
+
+def star_graph(n: int, *, seed: int = 0, weight_scheme: str = "uniform",
+               distinct_weights: bool = True) -> CSRGraph:
+    """Center vertex 0 connected to all others (extreme degree skew)."""
+    if n < 2:
+        raise ValueError("star needs n >= 2")
+    v = np.arange(1, n, dtype=np.int64)
+    u = np.zeros(n - 1, dtype=np.int64)
+    return build_graph(n, u, v, seed=seed, weight_scheme=weight_scheme,
+                       distinct_weights=distinct_weights)
+
+
+def complete_graph(n: int, *, seed: int = 0, weight_scheme: str = "uniform",
+                   distinct_weights: bool = True) -> CSRGraph:
+    if n < 2:
+        raise ValueError("complete graph needs n >= 2")
+    iu = np.triu_indices(n, k=1)
+    return build_graph(n, iu[0].astype(np.int64), iu[1].astype(np.int64),
+                       seed=seed, weight_scheme=weight_scheme,
+                       distinct_weights=distinct_weights)
+
+
+def erdos_renyi(n: int, avg_degree: float, *, seed: int = 0,
+                weight_scheme: str = "uniform",
+                distinct_weights: bool = True) -> CSRGraph:
+    """G(n, m) random graph with m = n * avg_degree / 2 sampled edges."""
+    if n < 2:
+        raise ValueError("need n >= 2")
+    rng = make_rng(seed, "erdos")
+    m = int(n * avg_degree / 2)
+    u = rng.integers(0, n, size=m, dtype=np.int64)
+    v = rng.integers(0, n, size=m, dtype=np.int64)
+    return build_graph(n, u, v, seed=seed, weight_scheme=weight_scheme,
+                       distinct_weights=distinct_weights)

@@ -1,0 +1,113 @@
+"""Protein k-mer graph proxies (V2a / U1a / P1a / V1r shapes).
+
+The paper describes the k-mer graphs' structure directly: "The structure
+of k-mer graphs consists of grids of different sizes; when the grids are
+densely packed, it affects the performance of neighborhood collectives"
+(§V-B). We generate exactly that: a compound of many 2D grid components
+with a given size distribution, plus a sparse set of bridge edges linking
+consecutive components, with a ``packing`` knob that controls how much the
+components' vertex-id ranges interleave (densely packed numbering spreads
+each component across more ranks, inflating process-graph degree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import build_graph
+from repro.graph.csr import CSRGraph
+from repro.util.rng import make_rng
+
+
+def kmer_graph(
+    n: int,
+    *,
+    grid_min: int = 4,
+    grid_max: int = 40,
+    packing: float = 0.0,
+    bridge_fraction: float = 0.02,
+    seed: int = 0,
+    weight_scheme: str = "uniform",
+    distinct_weights: bool = True,
+) -> CSRGraph:
+    """Generate a k-mer-like grid-compound graph on ~``n`` vertices.
+
+    ``packing`` in [0, 1]: 0 keeps each grid's vertices contiguous in the
+    numbering (each component touches few ranks); 1 fully scrambles
+    vertex ids (every component straddles many ranks — "densely packed").
+    """
+    if n < grid_min * grid_min:
+        raise ValueError("n too small for the smallest grid")
+    if not 0.0 <= packing <= 1.0:
+        raise ValueError("packing must be in [0, 1]")
+    rng = make_rng(seed, "kmer")
+
+    # Carve n vertices into grid components of random aspect.
+    us: list[np.ndarray] = []
+    vs: list[np.ndarray] = []
+    base = 0
+    comp_firsts: list[int] = []
+    while base + grid_min * grid_min <= n:
+        rows = int(rng.integers(grid_min, grid_max + 1))
+        cols = int(rng.integers(grid_min, grid_max + 1))
+        size = rows * cols
+        if base + size > n:
+            size = n - base
+            cols = max(2, size // max(2, rows))
+            rows = size // cols
+            size = rows * cols
+            if rows < 2 or cols < 2:
+                break
+        ids = (base + np.arange(rows * cols, dtype=np.int64)).reshape(rows, cols)
+        us.append(ids[:, :-1].ravel())
+        vs.append(ids[:, 1:].ravel())
+        us.append(ids[:-1, :].ravel())
+        vs.append(ids[1:, :].ravel())
+        comp_firsts.append(base)
+        base += rows * cols
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+
+    # Sparse bridges between consecutive components (keeps the compound
+    # loosely connected, as overlapping k-mers do).
+    if len(comp_firsts) > 1 and bridge_fraction > 0.0:
+        k = max(1, int(len(comp_firsts) * bridge_fraction * 10))
+        c1 = rng.integers(0, len(comp_firsts) - 1, size=k)
+        bu = np.array([comp_firsts[i] for i in c1], dtype=np.int64)
+        bv = np.array([comp_firsts[i + 1] for i in c1], dtype=np.int64)
+        u = np.concatenate([u, bu])
+        v = np.concatenate([v, bv])
+
+    # Packing: swap a fraction of vertex ids with random partners.
+    if packing > 0.0:
+        perm = np.arange(n, dtype=np.int64)
+        nswap = int(packing * n)
+        a = rng.integers(0, n, size=nswap)
+        b = rng.integers(0, n, size=nswap)
+        for i, j in zip(a, b):
+            perm[i], perm[j] = perm[j], perm[i]
+        u, v = perm[u], perm[v]
+
+    return build_graph(n, u, v, seed=seed, weight_scheme=weight_scheme,
+                       distinct_weights=distinct_weights)
+
+
+#: Shape presets mirroring the paper's four protein k-mer instances.
+#: (relative size, grid span, packing) — V1r is the largest and most
+#: densely packed, V2a the smallest and loosest, matching the relative
+#: |E| ordering of Table II and the scaling behaviour of Fig. 5.
+KMER_PRESETS: dict[str, dict] = {
+    "V2a": {"grid_min": 4, "grid_max": 24, "packing": 0.05},
+    "U1a": {"grid_min": 4, "grid_max": 28, "packing": 0.12},
+    "P1a": {"grid_min": 6, "grid_max": 36, "packing": 0.25},
+    "V1r": {"grid_min": 6, "grid_max": 44, "packing": 0.45},
+}
+
+
+def kmer_preset_graph(name: str, n: int, *, seed: int = 0, **overrides) -> CSRGraph:
+    """Generate one of the named k-mer proxies at ``n`` vertices."""
+    if name not in KMER_PRESETS:
+        raise KeyError(f"unknown k-mer preset {name!r}; have {sorted(KMER_PRESETS)}")
+    kwargs = dict(KMER_PRESETS[name])
+    kwargs.update(overrides)
+    return kmer_graph(n, seed=seed, **kwargs)

@@ -1,0 +1,33 @@
+"""`repro.harness` — experiment harness regenerating every table and
+figure of the paper's evaluation section (see DESIGN.md §4 for the
+experiment index)."""
+
+from repro.harness.experiments.base import (
+    ExperimentOutput,
+    all_experiment_ids,
+    run_experiment,
+)
+from repro.harness.figures import FigureData
+from repro.harness.perfprofile import PerformanceProfile, performance_profile
+from repro.harness.runner import RunRecord, run_models, run_one
+from repro.harness.spec import DEFAULT_SEED, GraphSpec, all_specs, get_graph, get_spec
+from repro.harness.sweep import best_speedup_over_baseline, scaling_sweep
+
+__all__ = [
+    "ExperimentOutput",
+    "run_experiment",
+    "all_experiment_ids",
+    "FigureData",
+    "PerformanceProfile",
+    "performance_profile",
+    "RunRecord",
+    "run_one",
+    "run_models",
+    "GraphSpec",
+    "get_graph",
+    "get_spec",
+    "all_specs",
+    "DEFAULT_SEED",
+    "scaling_sweep",
+    "best_speedup_over_baseline",
+]

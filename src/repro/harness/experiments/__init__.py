@@ -1,0 +1,35 @@
+"""Experiment modules — one per paper figure/table plus ablations.
+
+Importing this package populates the experiment registry; use
+:func:`repro.harness.experiments.base.run_experiment` to execute one.
+"""
+
+from repro.harness.experiments import (  # noqa: F401 - registration side effects
+    ablations,
+    fig01,
+    fig02,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    table07,
+    table08,
+    tables,
+)
+from repro.harness.experiments.base import (
+    ExperimentOutput,
+    all_experiment_ids,
+    experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentOutput",
+    "run_experiment",
+    "all_experiment_ids",
+    "experiment",
+]

@@ -1,0 +1,62 @@
+"""Fig. 2 — Send-Recv communication matrices: matching vs Graph500 BFS.
+
+The paper plots per-(sender, receiver) MPI call counts for its matching
+NSR code (Friendster) and Graph500 BFS (R-MAT) on 1024 processes, to show
+that matching generates a distinctly different (and heavier, more
+persistent) communication pattern than the standard benchmark. We run
+both workloads on the same R-MAT input and compare call-count matrices.
+"""
+
+from __future__ import annotations
+
+from repro.bfs.distributed import run_bfs
+from repro.graph.spy import grid_to_csv, render_ascii
+from repro.harness.experiments.base import ExperimentOutput, experiment
+from repro.harness.spec import get_graph
+from repro.matching.api import run_matching
+
+
+@experiment("fig2")
+def run(fast: bool = True) -> ExperimentOutput:
+    p = 16
+    g = get_graph("rmat-s10" if fast else "rmat-s12")
+
+    match_res = run_matching(g, p, model="nsr", compute_weight=False)
+    _, bfs_res, bfs_rounds = run_bfs(g, p, root=0)
+
+    m_mat = match_res.counters.p2p
+    b_mat = bfs_res.counters.p2p
+
+    lines = [
+        "Fig. 2 — Send-Recv call-count matrices (row=sender, col=receiver)",
+        "",
+        f"(a) half-approx matching, R-MAT |E|={g.num_edges}, p={p}",
+        render_ascii(m_mat.counts),
+        f"    total Send-Recv messages: {m_mat.total_messages()}",
+        f"    nonzero sender/receiver pairs: {m_mat.nonzero_fraction():.2%}",
+        "",
+        f"(b) Graph500 BFS, same input, p={p} ({bfs_rounds} rounds)",
+        render_ascii(b_mat.counts),
+        f"    total Send-Recv messages: {b_mat.total_messages()}",
+        f"    nonzero sender/receiver pairs: {b_mat.nonzero_fraction():.2%}",
+    ]
+    ratio = m_mat.total_messages() / max(1, b_mat.total_messages())
+    findings = [
+        f"matching sends {ratio:.1f}x more Send-Recv messages than BFS on the "
+        "same input (paper: matching traffic is far heavier and dynamic)",
+        f"BFS finishes in {bfs_rounds} synchronous rounds; matching runs "
+        f"{match_res.iterations} event-loop rounds",
+    ]
+    return ExperimentOutput(
+        exp_id="fig2",
+        title="Communication matrices: matching vs Graph500 BFS (call counts)",
+        text="\n".join(lines) + "\n",
+        data={
+            "matching_counts_csv": grid_to_csv(m_mat.counts),
+            "bfs_counts_csv": grid_to_csv(b_mat.counts),
+            "matching_messages": m_mat.total_messages(),
+            "bfs_messages": b_mat.total_messages(),
+            "message_ratio": ratio,
+        },
+        findings=findings,
+    )

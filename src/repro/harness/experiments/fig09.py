@@ -1,0 +1,75 @@
+"""Fig. 9 — byte-volume communication matrices, HV15R original vs RCM.
+
+The paper's TAU plots show that RCM narrows communication toward the
+(process) diagonal but introduces irregular blocks that imbalance load.
+We render byte matrices from the NSR run and quantify both effects:
+near-diagonal volume fraction rises, and per-rank volume imbalance
+(max/mean) is reported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.reorder import rcm_reorder
+from repro.graph.spy import diagonal_mass_fraction, grid_to_csv, render_ascii
+from repro.harness.experiments.base import ExperimentOutput, experiment
+from repro.harness.spec import get_graph
+from repro.matching.api import run_matching
+
+
+def _volume_stats(mat: np.ndarray) -> tuple[float, float]:
+    per_rank = mat.sum(axis=1).astype(float)
+    mean = per_rank.mean() if per_rank.size else 0.0
+    return (per_rank.max() / mean if mean > 0 else 0.0, float(per_rank.sum()))
+
+
+@experiment("fig9")
+def run(fast: bool = True) -> ExperimentOutput:
+    p = 32
+    g = get_graph("hv15r")
+    gr, _ = rcm_reorder(g)
+    res_o = run_matching(g, p, model="nsr", compute_weight=False)
+    res_r = run_matching(gr, p, model="nsr", compute_weight=False)
+    bo = res_o.counters.p2p.bytes
+    br = res_r.counters.p2p.bytes
+    diag_o = diagonal_mass_fraction(bo, width=1)
+    diag_r = diagonal_mass_fraction(br, width=1)
+    imb_o, tot_o = _volume_stats(bo)
+    imb_r, tot_r = _volume_stats(br)
+    text = "\n".join(
+        [
+            f"Fig 9 — total message volume (bytes), HV15R on {p} processes",
+            "",
+            "(a) original ordering:",
+            render_ascii(bo),
+            f"    total bytes {tot_o:.3g}, near-diagonal fraction {diag_o:.2f}, "
+            f"max/mean per-rank volume {imb_o:.2f}",
+            "",
+            "(b) RCM reordered:",
+            render_ascii(br),
+            f"    total bytes {tot_r:.3g}, near-diagonal fraction {diag_r:.2f}, "
+            f"max/mean per-rank volume {imb_r:.2f}",
+        ]
+    )
+    return ExperimentOutput(
+        exp_id="fig9",
+        title="Byte-volume matrices, HV15R original vs RCM",
+        text=text + "\n",
+        data={
+            "original_csv": grid_to_csv(bo),
+            "rcm_csv": grid_to_csv(br),
+            "diag_fraction": (diag_o, diag_r),
+            "total_bytes": (tot_o, tot_r),
+            "imbalance": (imb_o, imb_r),
+        },
+        findings=[
+            f"RCM spreads traffic over more rank pairs: near-diagonal volume "
+            f"fraction {diag_o:.2f} -> {diag_r:.2f}, matching Table VI's "
+            "process-graph degree increase (the paper's 'irregular block "
+            "structures ... can lead to load imbalance')",
+            f"total communicated volume grows {tot_o:.3g} -> {tot_r:.3g} bytes "
+            "(paper: reordering *increases* overall volume under naive 1D "
+            "partitioning)",
+        ],
+    )

@@ -1,0 +1,152 @@
+"""Tables II-VI — dataset inventory and partition/topology statistics.
+
+These are the paper's structural tables; no matching runs are needed,
+only the 1D partitioning machinery and the RCM reordering.
+"""
+
+from __future__ import annotations
+
+from repro.graph.distribution import partition_graph
+from repro.graph.partition_stats import (
+    ghost_stats_from_parts,
+    ghost_table,
+    process_graph_stats_from_parts,
+    topology_table,
+)
+from repro.graph.reorder import rcm_reorder
+from repro.harness.experiments.base import ExperimentOutput, experiment
+from repro.harness.spec import all_specs, get_graph
+from repro.util.tables import TextTable, format_si
+
+
+@experiment("table2")
+def run_table2(fast: bool = True) -> ExperimentOutput:
+    t = TextTable(
+        ["category", "identifier (paper)", "name (ours)", "|V|", "|E|"],
+        title="Table II: synthetic and real-world graphs (scaled-down proxies)",
+    )
+    rows = []
+    for spec in all_specs():
+        g = spec.instantiate()
+        t.add_row(
+            [
+                spec.category,
+                spec.paper_identifier,
+                spec.name,
+                format_si(g.num_vertices),
+                format_si(g.num_edges),
+            ]
+        )
+        rows.append((spec.name, g.num_vertices, g.num_edges))
+    return ExperimentOutput(
+        exp_id="table2",
+        title="Dataset inventory",
+        text=t.render(),
+        data={"rows": rows},
+        findings=[f"{len(rows)} inputs across all 7 paper categories instantiated"],
+    )
+
+
+@experiment("table3")
+def run_table3(fast: bool = True) -> ExperimentOutput:
+    from repro.graph.generators import sbm_hilo_graph
+    from repro.harness.spec import DEFAULT_SEED
+
+    rows = []
+    procs = [16, 32, 64]
+    for p in procs:
+        g = sbm_hilo_graph(64 * p, avg_degree=8.0, seed=DEFAULT_SEED)
+        parts = partition_graph(g, p)
+        rows.append((f"sbm@{p}", process_graph_stats_from_parts(parts)))
+    t = topology_table(rows, "Table III: SBM process-graph topology")
+    near_complete = all(s.dmax == p - 1 for (_, s), p in zip(rows, procs))
+    return ExperimentOutput(
+        exp_id="table3",
+        title="Process-graph stats for SBM",
+        text=t.render(),
+        data={"stats": [(lbl, s.__dict__) for lbl, s in rows]},
+        findings=[
+            "SBM process graph is complete at every scale: dmax = davg = p-1 "
+            f"(paper Table III shows exactly this) -> {near_complete}"
+        ],
+    )
+
+
+@experiment("table4")
+def run_table4(fast: bool = True) -> ExperimentOutput:
+    rows = []
+    for name, procs in [("friendster", (16, 32)), ("orkut", (8, 32))]:
+        g = get_graph(name)
+        for p in procs:
+            parts = partition_graph(g, p)
+            rows.append((f"{name}@{p}", process_graph_stats_from_parts(parts)))
+    t = topology_table(rows, "Table IV: social-network process-graph topology")
+    davg_close = all(s.davg >= 0.9 * (int(lbl.split("@")[1]) - 1) for lbl, s in rows)
+    return ExperimentOutput(
+        exp_id="table4",
+        title="Process-graph stats for social networks",
+        text=t.render(),
+        data={"stats": [(lbl, s.__dict__) for lbl, s in rows]},
+        findings=[
+            "social process graphs are near-complete: davg within 10% of p-1 "
+            f"at every scale (paper Table IV: davg ~ p-1) -> {davg_close}"
+        ],
+    )
+
+
+@experiment("table5")
+def run_table5(fast: bool = True) -> ExperimentOutput:
+    rows = []
+    data = {}
+    for name, p in [("cage15", 32), ("hv15r", 32)]:
+        g = get_graph(name)
+        gr, _ = rcm_reorder(g)
+        s0 = ghost_stats_from_parts(partition_graph(g, p))
+        s1 = ghost_stats_from_parts(partition_graph(gr, p))
+        rows.append((f"{name} (p={p}) orig", s0))
+        rows.append((f"{name} (p={p}) RCM", s1))
+        data[name] = {
+            "total_change": s1.total / s0.total,
+            "sigma_change": s1.sigma / s0.sigma if s0.sigma > 0 else float("nan"),
+        }
+    t = ghost_table(rows, "Table V: ghost-augmented edges |E'|, original vs RCM")
+    findings = []
+    for name, d in data.items():
+        findings.append(
+            f"{name}: RCM changes total |E'| by {d['total_change']:.3f}x "
+            f"(paper: +1-5%) and sigma|E'| by {d['sigma_change']:.2f}x "
+            "(paper: 30-40% reduction -> better balance)"
+        )
+    return ExperimentOutput(
+        exp_id="table5",
+        title="Reordering impact on ghost edges",
+        text=t.render(),
+        data=data,
+        findings=findings,
+    )
+
+
+@experiment("table6")
+def run_table6(fast: bool = True) -> ExperimentOutput:
+    rows = []
+    data = {}
+    for name, p in [("cage15", 32), ("hv15r", 32)]:
+        g = get_graph(name)
+        gr, _ = rcm_reorder(g)
+        s0 = process_graph_stats_from_parts(partition_graph(g, p))
+        s1 = process_graph_stats_from_parts(partition_graph(gr, p))
+        rows.append((f"{name} (p={p}) orig", s0))
+        rows.append((f"{name} (p={p}) RCM", s1))
+        data[name] = {"davg_ratio": s1.davg / s0.davg if s0.davg else float("nan")}
+    t = topology_table(rows, "Table VI: process topology, original vs RCM")
+    return ExperimentOutput(
+        exp_id="table6",
+        title="Reordering impact on the process graph",
+        text=t.render(),
+        data=data,
+        findings=[
+            f"{n}: RCM changes davg by {d['davg_ratio']:.2f}x (paper: ~2x "
+            "increase under naive 1D re-partitioning)"
+            for n, d in data.items()
+        ],
+    )

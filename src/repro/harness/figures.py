@@ -1,0 +1,84 @@
+"""Terminal-friendly figure rendering: ASCII log-log series plots and CSV.
+
+The paper's scaling figures are log2-log2 line charts; we render the same
+series as monospace charts (one column per measured point) plus CSV for
+downstream plotting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.util.tables import format_seconds
+
+
+@dataclass
+class Series:
+    label: str
+    xs: list[float]
+    ys: list[float]
+
+
+@dataclass
+class FigureData:
+    """One figure: named series over a shared x axis."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, label: str, xs: list[float], ys: list[float]) -> None:
+        if len(xs) != len(ys):
+            raise ValueError("xs and ys must have equal length")
+        self.series.append(Series(label, list(xs), list(ys)))
+
+    # ------------------------------------------------------------------
+    def as_csv(self) -> str:
+        xs = sorted({x for s in self.series for x in s.xs})
+        header = [self.xlabel] + [s.label for s in self.series]
+        lines = [",".join(header)]
+        for x in xs:
+            row = [str(x)]
+            for s in self.series:
+                try:
+                    row.append(f"{s.ys[s.xs.index(x)]:.6g}")
+                except ValueError:
+                    row.append("")
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def render(self, height: int = 12) -> str:
+        """ASCII chart on a log2 y axis (mirrors the paper's axes)."""
+        if not self.series:
+            return f"{self.title}\n(empty figure)\n"
+        all_y = [y for s in self.series for y in s.ys if y > 0]
+        lo = math.log2(min(all_y))
+        hi = math.log2(max(all_y))
+        if hi - lo < 1e-9:
+            hi = lo + 1.0
+        xs = sorted({x for s in self.series for x in s.xs})
+        marks = "*+o#@%&"
+        grid = [[" "] * (len(xs) * 6) for _ in range(height)]
+        for si, s in enumerate(self.series):
+            for x, y in zip(s.xs, s.ys):
+                if y <= 0:
+                    continue
+                col = xs.index(x) * 6 + 2
+                row = height - 1 - int((math.log2(y) - lo) / (hi - lo) * (height - 1))
+                grid[row][col] = marks[si % len(marks)]
+        out = [self.title]
+        for r, line in enumerate(grid):
+            yval = 2 ** (hi - r * (hi - lo) / (height - 1))
+            out.append(f"{format_seconds(yval):>9s} |" + "".join(line))
+        out.append(" " * 10 + "+" + "-" * (len(xs) * 6))
+        xline = " " * 11
+        for x in xs:
+            xline += f"{int(x):<6d}"
+        out.append(xline + f"  ({self.xlabel})")
+        legend = "   ".join(
+            f"{marks[i % len(marks)]}={s.label}" for i, s in enumerate(self.series)
+        )
+        out.append("legend: " + legend)
+        return "\n".join(out) + "\n"

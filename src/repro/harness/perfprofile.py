@@ -1,0 +1,77 @@
+"""Dolan-Moré performance profiles (paper Fig. 10).
+
+Given a set of problems (here: (input, nprocs) combinations) and solvers
+(communication models), the profile for solver *s* is
+
+    rho_s(tau) = |{p : t_{p,s} <= tau * min_s' t_{p,s'}}| / #problems
+
+— the fraction of problems solver *s* solves within a factor ``tau`` of
+the best solver. The paper reads two things off this plot: RMA's curve
+hugs the Y axis (most consistently fast), and NSR's curve is far right
+(up to 6x slower) while still best on ~10% of problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PerformanceProfile:
+    solvers: tuple[str, ...]
+    taus: np.ndarray  #: evaluation points (factor-of-best)
+    curves: dict[str, np.ndarray]  #: solver -> rho(tau)
+    ratios: dict[str, np.ndarray]  #: solver -> per-problem factor-of-best
+
+    def best_fraction(self, solver: str) -> float:
+        """rho(1): fraction of problems where this solver was the winner."""
+        return float(self.curves[solver][0])
+
+    def area(self, solver: str) -> float:
+        """Area under the profile (higher = better overall)."""
+        return float(np.trapezoid(self.curves[solver], self.taus))
+
+    def as_csv(self) -> str:
+        lines = ["tau," + ",".join(self.solvers)]
+        for i, t in enumerate(self.taus):
+            row = [f"{t:.4f}"] + [f"{self.curves[s][i]:.4f}" for s in self.solvers]
+            lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+
+def performance_profile(
+    times: dict[str, dict[str, float]],
+    tau_max: float | None = None,
+    num_points: int = 64,
+) -> PerformanceProfile:
+    """Build a profile from ``times[problem][solver] = runtime``.
+
+    Every problem must have a time for every solver.
+    """
+    problems = sorted(times)
+    if not problems:
+        raise ValueError("no problems given")
+    solvers = tuple(sorted(times[problems[0]]))
+    for p in problems:
+        if tuple(sorted(times[p])) != solvers:
+            raise ValueError(f"problem {p!r} is missing some solvers")
+
+    ratio_rows = {s: [] for s in solvers}
+    for p in problems:
+        best = min(times[p].values())
+        if best <= 0:
+            raise ValueError(f"nonpositive runtime for problem {p!r}")
+        for s in solvers:
+            ratio_rows[s].append(times[p][s] / best)
+    ratios = {s: np.array(v) for s, v in ratio_rows.items()}
+
+    worst = max(float(r.max()) for r in ratios.values())
+    if tau_max is None:
+        tau_max = max(2.0, worst * 1.05)
+    taus = np.linspace(1.0, tau_max, num_points)
+    curves = {
+        s: np.array([(ratios[s] <= t + 1e-12).mean() for t in taus]) for s in solvers
+    }
+    return PerformanceProfile(solvers=solvers, taus=taus, curves=curves, ratios=ratios)

@@ -1,0 +1,80 @@
+"""Single-run executor: one (graph, nprocs, model) -> one RunRecord.
+
+The RunRecord is the harness's universal currency: every figure and table
+module consumes lists of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.csr import CSRGraph
+from repro.matching.api import MatchingRunResult, run_matching
+from repro.matching.driver import MatchingOptions
+from repro.mpisim.machine import MachineModel, cori_aries
+from repro.mpisim.power import EnergyReport, PowerModel, energy_report
+
+
+@dataclass
+class RunRecord:
+    """One experiment data point."""
+
+    graph: str
+    nprocs: int
+    model: str
+    makespan: float  #: simulated seconds (the paper's "execution time")
+    weight: float
+    iterations: int
+    messages: int
+    bytes_moved: int
+    mem_per_rank_mb: float
+    energy: EnergyReport
+    result: MatchingRunResult | None = None  #: full payload (optional)
+
+    def speedup_over(self, baseline: "RunRecord") -> float:
+        return baseline.makespan / self.makespan if self.makespan > 0 else float("inf")
+
+
+def run_one(
+    g: CSRGraph,
+    nprocs: int,
+    model: str,
+    *,
+    label: str = "?",
+    machine: MachineModel | None = None,
+    power: PowerModel | None = None,
+    options: MatchingOptions | None = None,
+    keep_result: bool = False,
+) -> RunRecord:
+    """Execute one matching run and package its measurements."""
+    machine = machine or cori_aries()
+    res = run_matching(
+        g, nprocs, model=model, machine=machine, options=options, compute_weight=True
+    )
+    c = res.counters
+    erep = energy_report(model.upper(), res.makespan, c, power)
+    return RunRecord(
+        graph=label,
+        nprocs=nprocs,
+        model=model,
+        makespan=res.makespan,
+        weight=res.weight,
+        iterations=res.iterations,
+        messages=res.total_messages(),
+        bytes_moved=(
+            c.p2p.total_bytes() + c.rma.total_bytes() + c.ncl.total_bytes()
+        ),
+        mem_per_rank_mb=c.avg_peak_memory() / (1024 * 1024),
+        energy=erep,
+        result=res if keep_result else None,
+    )
+
+
+def run_models(
+    g: CSRGraph,
+    nprocs: int,
+    models: tuple[str, ...] = ("nsr", "rma", "ncl"),
+    **kwargs,
+) -> dict[str, RunRecord]:
+    """Run several communication models on the same (graph, p)."""
+    return {m: run_one(g, nprocs, m, **kwargs) for m in models}

@@ -1,0 +1,57 @@
+"""`repro.matching` — the paper's core contribution, reproduced.
+
+Serial half-approximate weighted matching (greedy and locally-dominant)
+plus the distributed locally-dominant algorithm over four communication
+backends: nonblocking Send-Recv (``nsr``), MPI-3 RMA (``rma``), MPI-3
+neighborhood collectives (``ncl``), and a MatchBox-P-style baseline
+(``mbp``). See :func:`run_matching` for the one-call entry point.
+"""
+
+from repro.matching.api import MatchingRunResult, run_matching
+from repro.matching.contexts import TRIPLE_BYTES, Ctx
+from repro.matching.driver import BACKENDS, MatchingOptions, matching_rank_main
+from repro.matching.serial import (
+    NO_MATE,
+    MatchingResult,
+    exact_matching_weight,
+    greedy_matching,
+    locally_dominant_matching,
+    matching_weight,
+)
+from repro.matching.state import MatchingState, MatchStats
+from repro.matching.pathgrow import path_growing_matching
+from repro.matching.suitor import suitor_matching
+from repro.matching.vectorized import locally_dominant_matching_vec
+from repro.matching.verify import (
+    assemble_global_mate,
+    check_cross_rank_consistency,
+    check_half_approx,
+    check_matching_maximal,
+    check_matching_valid,
+)
+
+__all__ = [
+    "run_matching",
+    "MatchingRunResult",
+    "MatchingOptions",
+    "matching_rank_main",
+    "BACKENDS",
+    "Ctx",
+    "TRIPLE_BYTES",
+    "NO_MATE",
+    "MatchingResult",
+    "greedy_matching",
+    "locally_dominant_matching",
+    "locally_dominant_matching_vec",
+    "suitor_matching",
+    "path_growing_matching",
+    "matching_weight",
+    "exact_matching_weight",
+    "MatchingState",
+    "MatchStats",
+    "check_matching_valid",
+    "check_matching_maximal",
+    "check_half_approx",
+    "check_cross_rank_consistency",
+    "assemble_global_mate",
+]

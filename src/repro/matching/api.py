@@ -1,0 +1,89 @@
+"""High-level one-call API for distributed half-approximate matching.
+
+>>> from repro.graph.generators import rmat_graph
+>>> from repro.matching import run_matching
+>>> g = rmat_graph(10, seed=1)
+>>> res = run_matching(g, nprocs=8, model="ncl")
+>>> res.weight, res.makespan  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.distribution import partition_graph
+from repro.matching.driver import MatchingOptions, matching_rank_main
+from repro.matching.serial import matching_weight
+from repro.mpisim.counters import RunCounters
+from repro.mpisim.engine import Engine, EngineResult
+from repro.mpisim.machine import MachineModel, cori_aries
+
+
+@dataclass
+class MatchingRunResult:
+    """Everything one distributed matching run produced."""
+
+    model: str
+    nprocs: int
+    mate: np.ndarray  #: global mate array
+    weight: float  #: total matched weight
+    makespan: float  #: simulated runtime (seconds)
+    iterations: int  #: max backend iterations over ranks
+    counters: RunCounters  #: per-rank op counters + comm matrices
+    engine: EngineResult
+    rank_results: list[dict]
+
+    @property
+    def num_matched_edges(self) -> int:
+        return int(np.count_nonzero(self.mate >= 0)) // 2
+
+    def total_messages(self) -> int:
+        c = self.counters
+        return (
+            c.p2p.total_messages()
+            + c.rma.total_messages()
+            + c.ncl.total_messages()
+        )
+
+
+def run_matching(
+    g: CSRGraph,
+    nprocs: int,
+    model: str = "nsr",
+    machine: MachineModel | None = None,
+    options: MatchingOptions | None = None,
+    *,
+    dist=None,
+    max_ops: int | None = None,
+    compute_weight: bool = True,
+) -> MatchingRunResult:
+    """Partition ``g`` over ``nprocs`` simulated ranks and match it.
+
+    ``model`` is one of ``nsr`` / ``rma`` / ``ncl`` / ``mbp`` / ``incl``.
+    ``dist`` optionally overrides the 1D block distribution (e.g.
+    :func:`repro.graph.distribution.edge_balanced_distribution`).
+    """
+    machine = machine or cori_aries()
+    parts = partition_graph(g, nprocs, dist=dist)
+    engine = Engine(nprocs, machine, max_ops=max_ops)
+    result = engine.run(matching_rank_main, args=(parts, model, options))
+
+    from repro.matching.verify import assemble_global_mate
+
+    mate = assemble_global_mate(result.rank_results, g.num_vertices)
+    weight = matching_weight(g, mate) if compute_weight else float("nan")
+    iterations = max(rr["iterations"] for rr in result.rank_results)
+    return MatchingRunResult(
+        model=model,
+        nprocs=nprocs,
+        mate=mate,
+        weight=weight,
+        makespan=result.makespan,
+        iterations=iterations,
+        counters=result.counters,
+        engine=result,
+        rank_results=result.rank_results,
+    )

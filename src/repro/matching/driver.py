@@ -1,0 +1,100 @@
+"""Distributed-matching driver: ties state, backends, and the engine
+together (paper Algorithm 3 and §IV-D).
+
+The same :class:`~repro.matching.state.MatchingState` transition system
+runs over any of the four backends; only Push/Evoke/Process differ
+(paper Table I). ``matching_rank_main`` is the SPMD target executed by
+every simulated rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.distribution import LocalGraph
+from repro.matching.incl import INCLBackend
+from repro.matching.mbp import MBPBackend
+from repro.matching.ncl import NCLBackend
+from repro.matching.nsr import NSRBackend
+from repro.matching.rma import RMABackend
+from repro.matching.state import MatchingState
+from repro.mpisim.context import RankContext
+
+BACKENDS = {
+    "nsr": NSRBackend,
+    "rma": RMABackend,
+    "ncl": NCLBackend,
+    "mbp": MBPBackend,
+    # extension (not in the paper): nonblocking neighborhood collectives
+    # with compute/transfer overlap — see repro/matching/incl.py
+    "incl": INCLBackend,
+}
+
+
+@dataclass(frozen=True)
+class MatchingOptions:
+    """Tunables for one matching run."""
+
+    eager_reject: bool = False  #: use the paper's literal Algorithm 6
+    #: REQUEST handling instead of deferred proposals (ablation only —
+    #: quality and cross-backend determinism are not guaranteed)
+    tie_break: str = "hash"  #: "hash" (paper's fix) or "id" (the naive,
+    #: pathological scheme from §III; ablation only)
+    charge_graph_memory: bool = True  #: register CSR bytes with the
+    #: memory model (identical across models; off to isolate buffers)
+
+
+def make_backend(name: str, ctx: RankContext, lg: LocalGraph):
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        raise KeyError(f"unknown matching backend {name!r}; have {sorted(BACKENDS)}") from None
+    return cls(ctx, lg)
+
+
+def matching_rank_main(
+    ctx: RankContext,
+    parts: list[LocalGraph],
+    model: str,
+    options: MatchingOptions | None = None,
+) -> dict:
+    """SPMD entry point: run half-approx matching on this rank's partition.
+
+    Returns a per-rank result dict with the owned mate slice, algorithm
+    statistics, and backend iteration counts; the harness assembles the
+    global matching from these.
+    """
+    options = options or MatchingOptions()
+    lg = parts[ctx.rank]
+    if options.charge_graph_memory:
+        ctx.alloc(lg.memory_bytes(), "graph-csr")
+
+    backend = make_backend(model, ctx, lg)
+    state = MatchingState(
+        lg,
+        push=backend.push,
+        charge=ctx.compute,
+        eager_reject=options.eager_reject,
+        handle_scale=getattr(backend, "handle_scale", 1.0),
+        tie_break=options.tie_break,
+    )
+    # Candidate-order arrays, eviction/pending sets, pair table — all
+    # O(local edges); register them with the memory model.
+    state_bytes = 8 * lg.num_local_directed_edges + 64 * lg.num_owned
+    ctx.alloc(state_bytes, "matching-state")
+
+    info = backend.run(state)
+    backend.finalize(state)
+    ctx.free(state_bytes, "matching-state")
+    if options.charge_graph_memory:
+        ctx.free(lg.memory_bytes(), "graph-csr")
+
+    return {
+        "rank": ctx.rank,
+        "lo": lg.lo,
+        "hi": lg.hi,
+        "mate": state.mate_global(),
+        "iterations": info.get("iterations", 0),
+        "stats": state.stats,
+        "model": model,
+    }

@@ -1,0 +1,85 @@
+"""MBP — a MatchBox-P-style Send-Recv baseline (paper §V, "MBP").
+
+MatchBox-P (Catalyurek et al., 2011) predates this paper's tuned NSR
+code. The paper uses it as a reference implementation and reports it
+1.2-2x slower than their NSR on large graphs, and 2.5-7x slower than
+NCL/RMA. The structural differences we model, all of which are documented
+properties of the older queue-based design:
+
+* **per-message acknowledgments** — every REQUEST is answered with an
+  explicit ACK message even when no decision rides on it (the old
+  protocol's bookkeeping), roughly doubling small-message traffic;
+* **heavier per-message software path** — extra queue management and
+  O(degree) bookkeeping charged per message;
+* **O(p) state** — arrays sized by the full communicator, not by the
+  topology neighborhood (memory model);
+* **global termination rounds** — the old code established quiescence
+  with communicator-wide reductions instead of the local exit rule.
+"""
+
+from __future__ import annotations
+
+from repro.graph.distribution import LocalGraph
+from repro.matching.contexts import TRIPLE_BYTES, Ctx
+from repro.matching.state import MatchingState
+from repro.mpisim.context import RankContext
+
+#: extra abstract work units per message event (queue churn in the old code)
+_MBP_EXTRA_WORK = 6.0
+
+
+class MBPBackend:
+    """Older-generation Send-Recv with acknowledgments and global rounds."""
+
+    name = "mbp"
+    handle_scale = 20.0  #: even heavier per-message path than tuned NSR
+
+    def __init__(self, ctx: RankContext, lg: LocalGraph):
+        self.ctx = ctx
+        self.lg = lg
+        # O(p) bookkeeping arrays plus eager pools for every rank (the
+        # old code opened channels communicator-wide).
+        self._fixed_bytes = (96 + ctx.machine.eager_pool_per_peer_bytes // 2) * ctx.nprocs
+        self.ctx.alloc(self._fixed_bytes, "mbp-tables")
+
+    # ------------------------------------------------------------------
+    def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
+        self.ctx.compute(_MBP_EXTRA_WORK)
+        self.ctx.isend(target_rank, (x, y), tag=int(ctx_id), nbytes=TRIPLE_BYTES)
+
+    def _drain_incoming(self, state: MatchingState) -> int:
+        ctx = self.ctx
+        handled = 0
+        while True:
+            hdr = ctx.iprobe()
+            if hdr is None:
+                return handled
+            src, tag, _ = hdr
+            msg = ctx.recv(source=src, tag=tag)
+            x, y = msg.payload
+            ctx.compute(_MBP_EXTRA_WORK)
+            state.handle(Ctx(tag), x, y)
+            if tag == int(Ctx.REQUEST):
+                # Protocol acknowledgment: pure overhead traffic.
+                ctx.isend(src, (y, x), tag=int(Ctx.ACK), nbytes=TRIPLE_BYTES)
+            handled += 1
+
+    # ------------------------------------------------------------------
+    def run(self, state: MatchingState) -> dict:
+        """Globally synchronized rounds: drain, work, then a communicator-
+        wide termination reduction every round (the old code's quiescence
+        scheme). Every rank executes the same collective sequence, so the
+        reductions stay aligned; leftover ACKs in flight at exit carry no
+        algorithmic content."""
+        state.start()
+        iterations = 0
+        while True:
+            iterations += 1
+            self._drain_incoming(state)
+            state.drain_work()
+            if self.ctx.allreduce(state.remaining()) == 0:
+                break
+        return {"iterations": iterations}
+
+    def finalize(self, state: MatchingState) -> None:
+        self.ctx.free(self._fixed_bytes, "mbp-tables")

@@ -1,0 +1,113 @@
+"""RMA — MPI-3 one-sided backend with passive-target puts (§IV-D(b)).
+
+Table I mapping: Push = ``MPI_Put``, Evoke = ``MPI_Win_flush_all`` +
+``MPI_Neighbor_alltoall`` (outgoing-count exchange), Process = scan newly
+visible slots of the local window.
+
+Remote displacement scheme (paper Fig. 1): each rank's window is
+partitioned into one region per topology neighbor, sized ``2 x (shared
+ghost count)`` message slots. A prefix sum over its neighbors' ghost
+counts gives each rank its region layout; one ``neighbor_alltoall``
+delivers to every neighbor the start offset of *its* region in this
+rank's window. After that, a put needs only a local per-neighbor cursor —
+no distributed counters, no atomics.
+
+Each outer iteration: flush (complete my puts) -> exchange cumulative
+written counts -> read my window regions up to the advertised counts ->
+process -> global reduction on remaining work for the exit decision
+(paper §V-D: unlike Send-Recv, one-sided ranks cannot exit on local
+evidence alone).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.distribution import LocalGraph
+from repro.matching.contexts import TRIPLE_BYTES, Ctx
+from repro.matching.state import MatchingState
+from repro.mpisim.context import RankContext
+
+_SLOT = 3  # (context, x, y) int64 words per message slot
+
+
+class RMABackend:
+    """One-sided puts into per-neighbor window regions."""
+
+    name = "rma"
+
+    def __init__(self, ctx: RankContext, lg: LocalGraph):
+        self.ctx = ctx
+        self.lg = lg
+        self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
+        nbrs = self.topo.neighbors
+        self.nbr_index = {q: k for k, q in enumerate(nbrs)}
+
+        # Region capacity per neighbor: 2x shared ghosts (paper's bound).
+        caps = [2 * lg.ghost_counts[q] for q in nbrs]
+        self.region_cap = caps
+        # Prefix sum -> start *element* offset of each neighbor's region in
+        # MY window (slots are 3 elements wide).
+        starts = np.zeros(len(nbrs) + 1, dtype=np.int64)
+        np.cumsum(caps, out=starts[1:])
+        self.region_start = starts * _SLOT
+        total_slots = int(starts[-1])
+        self.win = ctx.win_allocate(total_slots * _SLOT, dtype=np.int64, fill=0)
+
+        # Tell each neighbor where its region begins in my window; learn
+        # where my regions begin in theirs (the Fig. 1 alltoall).
+        mine = [int(self.region_start[k]) for k in range(len(nbrs))]
+        self.remote_base = self.topo.neighbor_alltoall(mine, nbytes_per_item=8)
+
+        self.write_cursor = [0] * len(nbrs)  # slots written per neighbor
+        self.read_cursor = [0] * len(nbrs)  # slots consumed per neighbor
+        # origin-side bookkeeping buffers (cursors + offsets), memory model
+        ctx.alloc(8 * 4 * max(1, len(nbrs)), "rma-bookkeeping")
+
+    # ------------------------------------------------------------------
+    def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
+        k = self.nbr_index[target_rank]
+        if self.write_cursor[k] >= self.region_cap[k]:
+            raise RuntimeError(
+                f"RMA region overflow towards rank {target_rank}: "
+                f"{self.write_cursor[k]} >= {self.region_cap[k]} slots"
+            )
+        offset = (self.remote_base[k] + self.write_cursor[k] * _SLOT)
+        self.win.put(target_rank, np.array([int(ctx_id), x, y], dtype=np.int64), offset)
+        self.write_cursor[k] += 1
+
+    def _evoke_and_process(self, state: MatchingState) -> int:
+        """flush -> counts exchange -> read new window slots."""
+        self.win.flush_all()
+        counts = self.topo.neighbor_alltoall(
+            [int(c) for c in self.write_cursor], nbytes_per_item=8
+        )
+        self.win.sync_local()
+        buf = self.win.local
+        handled = 0
+        for k in range(len(self.topo.neighbors)):
+            avail = int(counts[k])
+            base = int(self.region_start[k])
+            while self.read_cursor[k] < avail:
+                s = (base + self.read_cursor[k] * _SLOT)
+                ctx_id, x, y = int(buf[s]), int(buf[s + 1]), int(buf[s + 2])
+                state.handle(Ctx(ctx_id), x, y)
+                self.read_cursor[k] += 1
+                handled += 1
+        return handled
+
+    # ------------------------------------------------------------------
+    def run(self, state: MatchingState) -> dict:
+        state.start()
+        iterations = 0
+        while True:
+            iterations += 1
+            self._evoke_and_process(state)
+            state.drain_work()
+            if self.ctx.allreduce(state.remaining()) == 0:
+                break
+        return {"iterations": iterations}
+
+    def finalize(self, state: MatchingState) -> None:
+        self.win.free()
+        self.ctx.free(8 * 4 * max(1, len(self.topo.neighbors)), "rma-bookkeeping")

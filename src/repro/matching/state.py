@@ -1,0 +1,359 @@
+"""Per-rank state machine for distributed half-approximate matching.
+
+Implements the paper's Algorithms 3-6 (FINDMATE, PROCESSNEIGHBORS,
+PROCESSINCOMINGDATA) over an abstract ``push`` callable so the identical
+algorithm runs over every communication backend (paper Table I).
+
+Protocol notes (documented deviation)
+-------------------------------------
+The paper's Algorithm 6 as printed rejects an incoming REQUEST whenever
+the receiver's current pointer is elsewhere, even if the receiver is
+still unmatched. That eager rejection can discard an edge both endpoints
+would later agree on, losing the locally-dominant guarantee on adversarial
+interleavings. We implement the Manne-Bisseling *deferred proposal*
+semantics instead — an unmatched receiver parks the proposal and matches
+when its own pointer arrives at the proposer — which computes exactly the
+(unique, with distinct weights) greedy matching on every backend and
+every timing. The eager variant is available as ``eager_reject=True`` and
+is exercised by an ablation benchmark.
+
+Message budget: each cross edge generates at most one message per
+direction (REQUEST, REJECT, or INVALID), so per-neighbor buffers sized at
+2x the shared ghost count — the paper's bound — are always sufficient.
+
+Termination: ``nghosts`` counts still-active cross pairs; ``awaiting``
+counts outstanding REQUESTs not yet resolved by a crossing REQUEST,
+REJECT, or INVALID. A rank is locally quiescent when both are zero and
+its work queue is empty; Send-Recv exits on that local predicate (paper
+§V-D), while RMA/NCL combine it through a global reduction each
+iteration, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.graph.distribution import LocalGraph
+from repro.matching.contexts import Ctx
+from repro.util.hashing import edge_hash_array
+
+NO_MATE = -1
+
+# vertex status
+FREE = 0
+MATCHED = 1
+DEAD = 2  # no available neighbor can remain (broadcast INVALID)
+
+# abstract work-unit prices for the compute model
+COST_SCAN = 1.0  #: examining one candidate slot
+COST_MSG = 4.0  #: decoding + dispatching one incoming message
+COST_PUSH = 2.0  #: staging one outgoing message
+COST_NEIGHBOR = 1.5  #: one neighbor step in PROCESSNEIGHBORS
+
+PushFn = Callable[[Ctx, int, int, int], None]
+
+
+@dataclass
+class MatchStats:
+    """Algorithm-level statistics for one rank."""
+
+    sent: dict[str, int] = field(default_factory=lambda: {c.name: 0 for c in Ctx})
+    received: dict[str, int] = field(default_factory=lambda: {c.name: 0 for c in Ctx})
+    matched_local: int = 0  #: matches with both endpoints owned
+    matched_remote: int = 0  #: matches across a partition boundary
+    findmate_calls: int = 0
+    work_units: float = 0.0
+
+
+class MatchingState:
+    """All rank-local data and transitions of the matching algorithm."""
+
+    def __init__(
+        self,
+        lg: LocalGraph,
+        push: PushFn,
+        charge: Callable[[float], None],
+        *,
+        eager_reject: bool = False,
+        handle_scale: float = 1.0,
+        tie_break: str = "hash",
+    ):
+        self.lg = lg
+        self.push_fn = push
+        self.charge = charge
+        self.eager_reject = eager_reject
+        # Per-message application-side dispatch cost multiplier. Backends
+        # that process messages one at a time (NSR, MBP) pay cache-cold
+        # branchy handling per message; batch backends (RMA, NCL) decode
+        # contiguous buffers. This is the application-code counterpart of
+        # the aggregation benefit and is what pushes the paper's Table VIII
+        # "Comp.%" up for NSR.
+        self.handle_scale = handle_scale
+        self.stats = MatchStats()
+
+        n_local = lg.num_owned
+        self.status = np.full(n_local, FREE, dtype=np.int8)
+        self.mate = np.full(n_local, NO_MATE, dtype=np.int64)
+        self.pointer = np.full(n_local, NO_MATE, dtype=np.int64)
+        self.ptr_idx = np.zeros(n_local, dtype=np.int64)  # scan position
+        self.evicted: list[set[int]] = [set() for _ in range(n_local)]
+        self.pending: list[set[int]] = [set() for _ in range(n_local)]
+        self.processed = np.zeros(n_local, dtype=bool)  # PROCESSNEIGHBORS ran
+
+        # Candidate order: per owned vertex, neighbors sorted descending by
+        # the total order (weight, edge_hash) — the paper's hash tie-break.
+        # ``tie_break="id"`` reproduces the naive vertex-id scheme whose
+        # pathological serialization on uniform-weight paths/grids the
+        # paper warns about (§III); it exists for the ablation study only.
+        if tie_break == "hash":
+            src = np.repeat(
+                np.arange(lg.lo, lg.hi, dtype=np.int64), np.diff(lg.xadj)
+            )
+            keys = edge_hash_array(src, lg.adjncy)
+        elif tie_break == "id":
+            keys = lg.adjncy.astype(np.uint64)
+        else:
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        self.cand: list[np.ndarray] = []
+        for i in range(n_local):
+            s, e = int(lg.xadj[i]), int(lg.xadj[i + 1])
+            order = np.lexsort((keys[s:e], lg.weights[s:e]))[::-1]
+            self.cand.append(lg.adjncy[s:e][order])
+
+        # Cross-pair activity: (local_idx, ghost_global) -> active?
+        self.active_pairs: set[tuple[int, int]] = set()
+        for i in range(n_local):
+            for y in self.cand[i]:
+                y = int(y)
+                if not lg.owns(y):
+                    self.active_pairs.add((i, y))
+        self.nghosts = len(self.active_pairs)
+        self.awaiting = 0
+        self.work: deque[int] = deque()  # local indices awaiting PROCESSNEIGHBORS
+        # Ghost neighbors per owned vertex, for broadcast-style walks.
+        self.ghosts_of: list[list[int]] = [[] for _ in range(n_local)]
+        for (i, y) in self.active_pairs:
+            self.ghosts_of[i].append(y)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _li(self, v: int) -> int:
+        return v - self.lg.lo
+
+    def _push(self, ctx_id: Ctx, y: int, x_payload: int, y_payload: int) -> None:
+        """Send (ctx, x, y) to owner(y)."""
+        self.charge(COST_PUSH)
+        self.stats.sent[ctx_id.name] += 1
+        self.push_fn(ctx_id, self.lg.dist.owner(y), x_payload, y_payload)
+
+    def _deactivate(self, i: int, y: int) -> bool:
+        """Deactivate cross pair (local i, ghost y); True if it was active."""
+        pair = (i, y)
+        if pair in self.active_pairs:
+            self.active_pairs.remove(pair)
+            self.nghosts -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # FINDMATE (paper Algorithm 4, deferred-proposal variant)
+    # ------------------------------------------------------------------
+    def find_mate(self, v: int) -> None:
+        """Point owned vertex ``v`` at its best available neighbor."""
+        lg = self.lg
+        i = self._li(v)
+        if self.status[i] != FREE:
+            return
+        self.stats.findmate_calls += 1
+        cand = self.cand[i]
+        scanned = 0
+        y = NO_MATE
+        while self.ptr_idx[i] < len(cand):
+            c = int(cand[self.ptr_idx[i]])
+            scanned += 1
+            if lg.owns(c):
+                if self.status[self._li(c)] == FREE:
+                    y = c
+                    break
+            else:
+                if c not in self.evicted[i]:
+                    y = c
+                    break
+            self.ptr_idx[i] += 1
+        self.charge(COST_SCAN * max(1, scanned))
+
+        if y == NO_MATE:
+            self._invalidate(v)
+            return
+
+        self.pointer[i] = y
+        if lg.owns(y):
+            j = self._li(y)
+            if self.pointer[j] == v:
+                self._match_local(v, y)
+        else:
+            # Commit to the ghost: deactivate the pair, evict it from the
+            # candidate set (a later REJECT must not re-propose it), send
+            # the proposal.
+            self._deactivate(i, y)
+            self.evicted[i].add(y)
+            self.ptr_idx[i] += 1  # never reconsider y
+            if y in self.pending[i]:
+                # y proposed first: mutual pointing, match immediately;
+                # the REQUEST we send lets y's owner detect the same.
+                self._push(Ctx.REQUEST, y, y, v)
+                self._match_remote(v, y)
+            else:
+                self._push(Ctx.REQUEST, y, y, v)
+                self.awaiting += 1
+
+    def _invalidate(self, v: int) -> None:
+        """No candidate remains for ``v``: broadcast INVALID (case #5)."""
+        i = self._li(v)
+        assert not self.pending[i], "dead vertex cannot hold proposals"
+        self.status[i] = DEAD
+        self.pointer[i] = NO_MATE
+        for y in self.ghosts_of[i]:
+            if self._deactivate(i, y):
+                self._push(Ctx.INVALID, y, y, v)
+
+    # ------------------------------------------------------------------
+    # matches
+    # ------------------------------------------------------------------
+    def _match_local(self, x: int, y: int) -> None:
+        ix, iy = self._li(x), self._li(y)
+        self.status[ix] = self.status[iy] = MATCHED
+        self.mate[ix] = y
+        self.mate[iy] = x
+        self.pending[ix].clear()
+        self.pending[iy].clear()
+        self.stats.matched_local += 1
+        self.work.append(ix)
+        self.work.append(iy)
+
+    def _match_remote(self, x: int, y_ghost: int) -> None:
+        ix = self._li(x)
+        self.status[ix] = MATCHED
+        self.mate[ix] = y_ghost
+        self.pending[ix].clear()
+        self.stats.matched_remote += 1
+        self.work.append(ix)
+
+    # ------------------------------------------------------------------
+    # PROCESSNEIGHBORS (paper Algorithm 5)
+    # ------------------------------------------------------------------
+    def process_neighbors(self, i: int) -> None:
+        """Resolve the neighborhood of newly matched owned vertex (idx i)."""
+        if self.processed[i]:
+            return
+        self.processed[i] = True
+        lg = self.lg
+        v = lg.lo + i
+        mate_v = int(self.mate[i])
+        nbrs, _ = lg.row(v)
+        self.charge(COST_NEIGHBOR * max(1, len(nbrs)))
+        for u in nbrs:
+            u = int(u)
+            if u == mate_v:
+                continue
+            if lg.owns(u):
+                j = self._li(u)
+                if self.status[j] == FREE and self.pointer[j] == v:
+                    self.find_mate(u)
+            else:
+                if self._deactivate(i, u):
+                    self._push(Ctx.REJECT, u, u, v)
+
+    def drain_work(self) -> int:
+        """Run PROCESSNEIGHBORS for every queued matched vertex."""
+        done = 0
+        while self.work:
+            self.process_neighbors(self.work.popleft())
+            done += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # PROCESSINCOMINGDATA (paper Algorithm 6, deferred variant)
+    # ------------------------------------------------------------------
+    def handle(self, ctx_id: Ctx, x: int, y: int) -> None:
+        """Process one incoming (ctx, x, y): x is ours, y is the sender's."""
+        self.charge(COST_MSG * self.handle_scale)
+        self.stats.received[Ctx(ctx_id).name] += 1
+        lg = self.lg
+        if not lg.owns(x):
+            raise ValueError(f"rank {lg.rank} received message for foreign vertex {x}")
+        i = self._li(x)
+
+        if ctx_id == Ctx.REQUEST:
+            if self.status[i] == FREE and self.pointer[i] == y and not lg.owns(y):
+                # Mutual pointing: our own REQUEST to y is in flight or
+                # delivered; this crossing REQUEST resolves it.
+                self.awaiting -= 1
+                self._match_remote(x, y)
+            elif self.status[i] == FREE:
+                if self.eager_reject:
+                    # Paper Algorithm 6 as printed: refuse proposals that do
+                    # not match the current pointer, even while unmatched.
+                    if self._deactivate(i, y):
+                        self.evicted[i].add(y)
+                        self._push(Ctx.REJECT, y, y, x)
+                else:
+                    self.pending[i].add(y)  # deferred proposal
+            else:
+                # Already matched elsewhere or dead: refuse, unless this
+                # pair was already deactivated (our REJECT/INVALID is in
+                # flight to the proposer).
+                if self._deactivate(i, y):
+                    self._push(Ctx.REJECT, y, y, x)
+        elif ctx_id == Ctx.REJECT:
+            self._resolution(i, x, y)
+        elif ctx_id == Ctx.INVALID:
+            self._resolution(i, x, y)
+        elif ctx_id == Ctx.ACK:
+            pass  # MBP baseline chatter; no algorithmic content
+        else:  # pragma: no cover
+            raise ValueError(f"unknown context {ctx_id}")
+
+    def _resolution(self, i: int, x: int, y: int) -> None:
+        """Shared REJECT/INVALID handling.
+
+        Exactly one of three cases:
+
+        * we have an outstanding REQUEST to ``y`` (x free, pointer at y) —
+          this message resolves it; retarget x;
+        * the pair is still active — unsolicited deactivation; evict y;
+        * neither — both sides deactivated concurrently and their
+          REJECT/INVALIDs crossed on the wire; nothing to do.
+        """
+        if self.status[i] == FREE and self.pointer[i] == y:
+            # A request to a ghost always deactivates the pair first, so
+            # pointer[i] == y (a ghost) implies an outstanding request.
+            self.awaiting -= 1
+            self.pointer[i] = NO_MATE
+            self.find_mate(x)
+        elif self._deactivate(i, y):
+            self.evicted[i].add(y)
+
+    # ------------------------------------------------------------------
+    # phases / termination
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Phase 1: initial FINDMATE sweep over owned vertices."""
+        for v in range(self.lg.lo, self.lg.hi):
+            self.find_mate(v)
+
+    def remaining(self) -> int:
+        """Local progress debt; globally zero means the algorithm is done."""
+        return self.nghosts + self.awaiting + len(self.work)
+
+    def locally_done(self) -> bool:
+        return self.remaining() == 0
+
+    def mate_global(self) -> np.ndarray:
+        """Owned slice of the global mate array."""
+        return self.mate.copy()

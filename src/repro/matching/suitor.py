@@ -1,0 +1,71 @@
+"""Serial Suitor matching (Manne & Halappanavar, IPDPS 2014).
+
+A third independent half-approximate matching algorithm: each vertex
+proposes to the best neighbor that does not already hold a better
+proposal; displaced suitors immediately re-propose. With a strict total
+order on edge weights the result is the same unique locally-dominant
+matching as greedy and pointer-based algorithms — a genuinely different
+code path computing the same object, which is exactly what a test oracle
+family wants.
+
+(The paper's group later built distributed matching on Suitor; here the
+serial version serves as an extra reference implementation.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.matching.serial import NO_MATE, MatchingResult
+from repro.util.hashing import edge_hash_array
+
+
+def suitor_matching(g: CSRGraph) -> MatchingResult:
+    """Suitor algorithm; returns the unique locally-dominant matching."""
+    n = g.num_vertices
+    xadj, adj, w = g.xadj, g.adjncy, g.weights
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(xadj))
+    keys = edge_hash_array(src, adj)
+
+    # suitor[v] = current best proposer to v; ws[v] = its (weight, key)
+    suitor = np.full(n, NO_MATE, dtype=np.int64)
+    best_offer: list[tuple[float, int] | None] = [None] * n
+
+    def offer_key(slot: int) -> tuple[float, int]:
+        return (float(w[slot]), int(keys[slot]))
+
+    for start in range(n):
+        u = start
+        while u != NO_MATE:
+            # u proposes to its best neighbor that would accept.
+            best_v = NO_MATE
+            best_k: tuple[float, int] | None = None
+            best_slot = -1
+            for slot in range(int(xadj[u]), int(xadj[u + 1])):
+                v = int(adj[slot])
+                k = offer_key(slot)
+                cur = best_offer[v]
+                if cur is not None and cur >= k:
+                    continue  # v already holds a better (or equal) offer
+                if best_k is None or k > best_k:
+                    best_k = k
+                    best_v = v
+                    best_slot = slot
+            if best_v == NO_MATE:
+                break  # u stays unmatched (for now — maybe forever)
+            displaced = int(suitor[best_v])
+            suitor[best_v] = u
+            best_offer[best_v] = offer_key(best_slot)
+            u = displaced  # the displaced suitor re-proposes
+
+    # mutual suitorship == matching
+    mate = np.full(n, NO_MATE, dtype=np.int64)
+    weight = 0.0
+    for v in range(n):
+        u = int(suitor[v])
+        if u != NO_MATE and int(suitor[u]) == v and v < u:
+            mate[v] = u
+            mate[u] = v
+            weight += g.edge_weight(v, u)
+    return MatchingResult(mate=mate, weight=weight)

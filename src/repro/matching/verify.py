@@ -1,0 +1,80 @@
+"""Validity and quality checks for matchings.
+
+These are the oracles the test suite leans on:
+
+* structural validity (symmetry, edges exist, no vertex matched twice);
+* the half-approximation bound against the exact optimum (small graphs);
+* cross-implementation agreement — with distinct weights the
+  locally-dominant matching is unique, so serial and all four distributed
+  backends must return bit-identical mate arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.matching.serial import NO_MATE, exact_matching_weight, matching_weight
+
+
+def check_matching_valid(g: CSRGraph, mate: np.ndarray) -> None:
+    """Raise AssertionError unless ``mate`` is a valid matching of ``g``."""
+    n = g.num_vertices
+    if mate.shape != (n,):
+        raise AssertionError(f"mate array has shape {mate.shape}, expected ({n},)")
+    for v in range(n):
+        u = int(mate[v])
+        if u == NO_MATE:
+            continue
+        if not 0 <= u < n:
+            raise AssertionError(f"mate[{v}] = {u} out of range")
+        if u == v:
+            raise AssertionError(f"vertex {v} matched to itself")
+        if int(mate[u]) != v:
+            raise AssertionError(f"asymmetric match: mate[{v}]={u} but mate[{u}]={mate[u]}")
+        if not g.has_edge(v, u):
+            raise AssertionError(f"matched pair ({v},{u}) is not an edge")
+
+
+def check_matching_maximal(g: CSRGraph, mate: np.ndarray) -> None:
+    """No edge may have both endpoints unmatched (maximality)."""
+    u, v, _ = g.edge_list()
+    un_u = mate[u] == NO_MATE
+    un_v = mate[v] == NO_MATE
+    bad = np.nonzero(un_u & un_v)[0]
+    if len(bad):
+        i = int(bad[0])
+        raise AssertionError(
+            f"matching not maximal: edge ({u[i]},{v[i]}) has both endpoints free"
+        )
+
+
+def check_half_approx(g: CSRGraph, mate: np.ndarray) -> tuple[float, float]:
+    """Verify weight(matching) >= 0.5 * optimum; returns (got, optimum).
+
+    Uses networkx's exact algorithm — keep graphs small (a few hundred
+    vertices) when calling this.
+    """
+    got = matching_weight(g, mate)
+    opt = exact_matching_weight(g)
+    if got < 0.5 * opt - 1e-9:
+        raise AssertionError(f"half-approx violated: {got} < 0.5 * {opt}")
+    return got, opt
+
+
+def assemble_global_mate(rank_results: list[dict], num_vertices: int) -> np.ndarray:
+    """Stitch per-rank owned mate slices into the global mate array."""
+    mate = np.full(num_vertices, NO_MATE, dtype=np.int64)
+    for rr in rank_results:
+        mate[rr["lo"] : rr["hi"]] = rr["mate"]
+    return mate
+
+
+def check_cross_rank_consistency(mate: np.ndarray) -> None:
+    """Both owners of a cross match must agree (mate[mate[v]] == v)."""
+    for v in range(len(mate)):
+        u = int(mate[v])
+        if u != NO_MATE and int(mate[u]) != v:
+            raise AssertionError(
+                f"cross-rank disagreement: mate[{v}]={u}, mate[{u}]={mate[u]}"
+            )

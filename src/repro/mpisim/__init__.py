@@ -1,0 +1,93 @@
+"""`repro.mpisim` — a deterministic simulated MPI runtime.
+
+The paper evaluates three MPI communication models on a Cray XC40; this
+package is the substitute substrate: rank programs written against
+:class:`RankContext` (an mpi4py-flavoured API) execute under a
+conservative discrete-event simulation with a LogGP-style cost model
+(:class:`MachineModel`), producing virtual runtimes, communication
+matrices, and energy/memory estimates.
+
+Quick example::
+
+    from repro.mpisim import Engine, get_machine
+
+    def program(ctx):
+        token = ctx.allreduce(ctx.rank)      # sum of ranks
+        if ctx.rank == 0:
+            ctx.isend(1, ("hello", token))
+        elif ctx.rank == 1:
+            msg = ctx.recv(source=0)
+        ctx.barrier()
+        return token
+
+    result = Engine(4, get_machine("cori-aries")).run(program)
+    print(result.makespan, result.rank_results)
+"""
+
+from repro.mpisim.context import RankContext
+from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
+from repro.mpisim.engine import Engine, EngineResult
+from repro.mpisim.errors import (
+    CommMismatchError,
+    DeadlockError,
+    RankFailure,
+    SimError,
+    SimLimitExceeded,
+)
+from repro.mpisim.machine import (
+    MachineModel,
+    commodity_cluster,
+    cori_aries,
+    get_machine,
+    zero_latency,
+)
+from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
+from repro.mpisim.power import EnergyReport, PowerModel, energy_report, energy_table
+from repro.mpisim.topology import (
+    DistGraphTopology,
+    PendingNeighborExchange,
+    payload_nbytes,
+)
+from repro.mpisim.tracing import (
+    TraceEvent,
+    events_for_rank,
+    summarize_ops,
+    time_ordered,
+    trace_to_csv,
+)
+from repro.mpisim.window import Window
+
+__all__ = [
+    "Engine",
+    "EngineResult",
+    "RankContext",
+    "MachineModel",
+    "get_machine",
+    "cori_aries",
+    "commodity_cluster",
+    "zero_latency",
+    "Message",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "DistGraphTopology",
+    "PendingNeighborExchange",
+    "TraceEvent",
+    "trace_to_csv",
+    "summarize_ops",
+    "events_for_rank",
+    "time_ordered",
+    "Window",
+    "payload_nbytes",
+    "CommMatrix",
+    "RankCounters",
+    "RunCounters",
+    "PowerModel",
+    "EnergyReport",
+    "energy_report",
+    "energy_table",
+    "SimError",
+    "DeadlockError",
+    "RankFailure",
+    "SimLimitExceeded",
+    "CommMismatchError",
+]

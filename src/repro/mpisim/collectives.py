@@ -1,0 +1,224 @@
+"""Collective-operation bookkeeping for the engine.
+
+Two families:
+
+* :class:`FullCollective` — classic communicator-wide operations (barrier,
+  allreduce, bcast, gather, allgather, alltoall). All ranks rendezvous; a
+  rank's completion time is ``max(entry times) + cost`` where the cost comes
+  from the machine model's analytic expression.
+
+* :class:`NeighborhoodCollective` — MPI-3 neighborhood operations over a
+  distributed graph topology. Rank ``r`` only rendezvouses with
+  ``{r} ∪ N(r)``; its completion time is ``max(entry over that set) +
+  cost_r`` where ``cost_r`` scales with r's *process-graph degree* — the
+  mechanism behind the paper's observation that NCL collapses on dense
+  process neighborhoods (Fig. 4c, Tables III/IV).
+
+Waiting for stragglers is accounted as idle time by the engine scheduler;
+the exchange cost itself is charged as communication time after resume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.mpisim.errors import CommMismatchError
+
+
+def _reduce(values: list[Any], op: str) -> Any:
+    """Combine per-rank contributions (scalars, sequences, numpy arrays).
+
+    Mirrors MPI_SUM / MPI_MIN / MPI_MAX / MPI_LAND / MPI_LOR; min/max on
+    array-likes are element-wise, as in MPI.
+    """
+    import numpy as np
+
+    def is_arraylike(x: Any) -> bool:
+        return hasattr(x, "__len__") and not isinstance(x, (str, bytes))
+
+    if op == "sum":
+        acc = values[0]
+        for v in values[1:]:
+            acc = acc + v
+        return acc
+    if op in ("min", "max"):
+        fn_scalar = min if op == "min" else max
+        fn_array = np.minimum if op == "min" else np.maximum
+        acc = values[0]
+        for v in values[1:]:
+            acc = fn_array(acc, v) if is_arraylike(acc) else fn_scalar(acc, v)
+        return acc
+    if op == "land":
+        return all(bool(v) for v in values)
+    if op == "lor":
+        return any(bool(v) for v in values)
+    raise ValueError(f"unknown reduction op {op!r}")
+
+
+class FullCollective:
+    """One in-flight communicator-wide collective call instance."""
+
+    def __init__(self, key: tuple[int, int], kind: str, nprocs: int, params: dict):
+        self.key = key
+        self.kind = kind
+        self.nprocs = nprocs
+        self.params = params
+        self.entries: dict[int, tuple[float, Any]] = {}
+        self.done: set[int] = set()
+        self._result_cache: Any = None
+        self._base: float | None = None
+
+    def enter(self, rank: int, time: float, data: Any, kind: str, params: dict) -> None:
+        if kind != self.kind:
+            raise CommMismatchError(
+                f"collective mismatch at {self.key}: rank {rank} called {kind}, "
+                f"others called {self.kind}"
+            )
+        if rank in self.entries:
+            raise CommMismatchError(f"rank {rank} entered {self.key} twice")
+        self.entries[rank] = (time, data)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.entries) == self.nprocs
+
+    def base_time(self) -> float:
+        if self._base is None:
+            self._base = max(t for t, _ in self.entries.values())
+        return self._base
+
+    def wake_potential(self, rank: int) -> float | None:
+        """Engine block predicate: time rank may resume, or None."""
+        return self.base_time() if self.complete else None
+
+    def result_for(self, rank: int) -> Any:
+        if self._result_cache is None:
+            self._result_cache = self._combine()
+        per_rank = self._result_cache
+        return per_rank[rank]
+
+    def _combine(self) -> list[Any]:
+        datas = [self.entries[r][1] for r in range(self.nprocs)]
+        kind = self.kind
+        if kind == "barrier":
+            return [None] * self.nprocs
+        if kind == "allreduce":
+            red = _reduce(datas, self.params.get("op", "sum"))
+            return [red] * self.nprocs
+        if kind == "bcast":
+            root = self.params["root"]
+            return [datas[root]] * self.nprocs
+        if kind == "gather":
+            root = self.params["root"]
+            return [list(datas) if r == root else None for r in range(self.nprocs)]
+        if kind == "allgather":
+            return [list(datas)] * self.nprocs
+        if kind == "alltoall":
+            # datas[q] is the length-p list rank q sends; result[r][q] is
+            # what q sent to r.
+            return [[datas[q][r] for q in range(self.nprocs)] for r in range(self.nprocs)]
+        raise ValueError(f"unknown collective kind {kind!r}")
+
+    def mark_done(self, rank: int) -> bool:
+        """Record pickup; returns True when every rank has collected."""
+        self.done.add(rank)
+        return len(self.done) == self.nprocs
+
+
+class NeighborhoodCollective:
+    """One in-flight neighborhood collective over a graph topology.
+
+    ``adjacency`` maps every rank to its (sorted) neighbor list; the
+    topology layer guarantees symmetry. ``datas`` are per-rank sequences
+    aligned with the caller's neighbor list (MPI neighbor_alltoall(v)
+    buffer order).
+    """
+
+    def __init__(
+        self,
+        key: tuple[int, int],
+        kind: str,
+        nprocs: int,
+        adjacency: list[list[int]],
+        params: dict,
+    ):
+        if kind not in ("neighbor_alltoall", "neighbor_alltoallv"):
+            raise ValueError(kind)
+        self.key = key
+        self.kind = kind
+        self.nprocs = nprocs
+        self.adjacency = adjacency
+        self.params = params
+        self.entries: dict[int, tuple[float, Any]] = {}
+        self.done: set[int] = set()
+
+    def enter(self, rank: int, time: float, data: Any, kind: str, params: dict) -> None:
+        if kind != self.kind:
+            raise CommMismatchError(
+                f"collective mismatch at {self.key}: rank {rank} called {kind}, "
+                f"others called {self.kind}"
+            )
+        if rank in self.entries:
+            raise CommMismatchError(f"rank {rank} entered {self.key} twice")
+        self.entries[rank] = (time, data)
+
+    def ready_for(self, rank: int) -> bool:
+        if rank not in self.entries:
+            return False
+        return all(q in self.entries for q in self.adjacency[rank])
+
+    def wake_potential(self, rank: int) -> float | None:
+        if not self.ready_for(rank):
+            return None
+        times = [self.entries[rank][0]]
+        times.extend(self.entries[q][0] for q in self.adjacency[rank])
+        return max(times)
+
+    def result_for(self, rank: int) -> list[Any]:
+        """Received items, aligned with ``adjacency[rank]`` order.
+
+        Neighbor q's contribution to ``rank`` is the element of q's send
+        sequence at the position of ``rank`` within q's neighbor list.
+        """
+        out = []
+        for q in self.adjacency[rank]:
+            q_data = self.entries[q][1]
+            idx = self.adjacency[q].index(rank)
+            out.append(q_data[idx])
+        return out
+
+    def mark_done(self, rank: int) -> bool:
+        self.done.add(rank)
+        return len(self.done) == self.nprocs
+
+
+CollectiveLike = FullCollective | NeighborhoodCollective
+
+
+def get_or_create_full(
+    ops: dict, key: tuple[int, int], kind: str, nprocs: int, params: dict
+) -> FullCollective:
+    op = ops.get(key)
+    if op is None:
+        op = FullCollective(key, kind, nprocs, params)
+        ops[key] = op
+    elif not isinstance(op, FullCollective):
+        raise CommMismatchError(f"collective kind clash at {key}")
+    return op
+
+
+def get_or_create_neighborhood(
+    ops: dict,
+    key: tuple[int, int],
+    kind: str,
+    nprocs: int,
+    adjacency: list[list[int]],
+    params: dict,
+) -> NeighborhoodCollective:
+    op = ops.get(key)
+    if op is None:
+        op = NeighborhoodCollective(key, kind, nprocs, adjacency, params)
+        ops[key] = op
+    elif not isinstance(op, NeighborhoodCollective):
+        raise CommMismatchError(f"collective kind clash at {key}")
+    return op

@@ -1,0 +1,252 @@
+"""Per-rank MPI-like API handed to rank programs.
+
+This is the simulated analogue of an ``MPI_Comm`` plus the rank-local
+runtime: point-to-point (``isend`` / ``iprobe`` / ``recv``), classic
+collectives, distributed graph topologies with neighborhood collectives,
+and RMA window allocation. Method names follow mpi4py's lower-case
+conventions where a direct analogue exists.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.mpisim.collectives import get_or_create_full
+from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
+from repro.mpisim.topology import DistGraphTopology, payload_nbytes
+from repro.mpisim.window import Window, _WindowStore
+
+
+class RankContext:
+    """The communication and timing API for one simulated rank."""
+
+    #: wildcard constants re-exported for rank programs
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+
+    def __init__(self, engine, rank: int):
+        self._engine = engine
+        self.rank = rank
+        self.nprocs = engine.nprocs
+        self.machine = engine.machine
+
+    # ------------------------------------------------------------------
+    # local time / work / memory
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time on this rank (seconds)."""
+        return self._engine.clock_of(self.rank)
+
+    def compute(self, units: float = 0.0, *, seconds: float | None = None) -> None:
+        """Advance local time by a compute burst.
+
+        ``units`` are abstract work units priced by
+        ``machine.work_unit``; pass ``seconds`` to charge wall time
+        directly.
+        """
+        dt = self.machine.compute_time(units) if seconds is None else seconds
+        if dt > 0.0:
+            self._engine.charge_compute(self.rank, dt)
+
+    def alloc(self, nbytes: int, label: str = "misc") -> None:
+        """Register a memory allocation for the memory-usage model."""
+        self._engine.rank_counters(self.rank).alloc(nbytes, label)
+
+    def free(self, nbytes: int, label: str = "misc") -> None:
+        self._engine.rank_counters(self.rank).free(nbytes, label)
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+    def isend(
+        self, dest: int, payload: Any, *, tag: int = 0, nbytes: int | None = None
+    ) -> float:
+        """Nonblocking send; returns the (virtual) arrival time.
+
+        Models eager-protocol completion: the send buffer is logically
+        copied, so the operation completes locally once the origin overhead
+        has been charged (rendezvous sends absorb the handshake cost).
+        """
+        if nbytes is None:
+            nbytes = payload_nbytes(payload)
+        eng = self._engine
+        eng.yield_ready(self.rank)
+        eng.charge_comm(self.rank, self.machine.send_origin_cost(nbytes))
+        arrival = eng.post_message(
+            self.rank, dest, tag, payload, nbytes, matrix=eng.counters.p2p
+        )
+        rc = eng.rank_counters(self.rank)
+        rc.sends += 1
+        rc.bytes_sent += nbytes
+        rc.note_inflight(+1)
+        rc.alloc(self.machine.send_request_bytes, "send-requests")
+        eng.trace_event(self.rank, "send", dest=dest, tag=tag, nbytes=nbytes)
+        return arrival
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[int, int, int] | None:
+        """Nonblocking probe: ``(src, tag, nbytes)`` if a matching message
+        has physically arrived, else ``None``."""
+        eng = self._engine
+        eng.yield_ready(self.rank)
+        eng.charge_comm(self.rank, self.machine.o_probe)
+        eng.rank_counters(self.rank).probes += 1
+        q = eng.queue_of(self.rank)
+        idx = q.match_index(source, tag, before=eng.clock_of(self.rank))
+        if idx is None:
+            return None
+        m = q.peek(idx)
+        return (m.src, m.tag, m.nbytes)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        """Blocking receive of the earliest matching message."""
+        eng = self._engine
+        q = eng.queue_of(self.rank)
+
+        def potential() -> float | None:
+            m = q.earliest_match(source, tag)
+            return None if m is None else m.arrival
+
+        eng.block_on(self.rank, potential, f"recv(src={source},tag={tag})")
+        idx = q.match_index(source, tag, before=eng.clock_of(self.rank))
+        assert idx is not None, "recv resumed without a matching message"
+        msg = q.pop(idx)
+        eng.charge_comm(self.rank, self.machine.o_recv)
+        rc = eng.rank_counters(self.rank)
+        rc.recvs += 1
+        rc.bytes_received += msg.nbytes
+        rc.free(msg.nbytes + self.machine.p2p_msg_overhead_bytes, "unexpected-queue")
+        src_rc = eng.rank_counters(msg.src)
+        src_rc.note_inflight(-1)
+        src_rc.free(self.machine.send_request_bytes, "send-requests")
+        eng.trace_event(self.rank, "recv", src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
+        return msg
+
+    def probe_block(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        """Block until a matching message is available (MPI_Probe).
+
+        Rank programs use this instead of spinning on :meth:`iprobe` when
+        they have no local work left; it fast-forwards the local clock to
+        the next arrival instead of simulating a busy-wait.
+        """
+        eng = self._engine
+        q = eng.queue_of(self.rank)
+
+        def potential() -> float | None:
+            m = q.earliest_match(source, tag)
+            return None if m is None else m.arrival
+
+        eng.block_on(self.rank, potential, f"probe_block(src={source},tag={tag})")
+
+    def pending_message_count(self) -> int:
+        """Messages queued for this rank (arrived or still in flight)."""
+        return len(self._engine.queue_of(self.rank))
+
+    # ------------------------------------------------------------------
+    # classic collectives on COMM_WORLD (scope 0)
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        self._full_collective("barrier", None, 0, {})
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        nbytes = payload_nbytes(value)
+        return self._full_collective("allreduce", value, nbytes, {"op": op})
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        nbytes = payload_nbytes(value)
+        return self._full_collective("bcast", value, nbytes, {"root": root})
+
+    def gather(self, value: Any, root: int = 0) -> list[Any] | None:
+        nbytes = payload_nbytes(value)
+        return self._full_collective("gather", value, nbytes, {"root": root})
+
+    def allgather(self, value: Any) -> list[Any]:
+        nbytes = payload_nbytes(value)
+        return self._full_collective("allgather", value, nbytes, {})
+
+    def alltoall(self, items: Sequence[Any], nbytes_per_pair: int | None = None) -> list[Any]:
+        if len(items) != self.nprocs:
+            raise ValueError(f"alltoall needs {self.nprocs} items, got {len(items)}")
+        if nbytes_per_pair is None:
+            nbytes_per_pair = max((payload_nbytes(x) for x in items), default=8)
+        return self._full_collective(
+            "alltoall", list(items), int(nbytes_per_pair), {"nbytes_per_pair": nbytes_per_pair}
+        )
+
+    def _full_collective(self, kind: str, data: Any, nbytes: int, params: dict) -> Any:
+        eng = self._engine
+        rank = self.rank
+        key = eng.next_coll_key(0, rank)
+        op = get_or_create_full(eng.coll_ops(), key, kind, self.nprocs, params)
+        op.enter(rank, eng.clock_of(rank), data, kind, params)
+        eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
+
+        m = self.machine
+        p = self.nprocs
+        if kind == "barrier":
+            cost = m.barrier_cost(p)
+        elif kind == "allreduce":
+            cost = m.allreduce_cost(p, nbytes)
+        elif kind == "bcast":
+            cost = m.bcast_cost(p, nbytes)
+        elif kind == "gather":
+            cost = m.gather_cost(p, nbytes)
+        elif kind == "allgather":
+            # gather to a virtual root + broadcast of the concatenation
+            cost = m.gather_cost(p, nbytes) + m.bcast_cost(p, nbytes * p)
+        elif kind == "alltoall":
+            cost = m.alltoall_cost(p, params.get("nbytes_per_pair", nbytes))
+        else:  # pragma: no cover - guarded by collectives module
+            raise ValueError(kind)
+        eng.charge_comm(rank, cost)
+        rc = eng.rank_counters(rank)
+        rc.collectives += 1
+        rc.bytes_collective += nbytes
+        eng.trace_event(rank, kind, nbytes=nbytes)
+        result = op.result_for(rank)
+        if op.mark_done(rank):
+            eng.coll_ops().pop(key, None)
+        return result
+
+    # ------------------------------------------------------------------
+    # topology / RMA construction (both collective)
+    # ------------------------------------------------------------------
+    def dist_graph_create_adjacent(self, neighbors: Sequence[int]) -> DistGraphTopology:
+        """Create a distributed graph topology (symmetric neighborhoods).
+
+        Collective: every rank passes the ranks it shares ghost vertices
+        with. Mirrors ``MPI_Dist_graph_create_adjacent`` with
+        ``sources == destinations``.
+        """
+        my = sorted(set(int(q) for q in neighbors))
+        gathered = self.allgather(my)
+        DistGraphTopology.validate_symmetric(gathered)
+        # All ranks must agree on the scope id for subsequent neighborhood
+        # ops: derive it through a bcast of rank 0's reservation.
+        sid = self._engine.new_scope_id() if self.rank == 0 else None
+        sid = self.bcast(sid, root=0)
+        return DistGraphTopology(self, sid, gathered)
+
+    def win_allocate(self, count: int, dtype=np.int64, fill: int = 0) -> Window:
+        """Collectively allocate an RMA window of ``count`` local elements."""
+        dtype = np.dtype(dtype)
+        sizes = self.allgather(int(count))
+        # Rank 0 builds the shared store and broadcasts it (object identity
+        # is shared across rank threads: this is simulator-internal state,
+        # not modelled traffic).
+        store = None
+        if self.rank == 0:
+            store = _WindowStore(
+                win_id=self._engine.new_scope_id(),
+                dtype=dtype,
+                buffers=[np.full(s, fill, dtype=dtype) for s in sizes],
+            )
+        store = self.bcast(store, root=0)
+        self._engine.rank_counters(self.rank).alloc(
+            int(sizes[self.rank]) * dtype.itemsize, "rma-window"
+        )
+        return Window(self, store)

@@ -1,0 +1,160 @@
+"""Per-rank and per-run instrumentation.
+
+Every simulated communication operation updates these counters natively —
+this is the simulator's replacement for the TAU / CrayPat profiling the
+paper used, and it is what the communication-matrix figures (Figs. 2, 9,
+11) and the energy/memory table (Table VIII) are generated from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RankCounters:
+    """Counters for one rank."""
+
+    rank: int
+
+    # op counts
+    sends: int = 0
+    recvs: int = 0
+    probes: int = 0
+    puts: int = 0
+    gets: int = 0
+    flushes: int = 0
+    collectives: int = 0
+    neighbor_collectives: int = 0
+
+    # byte volumes (payload bytes, excluding simulated headers)
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    bytes_put: int = 0
+    bytes_collective: int = 0
+
+    # time split (virtual seconds)
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+    idle_time: float = 0.0
+
+    # memory accounting (bytes)
+    allocations: dict[str, int] = field(default_factory=dict)
+    current_bytes: int = 0
+    peak_bytes: int = 0
+
+    # transient transport state
+    pending_inflight: int = 0
+    peak_inflight: int = 0
+
+    def alloc(self, nbytes: int, label: str = "misc") -> None:
+        nbytes = int(nbytes)
+        self.allocations[label] = self.allocations.get(label, 0) + nbytes
+        self.current_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    def free(self, nbytes: int, label: str = "misc") -> None:
+        nbytes = int(nbytes)
+        self.allocations[label] = self.allocations.get(label, 0) - nbytes
+        self.current_bytes -= nbytes
+
+    def note_inflight(self, delta: int) -> None:
+        self.pending_inflight += delta
+        self.peak_inflight = max(self.peak_inflight, self.pending_inflight)
+
+    @property
+    def total_time(self) -> float:
+        return self.compute_time + self.comm_time + self.idle_time
+
+    def comm_fraction(self) -> float:
+        """Fraction of active+idle time spent in MPI (the paper's 'MPI %')."""
+        total = self.total_time
+        if total <= 0.0:
+            return 0.0
+        return (self.comm_time + self.idle_time) / total
+
+
+class CommMatrix:
+    """Dense (nprocs x nprocs) message-count and byte matrices.
+
+    Row = sender, column = receiver — same orientation as the paper's TAU
+    plots ("vertical axis represents the sender process ids").
+    """
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        self.counts = np.zeros((nprocs, nprocs), dtype=np.int64)
+        self.bytes = np.zeros((nprocs, nprocs), dtype=np.int64)
+
+    def record(self, src: int, dst: int, nbytes: int) -> None:
+        self.counts[src, dst] += 1
+        self.bytes[src, dst] += int(nbytes)
+
+    def merged_with(self, other: "CommMatrix") -> "CommMatrix":
+        out = CommMatrix(self.nprocs)
+        out.counts = self.counts + other.counts
+        out.bytes = self.bytes + other.bytes
+        return out
+
+    def nonzero_fraction(self) -> float:
+        """Fraction of (src, dst) pairs that exchanged at least one message."""
+        off_diag = self.nprocs * self.nprocs - self.nprocs
+        if off_diag == 0:
+            return 0.0
+        nz = int(np.count_nonzero(self.counts)) - int(
+            np.count_nonzero(np.diag(self.counts))
+        )
+        return nz / off_diag
+
+    def total_messages(self) -> int:
+        return int(self.counts.sum())
+
+    def total_bytes(self) -> int:
+        return int(self.bytes.sum())
+
+
+@dataclass
+class RunCounters:
+    """Aggregated instrumentation for a whole engine run."""
+
+    nprocs: int
+    ranks: list[RankCounters] = field(default_factory=list)
+    p2p: CommMatrix | None = None  # two-sided traffic
+    rma: CommMatrix | None = None  # one-sided traffic
+    ncl: CommMatrix | None = None  # neighborhood-collective traffic
+
+    def __post_init__(self) -> None:
+        if not self.ranks:
+            self.ranks = [RankCounters(r) for r in range(self.nprocs)]
+        if self.p2p is None:
+            self.p2p = CommMatrix(self.nprocs)
+        if self.rma is None:
+            self.rma = CommMatrix(self.nprocs)
+        if self.ncl is None:
+            self.ncl = CommMatrix(self.nprocs)
+
+    # convenience aggregates -------------------------------------------------
+    def total(self, attr: str) -> float:
+        return sum(getattr(rc, attr) for rc in self.ranks)
+
+    def max_peak_memory(self) -> int:
+        return max((rc.peak_bytes for rc in self.ranks), default=0)
+
+    def avg_peak_memory(self) -> float:
+        if not self.ranks:
+            return 0.0
+        return sum(rc.peak_bytes for rc in self.ranks) / len(self.ranks)
+
+    def combined_matrix(self) -> CommMatrix:
+        """All traffic regardless of model (for like-for-like volume plots)."""
+        return self.p2p.merged_with(self.rma).merged_with(self.ncl)
+
+    def time_split(self) -> tuple[float, float, float]:
+        """(compute, comm, idle) summed over ranks."""
+        return (
+            self.total("compute_time"),
+            self.total("comm_time"),
+            self.total("idle_time"),
+        )

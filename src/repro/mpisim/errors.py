@@ -1,0 +1,44 @@
+"""Exception types raised by the simulated MPI runtime."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(SimError):
+    """No rank can make progress, but not all ranks have finished.
+
+    Carries a human-readable per-rank state dump so test failures are
+    diagnosable (which rank is stuck in which call, with what predicate).
+    """
+
+    def __init__(self, message: str, rank_states: dict[int, str] | None = None):
+        super().__init__(message)
+        self.rank_states = rank_states or {}
+
+
+class RankFailure(SimError):
+    """A rank's target function raised; wraps the original exception."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} failed: {original!r}")
+        self.rank = rank
+        self.original = original
+
+
+class SimAbort(BaseException):
+    """Internal: injected into parked rank threads to unwind them on abort.
+
+    Derives from BaseException so user-level ``except Exception`` handlers
+    inside rank targets cannot swallow it.
+    """
+
+
+class SimLimitExceeded(SimError):
+    """The engine exceeded its configured operation or virtual-time budget."""
+
+
+class CommMismatchError(SimError):
+    """Ranks disagreed about a collective operation (wrong sequence/size)."""

@@ -1,0 +1,87 @@
+"""Point-to-point message representation and per-rank receive queues.
+
+The queue implements MPI matching semantics: FIFO per (source, tag) channel,
+with ``ANY_SOURCE`` / ``ANY_TAG`` wildcards matching the earliest-arriving
+eligible message (deterministic: ties broken by global send sequence number).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One in-flight or delivered point-to-point message."""
+
+    src: int
+    dst: int
+    tag: int
+    payload: Any
+    nbytes: int
+    send_time: float  # virtual time the send was issued
+    arrival: float  # virtual time the payload is available at the receiver
+    seq: int  # global send sequence number (total order tie-break)
+
+
+@dataclass(slots=True)
+class ReceiveQueue:
+    """Arrived-but-unreceived messages for one rank.
+
+    Kept sorted by ``(arrival, seq)`` lazily: messages are appended on
+    delivery (senders issue them in nondecreasing virtual time *per sender*
+    but interleavings across senders are arbitrary), and we sort on demand.
+    """
+
+    _items: list[Message] = field(default_factory=list)
+    _dirty: bool = False
+
+    def push(self, msg: Message) -> None:
+        if self._items and (msg.arrival, msg.seq) < (
+            self._items[-1].arrival,
+            self._items[-1].seq,
+        ):
+            self._dirty = True
+        self._items.append(msg)
+
+    def _normalize(self) -> None:
+        if self._dirty:
+            self._items.sort(key=lambda m: (m.arrival, m.seq))
+            self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def match_index(self, source: int, tag: int, before: float | None = None) -> int | None:
+        """Index of the earliest message matching (source, tag), or None.
+
+        ``before`` restricts to messages with ``arrival <= before`` (used to
+        model "has this message physically arrived by my local clock").
+        """
+        self._normalize()
+        for i, m in enumerate(self._items):
+            if before is not None and m.arrival > before:
+                # Sorted by arrival: nothing later can qualify.
+                return None
+            if (source == ANY_SOURCE or m.src == source) and (
+                tag == ANY_TAG or m.tag == tag
+            ):
+                return i
+        return None
+
+    def earliest_match(self, source: int, tag: int) -> Message | None:
+        """Earliest matching message regardless of the local clock."""
+        idx = self.match_index(source, tag, before=None)
+        return None if idx is None else self._items[idx]
+
+    def pop(self, index: int) -> Message:
+        self._normalize()
+        return self._items.pop(index)
+
+    def peek(self, index: int) -> Message:
+        self._normalize()
+        return self._items[index]

@@ -1,0 +1,44 @@
+"""Event tracing — the simulator's analogue of a TAU trace file.
+
+Enable by constructing the engine with ``trace=True``; every
+communication event is appended to ``engine.trace`` as a
+:class:`TraceEvent`. Export helpers turn the trace into CSV or per-op
+summaries. Tracing is off by default: it costs memory proportional to
+the event count.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    time: float  #: virtual time the event was issued
+    rank: int
+    op: str  #: "send", "recv", "put", "flush", "allreduce", ...
+    detail: dict[str, Any]
+
+
+def trace_to_csv(events: Iterable[TraceEvent]) -> str:
+    """Flatten a trace to CSV (detail rendered as key=value pairs)."""
+    lines = ["time,rank,op,detail"]
+    for e in events:
+        detail = ";".join(f"{k}={v}" for k, v in sorted(e.detail.items()))
+        lines.append(f"{e.time:.9f},{e.rank},{e.op},{detail}")
+    return "\n".join(lines) + "\n"
+
+
+def summarize_ops(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Histogram of operation kinds."""
+    return dict(Counter(e.op for e in events))
+
+
+def events_for_rank(events: Iterable[TraceEvent], rank: int) -> list[TraceEvent]:
+    return [e for e in events if e.rank == rank]
+
+
+def time_ordered(events: Iterable[TraceEvent]) -> list[TraceEvent]:
+    return sorted(events, key=lambda e: (e.time, e.rank))

@@ -1,0 +1,205 @@
+"""MPI-3 RMA windows with passive-target one-sided communication.
+
+Semantics follow the subset of MPI-3 RMA the paper's implementation uses:
+
+* ``win_allocate`` (collective) exposes a per-rank numpy buffer;
+* ``put`` / ``accumulate`` issue one-sided transfers to a target region —
+  the *origin* specifies all parameters, the target's CPU is not involved;
+* ``flush_all`` completes the origin's outstanding operations (passive
+  target synchronization, as the paper uses — not fences);
+* the target observes incoming data by *polling its own window*
+  (:meth:`Window.sync_local`), which applies every transfer whose network
+  arrival time has passed the target's local clock.
+
+Visibility timing: a put issued at origin time ``t`` becomes visible at
+the target at ``t + o_put + alpha + bytes*beta`` (plus NIC serialization).
+A ``flush_all`` advances the origin past all of its outstanding completion
+times, so the paper's "flush, exchange counts, read window" iteration
+observes fully consistent data — the counts exchange is a neighborhood
+collective whose completion dominates every flushed put's arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class _PendingUpdate:
+    arrival: float
+    seq: int
+    offset: int
+    data: np.ndarray
+    accumulate: bool = False
+
+
+@dataclass
+class _WindowStore:
+    """State shared by all ranks' facades of one window allocation."""
+
+    win_id: int
+    dtype: np.dtype
+    buffers: list[np.ndarray]
+    pending: list[list[_PendingUpdate]] = field(default_factory=list)
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pending:
+            self.pending = [[] for _ in self.buffers]
+
+
+class Window:
+    """Per-rank facade over a collectively allocated RMA window."""
+
+    def __init__(self, ctx, store: _WindowStore):
+        self._ctx = ctx
+        self._store = store
+        self.rank = ctx.rank
+        self.win_id = store.win_id
+
+    # ------------------------------------------------------------------
+    @property
+    def local(self) -> np.ndarray:
+        """This rank's exposed buffer (call :meth:`sync_local` first to
+        apply transfers that have physically arrived)."""
+        return self._store.buffers[self.rank]
+
+    def size_of(self, rank: int) -> int:
+        return int(self._store.buffers[rank].size)
+
+    # ------------------------------------------------------------------
+    def put(self, target: int, data: np.ndarray, target_offset: int) -> None:
+        """One-sided write of ``data`` into ``target``'s window region."""
+        self._issue(target, data, target_offset, accumulate=False)
+
+    def accumulate(self, target: int, data: np.ndarray, target_offset: int) -> None:
+        """One-sided element-wise sum into the target region (MPI_SUM)."""
+        self._issue(target, data, target_offset, accumulate=True)
+
+    def _issue(
+        self, target: int, data: np.ndarray, target_offset: int, accumulate: bool
+    ) -> None:
+        ctx = self._ctx
+        eng = ctx._engine
+        store = self._store
+        data = np.asarray(data, dtype=store.dtype)
+        if target_offset < 0 or target_offset + data.size > store.buffers[target].size:
+            raise IndexError(
+                f"put outside window: offset {target_offset}+{data.size} "
+                f"> size {store.buffers[target].size} (target {target})"
+            )
+        eng.yield_ready(self.rank)
+        m = eng.machine
+        nbytes = int(data.nbytes)
+        eng.charge_comm(self.rank, m.put_origin_cost(nbytes))
+        arrival = eng.post_message(
+            self.rank,
+            target,
+            tag=-2,
+            payload=None,
+            nbytes=nbytes,
+            one_sided=True,
+            matrix=eng.counters.rma,
+            deliver=False,
+        )
+        store.seq += 1
+        store.pending[target].append(
+            _PendingUpdate(arrival, store.seq, int(target_offset), data.copy(), accumulate)
+        )
+        eng.note_put(self.rank, self.win_id, arrival)
+        rc = eng.rank_counters(self.rank)
+        rc.puts += 1
+        rc.bytes_put += nbytes
+        rc.note_inflight(+1)
+        eng.trace_event(self.rank, "put", target=target, nbytes=nbytes,
+                        accumulate=accumulate)
+
+    # ------------------------------------------------------------------
+    def flush_all(self) -> None:
+        """Complete all outstanding one-sided operations from this origin."""
+        ctx = self._ctx
+        eng = ctx._engine
+        eng.yield_ready(self.rank)
+        rc = eng.rank_counters(self.rank)
+        latest = eng.flush_window(self.rank, self.win_id)
+        now = eng.clock_of(self.rank)
+        if latest > now:
+            # DMA completion wait is communication time, not idle time.
+            eng.charge_comm(self.rank, latest - now)
+        eng.charge_comm(self.rank, eng.machine.o_flush)
+        rc.flushes += 1
+        rc.pending_inflight = 0
+        eng.trace_event(self.rank, "flush", win=self.win_id)
+
+    # ------------------------------------------------------------------
+    def sync_local(self) -> int:
+        """Apply every arrived transfer to the local buffer.
+
+        Returns the number of transfers applied. Transfers are applied in
+        (arrival, issue-seq) order so overlapping writes resolve exactly as
+        the network delivered them.
+        """
+        ctx = self._ctx
+        eng = ctx._engine
+        eng.yield_ready(self.rank)
+        eng.charge_comm(self.rank, eng.machine.o_win_sync)
+        now = eng.clock_of(self.rank)
+        pend = self._store.pending[self.rank]
+        if not pend:
+            return 0
+        pend.sort(key=lambda u: (u.arrival, u.seq))
+        buf = self._store.buffers[self.rank]
+        applied = 0
+        while pend and pend[0].arrival <= now:
+            u = pend.pop(0)
+            if u.accumulate:
+                buf[u.offset : u.offset + u.data.size] += u.data
+            else:
+                buf[u.offset : u.offset + u.data.size] = u.data
+            applied += 1
+        return applied
+
+    def get(self, target: int, target_offset: int, count: int) -> np.ndarray:
+        """One-sided read of the target region (round-trip at the origin).
+
+        Reads the region as of this origin's completion time, overlaying
+        (without consuming) pending transfers that have arrived by then.
+        Concurrent target-local stores are a data race, exactly as in MPI.
+        """
+        ctx = self._ctx
+        eng = ctx._engine
+        eng.yield_ready(self.rank)
+        m = eng.machine
+        store = self._store
+        if target_offset < 0 or target_offset + count > store.buffers[target].size:
+            raise IndexError(
+                f"get outside window: offset {target_offset}+{count} "
+                f"> size {store.buffers[target].size} (target {target})"
+            )
+        nbytes = int(count * store.dtype.itemsize)
+        eng.charge_comm(self.rank, m.o_get + 2 * m.alpha + m.wire_bytes(nbytes, True) * m.beta)
+        rc = eng.rank_counters(self.rank)
+        rc.gets += 1
+        eng.counters.rma.record(target, self.rank, nbytes)
+        now = eng.clock_of(self.rank)
+        region = store.buffers[target][target_offset : target_offset + count].copy()
+        for u in sorted(store.pending[target], key=lambda u: (u.arrival, u.seq)):
+            if u.arrival > now:
+                break
+            lo = max(u.offset, target_offset)
+            hi = min(u.offset + u.data.size, target_offset + count)
+            if lo < hi:
+                src = u.data[lo - u.offset : hi - u.offset]
+                if u.accumulate:
+                    region[lo - target_offset : hi - target_offset] += src
+                else:
+                    region[lo - target_offset : hi - target_offset] = src
+        return region
+
+    def free(self) -> None:
+        """Release the memory-accounting charge for the local region."""
+        rc = self._ctx._engine.rank_counters(self.rank)
+        rc.free(self.local.nbytes, "rma-window")

@@ -1,0 +1,21 @@
+"""Shared low-level utilities: seeded RNG, stable hashing, table rendering.
+
+These helpers are deliberately dependency-light so every other subpackage
+(`repro.mpisim`, `repro.graph`, `repro.matching`, ...) can use them without
+import cycles.
+"""
+
+from repro.util.hashing import splitmix64, edge_hash, vertex_hash
+from repro.util.rng import make_rng, derive_seed
+from repro.util.tables import TextTable, format_si, format_seconds
+
+__all__ = [
+    "splitmix64",
+    "edge_hash",
+    "vertex_hash",
+    "make_rng",
+    "derive_seed",
+    "TextTable",
+    "format_si",
+    "format_seconds",
+]

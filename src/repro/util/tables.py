@@ -1,0 +1,89 @@
+"""Plain-text table and number formatting for the experiment harness.
+
+The paper reports results as tables and log-log line plots; our harness
+renders the same content as monospace tables and CSV so results are
+readable in a terminal and diffable in CI.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Sequence
+
+
+def format_si(value: float, digits: int = 3) -> str:
+    """Format a count with SI suffixes, e.g. ``1.84e9 -> '1.84B'``.
+
+    Mirrors the paper's dataset table style (23.7M, 1.8B, ...).
+    """
+    value = float(value)
+    for threshold, suffix in ((1e12, "T"), (1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.{digits}g}{suffix}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.{digits}g}"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a (simulated) duration with an adaptive unit."""
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds / 60.0:.2f}min"
+
+
+class TextTable:
+    """A minimal monospace table builder.
+
+    >>> t = TextTable(["graph", "p", "speedup"])
+    >>> t.add_row(["rgg", 16, "3.5x"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._fmt(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        sep = "-+-".join("-" * w for w in widths)
+        out.write(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)) + "\n")
+        out.write(sep + "\n")
+        for row in self.rows:
+            out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.headers)]
+        lines.extend(",".join(row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,35 @@
+"""Graph500 harness: roots, validation, TEPS reporting."""
+
+import pytest
+
+from repro.bfs import pick_search_roots, run_graph500
+from repro.graph.csr import from_edges
+from repro.graph.generators import rmat_graph
+from repro.mpisim import zero_latency
+
+
+def test_pick_roots_nonzero_degree():
+    g = from_edges(6, [0, 1], [1, 2])  # 3,4,5 isolated
+    roots = pick_search_roots(g, 10, seed=1)
+    assert set(roots) <= {0, 1, 2}
+    assert len(roots) == len(set(roots)) == 3
+
+
+def test_pick_roots_deterministic():
+    g = rmat_graph(7, seed=1)
+    assert pick_search_roots(g, 4, seed=9) == pick_search_roots(g, 4, seed=9)
+
+
+def test_pick_roots_empty_graph():
+    g = from_edges(3, [], [])
+    with pytest.raises(ValueError):
+        pick_search_roots(g, 2)
+
+
+def test_run_graph500_end_to_end():
+    res = run_graph500(7, nprocs=4, num_roots=3, seed=2, machine=zero_latency())
+    assert res.num_roots == 3
+    assert res.harmonic_mean_teps > 0
+    assert res.min_time <= res.max_time
+    assert res.mean_rounds >= 1
+    assert "TEPS" in res.summary()

@@ -1,0 +1,75 @@
+"""Edge canonicalization and weight assignment."""
+
+import numpy as np
+import pytest
+
+from repro.graph.build import assign_weights, build_graph, dedupe_edges, hash_jitter
+
+
+def test_dedupe_drops_self_loops_and_duplicates():
+    u = np.array([0, 1, 1, 2, 3])
+    v = np.array([1, 0, 1, 3, 2])
+    uu, vv = dedupe_edges(u, v, 4)
+    pairs = set(zip(uu.tolist(), vv.tolist()))
+    assert pairs == {(0, 1), (2, 3)}
+
+
+def test_dedupe_canonical_orientation():
+    uu, vv = dedupe_edges(np.array([5]), np.array([2]), 6)
+    assert (uu[0], vv[0]) == (2, 5)
+
+
+def test_dedupe_empty():
+    uu, vv = dedupe_edges(np.array([], dtype=np.int64), np.array([], dtype=np.int64), 4)
+    assert len(uu) == 0
+
+
+def test_hash_jitter_symmetric_and_bounded():
+    u = np.array([0, 3, 9])
+    v = np.array([1, 7, 2])
+    j1 = hash_jitter(u, v)
+    j2 = hash_jitter(v, u)
+    assert np.array_equal(j1, j2)
+    assert np.all((j1 > 0) & (j1 <= 1))
+
+
+def test_assign_weights_distinct():
+    u = np.arange(1000)
+    v = u + 1000
+    w = assign_weights(u, v, seed=1, scheme="unit", distinct=True)
+    assert len(np.unique(w)) == 1000
+
+
+def test_assign_weights_unit_without_jitter():
+    w = assign_weights(np.array([0]), np.array([1]), seed=1, scheme="unit", distinct=False)
+    assert w.tolist() == [1.0]
+
+
+def test_assign_weights_uniform_range():
+    u = np.arange(500)
+    v = u + 500
+    w = assign_weights(u, v, seed=3, scheme="uniform")
+    assert np.all(w > 0) and np.all(w <= 1.001)
+
+
+def test_assign_weights_unknown_scheme():
+    with pytest.raises(ValueError):
+        assign_weights(np.array([0]), np.array([1]), seed=1, scheme="bogus")
+
+
+def test_build_graph_end_to_end():
+    g = build_graph(5, np.array([0, 1, 1, 0]), np.array([1, 0, 2, 3]), seed=2)
+    g.validate()
+    assert g.num_edges == 3  # (0,1) deduped
+    # weights are distinct
+    _, _, w = g.edge_list()
+    assert len(np.unique(w)) == 3
+
+
+def test_build_graph_seed_determinism():
+    args = (6, np.array([0, 2, 4]), np.array([1, 3, 5]))
+    g1 = build_graph(*args, seed=7)
+    g2 = build_graph(*args, seed=7)
+    g3 = build_graph(*args, seed=8)
+    assert np.array_equal(g1.weights, g2.weights)
+    assert not np.array_equal(g1.weights, g3.weights)

@@ -1,0 +1,147 @@
+"""Partition statistics, spy grids, and graph I/O round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    adjacency_density,
+    diagonal_mass_fraction,
+    ghost_stats,
+    ghost_table,
+    grid_to_csv,
+    process_graph_stats,
+    render_ascii,
+    topology_table,
+)
+from repro.graph.generators import complete_graph, grid2d_graph, path_graph, rmat_graph
+from repro.graph.io import (
+    load_npz,
+    read_edge_list,
+    read_matrix_market,
+    save_npz,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+# -- partition stats ----------------------------------------------------
+
+def test_process_graph_stats_path():
+    g = path_graph(40, seed=1)
+    s = process_graph_stats(g, 4)
+    assert s.num_edges == 3  # path process graph
+    assert s.dmax == 2
+    assert s.davg == pytest.approx(1.5)
+
+
+def test_process_graph_stats_complete():
+    g = complete_graph(16, seed=1)
+    s = process_graph_stats(g, 4)
+    assert s.dmax == 3 and s.davg == 3.0 and s.sigma_d == 0.0
+
+
+def test_ghost_stats_path():
+    g = path_graph(40, seed=1)
+    s = ghost_stats(g, 4)
+    # 39 edges, 3 cross edges; total = |E| + cross
+    assert s.total == 39 + 3
+    assert s.max >= s.avg
+
+
+def test_tables_render():
+    g = path_graph(40, seed=1)
+    t1 = topology_table([("p", process_graph_stats(g, 4))], "t")
+    t2 = ghost_table([("p", ghost_stats(g, 4))], "t")
+    assert "dmax" in t1.render()
+    assert "|E'|max" in t2.render()
+
+
+# -- spy ----------------------------------------------------------------
+
+def test_adjacency_density_mass():
+    g = grid2d_graph(8, 8, seed=0)
+    grid = adjacency_density(g, bins=8)
+    assert grid.sum() == g.num_directed_edges
+
+
+def test_diagonal_mass_banded_vs_random():
+    band = grid2d_graph(16, 4, seed=0)  # narrow band in row-major order
+    from repro.graph.reorder import random_permutation
+
+    scrambled = band.permuted(random_permutation(band, seed=1))
+    d_band = diagonal_mass_fraction(adjacency_density(band, 16), width=1)
+    d_rand = diagonal_mass_fraction(adjacency_density(scrambled, 16), width=1)
+    assert d_band > d_rand
+
+
+def test_render_ascii_shapes():
+    grid = np.array([[0, 10], [5, 0]])
+    out = render_ascii(grid)
+    lines = out.splitlines()
+    assert len(lines) == 2
+    assert len(lines[0]) == 2
+    assert lines[0][0] == " "  # zero cell is blank
+
+
+def test_render_ascii_all_zero():
+    out = render_ascii(np.zeros((3, 3)))
+    assert set(out.replace("\n", "")) <= {" "}
+
+
+def test_grid_to_csv():
+    assert grid_to_csv(np.array([[1, 2], [3, 4]])) == "1,2\n3,4\n"
+
+
+def test_diagonal_mass_empty():
+    assert diagonal_mass_fraction(np.zeros((4, 4))) == 0.0
+
+
+# -- io -----------------------------------------------------------------
+
+def test_matrix_market_roundtrip(tmp_path):
+    g = rmat_graph(6, seed=5)
+    path = tmp_path / "g.mtx"
+    write_matrix_market(g, path)
+    g2 = read_matrix_market(path)
+    assert g2.num_vertices == g.num_vertices
+    assert g2.num_edges == g.num_edges
+    assert g2.total_weight() == pytest.approx(g.total_weight())
+    u1, v1, w1 = g.edge_list()
+    u2, v2, w2 = g2.edge_list()
+    assert np.array_equal(u1, u2) and np.array_equal(v1, v2)
+    assert np.allclose(w1, w2)
+
+
+def test_matrix_market_rejects_garbage(tmp_path):
+    p = tmp_path / "bad.mtx"
+    p.write_text("not a matrix\n")
+    with pytest.raises(ValueError):
+        read_matrix_market(p)
+
+
+def test_edge_list_roundtrip(tmp_path):
+    g = rmat_graph(6, seed=5)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path)
+    g2 = read_edge_list(path, num_vertices=g.num_vertices)
+    assert g2.num_edges == g.num_edges
+    assert g2.total_weight() == pytest.approx(g.total_weight())
+
+
+def test_edge_list_unweighted(tmp_path):
+    g = path_graph(5, seed=1)
+    path = tmp_path / "g.txt"
+    write_edge_list(g, path, weights=False)
+    g2 = read_edge_list(path)
+    assert g2.num_edges == 4
+    assert g2.total_weight() == pytest.approx(4.0)  # defaults to 1.0
+
+
+def test_npz_roundtrip(tmp_path):
+    g = rmat_graph(6, seed=5)
+    path = tmp_path / "g.npz"
+    save_npz(g, path)
+    g2 = load_npz(path)
+    assert np.array_equal(g2.xadj, g.xadj)
+    assert np.array_equal(g2.adjncy, g.adjncy)
+    assert np.array_equal(g2.weights, g.weights)

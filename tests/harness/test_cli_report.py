@@ -1,0 +1,64 @@
+"""CLI entry point and the EXPERIMENTS.md report machinery."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.experiments.base import all_experiment_ids
+from repro.harness.report import PAPER_CLAIMS
+
+
+def test_cli_datasets(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "rmat-s10" in out and "friendster" in out
+
+
+def test_cli_experiments(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4a" in out and "table8" in out
+
+
+def test_cli_match(capsys):
+    assert main(["match", "rmat-s10", "-p", "4", "-m", "ncl"]) == 0
+    out = capsys.readouterr().out
+    assert "simulated time" in out
+    assert "matching:" in out
+
+
+def test_cli_run_cheap_experiment(capsys):
+    assert main(["run", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table III" in out
+    assert "Findings" in out
+
+
+def test_cli_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_cli_match_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        main(["match", "rmat-s10", "-m", "smoke-signals"])
+
+
+def test_paper_claims_cover_all_experiments():
+    """Every registered experiment must have a paper-claim entry for the
+    EXPERIMENTS.md report."""
+    missing = [e for e in all_experiment_ids() if e not in PAPER_CLAIMS]
+    assert not missing, f"experiments without paper claims: {missing}"
+
+
+def test_report_generation(tmp_path, monkeypatch):
+    """Generate a report restricted to cheap experiments."""
+    import repro.harness.report as report_mod
+
+    cheap = ["table2", "table3"]
+    monkeypatch.setattr(
+        report_mod, "all_experiment_ids", lambda: cheap
+    )
+    out = report_mod.generate_experiments_md(tmp_path / "EXP.md")
+    assert "table2" in out and "table3" in out
+    assert (tmp_path / "EXP.md").exists()
+    assert "Paper:" in out and "Measured:" in out

@@ -1,0 +1,72 @@
+"""Extra coverage for figure rendering and the CLI bundle command."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.harness.figures import FigureData, Series
+from repro.graph.spy import render_ascii
+
+
+def test_series_dataclass():
+    s = Series("x", [1, 2], [3.0, 4.0])
+    assert s.label == "x"
+
+
+def test_figure_render_log_axis_spans_data():
+    fig = FigureData("t", "p", "time (s)")
+    fig.add("A", [4, 8, 16], [1e-3, 1e-2, 1e-1])
+    out = fig.render(height=8)
+    # y labels carry units from format_seconds
+    assert "ms" in out
+    # all three x positions labelled
+    for x in ("4", "8", "16"):
+        assert x in out
+
+
+def test_figure_render_flat_series():
+    fig = FigureData("t", "p", "y")
+    fig.add("A", [1, 2], [5.0, 5.0])  # zero dynamic range
+    assert "legend" in fig.render()
+
+
+def test_figure_csv_sparse_points():
+    fig = FigureData("t", "p", "y")
+    fig.add("A", [1, 2], [1.0, 2.0])
+    fig.add("B", [2, 4], [3.0, 4.0])
+    csv = fig.as_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0] == "p,A,B"
+    assert lines[1].startswith("1,1,")  # B missing at x=1
+    assert lines[-1].startswith("4,,")  # A missing at x=4
+
+
+def test_figure_render_ignores_nonpositive():
+    fig = FigureData("t", "p", "y")
+    fig.add("A", [1, 2], [0.0, 2.0])  # zero cannot be log-scaled
+    out = fig.render()
+    assert "legend" in out
+
+
+def test_render_ascii_linear_mode():
+    grid = np.array([[0, 1], [2, 100]])
+    lin = render_ascii(grid, log_scale=False)
+    log = render_ascii(grid, log_scale=True)
+    assert lin != log
+    # densest cell is the darkest glyph in both
+    assert lin.splitlines()[1][1] == "@"
+
+
+def test_cli_bundle(tmp_path, capsys):
+    assert main(["bundle", str(tmp_path), "--only", "table3"]) == 0
+    assert (tmp_path / "table3.txt").exists()
+    out = capsys.readouterr().out
+    assert "wrote table3" in out
+
+
+def test_cli_report_generation(tmp_path, monkeypatch):
+    import repro.harness.report as report_mod
+
+    monkeypatch.setattr(report_mod, "all_experiment_ids", lambda: ["table3"])
+    assert main(["report", str(tmp_path / "E.md")]) == 0
+    assert (tmp_path / "E.md").exists()

@@ -1,0 +1,197 @@
+"""Harness plumbing: dataset registry, runner, profiles, figures, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    DEFAULT_SEED,
+    FigureData,
+    all_experiment_ids,
+    all_specs,
+    best_speedup_over_baseline,
+    get_graph,
+    get_spec,
+    performance_profile,
+    run_one,
+    scaling_sweep,
+)
+from repro.mpisim import zero_latency
+
+FAST = zero_latency()
+
+
+# -- spec registry -------------------------------------------------------
+
+def test_registry_covers_all_paper_categories():
+    cats = {s.category for s in all_specs()}
+    assert len(cats) == 7
+    assert any("RGG" in c for c in cats)
+    assert any("R-MAT" in c for c in cats)
+    assert any("k-mer" in c for c in cats)
+    assert any("Social" in c for c in cats)
+
+
+def test_get_spec_and_graph():
+    spec = get_spec("rmat-s10")
+    g1 = spec.instantiate()
+    g2 = get_graph("rmat-s10")
+    assert g1 is g2  # memoized
+
+
+def test_unknown_spec():
+    with pytest.raises(KeyError):
+        get_spec("no-such-graph")
+
+
+def test_specs_have_paper_identifiers():
+    for s in all_specs():
+        assert s.paper_identifier
+        assert s.default_procs
+
+
+# -- runner ---------------------------------------------------------------
+
+def test_run_one_record_fields():
+    g = get_graph("rmat-s10")
+    rec = run_one(g, 4, "ncl", label="rmat-s10", machine=FAST)
+    assert rec.graph == "rmat-s10"
+    assert rec.model == "ncl"
+    assert rec.makespan > 0
+    assert rec.messages > 0
+    assert rec.weight > 0
+    assert rec.mem_per_rank_mb > 0
+    assert rec.energy.node_energy_kj > 0
+    assert rec.result is None  # not kept by default
+
+
+def test_run_one_keep_result():
+    g = get_graph("rmat-s10")
+    rec = run_one(g, 2, "nsr", machine=FAST, keep_result=True)
+    assert rec.result is not None
+    assert rec.result.nprocs == 2
+
+
+def test_speedup_over():
+    g = get_graph("rmat-s10")
+    a = run_one(g, 4, "nsr", machine=FAST)
+    b = run_one(g, 4, "ncl", machine=FAST)
+    assert a.speedup_over(a) == pytest.approx(1.0)
+    assert b.speedup_over(a) == pytest.approx(a.makespan / b.makespan)
+
+
+# -- performance profile --------------------------------------------------
+
+def test_performance_profile_math():
+    times = {
+        "p1": {"a": 1.0, "b": 2.0},
+        "p2": {"a": 4.0, "b": 2.0},
+        "p3": {"a": 1.0, "b": 6.0},
+    }
+    prof = performance_profile(times, num_points=101)
+    assert prof.best_fraction("a") == pytest.approx(2 / 3)
+    assert prof.best_fraction("b") == pytest.approx(1 / 3)
+    # rho is nondecreasing and ends at 1
+    for s in prof.solvers:
+        curve = prof.curves[s]
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert curve[-1] == pytest.approx(1.0)
+    assert prof.area("a") > 0
+    csv = prof.as_csv()
+    assert csv.startswith("tau,a,b")
+
+
+def test_performance_profile_validation():
+    with pytest.raises(ValueError):
+        performance_profile({})
+    with pytest.raises(ValueError):
+        performance_profile({"p": {"a": 1.0}, "q": {"b": 1.0}})
+    with pytest.raises(ValueError):
+        performance_profile({"p": {"a": 0.0, "b": 1.0}})
+
+
+# -- figures ---------------------------------------------------------------
+
+def test_figure_csv_and_render():
+    fig = FigureData("t", "p", "time")
+    fig.add("NSR", [4, 8], [1.0, 2.0])
+    fig.add("NCL", [4, 8], [0.5, 0.4])
+    csv = fig.as_csv()
+    assert "p,NSR,NCL" in csv
+    out = fig.render()
+    assert "legend" in out and "NSR" in out
+
+
+def test_figure_mismatched_series():
+    fig = FigureData("t", "p", "y")
+    with pytest.raises(ValueError):
+        fig.add("x", [1, 2], [1.0])
+
+
+def test_empty_figure_renders():
+    assert "empty" in FigureData("t", "x", "y").render()
+
+
+# -- sweeps ------------------------------------------------------------------
+
+def test_scaling_sweep_and_best_speedup():
+    g = get_graph("rmat-s10")
+    fig, records = scaling_sweep(
+        [("rmat", g, 2), ("rmat", g, 4)],
+        models=("nsr", "ncl"),
+        title="t",
+        machine=FAST,
+    )
+    assert len(records) == 4
+    assert len(fig.series) == 2
+    best = best_speedup_over_baseline(records)
+    assert ("rmat", 2) in best and ("rmat", 4) in best
+    speedup, winner = best[("rmat", 4)]
+    assert speedup > 0
+    assert winner in ("nsr", "ncl")
+
+
+# -- experiment registry -------------------------------------------------
+
+def test_all_experiments_registered():
+    ids = all_experiment_ids()
+    for want in [
+        "fig2", "fig4a", "fig4b", "fig4c", "fig5", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "table2", "table3", "table4", "table5",
+        "table6", "table7", "table8",
+    ]:
+        assert want in ids
+    assert any(i.startswith("ablate-") for i in ids)
+
+
+def test_unknown_experiment():
+    from repro.harness import run_experiment
+
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_cheap_experiments_run():
+    from repro.harness import run_experiment
+
+    for eid in ("table2", "table3", "table4"):
+        out = run_experiment(eid)
+        assert out.exp_id == eid
+        assert out.text
+        assert out.findings
+
+
+def test_default_procs_fit_graph_sizes():
+    """Every registered default process count must be partitionable."""
+    from repro.graph.distribution import BlockDistribution
+
+    for spec in all_specs():
+        g = spec.instantiate()
+        for p in spec.default_procs:
+            BlockDistribution(g.num_vertices, p)  # must not raise
+
+
+def test_registry_names_unique_and_stable():
+    names = [s.name for s in all_specs()]
+    assert len(names) == len(set(names))
+    # sorted order is the CLI listing order; keep it deterministic
+    assert names == [s.name for s in all_specs()]

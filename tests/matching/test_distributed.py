@@ -1,0 +1,153 @@
+"""Distributed matching over all four backends: correctness + agreement.
+
+The headline oracle: with distinct edge weights the locally-dominant
+matching is unique, so every backend at every process count must return
+mate arrays identical to the serial greedy matching.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    cage15_proxy,
+    grid2d_graph,
+    kmer_graph,
+    path_graph,
+    rgg_graph,
+    rmat_graph,
+    sbm_hilo_graph,
+    star_graph,
+)
+from repro.matching import (
+    BACKENDS,
+    MatchingOptions,
+    check_cross_rank_consistency,
+    check_matching_maximal,
+    check_matching_valid,
+    greedy_matching,
+    run_matching,
+)
+from repro.mpisim import zero_latency
+
+FAST = zero_latency()
+
+GRAPHS = [
+    ("path", path_graph(53, seed=1)),
+    ("grid", grid2d_graph(8, 9, seed=2)),
+    ("star", star_graph(33, seed=3)),
+    ("rmat", rmat_graph(7, seed=4)),
+    ("rgg", rgg_graph(300, target_avg_degree=6, seed=5)),
+    ("sbm", sbm_hilo_graph(300, avg_degree=8.0, seed=6)),
+    ("kmer", kmer_graph(400, seed=7)),
+    ("cage", cage15_proxy(1200, seed=8)),
+]
+
+
+@pytest.mark.parametrize("model", sorted(BACKENDS))
+@pytest.mark.parametrize("name,g", GRAPHS, ids=[n for n, _ in GRAPHS])
+def test_backend_matches_serial_greedy(model, name, g):
+    ref = greedy_matching(g)
+    res = run_matching(g, nprocs=4, model=model, machine=FAST)
+    check_matching_valid(g, res.mate)
+    check_matching_maximal(g, res.mate)
+    check_cross_rank_consistency(res.mate)
+    assert np.array_equal(res.mate, ref.mate), f"{model} diverged on {name}"
+    assert res.weight == pytest.approx(ref.weight)
+
+
+@pytest.mark.parametrize("model", sorted(BACKENDS))
+@pytest.mark.parametrize("nprocs", [1, 2, 3, 7, 8])
+def test_process_count_invariance(model, nprocs):
+    g = rmat_graph(7, seed=11)
+    ref = greedy_matching(g)
+    res = run_matching(g, nprocs=nprocs, model=model, machine=FAST)
+    assert np.array_equal(res.mate, ref.mate)
+
+
+def test_uneven_partition():
+    g = path_graph(29, seed=2)  # 29 vertices over 4 ranks: 8,7,7,7
+    ref = greedy_matching(g)
+    for model in sorted(BACKENDS):
+        res = run_matching(g, nprocs=4, model=model, machine=FAST)
+        assert np.array_equal(res.mate, ref.mate)
+
+
+def test_deterministic_repeat():
+    g = rmat_graph(7, seed=4)
+    r1 = run_matching(g, nprocs=4, model="nsr", machine=FAST)
+    r2 = run_matching(g, nprocs=4, model="nsr", machine=FAST)
+    assert np.array_equal(r1.mate, r2.mate)
+    assert r1.makespan == r2.makespan
+    assert r1.total_messages() == r2.total_messages()
+
+
+def test_eager_reject_option_valid_but_maybe_weaker():
+    g = rmat_graph(7, seed=4)
+    ref = greedy_matching(g)
+    res = run_matching(
+        g, nprocs=4, model="nsr", machine=FAST,
+        options=MatchingOptions(eager_reject=True),
+    )
+    check_matching_valid(g, res.mate)
+    # half-approx heuristic should stay in the right ballpark
+    assert res.weight >= 0.5 * ref.weight
+
+
+def test_unknown_model_rejected():
+    from repro.mpisim.errors import RankFailure
+
+    g = path_graph(10, seed=1)
+    with pytest.raises(RankFailure) as ei:
+        run_matching(g, nprocs=2, model="carrier-pigeon", machine=FAST)
+    assert isinstance(ei.value.original, KeyError)
+
+
+def test_message_budget_respected():
+    """<= 2 messages per cross pair per direction (the paper's buffer bound)."""
+    g = rmat_graph(7, seed=4)
+    from repro.graph.distribution import partition_graph
+
+    parts = partition_graph(g, 4)
+    cross = sum(p.num_cross_edges for p in parts)  # directed cross count
+    res = run_matching(g, nprocs=4, model="nsr", machine=FAST)
+    assert res.counters.p2p.total_messages() <= 2 * cross
+
+
+def test_stats_populated():
+    g = rmat_graph(7, seed=4)
+    res = run_matching(g, nprocs=4, model="ncl", machine=FAST)
+    st = res.rank_results if False else res.rank_results
+    for rr in res.rank_results:
+        s = rr["stats"]
+        assert s.findmate_calls > 0
+    assert res.iterations >= 1
+
+
+def test_matched_fraction_reasonable():
+    g = rmat_graph(8, seed=9)
+    res = run_matching(g, nprocs=4, model="rma", machine=FAST)
+    assert res.num_matched_edges > g.num_vertices // 8
+
+
+def test_mbp_sends_acks():
+    g = rmat_graph(7, seed=4)
+    res = run_matching(g, nprocs=4, model="mbp", machine=FAST)
+    acks = sum(rr["stats"].received["ACK"] for rr in res.rank_results)
+    requests = sum(rr["stats"].sent["REQUEST"] for rr in res.rank_results)
+    # every cross REQUEST is acknowledged
+    assert acks > 0
+    assert acks <= requests
+
+
+def test_rma_vs_ncl_same_messages_semantics():
+    """RMA and NCL carry the same algorithmic payloads (same contexts)."""
+    g = rmat_graph(7, seed=4)
+    res_rma = run_matching(g, nprocs=4, model="rma", machine=FAST)
+    res_ncl = run_matching(g, nprocs=4, model="ncl", machine=FAST)
+    def ctx_totals(res):
+        tot = {}
+        for rr in res.rank_results:
+            for k, v in rr["stats"].sent.items():
+                tot[k] = tot.get(k, 0) + v
+        return tot
+    assert ctx_totals(res_rma) == ctx_totals(res_ncl)

@@ -1,0 +1,86 @@
+"""Drake-Hougardy path-growing matching: validity and the 1/2 guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import build_graph
+from repro.graph.csr import from_edges
+from repro.graph.generators import (
+    erdos_renyi,
+    grid2d_graph,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.matching import (
+    check_matching_valid,
+    exact_matching_weight,
+    greedy_matching,
+    matching_weight,
+)
+from repro.matching.pathgrow import path_growing_matching
+
+
+@pytest.mark.parametrize(
+    "g",
+    [
+        path_graph(40, seed=1),
+        grid2d_graph(6, 7, seed=2),
+        star_graph(18, seed=3),
+        erdos_renyi(120, 4.0, seed=4),
+        rmat_graph(7, seed=5),
+    ],
+    ids=["path", "grid", "star", "er", "rmat"],
+)
+def test_pga_valid_and_weight_consistent(g):
+    res = path_growing_matching(g)
+    check_matching_valid(g, res.mate)
+    assert matching_weight(g, res.mate) == pytest.approx(res.weight)
+
+
+@pytest.mark.parametrize(
+    "g",
+    [path_graph(20, seed=1), erdos_renyi(40, 4.0, seed=6), grid2d_graph(5, 5, seed=7)],
+    ids=["path", "er", "grid"],
+)
+def test_pga_half_approx_vs_exact(g):
+    res = path_growing_matching(g)
+    opt = exact_matching_weight(g)
+    assert res.weight >= 0.5 * opt - 1e-9
+
+
+def test_pga_single_edge():
+    g = from_edges(2, [0], [1], [4.0])
+    res = path_growing_matching(g)
+    assert res.weight == pytest.approx(4.0)
+
+
+def test_pga_edgeless():
+    g = from_edges(3, [], [])
+    res = path_growing_matching(g)
+    assert np.all(res.mate == -1)
+
+
+def test_pga_quality_comparable_to_greedy():
+    """Both are half-approx; on typical inputs they land within ~25%."""
+    g = rmat_graph(8, seed=9)
+    pga = path_growing_matching(g)
+    grd = greedy_matching(g)
+    assert pga.weight >= 0.5 * grd.weight
+    assert grd.weight >= 0.5 * pga.weight
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(4, 24), m=st.integers(0, 60), seed=st.integers(0, 2**31))
+def test_pga_valid_property(n, m, seed):
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed, "pga-test")
+    g = build_graph(
+        n, rng.integers(0, n, size=m), rng.integers(0, n, size=m), seed=seed
+    )
+    res = path_growing_matching(g)
+    check_matching_valid(g, res.mate)

@@ -1,0 +1,113 @@
+"""Property-based tests (hypothesis) on matching invariants.
+
+Random graphs are drawn edge-by-edge; the core invariants:
+
+* every backend reproduces the unique serial greedy matching;
+* matchings are valid and maximal;
+* the half-approximation bound holds against the exact optimum;
+* matching weight is invariant under vertex relabeling.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import build_graph
+from repro.graph.csr import CSRGraph
+from repro.matching import (
+    check_half_approx,
+    check_matching_maximal,
+    check_matching_valid,
+    greedy_matching,
+    locally_dominant_matching,
+    matching_weight,
+    run_matching,
+)
+from repro.mpisim import zero_latency
+
+FAST = zero_latency()
+
+SLOWISH = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def random_graphs(draw, max_n=24, max_m=60):
+    n = draw(st.integers(min_value=4, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    seed = draw(st.integers(0, 2**31))
+    u = np.array([a for a, b in edges], dtype=np.int64)
+    v = np.array([b for a, b in edges], dtype=np.int64)
+    return build_graph(n, u, v, seed=seed)
+
+
+@SLOWISH
+@given(g=random_graphs())
+def test_serial_algorithms_agree(g: CSRGraph):
+    a = greedy_matching(g)
+    b = locally_dominant_matching(g)
+    assert np.array_equal(a.mate, b.mate)
+
+
+@SLOWISH
+@given(g=random_graphs())
+def test_matching_valid_and_maximal(g: CSRGraph):
+    res = locally_dominant_matching(g)
+    check_matching_valid(g, res.mate)
+    check_matching_maximal(g, res.mate)
+
+
+@SLOWISH
+@given(g=random_graphs(max_n=14, max_m=30))
+def test_half_approx_against_exact(g: CSRGraph):
+    res = greedy_matching(g)
+    check_half_approx(g, res.mate)
+
+
+@SLOWISH
+@given(g=random_graphs(), nprocs=st.sampled_from([2, 3, 4]))
+def test_distributed_nsr_equals_greedy(g: CSRGraph, nprocs):
+    if g.num_vertices < nprocs:
+        nprocs = g.num_vertices
+    ref = greedy_matching(g)
+    res = run_matching(g, nprocs=nprocs, model="nsr", machine=FAST)
+    assert np.array_equal(res.mate, ref.mate)
+
+
+@SLOWISH
+@given(g=random_graphs(), model=st.sampled_from(["ncl", "rma"]))
+def test_distributed_collectives_equal_greedy(g: CSRGraph, model):
+    ref = greedy_matching(g)
+    res = run_matching(g, nprocs=min(4, g.num_vertices), model=model, machine=FAST)
+    assert np.array_equal(res.mate, ref.mate)
+
+
+@SLOWISH
+@given(g=random_graphs(), perm_seed=st.integers(0, 1000))
+def test_weight_invariant_under_relabeling(g: CSRGraph, perm_seed):
+    from repro.util.rng import make_rng
+
+    perm = make_rng(perm_seed, "perm").permutation(g.num_vertices).astype(np.int64)
+    gp = g.permuted(perm)
+    w1 = greedy_matching(g).weight
+    w2 = greedy_matching(gp).weight
+    assert abs(w1 - w2) < 1e-9
+
+
+@SLOWISH
+@given(g=random_graphs())
+def test_matched_weight_recomputation(g: CSRGraph):
+    res = greedy_matching(g)
+    assert abs(matching_weight(g, res.mate) - res.weight) < 1e-9

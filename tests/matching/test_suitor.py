@@ -1,0 +1,80 @@
+"""Suitor matching: third independent implementation, same unique result."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import build_graph
+from repro.graph.csr import from_edges
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    grid2d_graph,
+    kmer_graph,
+    path_graph,
+    rmat_graph,
+    star_graph,
+)
+from repro.matching import check_matching_maximal, check_matching_valid, greedy_matching
+from repro.matching.suitor import suitor_matching
+
+FAMILIES = [
+    ("path", path_graph(61, seed=1)),
+    ("grid", grid2d_graph(8, 7, seed=2)),
+    ("star", star_graph(22, seed=3)),
+    ("complete", complete_graph(10, seed=4)),
+    ("er", erdos_renyi(200, 5.0, seed=5)),
+    ("rmat", rmat_graph(7, seed=6)),
+    ("kmer", kmer_graph(400, seed=7)),
+]
+
+
+@pytest.mark.parametrize("name,g", FAMILIES, ids=[n for n, _ in FAMILIES])
+def test_suitor_equals_greedy(name, g):
+    a = greedy_matching(g)
+    b = suitor_matching(g)
+    assert np.array_equal(a.mate, b.mate)
+    assert b.weight == pytest.approx(a.weight)
+
+
+@pytest.mark.parametrize("name,g", FAMILIES[:3], ids=[n for n, _ in FAMILIES[:3]])
+def test_suitor_valid_maximal(name, g):
+    res = suitor_matching(g)
+    check_matching_valid(g, res.mate)
+    check_matching_maximal(g, res.mate)
+
+
+def test_suitor_edgeless():
+    g = from_edges(4, [], [])
+    res = suitor_matching(g)
+    assert np.all(res.mate == -1)
+
+
+def test_suitor_single_edge():
+    g = from_edges(2, [0], [1], [2.5])
+    res = suitor_matching(g)
+    assert res.mate.tolist() == [1, 0]
+    assert res.weight == pytest.approx(2.5)
+
+
+def test_suitor_displacement_chain():
+    """A chain where each proposal displaces the previous suitor."""
+    # weights increasing along a path: 1-2-3-4 with w(2,3) heaviest
+    g = from_edges(4, [0, 1, 2], [1, 2, 3], [1.0, 9.0, 2.0])
+    res = suitor_matching(g)
+    assert res.mate[1] == 2 and res.mate[2] == 1
+    assert res.mate[0] == -1 and res.mate[3] == -1
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(n=st.integers(4, 28), m=st.integers(0, 70), seed=st.integers(0, 2**31))
+def test_suitor_equals_greedy_property(n, m, seed):
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed, "suitor-test")
+    g = build_graph(
+        n, rng.integers(0, n, size=m), rng.integers(0, n, size=m), seed=seed
+    )
+    assert np.array_equal(greedy_matching(g).mate, suitor_matching(g).mate)

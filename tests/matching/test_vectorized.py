@@ -1,0 +1,85 @@
+"""Vectorized locally-dominant matching vs the loop-based references."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph.build import build_graph
+from repro.graph.generators import (
+    complete_graph,
+    erdos_renyi,
+    grid2d_graph,
+    kmer_graph,
+    path_graph,
+    rgg_graph,
+    rmat_graph,
+    sbm_hilo_graph,
+    star_graph,
+)
+from repro.matching import check_matching_maximal, check_matching_valid, greedy_matching
+from repro.matching.vectorized import locally_dominant_matching_vec
+
+FAMILIES = [
+    ("path", path_graph(77, seed=1)),
+    ("grid", grid2d_graph(11, 9, seed=2)),
+    ("star", star_graph(25, seed=3)),
+    ("complete", complete_graph(13, seed=4)),
+    ("er", erdos_renyi(300, 5.0, seed=5)),
+    ("rmat", rmat_graph(8, seed=6)),
+    ("rgg", rgg_graph(400, target_avg_degree=7, seed=7)),
+    ("sbm", sbm_hilo_graph(400, seed=8)),
+    ("kmer", kmer_graph(500, seed=9)),
+]
+
+
+@pytest.mark.parametrize("name,g", FAMILIES, ids=[n for n, _ in FAMILIES])
+def test_vectorized_equals_greedy(name, g):
+    a = greedy_matching(g)
+    b = locally_dominant_matching_vec(g)
+    assert np.array_equal(a.mate, b.mate)
+    assert b.weight == pytest.approx(a.weight)
+
+
+@pytest.mark.parametrize("name,g", FAMILIES[:4], ids=[n for n, _ in FAMILIES[:4]])
+def test_vectorized_valid_maximal(name, g):
+    res = locally_dominant_matching_vec(g)
+    check_matching_valid(g, res.mate)
+    check_matching_maximal(g, res.mate)
+
+
+def test_vectorized_edgeless():
+    from repro.graph.csr import from_edges
+
+    g = from_edges(5, [], [])
+    res = locally_dominant_matching_vec(g)
+    assert np.all(res.mate == -1)
+    assert res.weight == 0.0
+
+
+def test_vectorized_isolated_vertices():
+    from repro.graph.csr import from_edges
+
+    g = from_edges(6, [0, 2], [1, 3])  # vertices 4, 5 isolated
+    res = locally_dominant_matching_vec(g)
+    assert res.mate[4] == -1 and res.mate[5] == -1
+    assert res.mate[0] == 1 and res.mate[2] == 3
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(4, 30),
+    m=st.integers(0, 80),
+    seed=st.integers(0, 2**31),
+)
+def test_vectorized_equals_greedy_property(n, m, seed):
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed, "vec-test")
+    u = rng.integers(0, n, size=m)
+    v = rng.integers(0, n, size=m)
+    g = build_graph(n, u, v, seed=seed)
+    a = greedy_matching(g)
+    b = locally_dominant_matching_vec(g)
+    assert np.array_equal(a.mate, b.mate)

@@ -1,0 +1,76 @@
+"""The verifiers themselves must catch bad matchings."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import from_edges
+from repro.graph.generators import path_graph
+from repro.matching.verify import (
+    assemble_global_mate,
+    check_cross_rank_consistency,
+    check_matching_maximal,
+    check_matching_valid,
+)
+
+
+def g4():
+    return from_edges(4, [0, 1, 2], [1, 2, 3])  # path of 4
+
+
+def test_valid_accepts_good():
+    mate = np.array([1, 0, 3, 2])
+    check_matching_valid(g4(), mate)
+
+
+def test_valid_rejects_asymmetric():
+    mate = np.array([1, -1, -1, -1])
+    with pytest.raises(AssertionError):
+        check_matching_valid(g4(), mate)
+
+
+def test_valid_rejects_non_edge():
+    mate = np.array([3, -1, -1, 0])  # (0,3) is not an edge
+    with pytest.raises(AssertionError):
+        check_matching_valid(g4(), mate)
+
+
+def test_valid_rejects_self_match():
+    mate = np.array([0, -1, -1, -1])
+    with pytest.raises(AssertionError):
+        check_matching_valid(g4(), mate)
+
+
+def test_valid_rejects_out_of_range():
+    mate = np.array([9, -1, -1, -1])
+    with pytest.raises(AssertionError):
+        check_matching_valid(g4(), mate)
+
+
+def test_valid_rejects_wrong_shape():
+    with pytest.raises(AssertionError):
+        check_matching_valid(g4(), np.array([1, 0]))
+
+
+def test_maximal_rejects_non_maximal():
+    mate = np.full(4, -1)
+    with pytest.raises(AssertionError):
+        check_matching_maximal(g4(), mate)
+
+
+def test_maximal_accepts_maximal():
+    check_matching_maximal(g4(), np.array([-1, 2, 1, -1]))
+
+
+def test_cross_rank_consistency():
+    check_cross_rank_consistency(np.array([1, 0, -1]))
+    with pytest.raises(AssertionError):
+        check_cross_rank_consistency(np.array([1, 2, 1]))
+
+
+def test_assemble_global_mate():
+    rrs = [
+        {"lo": 0, "hi": 2, "mate": np.array([1, 0])},
+        {"lo": 2, "hi": 4, "mate": np.array([-1, -1])},
+    ]
+    mate = assemble_global_mate(rrs, 4)
+    assert mate.tolist() == [1, 0, -1, -1]

@@ -1,0 +1,164 @@
+"""Collective semantics and cost-model sanity."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import CommMismatchError, Engine, RankFailure, cori_aries, zero_latency
+from repro.mpisim.machine import MachineModel
+
+
+def run(p, fn, machine=None):
+    return Engine(p, machine or zero_latency()).run(fn)
+
+
+def test_allreduce_sum():
+    res = run(5, lambda ctx: ctx.allreduce(ctx.rank))
+    assert res.rank_results == [10] * 5
+
+
+def test_allreduce_min_max():
+    res = run(4, lambda ctx: (ctx.allreduce(ctx.rank, "min"), ctx.allreduce(ctx.rank, "max")))
+    assert res.rank_results == [(0, 3)] * 4
+
+
+def test_allreduce_arrays():
+    def prog(ctx):
+        return ctx.allreduce(np.array([ctx.rank, 1.0]))
+
+    res = run(3, prog)
+    for out in res.rank_results:
+        assert out.tolist() == [3.0, 3.0]
+
+
+def test_allreduce_logical():
+    res = run(4, lambda ctx: ctx.allreduce(ctx.rank == 2, "lor"))
+    assert res.rank_results == [True] * 4
+    res = run(4, lambda ctx: ctx.allreduce(True, "land"))
+    assert res.rank_results == [True] * 4
+
+
+def test_bcast():
+    def prog(ctx):
+        val = "hello" if ctx.rank == 1 else None
+        return ctx.bcast(val, root=1)
+
+    assert run(4, prog).rank_results == ["hello"] * 4
+
+
+def test_gather():
+    def prog(ctx):
+        return ctx.gather(ctx.rank * 2, root=0)
+
+    res = run(4, prog)
+    assert res.rank_results[0] == [0, 2, 4, 6]
+    assert res.rank_results[1] is None
+
+
+def test_allgather():
+    res = run(3, lambda ctx: ctx.allgather(chr(97 + ctx.rank)))
+    assert res.rank_results == [["a", "b", "c"]] * 3
+
+
+def test_alltoall():
+    def prog(ctx):
+        items = [f"{ctx.rank}->{q}" for q in range(ctx.nprocs)]
+        return ctx.alltoall(items)
+
+    res = run(3, prog)
+    assert res.rank_results[1] == ["0->1", "1->1", "2->1"]
+
+
+def test_alltoall_wrong_length():
+    def prog(ctx):
+        ctx.alltoall([1, 2])  # wrong for p=3
+
+    with pytest.raises(RankFailure):
+        run(3, prog)
+
+
+def test_barrier_aligns_clocks():
+    def prog(ctx):
+        ctx.compute(seconds=float(ctx.rank))
+        ctx.barrier()
+        return ctx.now
+
+    res = run(4, prog, machine=cori_aries())
+    times = res.rank_results
+    # Everyone leaves the barrier at (nearly) the same time >= the slowest.
+    assert min(times) >= 3.0
+    assert max(times) - min(times) < 1e-9
+
+
+def test_collective_kind_mismatch_raises():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.barrier()
+        else:
+            ctx.allreduce(1)
+
+    with pytest.raises((RankFailure, CommMismatchError)):
+        run(2, prog)
+
+
+def test_repeated_collectives_match_by_sequence():
+    def prog(ctx):
+        a = ctx.allreduce(1)
+        b = ctx.allreduce(2)
+        c = ctx.allreduce(ctx.rank)
+        return (a, b, c)
+
+    res = run(4, prog)
+    assert res.rank_results == [(4, 8, 6)] * 4
+
+
+def test_collective_counters():
+    res = run(3, lambda ctx: ctx.allreduce(1) and ctx.barrier())
+    for rc in res.counters.ranks:
+        assert rc.collectives == 2
+
+
+# ---------------------------------------------------------------------
+# cost model sanity
+# ---------------------------------------------------------------------
+
+def test_costs_monotonic_in_p():
+    m = MachineModel()
+    for fn in (m.barrier_cost,):
+        assert fn(64) > fn(4)
+    assert m.allreduce_cost(64, 8) > m.allreduce_cost(4, 8)
+    assert m.alltoall_cost(64, 8) > m.alltoall_cost(4, 8)
+
+
+def test_costs_monotonic_in_bytes():
+    m = MachineModel()
+    assert m.allreduce_cost(8, 1 << 20) > m.allreduce_cost(8, 8)
+    assert m.bcast_cost(8, 1 << 20) > m.bcast_cost(8, 8)
+
+
+def test_neighbor_costs_scale_with_degree():
+    m = MachineModel()
+    assert m.neighbor_alltoall_cost(64, 8) > m.neighbor_alltoall_cost(2, 8)
+    assert m.neighbor_alltoallv_cost(64, 0, 0, 0) > m.neighbor_alltoallv_cost(2, 0, 0, 0)
+
+
+def test_neighbor_alltoallv_active_lane_cost():
+    m = MachineModel()
+    dense = m.neighbor_alltoallv_cost(32, 1024, 1024, active_lanes=64)
+    sparse = m.neighbor_alltoallv_cost(32, 1024, 1024, active_lanes=2)
+    assert dense > sparse
+
+
+def test_allreduce_array_min_max():
+    """Element-wise MPI_MIN / MPI_MAX on numpy arrays."""
+
+    def prog(ctx):
+        vec = np.array([ctx.rank, -ctx.rank, 5])
+        return (
+            ctx.allreduce(vec, "min").tolist(),
+            ctx.allreduce(vec, "max").tolist(),
+        )
+
+    res = run(4, prog)
+    for lo, hi in res.rank_results:
+        assert lo == [0, -3, 5]
+        assert hi == [3, 0, 5]

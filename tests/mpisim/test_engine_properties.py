@@ -1,0 +1,116 @@
+"""Property-based tests of the discrete-event engine itself.
+
+Random SPMD programs (each rank follows a seeded script of sends,
+receives, computes, and collectives, constructed so they always
+terminate) must satisfy:
+
+* bit-identical determinism across runs;
+* conservation: messages received == messages sent (after drain);
+* virtual-time sanity: makespan bounded below by any rank's serial work
+  and nondecreasing in the latency parameter.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import Engine, cori_aries
+from repro.util.rng import make_rng
+
+SLOWISH = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def scripted_program(seed: int, rounds: int):
+    """Rank program: every round, each rank sends one message to a seeded
+    peer, then everyone allreduces the round's total and receives exactly
+    the number of messages addressed to it. Always terminates."""
+
+    def prog(ctx):
+        rng = make_rng(seed, "script", ctx.rank)
+        shared = make_rng(seed, "script-shared")
+        # Everyone derives the same destination table: dests[r][round].
+        dests = shared.integers(0, ctx.nprocs, size=(ctx.nprocs, rounds))
+        received = 0
+        sent = 0
+        for k in range(rounds):
+            ctx.compute(units=float(rng.integers(0, 50)))
+            d = int(dests[ctx.rank, k])
+            if d != ctx.rank:
+                ctx.isend(d, (ctx.rank, k))
+                sent += 1
+            expected = int(np.sum(dests[:, k] == ctx.rank)) - int(
+                dests[ctx.rank, k] == ctx.rank
+            )
+            for _ in range(expected):
+                ctx.recv()
+                received += 1
+            ctx.allreduce(1)
+        return (sent, received)
+
+    return prog
+
+
+@SLOWISH
+@given(
+    seed=st.integers(0, 2**31),
+    nprocs=st.integers(2, 6),
+    rounds=st.integers(1, 8),
+)
+def test_random_programs_deterministic_and_conserving(seed, nprocs, rounds):
+    prog = scripted_program(seed, rounds)
+    r1 = Engine(nprocs, cori_aries()).run(prog)
+    r2 = Engine(nprocs, cori_aries()).run(prog)
+    assert r1.rank_results == r2.rank_results
+    assert r1.makespan == r2.makespan
+    total_sent = sum(s for s, _ in r1.rank_results)
+    total_received = sum(r for _, r in r1.rank_results)
+    assert total_sent == total_received
+    c = r1.counters
+    assert c.total("sends") == total_sent
+    assert c.total("recvs") == total_received
+    assert c.p2p.total_messages() == total_sent
+
+
+@SLOWISH
+@given(seed=st.integers(0, 2**31), nprocs=st.integers(2, 5))
+def test_makespan_monotone_in_latency(seed, nprocs):
+    prog = scripted_program(seed, rounds=4)
+    fast = cori_aries()
+    slow = fast.with_overrides(alpha=fast.alpha * 50)
+    t_fast = Engine(nprocs, fast).run(prog).makespan
+    t_slow = Engine(nprocs, slow).run(prog).makespan
+    assert t_slow >= t_fast
+
+
+@SLOWISH
+@given(seed=st.integers(0, 2**31))
+def test_makespan_at_least_serial_compute(seed):
+    def prog(ctx):
+        rng = make_rng(seed, "work", ctx.rank)
+        total = float(rng.integers(100, 1000))
+        ctx.compute(units=total)
+        ctx.barrier()
+        return total
+
+    res = Engine(4, cori_aries()).run(prog)
+    heaviest = max(res.rank_results)
+    assert res.makespan >= heaviest * cori_aries().work_unit
+
+
+@SLOWISH
+@given(
+    seed=st.integers(0, 2**31),
+    nprocs=st.integers(2, 5),
+)
+def test_time_split_accounts_everything(seed, nprocs):
+    prog = scripted_program(seed, rounds=3)
+    res = Engine(nprocs, cori_aries()).run(prog)
+    compute, comm, idle = res.counters.time_split()
+    # per-rank total time never exceeds the makespan
+    for rc in res.counters.ranks:
+        assert rc.total_time <= res.makespan + 1e-12
+    assert compute >= 0 and comm >= 0 and idle >= 0

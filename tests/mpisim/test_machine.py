@@ -1,0 +1,68 @@
+"""Machine model: presets, overrides, protocol switching."""
+
+import pytest
+
+from repro.mpisim.machine import (
+    MachineModel,
+    commodity_cluster,
+    cori_aries,
+    get_machine,
+    zero_latency,
+)
+
+
+def test_presets_exist():
+    for name in ("cori-aries", "commodity", "zero-latency"):
+        m = get_machine(name)
+        assert isinstance(m, MachineModel)
+        assert m.alpha > 0
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        get_machine("nonexistent")
+
+
+def test_with_overrides_returns_copy():
+    m = cori_aries()
+    m2 = m.with_overrides(alpha=5e-6)
+    assert m2.alpha == 5e-6
+    assert m.alpha != 5e-6
+    assert m2.beta == m.beta
+
+
+def test_commodity_slower_than_aries():
+    a, c = cori_aries(), commodity_cluster()
+    assert c.alpha > a.alpha
+    assert c.beta > a.beta
+    assert c.o_send > a.o_send
+
+
+def test_eager_vs_rendezvous_send_cost():
+    m = cori_aries()
+    assert m.send_origin_cost(m.eager_threshold + 1) > m.send_origin_cost(64)
+
+
+def test_transit_time_includes_header():
+    m = cori_aries()
+    assert m.transit_time(0) > m.alpha  # header bytes still serialize
+
+
+def test_rma_header_smaller_than_p2p():
+    m = cori_aries()
+    assert m.wire_bytes(8, one_sided=True) < m.wire_bytes(8, one_sided=False)
+
+
+def test_compute_time_linear():
+    m = cori_aries()
+    assert m.compute_time(10) == pytest.approx(10 * m.work_unit)
+    assert m.compute_time(0) == 0.0
+
+
+def test_zero_latency_keeps_positive_alpha():
+    assert zero_latency().alpha > 0.0  # DES safety requirement
+
+
+def test_neighbor_alpha_below_full_send_path():
+    m = cori_aries()
+    assert m.neighbor_alpha() < m.alpha + m.o_send + m.o_recv

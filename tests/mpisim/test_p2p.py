@@ -1,0 +1,177 @@
+"""Point-to-point semantics: matching, ordering, probing, timing."""
+
+import pytest
+
+from repro.mpisim import ANY_SOURCE, ANY_TAG, Engine, cori_aries, zero_latency
+
+
+def test_payload_integrity():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.isend(1, {"k": [1, 2, 3]}, tag=7)
+        else:
+            m = ctx.recv(source=0, tag=7)
+            assert m.payload == {"k": [1, 2, 3]}
+            assert m.src == 0 and m.tag == 7
+            return m.payload
+
+    res = Engine(2, zero_latency()).run(prog)
+    assert res.rank_results[1] == {"k": [1, 2, 3]}
+
+
+def test_fifo_per_sender():
+    def prog(ctx):
+        if ctx.rank == 0:
+            for i in range(10):
+                ctx.isend(1, i)
+        else:
+            got = [ctx.recv(source=0).payload for _ in range(10)]
+            assert got == list(range(10))
+
+    Engine(2, cori_aries()).run(prog)
+
+
+def test_tag_selective_recv():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.isend(1, "a", tag=1)
+            ctx.isend(1, "b", tag=2)
+        else:
+            b = ctx.recv(source=0, tag=2)
+            a = ctx.recv(source=0, tag=1)
+            return (a.payload, b.payload)
+
+    res = Engine(2, zero_latency()).run(prog)
+    assert res.rank_results[1] == ("a", "b")
+
+
+def test_any_source_any_tag():
+    def prog(ctx):
+        if ctx.rank != 0:
+            ctx.compute(seconds=ctx.rank * 1e-3)  # stagger arrivals
+            ctx.isend(0, ctx.rank)
+        else:
+            got = [ctx.recv(source=ANY_SOURCE, tag=ANY_TAG).payload for _ in range(3)]
+            return got
+
+    res = Engine(4, cori_aries()).run(prog)
+    # staggered sends arrive in rank order
+    assert res.rank_results[0] == [1, 2, 3]
+
+
+def test_iprobe_respects_arrival_time():
+    """A message sent 'now' has arrival > now (alpha > 0), so an immediate
+    probe on the receiver at an earlier clock must miss it."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.compute(seconds=1.0)
+            ctx.isend(1, "x")
+        else:
+            early = ctx.iprobe()  # rank 1 probes at t~0
+            ctx.compute(seconds=2.0)
+            late = ctx.iprobe()
+            return (early, late is not None)
+
+    res = Engine(2, cori_aries()).run(prog)
+    assert res.rank_results[1] == (None, True)
+
+
+def test_probe_block_fast_forwards():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.compute(seconds=0.5)
+            ctx.isend(1, "later")
+        else:
+            ctx.probe_block()
+            assert ctx.iprobe() is not None
+            m = ctx.recv()
+            return ctx.now
+
+    res = Engine(2, cori_aries()).run(prog)
+    assert res.rank_results[1] >= 0.5
+
+
+def test_iprobe_returns_header():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.isend(1, (1, 2, 3), tag=9, nbytes=24)
+        else:
+            ctx.probe_block()
+            hdr = ctx.iprobe()
+            assert hdr == (0, 9, 24)
+            ctx.recv()
+
+    Engine(2, zero_latency()).run(prog)
+
+
+def test_pingpong_latency_math():
+    """One round trip >= 2 * (o_send + alpha + o_recv)."""
+    m = cori_aries()
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.isend(1, 0)
+            ctx.recv(source=1)
+            return ctx.now
+        else:
+            ctx.recv(source=0)
+            ctx.isend(0, 1)
+
+    res = Engine(2, m).run(prog)
+    t = res.rank_results[0]
+    assert t >= 2 * (m.o_send + m.alpha + m.o_recv)
+    assert t < 50e-6  # and not absurdly larger
+
+
+def test_counters_track_messages_and_bytes():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.isend(1, b"abcd", nbytes=4)
+            ctx.isend(1, b"efgh", nbytes=4)
+        else:
+            ctx.recv()
+            ctx.recv()
+
+    res = Engine(2, zero_latency()).run(prog)
+    c = res.counters
+    assert c.ranks[0].sends == 2
+    assert c.ranks[0].bytes_sent == 8
+    assert c.ranks[1].recvs == 2
+    assert c.ranks[1].bytes_received == 8
+    assert c.p2p.counts[0, 1] == 2
+    assert c.p2p.bytes[0, 1] == 8
+    assert c.p2p.counts[1, 0] == 0
+
+
+def test_queue_memory_is_released():
+    def prog(ctx):
+        if ctx.rank == 0:
+            for _ in range(50):
+                ctx.isend(1, 1, nbytes=8)
+        else:
+            ctx.barrier.__self__  # no-op touch
+            for _ in range(50):
+                ctx.recv()
+
+    res = Engine(2, zero_latency()).run(prog)
+    rc = res.counters.ranks[1]
+    assert rc.allocations.get("unexpected-queue", 0) == 0
+    assert rc.peak_bytes > 0
+
+
+def test_rendezvous_costs_more_than_eager():
+    m = cori_aries()
+
+    def mk(nbytes):
+        def prog(ctx):
+            if ctx.rank == 0:
+                ctx.isend(1, b"", nbytes=nbytes)
+                return ctx.now
+            ctx.recv()
+
+        return prog
+
+    small = Engine(2, m).run(mk(64)).rank_results[0]
+    big = Engine(2, m).run(mk(m.eager_threshold + 1)).rank_results[0]
+    assert big > small

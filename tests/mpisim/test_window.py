@@ -1,0 +1,212 @@
+"""RMA window semantics: puts, visibility, flush, accumulate, get."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import Engine, RankFailure, cori_aries, zero_latency
+
+
+def test_put_visible_after_flush_and_barrier():
+    def prog(ctx):
+        win = ctx.win_allocate(4)
+        if ctx.rank == 1:
+            win.put(0, np.array([7, 8]), 1)
+            win.flush_all()
+        ctx.barrier()
+        if ctx.rank == 0:
+            win.sync_local()
+            return win.local.tolist()
+
+    res = Engine(2, zero_latency()).run(prog)
+    assert res.rank_results[0] == [0, 7, 8, 0]
+
+
+def test_put_not_visible_before_arrival():
+    """Target syncing 'before' the put's network arrival sees nothing."""
+
+    def prog2(ctx):
+        win = ctx.win_allocate(2)
+        if ctx.rank == 1:
+            ctx.compute(seconds=1.0)
+            win.put(0, np.array([5]), 0)
+            win.flush_all()
+        out = None
+        if ctx.rank == 0:
+            win.sync_local()
+            early = win.local.tolist()
+            ctx.compute(seconds=5.0)
+            win.sync_local()
+            late = win.local.tolist()
+            out = (early, late)
+        ctx.barrier()
+        return out
+
+    res = Engine(2, cori_aries()).run(prog2)
+    assert res.rank_results[0] == ([0, 0], [5, 0])
+
+
+def test_put_ordering_last_writer_wins():
+    def prog(ctx):
+        win = ctx.win_allocate(1)
+        if ctx.rank == 1:
+            win.put(0, np.array([1]), 0)
+            ctx.compute(seconds=0.1)
+            win.put(0, np.array([2]), 0)
+            win.flush_all()
+        ctx.barrier()
+        if ctx.rank == 0:
+            win.sync_local()
+            return int(win.local[0])
+
+    res = Engine(2, cori_aries()).run(prog)
+    assert res.rank_results[0] == 2
+
+
+def test_accumulate_sums():
+    def prog(ctx):
+        win = ctx.win_allocate(1)
+        if ctx.rank != 0:
+            win.accumulate(0, np.array([ctx.rank]), 0)
+            win.flush_all()
+        ctx.barrier()
+        if ctx.rank == 0:
+            win.sync_local()
+            return int(win.local[0])
+
+    res = Engine(4, zero_latency()).run(prog)
+    assert res.rank_results[0] == 6
+
+
+def test_put_out_of_bounds():
+    def prog(ctx):
+        win = ctx.win_allocate(2)
+        if ctx.rank == 0:
+            win.put(1, np.array([1, 2, 3]), 0)
+        ctx.barrier()
+
+    with pytest.raises(RankFailure):
+        Engine(2, zero_latency()).run(prog)
+
+
+def test_asymmetric_window_sizes():
+    def prog(ctx):
+        win = ctx.win_allocate(8 if ctx.rank == 0 else 0)
+        if ctx.rank == 1:
+            win.put(0, np.arange(8), 0)
+            win.flush_all()
+        ctx.barrier()
+        if ctx.rank == 0:
+            win.sync_local()
+            return win.local.tolist()
+
+    res = Engine(2, zero_latency()).run(prog)
+    assert res.rank_results[0] == list(range(8))
+
+
+def test_get_reads_remote():
+    def prog2(ctx):
+        win = ctx.win_allocate(4, fill=0)
+        if ctx.rank == 0:
+            win.local[:] = [9, 8, 7, 6]
+        ctx.barrier()
+        out = None
+        if ctx.rank == 1:
+            out = win.get(0, 1, 2).tolist()
+        ctx.barrier()
+        return out
+
+    res = Engine(2, zero_latency()).run(prog2)
+    assert res.rank_results[1] == [8, 7]
+
+
+def test_flush_advances_clock_past_put_completion():
+    m = cori_aries()
+
+    def prog2(ctx):
+        win = ctx.win_allocate(1024)
+        out = None
+        if ctx.rank == 0:
+            t0 = ctx.now
+            win.put(1, np.zeros(1000, dtype=np.int64), 0)
+            win.flush_all()
+            out = ctx.now - t0
+        ctx.barrier()
+        return out
+
+    res = Engine(2, m).run(prog2)
+    dt = res.rank_results[0]
+    # flush must wait for wire serialization of 8000 bytes + latency
+    assert dt >= m.alpha + 8000 * m.beta
+
+
+def test_rma_counters_and_memory():
+    def prog(ctx):
+        win = ctx.win_allocate(4)
+        if ctx.rank == 0:
+            win.put(1, np.array([1]), 0)
+            win.flush_all()
+        ctx.barrier()
+        win.free()
+
+    res = Engine(2, zero_latency()).run(prog)
+    rc = res.counters.ranks[0]
+    assert rc.puts == 1
+    assert rc.flushes == 1
+    assert rc.bytes_put == 8
+    assert res.counters.rma.counts[0, 1] == 1
+    assert rc.allocations.get("rma-window", 0) == 0  # freed
+    assert rc.peak_bytes >= 32  # window existed
+
+
+def test_get_out_of_bounds():
+    def prog(ctx):
+        win = ctx.win_allocate(4)
+        ctx.barrier()
+        if ctx.rank == 1:
+            win.get(0, 2, 10)
+        ctx.barrier()
+
+    with pytest.raises(RankFailure):
+        Engine(2, zero_latency()).run(prog)
+
+
+def test_get_sees_arrived_pending_without_consuming():
+    """A get overlays pending transfers but must not apply them (the
+    target's own sync_local later applies them normally)."""
+
+    def prog(ctx):
+        win = ctx.win_allocate(2)
+        if ctx.rank == 1:
+            win.put(0, np.array([7]), 0)
+            win.flush_all()
+        ctx.barrier()
+        out = None
+        if ctx.rank == 1:
+            seen = win.get(0, 0, 1).tolist()
+            out = ("get", seen)
+        ctx.barrier()
+        if ctx.rank == 0:
+            applied = win.sync_local()
+            out = ("sync", applied, win.local.tolist())
+        return out
+
+    res = Engine(2, zero_latency()).run(prog)
+    assert res.rank_results[1] == ("get", [7])
+    assert res.rank_results[0] == ("sync", 1, [7, 0])
+
+
+def test_accumulate_then_get_combined():
+    def prog(ctx):
+        win = ctx.win_allocate(1, fill=10)
+        if ctx.rank == 1:
+            win.accumulate(0, np.array([5]), 0)
+            win.flush_all()
+        ctx.barrier()
+        out = None
+        if ctx.rank == 1:
+            out = int(win.get(0, 0, 1)[0])
+        ctx.barrier()
+        return out
+
+    res = Engine(2, zero_latency()).run(prog)
+    assert res.rank_results[1] == 15

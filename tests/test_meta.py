@@ -1,0 +1,95 @@
+"""Repository-level sanity: examples compile, public APIs import, docs exist."""
+
+import importlib
+import pathlib
+import py_compile
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.parametrize(
+    "example",
+    sorted(p.name for p in (ROOT / "examples").glob("*.py")),
+)
+def test_examples_compile(example):
+    py_compile.compile(str(ROOT / "examples" / example), doraise=True)
+
+
+def test_examples_have_main():
+    for p in (ROOT / "examples").glob("*.py"):
+        text = p.read_text()
+        assert 'if __name__ == "__main__":' in text, f"{p.name} not runnable"
+        assert '"""' in text.split("\n", 2)[0] + text, f"{p.name} lacks a docstring"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro",
+        "repro.util",
+        "repro.mpisim",
+        "repro.graph",
+        "repro.graph.generators",
+        "repro.matching",
+        "repro.bfs",
+        "repro.coloring",
+        "repro.cc",
+        "repro.harness",
+        "repro.harness.experiments",
+    ],
+)
+def test_public_packages_import_and_export(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} lacks a module docstring"
+    if hasattr(mod, "__all__"):
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name}"
+
+
+def test_required_documents_exist():
+    for doc in ("README.md", "DESIGN.md", "docs/paper_mapping.md"):
+        assert (ROOT / doc).exists(), f"missing {doc}"
+    readme = (ROOT / "README.md").read_text()
+    assert "IPDPS" in readme
+    design = (ROOT / "DESIGN.md").read_text()
+    assert "per-experiment index" in design.lower() or "Per-experiment index" in design
+
+
+def test_benchmarks_cover_every_paper_table_and_figure():
+    bench_files = {p.name for p in (ROOT / "benchmarks").glob("test_*.py")}
+    for needed in [
+        "test_fig01_rma_layout.py",
+        "test_fig02_comm_matrix.py",
+        "test_fig04a_rgg_weak.py",
+        "test_fig04b_rmat_weak.py",
+        "test_fig04c_sbm_weak.py",
+        "test_fig05_kmer_strong.py",
+        "test_fig06_social_strong.py",
+        "test_fig07_spy_rcm.py",
+        "test_fig08_reordering.py",
+        "test_fig09_volume_matrix.py",
+        "test_fig10_perfprofile.py",
+        "test_fig11_bytes_vs_bfs.py",
+        "test_table02_datasets.py",
+        "test_table03_sbm_topology.py",
+        "test_table04_social_topology.py",
+        "test_table05_reorder_ghosts.py",
+        "test_table06_reorder_topology.py",
+        "test_table07_best_speedup.py",
+        "test_table08_power_memory.py",
+        "test_ablations.py",
+    ]:
+        assert needed in bench_files, f"missing benchmark {needed}"
+
+
+def test_every_experiment_has_paper_claim_and_vice_versa():
+    from repro.harness.experiments.base import all_experiment_ids
+    from repro.harness.report import PAPER_CLAIMS
+
+    ids = set(all_experiment_ids())
+    missing = ids - set(PAPER_CLAIMS)
+    stale = set(PAPER_CLAIMS) - ids
+    assert not missing, f"experiments without claims: {missing}"
+    assert not stale, f"claims without experiments: {stale}"

@@ -1,0 +1,76 @@
+"""Unit tests for the stable hashing used in tie-breaking."""
+
+import numpy as np
+import pytest
+
+from repro.util.hashing import (
+    edge_hash,
+    edge_hash_array,
+    splitmix64,
+    splitmix64_array,
+    vertex_hash,
+)
+
+
+def test_splitmix64_deterministic():
+    assert splitmix64(42) == splitmix64(42)
+    assert splitmix64(42) != splitmix64(43)
+
+
+def test_splitmix64_range():
+    for x in [0, 1, 2**63, 2**64 - 1]:
+        h = splitmix64(x)
+        assert 0 <= h < 2**64
+
+
+def test_splitmix64_avalanche():
+    # Flipping one input bit should flip roughly half the output bits.
+    base = splitmix64(12345)
+    flipped = splitmix64(12345 ^ 1)
+    diff = bin(base ^ flipped).count("1")
+    assert 16 <= diff <= 48
+
+
+def test_vertex_hash_salt_changes_value():
+    assert vertex_hash(7) != vertex_hash(7, salt=1)
+    assert vertex_hash(7, salt=1) == vertex_hash(7, salt=1)
+
+
+def test_edge_hash_orientation_independent():
+    for u, v in [(0, 1), (5, 900), (123456, 7)]:
+        assert edge_hash(u, v) == edge_hash(v, u)
+
+
+def test_edge_hash_distinguishes_edges():
+    hashes = {edge_hash(u, v) for u in range(30) for v in range(u + 1, 30)}
+    assert len(hashes) == 30 * 29 // 2  # no collisions on a tiny universe
+
+
+def test_edge_hash_salt():
+    assert edge_hash(1, 2, salt=0) != edge_hash(1, 2, salt=99)
+
+
+def test_splitmix64_array_matches_scalar():
+    xs = np.array([0, 1, 17, 2**40, 2**63], dtype=np.uint64)
+    got = splitmix64_array(xs)
+    want = [splitmix64(int(x)) for x in xs]
+    assert got.tolist() == want
+
+
+def test_edge_hash_array_matches_scalar():
+    u = np.array([0, 5, 9, 100], dtype=np.int64)
+    v = np.array([1, 2, 9_000, 3], dtype=np.int64)
+    got = edge_hash_array(u, v, salt=3)
+    want = [edge_hash(int(a), int(b), salt=3) for a, b in zip(u, v)]
+    assert got.tolist() == want
+
+
+def test_edge_hash_array_symmetric():
+    u = np.array([3, 8, 1], dtype=np.int64)
+    v = np.array([7, 2, 9], dtype=np.int64)
+    assert edge_hash_array(u, v).tolist() == edge_hash_array(v, u).tolist()
+
+
+def test_edge_hash_array_empty():
+    out = edge_hash_array(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    assert len(out) == 0

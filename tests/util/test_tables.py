@@ -1,0 +1,55 @@
+"""Tests for text tables and number formatting."""
+
+import pytest
+
+from repro.util.tables import TextTable, format_seconds, format_si
+
+
+def test_format_si_suffixes():
+    assert format_si(1_840_000_000) == "1.84B"
+    assert format_si(23_700_000) == "23.7M"
+    assert format_si(2_140) == "2.14K"
+    assert format_si(37) == "37"
+
+
+def test_format_si_small_float():
+    assert format_si(0.5) == "0.5"
+
+
+def test_format_seconds_units():
+    assert format_seconds(3.2e-9).endswith("ns")
+    assert format_seconds(4.7e-6).endswith("us")
+    assert format_seconds(3.1e-3).endswith("ms")
+    assert format_seconds(12.0).endswith("s")
+    assert format_seconds(600.0).endswith("min")
+
+
+def test_table_render_alignment():
+    t = TextTable(["graph", "p"], title="demo")
+    t.add_row(["rgg", 16])
+    t.add_row(["a-much-longer-name", 4])
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "demo"
+    assert "graph" in lines[1]
+    # all data lines equal width
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) <= 2  # header/sep may differ by trailing spaces
+
+
+def test_table_rejects_bad_row():
+    t = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_table_csv():
+    t = TextTable(["a", "b"])
+    t.add_row([1, 2.5])
+    assert t.to_csv() == "a,b\n1,2.5\n"
+
+
+def test_table_float_formatting():
+    t = TextTable(["x"])
+    t.add_row([3.14159265])
+    assert "3.142" in t.render()
