@@ -87,15 +87,54 @@ def _cmd_bundle(args) -> int:
     return 0
 
 
+def _parse_crashes(specs: list[str]) -> dict[int, float]:
+    """Parse repeated ``--crash RANK:TIME`` options."""
+    crashes: dict[int, float] = {}
+    for s in specs:
+        try:
+            rank_s, time_s = s.split(":", 1)
+            crashes[int(rank_s)] = float(time_s)
+        except ValueError:
+            raise SystemExit(f"bad --crash spec {s!r}; expected RANK:TIME") from None
+    return crashes
+
+
 def _cmd_match(args) -> int:
     from repro.harness.spec import get_graph
     from repro.matching import run_matching
+    from repro.mpisim.faults import FaultPlan
     from repro.mpisim.machine import get_machine
     from repro.util.tables import format_seconds
 
+    faults = None
+    crashes = _parse_crashes(args.crash)
+    if args.drop_rate or args.dup_rate or args.delay_rate or crashes:
+        bad = [r for r in crashes if not 0 <= r < args.nprocs]
+        if bad:
+            raise SystemExit(f"--crash ranks {bad} outside 0..{args.nprocs - 1}")
+        try:
+            faults = FaultPlan(
+                seed=args.fault_seed,
+                drop_rate=args.drop_rate,
+                dup_rate=args.dup_rate,
+                delay_rate=args.delay_rate,
+                crashes=crashes,
+            )
+        except ValueError as e:
+            raise SystemExit(str(e)) from None
+        if faults.needs_reliability() and args.model != "nsr":
+            raise SystemExit(
+                "message faults (drop/dup/delay) require -m nsr — only the "
+                "Send-Recv backend carries the reliable-delivery shim"
+            )
+
     g = get_graph(args.dataset)
     res = run_matching(
-        g, nprocs=args.nprocs, model=args.model, machine=get_machine(args.machine)
+        g,
+        nprocs=args.nprocs,
+        model=args.model,
+        machine=get_machine(args.machine),
+        faults=faults,
     )
     print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
     print(f"model: {res.model} on {res.nprocs} simulated ranks")
@@ -103,6 +142,11 @@ def _cmd_match(args) -> int:
     print(f"matching: {res.num_matched_edges} edges, weight {res.weight:.6g}")
     print(f"messages: {res.total_messages()}  iterations: {res.iterations}")
     print(f"peak memory: {res.counters.avg_peak_memory() / 2**20:.2f} MB/rank avg")
+    if faults is not None:
+        if res.crashed_ranks:
+            print(f"crashed ranks: {','.join(map(str, res.crashed_ranks))}")
+        ft = {k: v for k, v in res.fault_totals().items() if v}
+        print(f"fault counters: {ft or 'none'}")
     return 0
 
 
@@ -144,6 +188,25 @@ def main(argv: list[str] | None = None) -> int:
         "-m", "--model", default="ncl", choices=["nsr", "rma", "ncl", "mbp", "incl"]
     )
     p_match.add_argument("--machine", default="cori-aries")
+    p_match.add_argument(
+        "--drop-rate", type=float, default=0.0, help="message drop probability"
+    )
+    p_match.add_argument(
+        "--dup-rate", type=float, default=0.0, help="message duplication probability"
+    )
+    p_match.add_argument(
+        "--delay-rate", type=float, default=0.0, help="message extra-delay probability"
+    )
+    p_match.add_argument(
+        "--fault-seed", type=int, default=0, help="seed for the fault plan"
+    )
+    p_match.add_argument(
+        "--crash",
+        action="append",
+        default=[],
+        metavar="RANK:TIME",
+        help="crash RANK at virtual TIME seconds (repeatable)",
+    )
     p_match.set_defaults(fn=_cmd_match)
 
     args = parser.parse_args(argv)

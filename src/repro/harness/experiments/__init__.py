@@ -6,6 +6,7 @@ Importing this package populates the experiment registry; use
 
 from repro.harness.experiments import (  # noqa: F401 - registration side effects
     ablations,
+    faults,
     fig01,
     fig02,
     fig04,

@@ -1,0 +1,130 @@
+"""Fault-injection study (extension; not a paper figure).
+
+The paper's Send-Recv model terminates on a purely local predicate
+(§V-D), which silently assumes a lossless fabric and immortal ranks.
+This experiment quantifies what fault tolerance costs inside the same
+simulated machine model:
+
+* **drop sweep** — NSR with the reliable-delivery shim under increasing
+  message-drop rates (duplicates and delays ride along). The matching is
+  provably unaffected (the shim restores exactly-once in-order delivery
+  and the deferred-proposal protocol is timing-independent), so weight
+  retention must be 1.0; the *price* shows up as retransmissions and a
+  longer virtual completion time.
+* **crash scenario** — one rank is killed at ~30% of the fault-free
+  makespan. Survivors renounce the dead rank's edges ULFM-style and
+  finish a valid matching on the surviving subgraph; retention is the
+  surviving weight over the fault-free weight.
+
+See docs/fault_model.md for the fault taxonomy and protocol details.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.generators import rmat_graph
+from repro.harness.experiments.base import ExperimentOutput, experiment
+from repro.harness.spec import DEFAULT_SEED
+from repro.matching.api import run_matching
+from repro.matching.verify import check_matching_valid
+from repro.mpisim.faults import FaultPlan
+from repro.mpisim.machine import cori_aries
+from repro.util.tables import TextTable
+
+
+@experiment("faults")
+def run_faults(fast: bool = True) -> ExperimentOutput:
+    scale = 9 if fast else 12
+    p = 8 if fast else 32
+    g = rmat_graph(scale, seed=DEFAULT_SEED)
+    machine = cori_aries()
+
+    base = run_matching(g, p, "nsr", machine=machine)
+    check_matching_valid(g, base.mate)
+
+    drop_rates = [0.0, 0.02, 0.05, 0.10, 0.20]
+    t = TextTable(
+        ["drop rate", "time (ms)", "slowdown", "retransmits", "dup-suppressed",
+         "weight retention"],
+        title=f"NSR under message faults (R-MAT scale {scale}, p={p})",
+    )
+    sweep = {}
+    identical = True
+    for dr in drop_rates:
+        plan = FaultPlan(
+            seed=DEFAULT_SEED, drop_rate=dr, dup_rate=dr / 2, delay_rate=dr
+        )
+        r = run_matching(g, p, "nsr", machine=machine, faults=plan)
+        check_matching_valid(g, r.mate)
+        identical &= bool(np.array_equal(r.mate, base.mate))
+        ft = r.fault_totals()
+        retention = r.weight / base.weight
+        sweep[dr] = {
+            "makespan": r.makespan,
+            "retransmits": ft["retransmits"],
+            "dup_suppressed": ft["dup_suppressed"],
+            "retention": retention,
+        }
+        t.add_row(
+            [
+                f"{dr:.0%}",
+                f"{r.makespan * 1e3:.3f}",
+                f"{r.makespan / base.makespan:.2f}x",
+                str(ft["retransmits"]),
+                str(ft["dup_suppressed"]),
+                f"{retention:.4f}",
+            ]
+        )
+
+    # Crash scenario: kill one interior rank partway through the run.
+    victim = p // 2
+    crash_plan = FaultPlan(
+        seed=DEFAULT_SEED,
+        crashes={victim: base.makespan * 0.3},
+        detect_latency=base.makespan * 0.02,
+    )
+    rc = run_matching(g, p, "nsr", machine=machine, faults=crash_plan)
+    check_matching_valid(g, rc.mate)
+    crash_retention = rc.weight / base.weight
+    widowed = sum(rr["stats"].widowed for rr in rc.rank_results)
+    renounced = sum(rr["stats"].renounced_pairs for rr in rc.rank_results)
+    tc = TextTable(
+        ["scenario", "survivors", "time (ms)", "weight retention", "widowed",
+         "renounced pairs"],
+        title="Rank-crash graceful degradation",
+    )
+    tc.add_row(
+        [
+            f"rank {victim} dies @30%",
+            f"{p - len(rc.crashed_ranks)}/{p}",
+            f"{rc.makespan * 1e3:.3f}",
+            f"{crash_retention:.4f}",
+            str(widowed),
+            str(renounced),
+        ]
+    )
+
+    return ExperimentOutput(
+        exp_id="faults",
+        title="Fault injection: reliability cost and graceful degradation",
+        text=t.render() + "\n" + tc.render(),
+        data={
+            "drop_sweep": sweep,
+            "crash": {
+                "victim": victim,
+                "makespan": rc.makespan,
+                "retention": crash_retention,
+                "widowed": widowed,
+                "renounced_pairs": renounced,
+            },
+        },
+        findings=[
+            f"matching identical to fault-free at every drop rate -> {identical} "
+            "(reliable delivery + timing-independent protocol)",
+            f"20% drops cost {sweep[0.20]['makespan'] / base.makespan:.2f}x virtual "
+            f"time and {sweep[0.20]['retransmits']} retransmissions",
+            f"after losing rank {victim}, survivors finish a valid matching with "
+            f"{crash_retention:.1%} of the fault-free weight",
+        ],
+    )

@@ -59,6 +59,11 @@ PAPER_CLAIMS: dict[str, str] = {
     "ablate-eager-threshold": "(ours, DESIGN §5.2) the eager/rendezvous "
                               "cutoff matters for bulk traffic (BFS), not "
                               "for matching's 24-byte messages.",
+    "faults": "(extension) §V-D's local termination assumes a lossless "
+              "fabric and immortal ranks; with an ack/retry shim the "
+              "Send-Recv matching survives message faults bit-identically, "
+              "and survivors of a rank crash still produce a valid "
+              "matching (ULFM-style renounce).",
     "ext-coloring": "(extension) paper §IV-D: the substrate applies to "
                     "any owner-computes graph algorithm — demonstrated on "
                     "speculative coloring (ref [5]'s other kernel) and on "

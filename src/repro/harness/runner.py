@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from repro.graph.csr import CSRGraph
 from repro.matching.api import MatchingRunResult, run_matching
 from repro.matching.driver import MatchingOptions
+from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel, cori_aries
 from repro.mpisim.power import EnergyReport, PowerModel, energy_report
 
@@ -44,12 +45,19 @@ def run_one(
     machine: MachineModel | None = None,
     power: PowerModel | None = None,
     options: MatchingOptions | None = None,
+    faults: FaultPlan | None = None,
     keep_result: bool = False,
 ) -> RunRecord:
     """Execute one matching run and package its measurements."""
     machine = machine or cori_aries()
     res = run_matching(
-        g, nprocs, model=model, machine=machine, options=options, compute_weight=True
+        g,
+        nprocs,
+        model=model,
+        machine=machine,
+        options=options,
+        faults=faults,
+        compute_weight=True,
     )
     c = res.counters
     erep = energy_report(model.upper(), res.makespan, c, power)

@@ -9,7 +9,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.matching.driver import MatchingOptions, matching_rank_main
 from repro.matching.serial import matching_weight
 from repro.mpisim.counters import RunCounters
 from repro.mpisim.engine import Engine, EngineResult
+from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel, cori_aries
 
 
@@ -28,13 +29,16 @@ class MatchingRunResult:
 
     model: str
     nprocs: int
-    mate: np.ndarray  #: global mate array
+    mate: np.ndarray  #: global mate array (survivor-projected on crashes)
     weight: float  #: total matched weight
     makespan: float  #: simulated runtime (seconds)
-    iterations: int  #: max backend iterations over ranks
+    iterations: int  #: max backend iterations over surviving ranks
     counters: RunCounters  #: per-rank op counters + comm matrices
     engine: EngineResult
-    rank_results: list[dict]
+    rank_results: list[dict]  #: surviving ranks only (crashed yield none)
+    crashed_ranks: tuple[int, ...] = ()
+    dead_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: [lo, hi) vertex ranges owned by crashed ranks
 
     @property
     def num_matched_edges(self) -> int:
@@ -48,6 +52,10 @@ class MatchingRunResult:
             + c.ncl.total_messages()
         )
 
+    def fault_totals(self) -> dict[str, int]:
+        """Run-wide fault/reliability counter sums (all zero when clean)."""
+        return self.counters.fault_totals()
+
 
 def run_matching(
     g: CSRGraph,
@@ -58,6 +66,8 @@ def run_matching(
     *,
     dist=None,
     max_ops: int | None = None,
+    faults: FaultPlan | None = None,
+    trace: bool = False,
     compute_weight: bool = True,
 ) -> MatchingRunResult:
     """Partition ``g`` over ``nprocs`` simulated ranks and match it.
@@ -65,17 +75,34 @@ def run_matching(
     ``model`` is one of ``nsr`` / ``rma`` / ``ncl`` / ``mbp`` / ``incl``.
     ``dist`` optionally overrides the 1D block distribution (e.g.
     :func:`repro.graph.distribution.edge_balanced_distribution`).
+    ``faults`` injects a deterministic fault plan (message faults require
+    ``model="nsr"``, whose reliable-delivery shim masks them — see
+    docs/fault_model.md). When ranks crash, the returned mate array is
+    projected onto the surviving subgraph.
     """
     machine = machine or cori_aries()
+    options = options or MatchingOptions()
     parts = partition_graph(g, nprocs, dist=dist)
-    engine = Engine(nprocs, machine, max_ops=max_ops)
+    engine = Engine(
+        nprocs,
+        machine,
+        max_ops=max_ops if max_ops is not None else options.max_ops,
+        max_vtime=options.max_vtime,
+        trace=trace,
+        faults=faults,
+    )
     result = engine.run(matching_rank_main, args=(parts, model, options))
 
-    from repro.matching.verify import assemble_global_mate
+    from repro.matching.verify import assemble_global_mate, restrict_mate_to_survivors
 
-    mate = assemble_global_mate(result.rank_results, g.num_vertices)
+    crashed = tuple(result.crashed_ranks)
+    survivors = [rr for rr in result.rank_results if rr is not None]
+    mate = assemble_global_mate(survivors, g.num_vertices)
+    dead_ranges = [(parts[r].lo, parts[r].hi) for r in crashed]
+    if dead_ranges:
+        mate = restrict_mate_to_survivors(mate, dead_ranges)
     weight = matching_weight(g, mate) if compute_weight else float("nan")
-    iterations = max(rr["iterations"] for rr in result.rank_results)
+    iterations = max((rr["iterations"] for rr in survivors), default=0)
     return MatchingRunResult(
         model=model,
         nprocs=nprocs,
@@ -85,5 +112,7 @@ def run_matching(
         iterations=iterations,
         counters=result.counters,
         engine=result,
-        rank_results=result.rank_results,
+        rank_results=survivors,
+        crashed_ranks=crashed,
+        dead_ranges=dead_ranges,
     )

@@ -43,13 +43,31 @@ class MatchingOptions:
     charge_graph_memory: bool = True  #: register CSR bytes with the
     #: memory model (identical across models; off to isolate buffers)
 
+    # -- fault tolerance (docs/fault_model.md) ------------------------
+    reliable: bool | None = None  #: force the ack/retry delivery shim on
+    #: (True) or off (False); None = auto, on exactly when the engine's
+    #: fault plan injects message faults. NSR only.
+    rto: float | None = None  #: initial retransmission timeout (s,
+    #: virtual); None derives ~4x RTT from the machine model
+    rto_max: float | None = None  #: backoff cap (s); None = 64x rto
+    max_retries: int = 25  #: retransmissions per message before giving up
 
-def make_backend(name: str, ctx: RankContext, lg: LocalGraph):
+    # -- simulation budgets (guard runaway runs; SimLimitExceeded) ----
+    max_ops: int | None = None  #: engine operation budget
+    max_vtime: float | None = None  #: virtual-time budget (s)
+
+
+def make_backend(
+    name: str,
+    ctx: RankContext,
+    lg: LocalGraph,
+    options: "MatchingOptions | None" = None,
+):
     try:
         cls = BACKENDS[name]
     except KeyError:
         raise KeyError(f"unknown matching backend {name!r}; have {sorted(BACKENDS)}") from None
-    return cls(ctx, lg)
+    return cls(ctx, lg, options)
 
 
 def matching_rank_main(
@@ -69,7 +87,7 @@ def matching_rank_main(
     if options.charge_graph_memory:
         ctx.alloc(lg.memory_bytes(), "graph-csr")
 
-    backend = make_backend(model, ctx, lg)
+    backend = make_backend(model, ctx, lg, options)
     state = MatchingState(
         lg,
         push=backend.push,

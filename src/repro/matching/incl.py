@@ -31,7 +31,8 @@ class INCLBackend:
 
     name = "incl"
 
-    def __init__(self, ctx: RankContext, lg: LocalGraph):
+    def __init__(self, ctx: RankContext, lg: LocalGraph, options=None):
+        self.options = options
         self.ctx = ctx
         self.lg = lg
         self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)

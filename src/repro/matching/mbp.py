@@ -34,7 +34,8 @@ class MBPBackend:
     name = "mbp"
     handle_scale = 20.0  #: even heavier per-message path than tuned NSR
 
-    def __init__(self, ctx: RankContext, lg: LocalGraph):
+    def __init__(self, ctx: RankContext, lg: LocalGraph, options=None):
+        self.options = options
         self.ctx = ctx
         self.lg = lg
         # O(p) bookkeeping arrays plus eager pools for every rank (the

@@ -8,12 +8,24 @@ Termination is purely local (paper §V-D): a rank leaves the loop when its
 ``nghosts`` and ``awaiting`` counters reach zero; any still-in-flight
 messages addressed to it are then algorithmically irrelevant (their
 senders were already informed by this rank's final REJECT/INVALID).
+
+Fault tolerance (extension; see docs/fault_model.md): when the engine
+carries a :class:`~repro.mpisim.faults.FaultPlan`, this backend switches
+to a hardened event loop. Message faults (drop/dup/delay) are masked by
+the :class:`~repro.matching.reliable.ReliableChannel` ack/retry shim, so
+the state machine still sees exactly-once in-order delivery and computes
+the same matching as the fault-free run. Rank crashes are handled
+ULFM-style: on detection the survivors renounce all cross edges into the
+dead rank (``MatchingState.renounce_rank``) and finish the matching on
+the surviving subgraph. The fault-free path is byte-identical to the
+original backend.
 """
 
 from __future__ import annotations
 
 from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
+from repro.matching.reliable import ReliableChannel
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
 
@@ -24,9 +36,10 @@ class NSRBackend:
     name = "nsr"
     handle_scale = 14.0  #: per-message (unbatched) application dispatch cost
 
-    def __init__(self, ctx: RankContext, lg: LocalGraph):
+    def __init__(self, ctx: RankContext, lg: LocalGraph, options=None):
         self.ctx = ctx
         self.lg = lg
+        self.options = options
         # Per-peer request tables plus the eager-protocol buffer pool the
         # MPI layer pins for every point-to-point peer — memory model only.
         deg = max(1, len(lg.neighbor_ranks))
@@ -35,9 +48,36 @@ class NSRBackend:
         )
         self.ctx.alloc(self._fixed_bytes, "p2p-tables")
 
+        plan = ctx.fault_plan
+        want_reliable = getattr(options, "reliable", None)
+        if want_reliable is None:
+            want_reliable = plan is not None and plan.needs_reliability()
+        self.fault_aware = plan is not None and plan.has_crashes()
+        self.channel: ReliableChannel | None = None
+        if want_reliable:
+            self.channel = ReliableChannel(
+                ctx,
+                rto=getattr(options, "rto", None),
+                rto_max=getattr(options, "rto_max", None),
+                max_retries=getattr(options, "max_retries", 25),
+            )
+            # Linger after quiescence: long enough that a peer's final
+            # retransmission (worst-case backoff) plus its injected delay
+            # still finds us alive to ack it.
+            delay_max = plan.delay_max if plan is not None else 0.0
+            self._linger = 3.0 * self.channel.rto_max + delay_max
+
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
         """Immediate nonblocking send; the context is the MPI tag."""
+        if self.channel is not None:
+            self.channel.send(target_rank, int(ctx_id), (x, y), TRIPLE_BYTES)
+            return
+        if self.fault_aware and self.ctx.is_failed(target_rank):
+            # Detected-dead peer we have not renounced yet (detection can
+            # land mid-iteration); the message would be blackholed anyway
+            # and renounce_rank repairs the bookkeeping at the loop top.
+            return
         self.ctx.isend(target_rank, (x, y), tag=int(ctx_id), nbytes=TRIPLE_BYTES)
 
     def _drain_incoming(self, state: MatchingState) -> int:
@@ -56,6 +96,11 @@ class NSRBackend:
 
     # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
+        if self.channel is not None or self.fault_aware:
+            return self._run_hardened(state)
+        return self._run_plain(state)
+
+    def _run_plain(self, state: MatchingState) -> dict:
         """Algorithm 3's main loop, event-driven."""
         state.start()
         iterations = 0
@@ -72,6 +117,63 @@ class NSRBackend:
                 # wire. Real codes spin on Iprobe; we model the blocking
                 # probe (fast-forwarding the clock) and account the wait.
                 self.ctx.probe_block()
+        return {"iterations": iterations}
+
+    def _run_hardened(self, state: MatchingState) -> dict:
+        """Event loop with reliable delivery and/or crash handling."""
+        ctx = self.ctx
+        chan = self.channel
+        rc = ctx.counters()
+        state.start()
+        iterations = 0
+        quiet_until: float | None = None
+
+        def deliver(src: int, user_tag: int, payload) -> None:
+            x, y = payload
+            state.handle(Ctx(user_tag), x, y)
+
+        while True:
+            iterations += 1
+            if self.fault_aware:
+                for r in ctx.failed_ranks():
+                    if r not in state.dead_ranks:
+                        state.renounce_rank(r)
+                        if chan is not None:
+                            chan.on_rank_failed(r)
+            progressed = False
+            if chan is not None:
+                acks_before = rc.acks_sent
+                if chan.poll(deliver) > 0:
+                    progressed = True
+                if rc.acks_sent > acks_before:
+                    # Any receipt (dups included) restarts the linger
+                    # clock: the sender clearly had not seen our ack yet.
+                    quiet_until = None
+                chan.service(ctx.now, may_abandon=state.locally_done())
+            else:
+                if self._drain_incoming(state) > 0:
+                    progressed = True
+            if state.work:
+                state.drain_work()
+                progressed = True
+
+            if state.locally_done() and (chan is None or chan.idle()):
+                if chan is None:
+                    break
+                # Quiescent, all sends acked. Linger for a quiet period,
+                # still acking retransmissions, so peers can retire their
+                # pending tables before we disappear.
+                if quiet_until is None:
+                    quiet_until = ctx.now + self._linger
+                if ctx.now >= quiet_until:
+                    break
+                ctx.probe_block(deadline=quiet_until)
+                continue
+            quiet_until = None
+
+            if not progressed:
+                deadline = chan.next_deadline() if chan is not None else None
+                ctx.probe_block(deadline=deadline)
         return {"iterations": iterations}
 
     def finalize(self, state: MatchingState) -> None:

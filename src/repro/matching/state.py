@@ -67,6 +67,8 @@ class MatchStats:
     matched_remote: int = 0  #: matches across a partition boundary
     findmate_calls: int = 0
     work_units: float = 0.0
+    widowed: int = 0  #: remote matches annulled because the mate's rank crashed
+    renounced_pairs: int = 0  #: cross pairs abandoned due to rank crashes
 
 
 class MatchingState:
@@ -133,6 +135,7 @@ class MatchingState:
                     self.active_pairs.add((i, y))
         self.nghosts = len(self.active_pairs)
         self.awaiting = 0
+        self.dead_ranks: set[int] = set()  # crashed peers we have renounced
         self.work: deque[int] = deque()  # local indices awaiting PROCESSNEIGHBORS
         # Ghost neighbors per owned vertex, for broadcast-style walks.
         self.ghosts_of: list[list[int]] = [[] for _ in range(n_local)]
@@ -287,6 +290,12 @@ class MatchingState:
         lg = self.lg
         if not lg.owns(x):
             raise ValueError(f"rank {lg.rank} received message for foreign vertex {x}")
+        if self.dead_ranks and lg.dist.owner(y) in self.dead_ranks:
+            # Late message from a peer we have since renounced: its pairs
+            # are already deactivated/evicted, so every branch below would
+            # be a no-op — except REQUEST, which would park a proposal
+            # from a ghost that can never confirm. Drop it outright.
+            return
         i = self._li(x)
 
         if ctx_id == Ctx.REQUEST:
@@ -338,6 +347,63 @@ class MatchingState:
             self.find_mate(x)
         elif self._deactivate(i, y):
             self.evicted[i].add(y)
+
+    # ------------------------------------------------------------------
+    # fault tolerance (ULFM-style graceful degradation)
+    # ------------------------------------------------------------------
+    def renounce_rank(self, dead: int) -> int:
+        """Abandon every cross interaction with crashed rank ``dead``.
+
+        Mirrors what a ULFM ``MPI_Comm_shrink`` recovery path would do:
+        the survivors give up all edges into the failed rank and continue
+        matching on the surviving subgraph. Concretely:
+
+        * every still-active cross pair into ``dead`` is deactivated and
+          evicted (no proposal will ever be sent or answered);
+        * parked proposals from dead-owned ghosts are dropped;
+        * an outstanding REQUEST into ``dead`` is resolved as if a REJECT
+          had arrived (the vertex retargets via FINDMATE);
+        * a remote match whose mate lives on ``dead`` is annulled — the
+          vertex stays out of the protocol ("widowed": its neighborhood
+          was already processed and REJECTs broadcast).
+
+        Idempotent per rank; returns the number of affected pairs/vertices.
+        """
+        lg = self.lg
+        if dead in self.dead_ranks:
+            return 0
+        self.dead_ranks.add(dead)
+        owner = lg.dist.owner
+
+        doomed = [(i, y) for (i, y) in self.active_pairs if owner(y) == dead]
+        for i, y in doomed:
+            self._deactivate(i, y)
+            self.evicted[i].add(y)
+        self.stats.renounced_pairs += len(doomed)
+
+        retarget: list[int] = []
+        for i in range(lg.num_owned):
+            if self.pending[i]:
+                stale = {y for y in self.pending[i] if owner(y) == dead}
+                self.pending[i] -= stale
+            st = int(self.status[i])
+            if st == FREE:
+                p = int(self.pointer[i])
+                if p != NO_MATE and not lg.owns(p) and owner(p) == dead:
+                    # Outstanding REQUEST into the void: resolve it the
+                    # way a REJECT would have (p is already evicted —
+                    # proposing deactivates and evicts the pair).
+                    self.awaiting -= 1
+                    self.pointer[i] = NO_MATE
+                    retarget.append(lg.lo + i)
+            elif st == MATCHED:
+                m = int(self.mate[i])
+                if m != NO_MATE and not lg.owns(m) and owner(m) == dead:
+                    self.mate[i] = NO_MATE
+                    self.stats.widowed += 1
+        for v in retarget:
+            self.find_mate(v)
+        return len(doomed) + len(retarget)
 
     # ------------------------------------------------------------------
     # phases / termination

@@ -70,6 +70,30 @@ def assemble_global_mate(rank_results: list[dict], num_vertices: int) -> np.ndar
     return mate
 
 
+def restrict_mate_to_survivors(
+    mate: np.ndarray, dead_ranges: list[tuple[int, int]]
+) -> np.ndarray:
+    """Project a matching onto the subgraph that survived rank crashes.
+
+    ``dead_ranges`` lists the ``[lo, hi)`` vertex ranges owned by crashed
+    ranks (whose mate slices are unknown — the ranks died). The result
+    unmatches every dead-owned vertex and every survivor whose recorded
+    mate lives on a crashed rank, so :func:`check_matching_valid` applies
+    on the surviving subgraph (maximality is *not* expected: edges into
+    the dead region are unmatchable by construction).
+    """
+    out = mate.copy()
+    if not dead_ranges:
+        return out
+    dead = np.zeros(len(mate), dtype=bool)
+    for lo, hi in dead_ranges:
+        dead[lo:hi] = True
+    out[dead] = NO_MATE
+    widowed = (out != NO_MATE) & dead[np.clip(out, 0, len(mate) - 1)]
+    out[widowed] = NO_MATE
+    return out
+
+
 def check_cross_rank_consistency(mate: np.ndarray) -> None:
     """Both owners of a cross match must agree (mate[mate[v]] == v)."""
     for v in range(len(mate)):

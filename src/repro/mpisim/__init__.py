@@ -30,10 +30,13 @@ from repro.mpisim.engine import Engine, EngineResult
 from repro.mpisim.errors import (
     CommMismatchError,
     DeadlockError,
+    RankCrashed,
     RankFailure,
+    RetryExhausted,
     SimError,
     SimLimitExceeded,
 )
+from repro.mpisim.faults import FaultPlan, MessageFate, NicDegradation
 from repro.mpisim.machine import (
     MachineModel,
     commodity_cluster,
@@ -51,6 +54,8 @@ from repro.mpisim.topology import (
 from repro.mpisim.tracing import (
     TraceEvent,
     events_for_rank,
+    fault_events,
+    fault_summary,
     summarize_ops,
     time_ordered,
     trace_to_csv,
@@ -88,6 +93,13 @@ __all__ = [
     "SimError",
     "DeadlockError",
     "RankFailure",
+    "RankCrashed",
+    "RetryExhausted",
     "SimLimitExceeded",
     "CommMismatchError",
+    "FaultPlan",
+    "MessageFate",
+    "NicDegradation",
+    "fault_events",
+    "fault_summary",
 ]

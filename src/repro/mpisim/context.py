@@ -14,6 +14,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.mpisim.collectives import get_or_create_full
+from repro.mpisim.errors import RankCrashed
 from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
 from repro.mpisim.topology import DistGraphTopology, payload_nbytes
 from repro.mpisim.window import Window, _WindowStore
@@ -50,6 +51,10 @@ class RankContext:
         dt = self.machine.compute_time(units) if seconds is None else seconds
         if dt > 0.0:
             self._engine.charge_compute(self.rank, dt)
+            if self._engine.faults is not None:
+                # A compute burst can carry the clock past this rank's
+                # scheduled crash; don't let it outrun death.
+                self._engine._check_self_crash(self.rank)
 
     def alloc(self, nbytes: int, label: str = "misc") -> None:
         """Register a memory allocation for the memory-usage model."""
@@ -57,6 +62,36 @@ class RankContext:
 
     def free(self, nbytes: int, label: str = "misc") -> None:
         self._engine.rank_counters(self.rank).free(nbytes, label)
+
+    def counters(self):
+        """This rank's :class:`~repro.mpisim.counters.RankCounters`."""
+        return self._engine.rank_counters(self.rank)
+
+    # ------------------------------------------------------------------
+    # fault model / failure notification (ULFM-flavoured)
+    # ------------------------------------------------------------------
+    @property
+    def fault_plan(self):
+        """The run's :class:`~repro.mpisim.faults.FaultPlan`, or None."""
+        return self._engine.faults
+
+    def failed_ranks(self) -> frozenset[int]:
+        """Peers whose crash has been detected by this rank's local time.
+
+        The simulated analogue of ULFM's ``MPIX_Comm_failure_ack`` +
+        ``get_acked``: deterministic (crash time + detection latency) and
+        monotone in local time. Also consumes pending failure wake-ups,
+        so a blocked rank is woken exactly once per new failure.
+        """
+        return self._engine.consume_failure_notifications(self.rank)
+
+    def is_failed(self, rank: int) -> bool:
+        """Has ``rank``'s failure been detected by now? (No side effects.)"""
+        plan = self._engine.faults
+        if plan is None:
+            return False
+        tc = plan.crash_time(rank)
+        return tc is not None and self.now >= tc + plan.detect_latency
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -73,6 +108,10 @@ class RankContext:
         if nbytes is None:
             nbytes = payload_nbytes(payload)
         eng = self._engine
+        if eng.faults is not None and self.is_failed(dest):
+            # ULFM semantics: the library refuses communication with a
+            # peer it already knows to be dead (MPI_ERR_PROC_FAILED).
+            raise RankCrashed(dest)
         eng.yield_ready(self.rank)
         eng.charge_comm(self.rank, self.machine.send_origin_cost(nbytes))
         arrival = eng.post_message(
@@ -103,17 +142,36 @@ class RankContext:
         return (m.src, m.tag, m.nbytes)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
-        """Blocking receive of the earliest matching message."""
+        """Blocking receive of the earliest matching message.
+
+        Under a fault plan with rank crashes, a *directed* receive raises
+        :class:`~repro.mpisim.errors.RankCrashed` once the source's
+        failure notification arrives with no matching message available
+        (ULFM: a receive from a failed process must not hang forever).
+        """
         eng = self._engine
         q = eng.queue_of(self.rank)
 
         def potential() -> float | None:
             m = q.earliest_match(source, tag)
-            return None if m is None else m.arrival
+            t = None if m is None else m.arrival
+            tf = eng.failure_wake_potential(self.rank)
+            if tf is None:
+                return t
+            return tf if t is None else min(t, tf)
 
-        eng.block_on(self.rank, potential, f"recv(src={source},tag={tag})")
-        idx = q.match_index(source, tag, before=eng.clock_of(self.rank))
-        assert idx is not None, "recv resumed without a matching message"
+        while True:
+            eng.block_on(self.rank, potential, f"recv(src={source},tag={tag})")
+            idx = q.match_index(source, tag, before=eng.clock_of(self.rank))
+            if idx is not None:
+                break
+            if eng.faults is None:
+                raise AssertionError("recv resumed without a matching message")
+            # Woken by a failure notification, not a message.
+            failed = self.failed_ranks()
+            if source != ANY_SOURCE and source in failed:
+                raise RankCrashed(source)
+            # Unrelated failure (or wildcard receive): keep waiting.
         msg = q.pop(idx)
         eng.charge_comm(self.rank, self.machine.o_recv)
         rc = eng.rank_counters(self.rank)
@@ -126,21 +184,45 @@ class RankContext:
         eng.trace_event(self.rank, "recv", src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
         return msg
 
-    def probe_block(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+    def probe_block(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        deadline: float | None = None,
+    ) -> None:
         """Block until a matching message is available (MPI_Probe).
 
         Rank programs use this instead of spinning on :meth:`iprobe` when
         they have no local work left; it fast-forwards the local clock to
         the next arrival instead of simulating a busy-wait.
+
+        ``deadline`` turns it into a timed probe: the wait also ends at
+        that virtual time with no message (the hook reliable-delivery
+        retry loops use for ack timeouts). Under a fault plan with rank
+        crashes, the wait additionally ends at the first not-yet-seen
+        failure notification, so a rank waiting on a dead peer wakes up
+        and can inspect :meth:`failed_ranks`.
         """
         eng = self._engine
         q = eng.queue_of(self.rank)
 
         def potential() -> float | None:
             m = q.earliest_match(source, tag)
-            return None if m is None else m.arrival
+            cands = [] if m is None else [m.arrival]
+            if deadline is not None:
+                cands.append(deadline)
+            tf = eng.failure_wake_potential(self.rank)
+            if tf is not None:
+                cands.append(tf)
+            return min(cands) if cands else None
 
         eng.block_on(self.rank, potential, f"probe_block(src={source},tag={tag})")
+        if eng.faults is not None and eng.faults.has_crashes():
+            # Consume any notification we were woken for: wake-once
+            # semantics (failed_ranks recomputes from the plan, so the
+            # application still observes every failure).
+            eng.consume_failure_notifications(self.rank)
 
     def pending_message_count(self) -> int:
         """Messages queued for this rank (arrived or still in flight)."""

@@ -49,6 +49,16 @@ class RankCounters:
     pending_inflight: int = 0
     peak_inflight: int = 0
 
+    # fault injection / recovery (all zero in a fault-free run)
+    msgs_dropped: int = 0  #: messages this rank sent that the network lost
+    msgs_duplicated: int = 0  #: messages delivered twice
+    msgs_delayed: int = 0  #: message copies that picked up extra delay
+    crash_blackholed: int = 0  #: sends addressed to an already-dead rank
+    retransmits: int = 0  #: reliable-channel resends after an ack timeout
+    dup_suppressed: int = 0  #: duplicate deliveries discarded by dedup
+    acks_sent: int = 0  #: reliable-channel acknowledgment messages
+    abandoned: int = 0  #: unacked messages given up after max retries
+
     def alloc(self, nbytes: int, label: str = "misc") -> None:
         nbytes = int(nbytes)
         self.allocations[label] = self.allocations.get(label, 0) + nbytes
@@ -138,6 +148,22 @@ class RunCounters:
     # convenience aggregates -------------------------------------------------
     def total(self, attr: str) -> float:
         return sum(getattr(rc, attr) for rc in self.ranks)
+
+    def fault_totals(self) -> dict[str, int]:
+        """Run-wide fault/recovery event counts (all zero when fault-free)."""
+        return {
+            attr: int(self.total(attr))
+            for attr in (
+                "msgs_dropped",
+                "msgs_duplicated",
+                "msgs_delayed",
+                "crash_blackholed",
+                "retransmits",
+                "dup_suppressed",
+                "acks_sent",
+                "abandoned",
+            )
+        }
 
     def max_peak_memory(self) -> int:
         return max((rc.peak_bytes for rc in self.ranks), default=0)

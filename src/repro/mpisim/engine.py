@@ -33,6 +33,7 @@ from repro.mpisim.errors import (
     SimAbort,
     SimLimitExceeded,
 )
+from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel
 from repro.mpisim.message import Message, ReceiveQueue
 
@@ -43,6 +44,7 @@ _RUNNING = "running"  # holds the execution token
 _BLOCKED = "blocked"  # waiting on a predicate (message / collective)
 _DONE = "done"
 _FAILED = "failed"
+_CRASHED = "crashed"  # killed by the fault plan at its scheduled time
 
 _INF = float("inf")
 
@@ -65,6 +67,8 @@ class _RankState:
     result: Any = None
     error: BaseException | None = None
     describe: str = ""  # last operation, for deadlock dumps
+    # crash notifications already consumed by this rank's wake logic
+    failures_seen: set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -78,6 +82,7 @@ class EngineResult:
     machine: MachineModel
     scheduler_switches: int
     total_ops: int
+    crashed_ranks: tuple[int, ...] = ()  #: ranks killed by the fault plan
 
     def max_clock(self) -> float:
         return self.makespan
@@ -107,15 +112,24 @@ class Engine:
         max_ops: int | None = None,
         max_vtime: float | None = None,
         trace: bool = False,
+        faults: FaultPlan | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if machine.alpha <= 0.0:
             raise ValueError("machine.alpha must be strictly positive (DES safety)")
+        if faults is not None:
+            if faults.is_null():
+                faults = None  # a null plan is behaviourally absent
+            else:
+                bad = [r for r in faults.crashes if not 0 <= r < nprocs]
+                if bad:
+                    raise ValueError(f"fault plan crashes unknown ranks {bad}")
         self.nprocs = nprocs
         self.machine = machine
         self.max_ops = max_ops
         self.max_vtime = max_vtime
+        self.faults = faults
 
         self.counters = RunCounters(nprocs)
         self.trace: list | None = [] if trace else None
@@ -128,6 +142,8 @@ class Engine:
         # one must not arrive earlier.
         self._pair_arrival: dict[tuple[int, int], float] = {}
         self._op_count = 0
+        self._post_count = 0  # fault-fate index: one per post_message call
+        self._crashed: dict[int, float] = {}  # rank -> time it was killed
         self._switches = 0
         self._started = False
 
@@ -191,6 +207,7 @@ class Engine:
             machine=self.machine,
             scheduler_switches=self._switches,
             total_ops=self._op_count,
+            crashed_ranks=tuple(sorted(self._crashed)),
         )
 
     # ------------------------------------------------------------------
@@ -208,7 +225,7 @@ class Engine:
             rs.result = target(ctx, *args)
             rs.state = _DONE
         except SimAbort:
-            if rs.state != _FAILED:
+            if rs.state not in (_FAILED, _CRASHED):
                 rs.state = _DONE
         except BaseException as exc:  # noqa: BLE001 - report any rank failure
             rs.error = exc
@@ -245,7 +262,7 @@ class Engine:
             best: tuple[float, int] | None = None
             all_done = True
             for rs in self._ranks:
-                if rs.state in (_DONE,):
+                if rs.state in (_DONE, _CRASHED):
                     continue
                 if rs.state == _FAILED:
                     return  # abort the run; run() raises
@@ -259,9 +276,20 @@ class Engine:
             if best is None:
                 if all_done:
                     return
+                # No rank is wakeable by a message; a scheduled crash can
+                # still fire (killing a blocked rank whose wait would
+                # otherwise never be satisfied).
+                if self._crash_next_pending():
+                    continue
                 self._raise_deadlock()
             t, rank = best
             rs = self._ranks[rank]
+            # Crash event: the rank dies at its scheduled time instead of
+            # acting at or after it.
+            tc = self._scheduled_crash(rank)
+            if tc is not None and t >= tc:
+                self._crash_rank(rs, tc)
+                continue
             if t > rs.clock:
                 self.counters.ranks[rank].idle_time += t - rs.clock
                 rs.clock = t
@@ -275,15 +303,105 @@ class Engine:
         rs.event.set()
         self._sched_event.wait()
 
-    def _raise_deadlock(self) -> None:
-        states = {
-            rs.rank: f"{rs.state} @t={rs.clock:.6g} in {rs.describe or '?'}"
+    # ------------------------------------------------------------------
+    # fault-plan crash machinery
+    # ------------------------------------------------------------------
+    def _scheduled_crash(self, rank: int) -> float | None:
+        """Pending crash time for ``rank``, or None (already dead counts)."""
+        if self.faults is None or rank in self._crashed:
+            return None
+        return self.faults.crash_time(rank)
+
+    def _crash_rank(self, rs: _RankState, tc: float) -> None:
+        """Kill ``rs`` at virtual time ``tc`` (scheduler side).
+
+        The rank's thread stays parked; it is unwound via SimAbort during
+        shutdown. Its final clock is the crash time, so a crashed rank
+        contributes exactly ``tc`` to the makespan.
+        """
+        rs.clock = min(rs.clock, tc) if rs.state == _RUNNING else tc
+        rs.state = _CRASHED
+        rs.wake_potential = None
+        self._crashed[rs.rank] = tc
+        self.trace_event(rs.rank, "fault", kind="crash", t=tc)
+
+    def _check_self_crash(self, rank: int) -> None:
+        """Called from rank threads at every communication yield point:
+        if this rank's clock has reached its scheduled crash time, it dies
+        here (unwinding the thread) instead of issuing the operation."""
+        tc = self._scheduled_crash(rank)
+        if tc is None:
+            return
+        rs = self._ranks[rank]
+        if rs.clock >= tc:
+            rs.clock = tc
+            rs.state = _CRASHED
+            self._crashed[rank] = tc
+            self.trace_event(rank, "fault", kind="crash", t=tc)
+            raise SimAbort()
+
+    def _crash_next_pending(self) -> bool:
+        """Fire the earliest still-pending crash, if any; True if one fired."""
+        pend = [
+            (tc, rs.rank, rs)
             for rs in self._ranks
-            if rs.state not in (_DONE,)
-        }
+            if rs.state in (_READY, _BLOCKED)
+            and (tc := self._scheduled_crash(rs.rank)) is not None
+        ]
+        if not pend:
+            return False
+        tc, _, rs = min(pend)
+        self._crash_rank(rs, tc)
+        return True
+
+    def failure_wake_potential(self, rank: int) -> float | None:
+        """Earliest failure notification this rank has not yet woken for."""
+        if self.faults is None or not self.faults.has_crashes():
+            return None
+        return self.faults.next_notification(self._ranks[rank].failures_seen)
+
+    def consume_failure_notifications(self, rank: int) -> frozenset[int]:
+        """All peers whose failure is detectable at this rank's clock.
+
+        Marks them consumed for wake bookkeeping so a blocked rank is not
+        re-woken forever by the same notification.
+        """
+        if self.faults is None:
+            return frozenset()
+        rs = self._ranks[rank]
+        notified = self.faults.notified_failures(rs.clock)
+        rs.failures_seen |= notified
+        return notified
+
+    def crashed_at(self) -> dict[int, float]:
+        return dict(self._crashed)
+
+    def _raise_deadlock(self) -> None:
+        last_events: dict[int, Any] = {}
+        if self.trace:
+            for e in self.trace:
+                last_events[e.rank] = e
+        states: dict[int, str] = {}
+        details: dict[int, dict] = {}
+        for rs in self._ranks:
+            if rs.state in (_DONE, _CRASHED):
+                continue
+            le = last_events.get(rs.rank)
+            details[rs.rank] = {
+                "state": rs.state,
+                "clock": rs.clock,
+                "in": rs.describe or "?",
+                "queue_depth": len(rs.queue),
+                "last_event": le,
+            }
+            last = f", last={le.op}@t={le.time:.6g}" if le is not None else ""
+            states[rs.rank] = (
+                f"{rs.state} @t={rs.clock:.6g} in {rs.describe or '?'} "
+                f"(queue depth {len(rs.queue)}{last})"
+            )
         self._abort = True
         raise DeadlockError(
-            f"deadlock: {len(states)} rank(s) stuck, none wakeable", states
+            f"deadlock: {len(states)} rank(s) stuck, none wakeable", states, details
         )
 
     # ------------------------------------------------------------------
@@ -304,10 +422,12 @@ class Engine:
         <= every other active rank's clock lower bound), keep running
         without a thread switch — this removes ~70-90% of switches.
         """
+        if self.faults is not None:
+            self._check_self_crash(rank)
         rs = self._ranks[rank]
         my_key = (rs.clock, rank)
         for other in self._ranks:
-            if other.rank == rank or other.state in (_DONE, _FAILED):
+            if other.rank == rank or other.state in (_DONE, _FAILED, _CRASHED):
                 continue
             if (other.clock, other.rank) < my_key:
                 break
@@ -328,6 +448,8 @@ class Engine:
         On return the rank's clock has been advanced to the wake time (the
         gap is accounted as idle time).
         """
+        if self.faults is not None:
+            self._check_self_crash(rank)
         rs = self._ranks[rank]
         rs.describe = describe
         # Fast path: already satisfiable and we are minimal.
@@ -387,18 +509,25 @@ class Engine:
         """Compute network timing for one message; optionally enqueue it.
 
         Returns the arrival time at the destination. Timing includes NIC
-        injection serialization at the sender and drain serialization at the
-        receiver when the machine model enables them.
+        injection serialization at the sender and drain serialization at
+        the receiver when the machine model enables them. When a fault
+        plan is active, the plan decides the message's fate: degraded NIC
+        windows scale injection/latency, and delivered messages can be
+        dropped, duplicated, delayed, or blackholed into a crashed rank
+        — each outcome counted and traced at the sender.
         """
         self._tick()
         m = self.machine
+        plan = self.faults
         srs = self._ranks[src]
-        inject = m.injection_time(nbytes, one_sided)
+        factor = 1.0 if plan is None else plan.nic_factor(src, srs.clock)
+        inject = m.injection_time(nbytes, one_sided, factor=factor)
         start = srs.clock
         if m.nic_serialization:
             start = max(start, srs.nic_out_free)
             srs.nic_out_free = start + inject
-        arrival = start + inject + m.alpha
+        alpha = m.alpha * factor if factor != 1.0 else m.alpha
+        arrival = start + inject + alpha
         if dst != src and m.drain_serialization:
             drs = self._ranks[dst]
             arrival = max(arrival, drs.nic_in_free)
@@ -406,28 +535,59 @@ class Engine:
         if matrix is not None:
             matrix.record(src, dst, nbytes)
         if deliver:
-            # Non-overtaking (MPI point-to-point ordering guarantee).
+            # Non-overtaking (MPI point-to-point ordering guarantee). The
+            # clamp applies to the fault-free arrival; injected delays are
+            # added after it, so a delayed copy genuinely arrives late and
+            # can be overtaken by subsequent traffic.
             pair = (src, dst)
             arrival = max(arrival, self._pair_arrival.get(pair, 0.0))
             self._pair_arrival[pair] = arrival
-            self._send_seq += 1
-            msg = Message(
-                src=src,
-                dst=dst,
-                tag=tag,
-                payload=payload,
-                nbytes=nbytes,
-                send_time=srs.clock,
-                arrival=arrival,
-                seq=self._send_seq,
-            )
-            self._ranks[dst].queue.push(msg)
-            # Unexpected-message-queue memory pressure at the receiver:
-            # payload plus MPI-internal per-message metadata, released on
-            # receive (see RankContext.recv).
-            self.counters.ranks[dst].alloc(
-                nbytes + m.p2p_msg_overhead_bytes, "unexpected-queue"
-            )
+            src_rc = self.counters.ranks[src]
+            fate = None
+            if plan is not None:
+                self._post_count += 1
+                fate = plan.message_fate(src, dst, self._post_count)
+                if fate.copies == 0:
+                    src_rc.msgs_dropped += 1
+                    self.trace_event(src, "fault", kind="drop", dst=dst, tag=tag)
+                    return arrival
+                if fate.copies > 1:
+                    src_rc.msgs_duplicated += 1
+                    self.trace_event(src, "fault", kind="dup", dst=dst, tag=tag)
+            dead_at = None if plan is None else plan.crash_time(dst)
+            copies = 1 if fate is None else fate.copies
+            for c in range(copies):
+                extra = 0.0 if fate is None else fate.delays[c]
+                arr = arrival + extra
+                if extra > 0.0:
+                    src_rc.msgs_delayed += 1
+                    self.trace_event(
+                        src, "fault", kind="delay", dst=dst, tag=tag, extra=extra
+                    )
+                if dead_at is not None and arr >= dead_at:
+                    # Receiver is dead on arrival: the message vanishes.
+                    src_rc.crash_blackholed += 1
+                    self.trace_event(src, "fault", kind="blackhole", dst=dst, tag=tag)
+                    continue
+                self._send_seq += 1
+                msg = Message(
+                    src=src,
+                    dst=dst,
+                    tag=tag,
+                    payload=payload,
+                    nbytes=nbytes,
+                    send_time=srs.clock,
+                    arrival=arr,
+                    seq=self._send_seq,
+                    fault=("dup" if c > 0 else ("delay" if extra > 0.0 else None)),
+                )
+                self._ranks[dst].queue.push(msg)
+                # Unexpected-message-queue memory pressure at the receiver:
+                # payload plus MPI-internal per-message metadata, released
+                # on receive (see RankContext.recv).
+                self.counters.ranks[dst].alloc(
+                    nbytes + m.p2p_msg_overhead_bytes, "unexpected-queue"
+                )
         return arrival
 
     def queue_of(self, rank: int) -> ReceiveQueue:

@@ -11,12 +11,27 @@ class DeadlockError(SimError):
     """No rank can make progress, but not all ranks have finished.
 
     Carries a human-readable per-rank state dump so test failures are
-    diagnosable (which rank is stuck in which call, with what predicate).
+    diagnosable (which rank is stuck in which call, with what predicate),
+    plus structured ``details``: per rank, the run state, clock, blocking
+    operation, pending receive-queue depth, and the last trace event (when
+    tracing was enabled) — enough to diagnose fault-induced hangs from the
+    exception alone.
     """
 
-    def __init__(self, message: str, rank_states: dict[int, str] | None = None):
-        super().__init__(message)
+    def __init__(
+        self,
+        message: str,
+        rank_states: dict[int, str] | None = None,
+        details: dict[int, dict] | None = None,
+    ):
         self.rank_states = rank_states or {}
+        self.details = details or {}
+        if self.rank_states:
+            dump = "\n".join(
+                f"  rank {r}: {s}" for r, s in sorted(self.rank_states.items())
+            )
+            message = f"{message}\n{dump}"
+        super().__init__(message)
 
 
 class RankFailure(SimError):
@@ -38,6 +53,23 @@ class SimAbort(BaseException):
 
 class SimLimitExceeded(SimError):
     """The engine exceeded its configured operation or virtual-time budget."""
+
+
+class RankCrashed(SimError):
+    """Communication with a rank that is known (detected) to have crashed.
+
+    The simulated analogue of ULFM's ``MPI_ERR_PROC_FAILED``: raised when
+    a rank program sends to — or does a directed receive from — a peer
+    whose failure notification has already reached the caller.
+    """
+
+    def __init__(self, rank: int):
+        super().__init__(f"rank {rank} has crashed")
+        self.rank = rank
+
+
+class RetryExhausted(SimError):
+    """A reliable-delivery channel gave up on a message after max retries."""
 
 
 class CommMismatchError(SimError):

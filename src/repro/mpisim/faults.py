@@ -1,0 +1,187 @@
+"""Deterministic fault injection for the simulated MPI runtime.
+
+A :class:`FaultPlan` describes everything that can go wrong in one run:
+
+* per-message **drop / duplicate / delay** faults on two-sided traffic,
+* transient per-rank **NIC degradation** windows (a multiplier on
+  injection and latency cost while the window is open),
+* **rank crashes** at a fixed virtual time, with ULFM-style failure
+  notification after a detection latency.
+
+Determinism is the whole point: the fate of a message is a pure function
+of ``(plan.seed, src, dst, message index)`` via a counter-based
+splitmix64 hash — no RNG state is consumed in call order, so two runs of
+the same workload under the same plan produce bit-identical virtual
+clocks and traces, and adding a new consumer of randomness never
+perturbs existing fates. A plan with all rates zero, no degradation
+windows, and no crashes is behaviourally identical to running without a
+plan (the engine skips every draw).
+
+The plan is *schedule*, not *mechanism*: the engine consults it in
+``post_message`` and in the scheduler loop; recovery (ack/retry,
+renouncing edges to dead ranks) lives with the rank programs — see
+``repro.matching.reliable`` and ``docs/fault_model.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import derive_seed
+
+_U63 = float(1 << 63)
+
+
+def _unit(seed: int, *stream: int | str) -> float:
+    """Uniform [0, 1) draw as a pure function of (seed, stream)."""
+    return derive_seed(seed, *stream) / _U63
+
+
+@dataclass(frozen=True)
+class NicDegradation:
+    """One transient slow-NIC window on one rank.
+
+    While ``t_start <= t < t_end`` on ``rank``'s clock, message injection
+    and wire latency for messages *sent by* that rank are multiplied by
+    ``factor`` (>= 1). Models a throttled/overheating NIC or a congested
+    router port, not a hard failure.
+    """
+
+    rank: int
+    t_start: float
+    t_end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {self.factor}")
+        if self.t_end <= self.t_start:
+            raise ValueError("degradation window must have t_end > t_start")
+
+
+@dataclass(frozen=True)
+class MessageFate:
+    """What the network does to one posted message."""
+
+    copies: int  #: 0 = dropped, 1 = normal, 2 = duplicated
+    delays: tuple[float, ...]  #: extra seconds added to each copy's arrival
+
+
+_NO_FAULT = MessageFate(copies=1, delays=(0.0,))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, fully deterministic schedule of injected faults."""
+
+    seed: int = 0
+    drop_rate: float = 0.0  #: P(message is lost in the network)
+    dup_rate: float = 0.0  #: P(message is delivered twice)
+    delay_rate: float = 0.0  #: P(a copy picks up extra transit delay)
+    delay_min: float = 0.0  #: extra delay lower bound (seconds)
+    delay_max: float = 50e-6  #: extra delay upper bound (seconds)
+    degradations: tuple[NicDegradation, ...] = ()
+    #: rank -> virtual crash time; the rank stops executing at that time
+    crashes: dict[int, float] = field(default_factory=dict)
+    #: seconds after a crash before survivors' MPI layer reports the
+    #: failure (``RankContext.failed_ranks`` / ``RankCrashed``)
+    detect_latency: float = 1e-5
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "dup_rate", "delay_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        if self.delay_max < self.delay_min:
+            raise ValueError("delay_max must be >= delay_min")
+        if self.detect_latency < 0.0:
+            raise ValueError("detect_latency must be >= 0")
+        for r, t in self.crashes.items():
+            if t < 0.0:
+                raise ValueError(f"crash time for rank {r} must be >= 0, got {t}")
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def has_message_faults(self) -> bool:
+        return self.drop_rate > 0.0 or self.dup_rate > 0.0 or self.delay_rate > 0.0
+
+    def has_crashes(self) -> bool:
+        return bool(self.crashes)
+
+    def has_degradations(self) -> bool:
+        return bool(self.degradations)
+
+    def is_null(self) -> bool:
+        """True if this plan cannot change behaviour at all."""
+        return not (
+            self.has_message_faults() or self.has_crashes() or self.has_degradations()
+        )
+
+    def needs_reliability(self) -> bool:
+        """Do rank programs need an ack/retry shim to run correctly?"""
+        return self.has_message_faults()
+
+    # ------------------------------------------------------------------
+    # message fates
+    # ------------------------------------------------------------------
+    def message_fate(self, src: int, dst: int, index: int) -> MessageFate:
+        """Fate of the ``index``-th message posted in this run.
+
+        ``index`` is the engine's global post counter, so retransmissions
+        of a logically identical message draw fresh, independent fates.
+        """
+        if not self.has_message_faults():
+            return _NO_FAULT
+        if self.drop_rate > 0.0 and _unit(self.seed, "drop", src, dst, index) < self.drop_rate:
+            return MessageFate(copies=0, delays=())
+        copies = 1
+        if self.dup_rate > 0.0 and _unit(self.seed, "dup", src, dst, index) < self.dup_rate:
+            copies = 2
+        delays = []
+        for c in range(copies):
+            d = 0.0
+            if (
+                self.delay_rate > 0.0
+                and _unit(self.seed, "delay?", src, dst, index, c) < self.delay_rate
+            ):
+                u = _unit(self.seed, "delay", src, dst, index, c)
+                d = self.delay_min + u * (self.delay_max - self.delay_min)
+            delays.append(d)
+        return MessageFate(copies=copies, delays=tuple(delays))
+
+    # ------------------------------------------------------------------
+    # NIC degradation
+    # ------------------------------------------------------------------
+    def nic_factor(self, rank: int, t: float) -> float:
+        """Cost multiplier for messages injected by ``rank`` at time ``t``."""
+        f = 1.0
+        for d in self.degradations:
+            if d.rank == rank and d.t_start <= t < d.t_end:
+                f *= d.factor
+        return f
+
+    # ------------------------------------------------------------------
+    # crashes / failure notification
+    # ------------------------------------------------------------------
+    def crash_time(self, rank: int) -> float | None:
+        return self.crashes.get(rank)
+
+    def notified_failures(self, t: float) -> frozenset[int]:
+        """Ranks whose failure is detectable by an observer at time ``t``.
+
+        Detection is plan-derived (crash time + detection latency), so
+        every rank sees a consistent, deterministic failure epoch.
+        """
+        return frozenset(
+            r for r, tc in self.crashes.items() if tc + self.detect_latency <= t
+        )
+
+    def next_notification(self, after_seen: set[int]) -> float | None:
+        """Earliest notification time of a crash not yet in ``after_seen``."""
+        times = [
+            tc + self.detect_latency
+            for r, tc in self.crashes.items()
+            if r not in after_seen
+        ]
+        return min(times) if times else None

@@ -106,13 +106,28 @@ class MachineModel:
             cost += self.rendezvous_extra_hops * self.alpha
         return cost
 
-    def transit_time(self, nbytes: int, one_sided: bool = False) -> float:
-        """Latency + serialization of one message on the wire."""
-        return self.alpha + self.wire_bytes(nbytes, one_sided) * self.beta
+    def transit_time(
+        self, nbytes: int, one_sided: bool = False, factor: float = 1.0
+    ) -> float:
+        """Latency + serialization of one message on the wire.
 
-    def injection_time(self, nbytes: int, one_sided: bool = False) -> float:
-        """Time the sender NIC is busy injecting this message."""
-        return self.wire_bytes(nbytes, one_sided) * self.beta
+        ``factor`` scales the whole transit (fault model: a degraded NIC
+        or congested router port multiplies both latency and occupancy).
+        """
+        t = self.alpha + self.wire_bytes(nbytes, one_sided) * self.beta
+        return t * factor if factor != 1.0 else t
+
+    def injection_time(
+        self, nbytes: int, one_sided: bool = False, factor: float = 1.0
+    ) -> float:
+        """Time the sender NIC is busy injecting this message.
+
+        ``factor`` is the fault model's transient degradation multiplier
+        (1.0 outside any :class:`~repro.mpisim.faults.NicDegradation`
+        window).
+        """
+        t = self.wire_bytes(nbytes, one_sided) * self.beta
+        return t * factor if factor != 1.0 else t
 
     def put_origin_cost(self, nbytes: int) -> float:
         cost = self.o_put

@@ -26,6 +26,7 @@ class Message:
     send_time: float  # virtual time the send was issued
     arrival: float  # virtual time the payload is available at the receiver
     seq: int  # global send sequence number (total order tie-break)
+    fault: str | None = None  # injected-fault marker: "dup" / "delay" / None
 
 
 @dataclass(slots=True)

@@ -40,5 +40,16 @@ def events_for_rank(events: Iterable[TraceEvent], rank: int) -> list[TraceEvent]
     return [e for e in events if e.rank == rank]
 
 
+def fault_events(events: Iterable[TraceEvent]) -> list[TraceEvent]:
+    """Only the injected-fault events (op == "fault")."""
+    return [e for e in events if e.op == "fault"]
+
+
+def fault_summary(events: Iterable[TraceEvent]) -> dict[str, int]:
+    """Histogram of injected-fault kinds (drop / dup / delay / blackhole /
+    crash); empty for a fault-free trace."""
+    return dict(Counter(e.detail.get("kind", "?") for e in fault_events(events)))
+
+
 def time_ordered(events: Iterable[TraceEvent]) -> list[TraceEvent]:
     return sorted(events, key=lambda e: (e.time, e.rank))
