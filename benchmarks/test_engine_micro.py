@@ -53,6 +53,48 @@ def test_engine_neighbor_alltoallv_throughput(benchmark):
     )
 
 
+def _scatter(seed, rounds, fan):
+    """Seeded many-to-many traffic at high P: the scheduler stress test
+    (most ranks sit blocked in recv, so every decision is scheduler-bound)."""
+    import numpy as np
+
+    from repro.util.rng import make_rng
+
+    def prog(ctx):
+        shared = make_rng(seed, "bench-scatter")
+        dests = shared.integers(0, ctx.nprocs, size=(ctx.nprocs, rounds, fan))
+        for k in range(rounds):
+            ctx.compute(seconds=1e-7)
+            for d in dests[ctx.rank, k]:
+                d = int(d)
+                if d != ctx.rank:
+                    ctx.isend(d, k, nbytes=32)
+            expected = int(np.sum(dests[:, k, :] == ctx.rank)) - int(
+                np.sum(dests[ctx.rank, k, :] == ctx.rank)
+            )
+            for _ in range(expected):
+                ctx.recv()
+        return 0
+
+    return prog
+
+
+def test_engine_scatter_p64_heap_scheduler(benchmark):
+    benchmark.pedantic(
+        lambda: Engine(64, cori_aries(), scheduler="heap").run(_scatter(7, 6, 4)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_engine_scatter_p64_reference_scheduler(benchmark):
+    benchmark.pedantic(
+        lambda: Engine(64, cori_aries(), scheduler="reference").run(_scatter(7, 6, 4)),
+        rounds=3,
+        iterations=1,
+    )
+
+
 def test_matching_simulation_throughput(benchmark):
     from repro.graph.generators import rmat_graph
     from repro.matching import run_matching

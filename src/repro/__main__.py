@@ -7,7 +7,10 @@ Commands
 - ``run <exp_id> [--full]`` — run one experiment and print its output;
 - ``report [path] [--full]`` — regenerate EXPERIMENTS.md;
 - ``match <dataset> [-p N] [-m MODEL] [--machine NAME]`` — one matching
-  run with a results summary.
+  run with a results summary;
+- ``bench [--quick]`` — engine microbenchmarks (heap vs reference
+  scheduler) plus a small end-to-end run, persisted to
+  ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -84,6 +87,16 @@ def _cmd_bundle(args) -> int:
             if isinstance(value, str) and ("," in value and "\n" in value):
                 (outdir / f"{eid}_{key.replace('_csv', '')}.csv").write_text(value)
         print(f"wrote {eid}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.harness.bench import render_report, run_bench
+
+    report = run_bench(quick=args.quick, repeats=args.repeats, out_path=args.out)
+    print(render_report(report))
+    if args.out:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -180,6 +193,20 @@ def main(argv: list[str] | None = None) -> int:
     p_bundle.add_argument("--only", default="", help="comma-separated experiment ids")
     p_bundle.add_argument("--full", action="store_true")
     p_bundle.set_defaults(fn=_cmd_bundle)
+
+    p_bench = sub.add_parser(
+        "bench", help="engine microbenchmarks + e2e, writes BENCH_engine.json"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true", help="smaller sizes (CI smoke mode)"
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N wall-time repeats"
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_engine.json", help="output JSON path ('' to skip)"
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_match = sub.add_parser("match", help="run one matching configuration")
     p_match.add_argument("dataset")

@@ -1,0 +1,296 @@
+"""Engine performance benchmarks behind ``repro bench``.
+
+Measures the *simulator's own* throughput (real wall time, not virtual
+time) on a fixed set of engine microbenchmarks plus one small
+fig04-style end-to-end matching run, under both the optimized heap
+scheduler and the reference linear-scan scheduler, and persists the
+results to ``BENCH_engine.json`` so the perf trajectory of the engine is
+recorded run over run.
+
+Every entry carries the simulated makespan as a determinism fingerprint:
+the two schedulers must agree bit-for-bit (this is asserted), so a perf
+number can never silently come from a behaviorally different engine.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.mpisim import Engine, cori_aries
+from repro.mpisim.machine import MachineModel
+from repro.util.rng import make_rng
+
+SCHEDULERS = ("reference", "heap")
+
+
+# ----------------------------------------------------------------------
+# microbenchmark rank programs
+# ----------------------------------------------------------------------
+def _pingpong(rounds: int) -> Callable:
+    def prog(ctx):
+        for i in range(rounds):
+            if ctx.rank == 0:
+                ctx.isend(1, i)
+                ctx.recv(source=1)
+            else:
+                ctx.recv(source=0)
+                ctx.isend(0, i)
+
+    return prog
+
+
+def _ring(rounds: int) -> Callable:
+    def prog(ctx):
+        nxt = (ctx.rank + 1) % ctx.nprocs
+        prv = (ctx.rank - 1) % ctx.nprocs
+        for i in range(rounds):
+            ctx.isend(nxt, i, nbytes=64)
+            ctx.recv(source=prv)
+
+    return prog
+
+
+def _scatter(seed: int, rounds: int, fan: int) -> Callable:
+    """Random many-to-many traffic: the scheduler stress test.
+
+    Every rank sends ``fan`` messages to seeded destinations per round,
+    then receives exactly what was addressed to it. Most ranks sit
+    blocked in ``recv`` at any instant, so every scheduling decision
+    under the reference scheduler re-evaluates O(P) wake potentials —
+    the hot path the candidate heap removes.
+    """
+
+    def prog(ctx):
+        shared = make_rng(seed, "bench-scatter")
+        dests = shared.integers(0, ctx.nprocs, size=(ctx.nprocs, rounds, fan))
+        for k in range(rounds):
+            ctx.compute(seconds=1e-7)
+            for d in dests[ctx.rank, k]:
+                d = int(d)
+                if d != ctx.rank:
+                    ctx.isend(d, k, nbytes=32)
+            expected = int(np.sum(dests[:, k, :] == ctx.rank)) - int(
+                np.sum(dests[ctx.rank, k, :] == ctx.rank)
+            )
+            for _ in range(expected):
+                ctx.recv()
+        return 0
+
+    return prog
+
+
+def _allreduce(rounds: int) -> Callable:
+    def prog(ctx):
+        for _ in range(rounds):
+            ctx.allreduce(ctx.rank)
+
+    return prog
+
+
+def _neighbor(rounds: int) -> Callable:
+    def prog(ctx):
+        p = ctx.nprocs
+        topo = ctx.dist_graph_create_adjacent(
+            sorted({(ctx.rank - 1) % p, (ctx.rank + 1) % p})
+        )
+        for _ in range(rounds):
+            topo.neighbor_alltoallv([[1, 2, 3]] * topo.degree)
+
+    return prog
+
+
+def _micro_suite(quick: bool) -> list[dict[str, Any]]:
+    """(name, nprocs, program factory) for each microbenchmark."""
+    if quick:
+        return [
+            {"name": "pingpong", "nprocs": 2, "prog": _pingpong(200)},
+            {"name": "ring", "nprocs": 16, "prog": _ring(30)},
+            {"name": "scatter", "nprocs": 48, "prog": _scatter(7, 6, 4)},
+            {"name": "allreduce", "nprocs": 8, "prog": _allreduce(60)},
+            {"name": "neighbor_alltoallv", "nprocs": 8, "prog": _neighbor(40)},
+        ]
+    return [
+        {"name": "pingpong", "nprocs": 2, "prog": _pingpong(500)},
+        {"name": "ring", "nprocs": 32, "prog": _ring(60)},
+        {"name": "scatter", "nprocs": 96, "prog": _scatter(7, 10, 6)},
+        {"name": "allreduce", "nprocs": 16, "prog": _allreduce(150)},
+        {"name": "neighbor_alltoallv", "nprocs": 16, "prog": _neighbor(80)},
+    ]
+
+
+# ----------------------------------------------------------------------
+# measurement
+# ----------------------------------------------------------------------
+def _time_engine(
+    nprocs: int,
+    prog: Callable,
+    scheduler: str,
+    machine: MachineModel,
+    repeats: int,
+) -> dict[str, Any]:
+    """Best-of-``repeats`` wall time for one (program, scheduler) pair."""
+    best = None
+    res = None
+    for _ in range(repeats):
+        eng = Engine(nprocs, machine, scheduler=scheduler)
+        t0 = time.perf_counter()
+        res = eng.run(prog)
+        wall = time.perf_counter() - t0
+        if best is None or wall < best:
+            best = wall
+    # Collectives rendezvous without ticking the op counter, so fall back
+    # to scheduler switches as the event count for pure-collective runs.
+    events = res.total_ops or res.scheduler_switches
+    return {
+        "wall_s": best,
+        "ops": res.total_ops,
+        "events_per_sec": events / best if best > 0 else float("inf"),
+        "switches": res.scheduler_switches,
+        "makespan": res.makespan,
+    }
+
+
+def _bench_micro(quick: bool, repeats: int) -> dict[str, Any]:
+    machine = cori_aries()
+    out: dict[str, Any] = {}
+    for spec in _micro_suite(quick):
+        entry: dict[str, Any] = {"nprocs": spec["nprocs"]}
+        for sched in SCHEDULERS:
+            entry[sched] = _time_engine(
+                spec["nprocs"], spec["prog"], sched, machine, repeats
+            )
+        if entry["heap"]["makespan"] != entry["reference"]["makespan"]:
+            raise AssertionError(
+                f"{spec['name']}: schedulers disagree on virtual time "
+                f"({entry['heap']['makespan']} vs {entry['reference']['makespan']})"
+            )
+        entry["speedup"] = entry["reference"]["wall_s"] / entry["heap"]["wall_s"]
+        entry["makespan"] = entry["heap"]["makespan"]  # determinism fingerprint
+        out[spec["name"]] = entry
+    return out
+
+
+def _bench_e2e(quick: bool, repeats: int) -> dict[str, Any]:
+    """One small fig04-style end-to-end experiment (weak-scaling style
+    R-MAT matching under the NCL backend) timed under both schedulers.
+
+    End-to-end runs are futex-dominated (one physical thread switch per
+    scheduling decision, identical under both schedulers), so expect
+    parity here — the scheduler's win shows in the microbenchmarks.
+    """
+    from repro.graph.generators import rmat_graph
+    from repro.matching import run_matching
+
+    scale = 8 if quick else 10
+    nprocs = 8
+    g = rmat_graph(scale, seed=1)
+    entry: dict[str, Any] = {
+        "experiment": "fig04-style rmat weak-scaling point",
+        "scale": scale,
+        "nprocs": nprocs,
+        "model": "ncl",
+    }
+    for sched in SCHEDULERS:
+        best = None
+        res = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = run_matching(g, nprocs, "ncl", scheduler=sched)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        entry[sched] = {
+            "wall_s": best,
+            "makespan": res.makespan,
+            "weight": res.weight,
+            "messages": res.total_messages(),
+        }
+    if (entry["heap"]["makespan"], entry["heap"]["weight"]) != (
+        entry["reference"]["makespan"],
+        entry["reference"]["weight"],
+    ):
+        raise AssertionError("e2e matching: schedulers disagree on outcome")
+    entry["speedup"] = entry["reference"]["wall_s"] / entry["heap"]["wall_s"]
+    entry["makespan"] = entry["heap"]["makespan"]
+    entry["weight"] = entry["heap"]["weight"]
+    return entry
+
+
+def run_bench(
+    quick: bool = False, repeats: int = 3, out_path: str = "BENCH_engine.json"
+) -> dict[str, Any]:
+    """Run the full engine benchmark suite; write and return the report."""
+    report: dict[str, Any] = {
+        "suite": "engine",
+        "quick": quick,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "unix_time": time.time(),
+        "micro": _bench_micro(quick, repeats),
+        "e2e": _bench_e2e(quick, repeats),
+    }
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report["peak_rss_bytes"] = rss * (1 if sys.platform == "darwin" else 1024)
+    report["min_micro_speedup"] = min(
+        e["speedup"] for e in report["micro"].values()
+    )
+    report["max_micro_speedup"] = max(
+        e["speedup"] for e in report["micro"].values()
+    )
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+    return report
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable table for the CLI."""
+    from repro.util.tables import TextTable
+
+    t = TextTable(
+        ["bench", "p", "heap wall", "ref wall", "speedup", "events/s (heap)", "makespan"]
+    )
+    for name, e in report["micro"].items():
+        t.add_row(
+            [
+                name,
+                str(e["nprocs"]),
+                f"{e['heap']['wall_s'] * 1e3:.1f} ms",
+                f"{e['reference']['wall_s'] * 1e3:.1f} ms",
+                f"{e['speedup']:.2f}x",
+                f"{e['heap']['events_per_sec']:,.0f}",
+                f"{e['makespan']:.9g}",
+            ]
+        )
+    ee = report["e2e"]
+    t.add_row(
+        [
+            "e2e-matching",
+            str(ee["nprocs"]),
+            f"{ee['heap']['wall_s'] * 1e3:.1f} ms",
+            f"{ee['reference']['wall_s'] * 1e3:.1f} ms",
+            f"{ee['speedup']:.2f}x",
+            "-",
+            f"{ee['makespan']:.9g}",
+        ]
+    )
+    lines = [t.render()]
+    lines.append(
+        f"peak RSS: {report['peak_rss_bytes'] / 2**20:.1f} MB   "
+        f"micro speedup range: {report['min_micro_speedup']:.2f}x"
+        f"..{report['max_micro_speedup']:.2f}x"
+    )
+    lines.append(
+        "determinism: heap and reference schedulers agreed bit-for-bit on "
+        "every simulated makespan above"
+    )
+    return "\n".join(lines)

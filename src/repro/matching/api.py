@@ -69,6 +69,7 @@ def run_matching(
     faults: FaultPlan | None = None,
     trace: bool = False,
     compute_weight: bool = True,
+    scheduler: str = "heap",
 ) -> MatchingRunResult:
     """Partition ``g`` over ``nprocs`` simulated ranks and match it.
 
@@ -78,7 +79,9 @@ def run_matching(
     ``faults`` injects a deterministic fault plan (message faults require
     ``model="nsr"``, whose reliable-delivery shim masks them — see
     docs/fault_model.md). When ranks crash, the returned mate array is
-    projected onto the surviving subgraph.
+    projected onto the surviving subgraph. ``scheduler`` selects the
+    engine scheduling implementation (``"heap"`` or ``"reference"``; see
+    docs/engine_scheduling.md) — both are bit-identical in virtual time.
     """
     machine = machine or cori_aries()
     options = options or MatchingOptions()
@@ -90,6 +93,7 @@ def run_matching(
         max_vtime=options.max_vtime,
         trace=trace,
         faults=faults,
+        scheduler=scheduler,
     )
     result = engine.run(matching_rank_main, args=(parts, model, options))
 

@@ -58,6 +58,17 @@ def _reduce(values: list[Any], op: str) -> Any:
 class FullCollective:
     """One in-flight communicator-wide collective call instance."""
 
+    __slots__ = (
+        "key",
+        "kind",
+        "nprocs",
+        "params",
+        "entries",
+        "done",
+        "_result_cache",
+        "_base",
+    )
+
     def __init__(self, key: tuple[int, int], kind: str, nprocs: int, params: dict):
         self.key = key
         self.kind = kind
@@ -134,6 +145,17 @@ class NeighborhoodCollective:
     buffer order).
     """
 
+    __slots__ = (
+        "key",
+        "kind",
+        "nprocs",
+        "adjacency",
+        "params",
+        "entries",
+        "done",
+        "_slot_of",
+    )
+
     def __init__(
         self,
         key: tuple[int, int],
@@ -151,6 +173,9 @@ class NeighborhoodCollective:
         self.params = params
         self.entries: dict[int, tuple[float, Any]] = {}
         self.done: set[int] = set()
+        # lazy per-sender cache: rank -> position of each peer in that
+        # rank's neighbor list (avoids repeated list.index in result_for)
+        self._slot_of: dict[int, dict[int, int]] = {}
 
     def enter(self, rank: int, time: float, data: Any, kind: str, params: dict) -> None:
         if kind != self.kind:
@@ -163,9 +188,10 @@ class NeighborhoodCollective:
         self.entries[rank] = (time, data)
 
     def ready_for(self, rank: int) -> bool:
-        if rank not in self.entries:
+        entries = self.entries
+        if rank not in entries:
             return False
-        return all(q in self.entries for q in self.adjacency[rank])
+        return all(q in entries for q in self.adjacency[rank])
 
     def wake_potential(self, rank: int) -> float | None:
         if not self.ready_for(rank):
@@ -183,8 +209,11 @@ class NeighborhoodCollective:
         out = []
         for q in self.adjacency[rank]:
             q_data = self.entries[q][1]
-            idx = self.adjacency[q].index(rank)
-            out.append(q_data[idx])
+            slots = self._slot_of.get(q)
+            if slots is None:
+                slots = {r: i for i, r in enumerate(self.adjacency[q])}
+                self._slot_of[q] = slots
+            out.append(q_data[slots[rank]])
         return out
 
     def mark_done(self, rank: int) -> bool:

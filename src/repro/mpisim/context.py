@@ -265,6 +265,11 @@ class RankContext:
         key = eng.next_coll_key(0, rank)
         op = get_or_create_full(eng.coll_ops(), key, kind, self.nprocs, params)
         op.enter(rank, eng.clock_of(rank), data, kind, params)
+        if op.complete:
+            # Last participant in: every parked peer's wake potential just
+            # flipped from None to the rendezvous time — re-index them for
+            # the heap scheduler (no-op under the reference scheduler).
+            eng.notify_ranks(op.entries.keys())
         eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
 
         m = self.machine

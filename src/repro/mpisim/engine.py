@@ -14,6 +14,23 @@ rank acting at time >= t and arrives at time >= t + alpha with alpha > 0
 "should have been there by t" can still be missing when a rank inspects its
 queue at local time t.
 
+Two scheduler implementations share that invariant (see
+docs/engine_scheduling.md for the full argument):
+
+* ``scheduler="heap"`` (default) — an indexed candidate-time heap with
+  lazy invalidation. Every event that can create or lower a blocked
+  rank's wake-up time (message delivery, collective completion,
+  neighborhood-collective entry) re-evaluates that rank's candidate and
+  pushes a fresh ``(t, rank, version)`` key; stale keys are skipped on
+  pop. Because a blocked rank's wake potential can only *appear or
+  decrease* while it is parked, and every such change is caused by an
+  action of the (single) running rank at an instrumented call site, the
+  valid heap minimum always equals the reference scan's minimum — a fact
+  the differential and property test suites machine-check.
+* ``scheduler="reference"`` — the original O(P)-scan-per-decision
+  scheduler, kept as the executable specification for differential
+  testing.
+
 Rank programs interact with the engine only through
 :class:`repro.mpisim.context.RankContext`; every communication call yields
 to the scheduler *before* evaluating, which re-establishes the invariant
@@ -24,7 +41,8 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
 from repro.mpisim.errors import (
@@ -48,8 +66,10 @@ _CRASHED = "crashed"  # killed by the fault plan at its scheduled time
 
 _INF = float("inf")
 
+SCHEDULERS = ("heap", "reference")
 
-@dataclass
+
+@dataclass(slots=True)
 class _RankState:
     rank: int
     clock: float = 0.0
@@ -69,6 +89,9 @@ class _RankState:
     describe: str = ""  # last operation, for deadlock dumps
     # crash notifications already consumed by this rank's wake logic
     failures_seen: set[int] = field(default_factory=set)
+    # heap scheduler: version of this rank's newest candidate-heap entry;
+    # any entry carrying an older version is stale and skipped on pop.
+    heap_ver: int = 0
 
 
 @dataclass
@@ -83,6 +106,8 @@ class EngineResult:
     scheduler_switches: int
     total_ops: int
     crashed_ranks: tuple[int, ...] = ()  #: ranks killed by the fault plan
+    final_clocks: tuple[float, ...] = ()  #: per-rank final virtual clocks
+    trace: list | None = None  #: TraceEvent list when tracing was enabled
 
     def max_clock(self) -> float:
         return self.makespan
@@ -102,6 +127,14 @@ class Engine:
         operations (guards against runaway programs in tests).
     max_vtime:
         Abort when any rank's clock passes this virtual time.
+    scheduler:
+        ``"heap"`` (default, indexed candidate heap with lazy
+        invalidation) or ``"reference"`` (the original linear scan, kept
+        as the executable specification for differential tests).
+    audit:
+        Heap mode only: cross-check every scheduling decision against a
+        fresh reference scan (slow; used by the property test suite to
+        prove no wake-up is ever lost and no non-minimal rank ever runs).
     """
 
     def __init__(
@@ -113,11 +146,15 @@ class Engine:
         max_vtime: float | None = None,
         trace: bool = False,
         faults: FaultPlan | None = None,
+        scheduler: str = "heap",
+        audit: bool = False,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         if machine.alpha <= 0.0:
             raise ValueError("machine.alpha must be strictly positive (DES safety)")
+        if scheduler not in SCHEDULERS:
+            raise ValueError(f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}")
         if faults is not None:
             if faults.is_null():
                 faults = None  # a null plan is behaviourally absent
@@ -130,6 +167,15 @@ class Engine:
         self.max_ops = max_ops
         self.max_vtime = max_vtime
         self.faults = faults
+        self.scheduler = scheduler
+        self._use_heap = scheduler == "heap"
+        self._audit = audit
+        self._heap: list[tuple[float, int, int]] = []
+        # Blocked ranks whose wake potential may have changed since their
+        # last indexing. Drained (re-evaluated + re-pushed) once per
+        # scheduling decision, so a burst of deliveries to one parked
+        # rank costs one closure evaluation, not one per message.
+        self._stale: set[int] = set()
 
         self.counters = RunCounters(nprocs)
         self.trace: list | None = [] if trace else None
@@ -187,7 +233,12 @@ class Engine:
             rs.thread.start()
 
         try:
-            self._scheduler_loop()
+            if self._use_heap:
+                for rs in self._ranks:
+                    self._push_candidate(rs)
+                self._scheduler_loop_heap()
+            else:
+                self._scheduler_loop()
         finally:
             self._shutdown_threads()
 
@@ -208,6 +259,8 @@ class Engine:
             scheduler_switches=self._switches,
             total_ops=self._op_count,
             crashed_ranks=tuple(sorted(self._crashed)),
+            final_clocks=tuple(rs.clock for rs in self._ranks),
+            trace=self.trace,
         )
 
     # ------------------------------------------------------------------
@@ -243,7 +296,7 @@ class Engine:
                 rs.thread.join(timeout=5.0)
 
     # ------------------------------------------------------------------
-    # scheduler
+    # scheduler (reference implementation: full scan per decision)
     # ------------------------------------------------------------------
     def _candidate_time(self, rs: _RankState) -> float | None:
         """Earliest virtual time at which ``rs`` could act, or None."""
@@ -294,6 +347,124 @@ class Engine:
                 self.counters.ranks[rank].idle_time += t - rs.clock
                 rs.clock = t
             self._switch_to(rs)
+
+    # ------------------------------------------------------------------
+    # scheduler (heap implementation: indexed candidates, lazy invalidation)
+    # ------------------------------------------------------------------
+    def _push_candidate(self, rs: _RankState) -> None:
+        """(Re)index ``rs``'s candidate time.
+
+        Bumps the rank's entry version first, so any previously pushed key
+        for this rank becomes stale and is discarded lazily on pop. A
+        blocked rank whose wake potential is None gets no entry (it cannot
+        act until a future event re-indexes it).
+        """
+        rs.heap_ver += 1
+        if rs.state == _READY:
+            heappush(self._heap, (rs.clock, rs.rank, rs.heap_ver))
+        elif rs.state == _BLOCKED:
+            t = rs.wake_potential()
+            if t is not None:
+                if t < rs.clock:
+                    t = rs.clock
+                heappush(self._heap, (t, rs.rank, rs.heap_ver))
+
+    def notify_ranks(self, ranks: Iterable[int]) -> None:
+        """Mark blocked ranks whose wake potential may have changed.
+
+        Called at every instrumented event site (message delivery,
+        collective completion, neighborhood-collective entry). The marks
+        are drained lazily — once per scheduler decision and once per
+        rank-side yield — so a burst of deliveries to one parked rank
+        costs one wake-potential evaluation, not one per message. A
+        no-op under the reference scheduler, which re-evaluates
+        everything on every decision anyway.
+        """
+        if not self._use_heap:
+            return
+        states = self._ranks
+        stale = self._stale
+        for r in ranks:
+            if states[r].state == _BLOCKED:
+                stale.add(r)
+
+    def _drain_stale(self) -> None:
+        """Re-index every marked rank (scheduler side, once per decision)."""
+        stale = self._stale
+        if stale:
+            ranks = self._ranks
+            for r in stale:
+                rs = ranks[r]
+                if rs.state == _BLOCKED:
+                    self._push_candidate(rs)
+            stale.clear()
+
+    def _heap_min(self) -> tuple[float, int] | None:
+        """Valid heap minimum ``(t, rank)`` after discarding stale keys."""
+        heap = self._heap
+        ranks = self._ranks
+        while heap:
+            t, rank, ver = heap[0]
+            rs = ranks[rank]
+            if ver != rs.heap_ver or (rs.state != _READY and rs.state != _BLOCKED):
+                heappop(heap)
+                continue
+            return (t, rank)
+        return None
+
+    def _scheduler_loop_heap(self) -> None:
+        ranks = self._ranks
+        faults = self.faults
+        while True:
+            self._drain_stale()
+            best = self._heap_min()
+            if best is None:
+                if all(rs.state in (_DONE, _CRASHED) for rs in ranks):
+                    return
+                if any(rs.state == _FAILED for rs in ranks):
+                    return  # abort the run; run() raises
+                if self._crash_next_pending():
+                    continue
+                self._raise_deadlock()
+            t, rank = best
+            heappop(self._heap)
+            rs = ranks[rank]
+            if self._audit:
+                self._audit_decision(t, rank)
+            if faults is not None:
+                tc = self._scheduled_crash(rank)
+                if tc is not None and t >= tc:
+                    self._crash_rank(rs, tc)
+                    continue
+            if t > rs.clock:
+                self.counters.ranks[rank].idle_time += t - rs.clock
+                rs.clock = t
+            self._switch_to(rs)
+            if rs.state == _FAILED:
+                return
+
+    def _audit_decision(self, t: float, rank: int) -> None:
+        """Cross-check a heap decision against a fresh reference scan.
+
+        Proves, per decision, that (a) the chosen rank's indexed candidate
+        time is exact (no stale wake-up) and (b) no other rank has a
+        smaller candidate (no lost wake-up, no non-minimal execution).
+        """
+        best: tuple[float, int] | None = None
+        for rs in self._ranks:
+            if rs.state in (_DONE, _CRASHED, _FAILED):
+                continue
+            tc = self._candidate_time(rs)
+            if tc is None:
+                continue
+            key = (tc, rs.rank)
+            if best is None or key < best:
+                best = key
+        if best != (t, rank):
+            raise AssertionError(
+                f"heap scheduler chose ({t}, {rank}) but a reference scan "
+                f"says the minimal candidate is {best}"
+            )
 
     def _switch_to(self, rs: _RankState) -> None:
         self._switches += 1
@@ -418,22 +589,39 @@ class Engine:
     def yield_ready(self, rank: int) -> None:
         """Yield the token; resume when this rank is next in clock order.
 
-        Fast path: if this rank is already guaranteed minimal (its clock is
-        <= every other active rank's clock lower bound), keep running
-        without a thread switch — this removes ~70-90% of switches.
+        Fast path: if this rank is already guaranteed minimal, keep
+        running without a thread switch — this removes ~70-90% of
+        switches. The heap scheduler decides minimality with one O(1)
+        peek at the valid heap top (every other wakeable rank is
+        indexed); the reference scheduler scans all ranks' clock lower
+        bounds.
         """
         if self.faults is not None:
             self._check_self_crash(rank)
         rs = self._ranks[rank]
-        my_key = (rs.clock, rank)
-        for other in self._ranks:
-            if other.rank == rank or other.state in (_DONE, _FAILED, _CRASHED):
-                continue
-            if (other.clock, other.rank) < my_key:
-                break
+        if self._use_heap:
+            # Drain stale marks first: a collective this rank completed
+            # can wake a peer at a time <= our current clock (rendezvous
+            # = max entry times), so the heap top is only a valid lower
+            # bound once every marked rank is re-indexed. Draining is a
+            # single branch when the set is empty and batches all marks
+            # accumulated since the last yield.
+            self._drain_stale()
+            top = self._heap_min()
+            if top is None or top >= (rs.clock, rank):
+                return  # still minimal; no switch needed
         else:
-            return  # still minimal; no switch needed
+            my_key = (rs.clock, rank)
+            for other in self._ranks:
+                if other.rank == rank or other.state in (_DONE, _FAILED, _CRASHED):
+                    continue
+                if (other.clock, other.rank) < my_key:
+                    break
+            else:
+                return  # still minimal; no switch needed
         rs.state = _READY
+        if self._use_heap:
+            self._push_candidate(rs)
         self._park(rs)
         rs.state = _RUNNING
 
@@ -459,6 +647,8 @@ class Engine:
             return
         rs.state = _BLOCKED
         rs.wake_potential = wake_potential
+        if self._use_heap:
+            self._push_candidate(rs)
         self._park(rs)
         rs.state = _RUNNING
         rs.describe = ""
@@ -514,13 +704,55 @@ class Engine:
         plan is active, the plan decides the message's fate: degraded NIC
         windows scale injection/latency, and delivered messages can be
         dropped, duplicated, delayed, or blackholed into a crashed rank
-        — each outcome counted and traced at the sender.
+        — each outcome counted and traced at the sender. With no plan the
+        whole fate/degradation machinery is skipped (the no-fault fast
+        path), which the differential suite proves arithmetic-identical.
         """
         self._tick()
         m = self.machine
-        plan = self.faults
         srs = self._ranks[src]
-        factor = 1.0 if plan is None else plan.nic_factor(src, srs.clock)
+        if self.faults is None:
+            # No-fault fast path: factor == 1.0, exactly one copy, no
+            # fate draw, no crash blackholing, no per-post counter.
+            inject = m.injection_time(nbytes, one_sided)
+            start = srs.clock
+            if m.nic_serialization:
+                if srs.nic_out_free > start:
+                    start = srs.nic_out_free
+                srs.nic_out_free = start + inject
+            arrival = start + inject + m.alpha
+            if dst != src and m.drain_serialization:
+                drs = self._ranks[dst]
+                if drs.nic_in_free > arrival:
+                    arrival = drs.nic_in_free
+                drs.nic_in_free = arrival + inject
+            if matrix is not None:
+                matrix.record(src, dst, nbytes)
+            if not deliver:
+                return arrival
+            pair = (src, dst)
+            prev = self._pair_arrival.get(pair, 0.0)
+            if prev > arrival:
+                arrival = prev
+            self._pair_arrival[pair] = arrival
+            self._send_seq += 1
+            drs = self._ranks[dst]
+            drs.queue.push(
+                Message(src, dst, tag, payload, nbytes, srs.clock, arrival,
+                        self._send_seq)
+            )
+            # Unexpected-message-queue memory pressure at the receiver:
+            # payload plus MPI-internal per-message metadata, released
+            # on receive (see RankContext.recv).
+            self.counters.ranks[dst].alloc(
+                nbytes + m.p2p_msg_overhead_bytes, "unexpected-queue"
+            )
+            if self._use_heap and drs.state == _BLOCKED:
+                self._stale.add(dst)
+            return arrival
+
+        plan = self.faults
+        factor = plan.nic_factor(src, srs.clock)
         inject = m.injection_time(nbytes, one_sided, factor=factor)
         start = srs.clock
         if m.nic_serialization:
@@ -543,21 +775,19 @@ class Engine:
             arrival = max(arrival, self._pair_arrival.get(pair, 0.0))
             self._pair_arrival[pair] = arrival
             src_rc = self.counters.ranks[src]
-            fate = None
-            if plan is not None:
-                self._post_count += 1
-                fate = plan.message_fate(src, dst, self._post_count)
-                if fate.copies == 0:
-                    src_rc.msgs_dropped += 1
-                    self.trace_event(src, "fault", kind="drop", dst=dst, tag=tag)
-                    return arrival
-                if fate.copies > 1:
-                    src_rc.msgs_duplicated += 1
-                    self.trace_event(src, "fault", kind="dup", dst=dst, tag=tag)
-            dead_at = None if plan is None else plan.crash_time(dst)
-            copies = 1 if fate is None else fate.copies
-            for c in range(copies):
-                extra = 0.0 if fate is None else fate.delays[c]
+            self._post_count += 1
+            fate = plan.message_fate(src, dst, self._post_count)
+            if fate.copies == 0:
+                src_rc.msgs_dropped += 1
+                self.trace_event(src, "fault", kind="drop", dst=dst, tag=tag)
+                return arrival
+            if fate.copies > 1:
+                src_rc.msgs_duplicated += 1
+                self.trace_event(src, "fault", kind="dup", dst=dst, tag=tag)
+            dead_at = plan.crash_time(dst)
+            delivered = False
+            for c in range(fate.copies):
+                extra = fate.delays[c]
                 arr = arrival + extra
                 if extra > 0.0:
                     src_rc.msgs_delayed += 1
@@ -582,12 +812,16 @@ class Engine:
                     fault=("dup" if c > 0 else ("delay" if extra > 0.0 else None)),
                 )
                 self._ranks[dst].queue.push(msg)
+                delivered = True
                 # Unexpected-message-queue memory pressure at the receiver:
                 # payload plus MPI-internal per-message metadata, released
                 # on receive (see RankContext.recv).
                 self.counters.ranks[dst].alloc(
                     nbytes + m.p2p_msg_overhead_bytes, "unexpected-queue"
                 )
+            if delivered and self._use_heap:
+                if self._ranks[dst].state == _BLOCKED:
+                    self._stale.add(dst)
         return arrival
 
     def queue_of(self, rank: int) -> ReceiveQueue:

@@ -99,12 +99,34 @@ class FaultPlan:
         for r, t in self.crashes.items():
             if t < 0.0:
                 raise ValueError(f"crash time for rank {r} must be >= 0, got {t}")
+        # Derived lookup structures, cached once: the engine consults the
+        # plan on every posted message and every blocked-rank wake check,
+        # so these must not be recomputed per call. (The dataclass is
+        # frozen, hence object.__setattr__.)
+        object.__setattr__(
+            self,
+            "_msg_faults",
+            self.drop_rate > 0.0 or self.dup_rate > 0.0 or self.delay_rate > 0.0,
+        )
+        by_rank: dict[int, list[NicDegradation]] = {}
+        for d in self.degradations:
+            by_rank.setdefault(d.rank, []).append(d)
+        object.__setattr__(
+            self, "_deg_by_rank", {r: tuple(ds) for r, ds in by_rank.items()}
+        )
+        object.__setattr__(
+            self,
+            "_notify_schedule",
+            tuple(
+                sorted((tc + self.detect_latency, r) for r, tc in self.crashes.items())
+            ),
+        )
 
     # ------------------------------------------------------------------
     # classification
     # ------------------------------------------------------------------
     def has_message_faults(self) -> bool:
-        return self.drop_rate > 0.0 or self.dup_rate > 0.0 or self.delay_rate > 0.0
+        return self._msg_faults
 
     def has_crashes(self) -> bool:
         return bool(self.crashes)
@@ -131,7 +153,7 @@ class FaultPlan:
         ``index`` is the engine's global post counter, so retransmissions
         of a logically identical message draw fresh, independent fates.
         """
-        if not self.has_message_faults():
+        if not self._msg_faults:
             return _NO_FAULT
         if self.drop_rate > 0.0 and _unit(self.seed, "drop", src, dst, index) < self.drop_rate:
             return MessageFate(copies=0, delays=())
@@ -155,9 +177,12 @@ class FaultPlan:
     # ------------------------------------------------------------------
     def nic_factor(self, rank: int, t: float) -> float:
         """Cost multiplier for messages injected by ``rank`` at time ``t``."""
+        ds = self._deg_by_rank.get(rank)
+        if ds is None:
+            return 1.0
         f = 1.0
-        for d in self.degradations:
-            if d.rank == rank and d.t_start <= t < d.t_end:
+        for d in ds:
+            if d.t_start <= t < d.t_end:
                 f *= d.factor
         return f
 
@@ -178,10 +203,13 @@ class FaultPlan:
         )
 
     def next_notification(self, after_seen: set[int]) -> float | None:
-        """Earliest notification time of a crash not yet in ``after_seen``."""
-        times = [
-            tc + self.detect_latency
-            for r, tc in self.crashes.items()
-            if r not in after_seen
-        ]
-        return min(times) if times else None
+        """Earliest notification time of a crash not yet in ``after_seen``.
+
+        Walks the precomputed time-sorted schedule, so the common case
+        (first crash not yet seen) is O(1) instead of rebuilding a list —
+        this runs inside every blocked-receive wake evaluation.
+        """
+        for tn, r in self._notify_schedule:
+            if r not in after_seen:
+                return tn
+        return None

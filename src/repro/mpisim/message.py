@@ -3,6 +3,10 @@
 The queue implements MPI matching semantics: FIFO per (source, tag) channel,
 with ``ANY_SOURCE`` / ``ANY_TAG`` wildcards matching the earliest-arriving
 eligible message (deterministic: ties broken by global send sequence number).
+
+Both classes are ``__slots__``-based: a simulated run creates one
+:class:`Message` per delivered copy and probes queues on every receive, so
+attribute storage and matching are engine hot paths (see ``repro bench``).
 """
 
 from __future__ import annotations
@@ -12,6 +16,8 @@ from typing import Any
 
 ANY_SOURCE = -1
 ANY_TAG = -1
+
+_NEG_INF = float("-inf")
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +35,10 @@ class Message:
     fault: str | None = None  # injected-fault marker: "dup" / "delay" / None
 
 
+def _order_key(m: Message) -> tuple[float, int]:
+    return (m.arrival, m.seq)
+
+
 @dataclass(slots=True)
 class ReceiveQueue:
     """Arrived-but-unreceived messages for one rank.
@@ -36,22 +46,32 @@ class ReceiveQueue:
     Kept sorted by ``(arrival, seq)`` lazily: messages are appended on
     delivery (senders issue them in nondecreasing virtual time *per sender*
     but interleavings across senders are arbitrary), and we sort on demand.
+    ``_tail_arrival``/``_tail_seq`` cache the largest key appended so far so
+    the common in-order push is two float compares with no tuple building.
     """
 
     _items: list[Message] = field(default_factory=list)
     _dirty: bool = False
+    _tail_arrival: float = _NEG_INF
+    _tail_seq: int = -1
 
     def push(self, msg: Message) -> None:
-        if self._items and (msg.arrival, msg.seq) < (
-            self._items[-1].arrival,
-            self._items[-1].seq,
-        ):
+        a = msg.arrival
+        ta = self._tail_arrival
+        if a < ta or (a == ta and msg.seq < self._tail_seq):
+            # Out of order w.r.t. the largest key seen: sort on demand.
+            # (The tail cache keeps tracking the max key; after a pop of
+            # the true tail it may over-report, which at worst forces a
+            # redundant sort — never a missed one.)
             self._dirty = True
+        else:
+            self._tail_arrival = a
+            self._tail_seq = msg.seq
         self._items.append(msg)
 
     def _normalize(self) -> None:
         if self._dirty:
-            self._items.sort(key=lambda m: (m.arrival, m.seq))
+            self._items.sort(key=_order_key)
             self._dirty = False
 
     def __len__(self) -> int:
@@ -63,8 +83,11 @@ class ReceiveQueue:
         ``before`` restricts to messages with ``arrival <= before`` (used to
         model "has this message physically arrived by my local clock").
         """
-        self._normalize()
-        for i, m in enumerate(self._items):
+        if self._dirty:
+            self._normalize()
+        items = self._items
+        for i in range(len(items)):
+            m = items[i]
             if before is not None and m.arrival > before:
                 # Sorted by arrival: nothing later can qualify.
                 return None

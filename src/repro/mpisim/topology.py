@@ -130,6 +130,9 @@ class DistGraphTopology:
             params={},
         )
         op.enter(rank, eng.clock_of(rank), payload, "neighbor_alltoallv", {})
+        # This entry may have completed a parked neighbor's rendezvous
+        # ({q} ∪ N(q) all present): re-index their heap candidates.
+        eng.notify_ranks(self.neighbors)
         # CPU posting happens now (it cannot be overlapped).
         m = eng.machine
         active_out = sum(1 for _, n in payload if n > 0)
@@ -148,6 +151,9 @@ class DistGraphTopology:
             eng.coll_ops(), key, kind, eng.nprocs, self.adjacency, params={}
         )
         op.enter(rank, eng.clock_of(rank), data, kind, {})
+        # This entry may have completed a parked neighbor's rendezvous
+        # ({q} ∪ N(q) all present): re-index their heap candidates.
+        eng.notify_ranks(self.neighbors)
         eng.set_describe(rank, f"{kind}#{key[1]}")
         eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
 

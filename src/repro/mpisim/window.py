@@ -27,7 +27,7 @@ from typing import Any
 import numpy as np
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingUpdate:
     arrival: float
     seq: int
@@ -153,13 +153,16 @@ class Window:
         pend.sort(key=lambda u: (u.arrival, u.seq))
         buf = self._store.buffers[self.rank]
         applied = 0
-        while pend and pend[0].arrival <= now:
-            u = pend.pop(0)
+        for u in pend:
+            if u.arrival > now:
+                break
             if u.accumulate:
                 buf[u.offset : u.offset + u.data.size] += u.data
             else:
                 buf[u.offset : u.offset + u.data.size] = u.data
             applied += 1
+        if applied:
+            del pend[:applied]
         return applied
 
     def get(self, target: int, target_offset: int, count: int) -> np.ndarray:

@@ -1,0 +1,290 @@
+"""Differential tests: the heap scheduler is bit-identical to the reference.
+
+The engine ships two scheduler implementations (``scheduler="heap"``, the
+indexed candidate-time heap, and ``scheduler="reference"``, the original
+O(P)-scan executable specification — see docs/engine_scheduling.md). This
+suite runs a matrix of (program x machine x seed x fault plan) under both
+and asserts that every *virtual* observable agrees exactly:
+
+* the canonically ordered event trace, byte-for-byte as CSV;
+* per-rank final clocks and the makespan;
+* every per-rank counter (op counts, byte volumes, the
+  compute/comm/idle time split, memory accounting, fault counters);
+* the communication matrices;
+* rank results and crashed-rank sets.
+
+``scheduler_switches`` is deliberately excluded: the two implementations
+take different keep-running shortcuts in ``yield_ready``, which changes
+how often the token physically moves but nothing a rank program can
+observe in virtual time.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.mpisim import Engine, FaultPlan, cori_aries, trace_to_csv
+from repro.mpisim.machine import commodity_cluster, get_machine, zero_latency
+from repro.mpisim.tracing import time_ordered
+from repro.util.rng import make_rng
+
+MACHINES = ["cori-aries", "commodity", "zero-latency"]
+
+
+# ----------------------------------------------------------------------
+# equivalence harness
+# ----------------------------------------------------------------------
+def _counters_dict(rc) -> dict:
+    """RankCounters as a plain dict (dataclass fields are all comparable)."""
+    return dataclasses.asdict(rc)
+
+
+def assert_equivalent(a, ta, b, tb) -> None:
+    """Assert two (EngineResult, trace) pairs agree on every virtual fact."""
+    assert a.makespan == b.makespan
+    assert a.final_clocks == b.final_clocks
+    assert a.rank_results == b.rank_results
+    assert a.total_ops == b.total_ops
+    assert a.crashed_ranks == b.crashed_ranks
+    # Canonical order: (time, rank) with a stable sort, so each rank's
+    # same-time events keep program order. Physical append order may
+    # differ (the schedulers park at different moments), virtual order
+    # may not.
+    assert trace_to_csv(time_ordered(ta)) == trace_to_csv(time_ordered(tb))
+    for rca, rcb in zip(a.counters.ranks, b.counters.ranks):
+        assert _counters_dict(rca) == _counters_dict(rcb)
+    for name in ("p2p", "rma", "ncl"):
+        ma = getattr(a.counters, name)
+        mb = getattr(b.counters, name)
+        np.testing.assert_array_equal(ma.counts, mb.counts)
+        np.testing.assert_array_equal(ma.bytes, mb.bytes)
+
+
+def run_both(prog, nprocs, machine, faults=None, expect_crashes=False):
+    out = {}
+    for sched in ("reference", "heap"):
+        eng = Engine(nprocs, machine, trace=True, faults=faults, scheduler=sched)
+        out[sched] = (eng.run(prog), eng.trace)
+    (a, ta), (b, tb) = out["reference"], out["heap"]
+    if expect_crashes:
+        assert a.crashed_ranks  # the plan must actually bite
+    assert_equivalent(a, ta, b, tb)
+    return out["heap"][0]
+
+
+# ----------------------------------------------------------------------
+# programs
+# ----------------------------------------------------------------------
+def scripted(seed: int, rounds: int):
+    """Seeded many-to-many sends + allreduce + exact receives per round."""
+
+    def prog(ctx):
+        rng = make_rng(seed, "diff", ctx.rank)
+        shared = make_rng(seed, "diff-shared")
+        dests = shared.integers(0, ctx.nprocs, size=(ctx.nprocs, rounds))
+        for k in range(rounds):
+            ctx.compute(units=float(rng.integers(0, 40)))
+            d = int(dests[ctx.rank, k])
+            if d != ctx.rank:
+                ctx.isend(d, (ctx.rank, k), nbytes=48)
+            expected = int(np.sum(dests[:, k] == ctx.rank)) - int(
+                dests[ctx.rank, k] == ctx.rank
+            )
+            got = sorted(ctx.recv().payload for _ in range(expected))
+            total = ctx.allreduce(len(got))
+            assert total == int(np.sum(dests[:, k] != np.arange(ctx.nprocs)))
+        return ctx.rank
+
+    return prog
+
+
+def tolerant_ring(rounds: int):
+    """Ring chatter that only receives what arrives (drop/dup tolerant)."""
+
+    def prog(ctx):
+        nxt = (ctx.rank + 1) % ctx.nprocs
+        for i in range(rounds):
+            ctx.isend(nxt, i, tag=1, nbytes=24)
+        ctx.compute(seconds=1e-3)
+        n = 0
+        while ctx.iprobe() is not None:
+            ctx.recv(tag=1)
+            n += 1
+        return n
+
+    return prog
+
+
+def rma_mix(ctx):
+    """Puts, accumulates, sync_local polling, get, and a flush fence."""
+    p = ctx.nprocs
+    win = ctx.win_allocate(p)
+    win.put((ctx.rank + 1) % p, np.array([ctx.rank + 1]), ctx.rank)
+    win.accumulate((ctx.rank + 2) % p, np.array([10]), ctx.rank)
+    win.flush_all()
+    ctx.barrier()
+    applied = win.sync_local()
+    snapshot = win.local.tolist()
+    remote = win.get((ctx.rank + 1) % p, 0, p).tolist()
+    ctx.barrier()
+    return (applied, snapshot, remote)
+
+
+def neighbor_ring(rounds: int):
+    def prog(ctx):
+        p = ctx.nprocs
+        topo = ctx.dist_graph_create_adjacent(
+            sorted({(ctx.rank - 1) % p, (ctx.rank + 1) % p})
+        )
+        acc = 0
+        for k in range(rounds):
+            got, _ = topo.neighbor_alltoallv([[ctx.rank, k]] * topo.degree)
+            acc += sum(x[0] for x in got)
+            ctx.compute(units=3.0)
+        return acc
+
+    return prog
+
+
+def crash_survivor(ctx):
+    """Send-only + probe-drain loop that outlives peer crashes."""
+    from repro.mpisim.errors import RankCrashed
+
+    nxt = (ctx.rank + 1) % ctx.nprocs
+    sent = 0
+    for i in range(6):
+        try:
+            ctx.isend(nxt, i, tag=5, nbytes=16)
+            sent += 1
+        except RankCrashed:
+            pass  # peer detected dead; keep going
+        ctx.compute(seconds=2e-5)
+    n = 0
+    while ctx.iprobe() is not None:
+        ctx.recv(tag=5)
+        n += 1
+    return (sent, n, sorted(ctx.failed_ranks()))
+
+
+# ----------------------------------------------------------------------
+# fault-free matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("machine", MACHINES)
+@pytest.mark.parametrize("seed", [0, 7, 123])
+@pytest.mark.parametrize("nprocs", [2, 5, 9])
+def test_scripted_matrix(machine, seed, nprocs):
+    run_both(scripted(seed, rounds=4), nprocs, get_machine(machine))
+
+
+@pytest.mark.parametrize("machine", MACHINES)
+def test_rma_mix(machine):
+    res = run_both(rma_mix, 4, get_machine(machine))
+    # sanity: every rank saw both incoming one-sided ops after the barrier
+    for applied, _, _ in res.rank_results:
+        assert applied == 2
+
+
+@pytest.mark.parametrize("nprocs", [3, 8])
+def test_neighborhood_collectives(nprocs):
+    run_both(neighbor_ring(5), nprocs, cori_aries())
+
+
+def test_single_rank_degenerate():
+    def prog(ctx):
+        ctx.compute(units=10.0)
+        ctx.barrier()
+        return ctx.allreduce(ctx.rank)
+
+    run_both(prog, 1, cori_aries())
+
+
+# ----------------------------------------------------------------------
+# faulty matrix
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fault_seed", [3, 19])
+@pytest.mark.parametrize(
+    "rates",
+    [
+        dict(drop_rate=0.2),
+        dict(dup_rate=0.15),
+        dict(delay_rate=0.3),
+        dict(drop_rate=0.1, dup_rate=0.1, delay_rate=0.1),
+    ],
+    ids=["drop", "dup", "delay", "mixed"],
+)
+def test_message_fault_plans(fault_seed, rates):
+    plan = FaultPlan(seed=fault_seed, **rates)
+    run_both(tolerant_ring(10), 4, cori_aries(), faults=plan)
+
+
+def test_nic_degradation_plan():
+    from repro.mpisim.faults import NicDegradation
+
+    plan = FaultPlan(
+        degradations=(NicDegradation(rank=1, t_start=0.0, t_end=1e-3, factor=8.0),)
+    )
+    run_both(tolerant_ring(8), 4, cori_aries(), faults=plan)
+
+
+@pytest.mark.parametrize("crash_rank,crash_t", [(1, 5e-5), (0, 1e-4)])
+def test_crash_plans(crash_rank, crash_t):
+    plan = FaultPlan(crashes={crash_rank: crash_t})
+    run_both(crash_survivor, 4, cori_aries(), faults=plan, expect_crashes=True)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the matching application under every backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("model", ["nsr", "rma", "ncl", "mbp", "incl"])
+def test_matching_backends_bit_identical(model):
+    from repro.graph.generators import rmat_graph
+    from repro.matching import run_matching
+
+    g = rmat_graph(7, seed=2)
+    runs = {
+        sched: run_matching(g, 4, model, scheduler=sched, trace=True)
+        for sched in ("reference", "heap")
+    }
+    a, b = runs["reference"], runs["heap"]
+    assert a.makespan == b.makespan
+    assert a.weight == b.weight
+    assert a.iterations == b.iterations
+    np.testing.assert_array_equal(a.mate, b.mate)
+    assert a.engine.final_clocks == b.engine.final_clocks
+    assert trace_to_csv(time_ordered(a.engine.trace)) == trace_to_csv(
+        time_ordered(b.engine.trace)
+    )
+    for rca, rcb in zip(a.counters.ranks, b.counters.ranks):
+        assert _counters_dict(rca) == _counters_dict(rcb)
+
+
+def test_matching_under_faults_bit_identical():
+    from repro.graph.generators import rmat_graph
+    from repro.matching import run_matching
+
+    g = rmat_graph(7, seed=2)
+    plan = FaultPlan(seed=5, drop_rate=0.05, dup_rate=0.05)
+    runs = {
+        sched: run_matching(g, 4, "nsr", faults=plan, scheduler=sched)
+        for sched in ("reference", "heap")
+    }
+    a, b = runs["reference"], runs["heap"]
+    assert (a.makespan, a.weight) == (b.makespan, b.weight)
+    assert a.fault_totals() == b.fault_totals()
+    np.testing.assert_array_equal(a.mate, b.mate)
+
+
+# ----------------------------------------------------------------------
+# engine API guards
+# ----------------------------------------------------------------------
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        Engine(2, cori_aries(), scheduler="banana")
+
+
+def test_machines_importable():
+    # keep the direct imports honest (and the MACHINES list in sync)
+    assert {m().name for m in (cori_aries, commodity_cluster, zero_latency)} == {
+        get_machine(n).name for n in MACHINES
+    }
