@@ -10,7 +10,12 @@ Commands
   run with a results summary;
 - ``bench [--quick]`` — engine microbenchmarks (heap vs reference
   scheduler) plus a small end-to-end run, persisted to
-  ``BENCH_engine.json``.
+  ``BENCH_engine.json``;
+- ``chaos [dataset] [--plans N] [--seed S]`` — deterministically sample
+  fault plans (crashes, message/RMA faults, NIC degradation), run each
+  backend under them with survivor-subgraph verification and
+  determinism checks, and shrink any failure to a minimal reproducing
+  ``repro match`` invocation.
 """
 
 from __future__ import annotations
@@ -112,6 +117,27 @@ def _parse_crashes(specs: list[str]) -> dict[int, float]:
     return crashes
 
 
+def _parse_degradations(specs: list[str]):
+    """Parse repeated ``--degrade RANK:T0:T1:FACTOR`` options."""
+    from repro.mpisim.faults import NicDegradation
+
+    out = []
+    for s in specs:
+        try:
+            rank_s, t0_s, t1_s, f_s = s.split(":")
+            out.append(
+                NicDegradation(
+                    rank=int(rank_s), t_start=float(t0_s),
+                    t_end=float(t1_s), factor=float(f_s),
+                )
+            )
+        except ValueError as e:
+            raise SystemExit(
+                f"bad --degrade spec {s!r}; expected RANK:T0:T1:FACTOR ({e})"
+            ) from None
+    return tuple(out)
+
+
 def _cmd_match(args) -> int:
     from repro.harness.spec import get_graph
     from repro.matching import run_matching
@@ -121,7 +147,12 @@ def _cmd_match(args) -> int:
 
     faults = None
     crashes = _parse_crashes(args.crash)
-    if args.drop_rate or args.dup_rate or args.delay_rate or crashes:
+    degradations = _parse_degradations(args.degrade)
+    if (
+        args.drop_rate or args.dup_rate or args.delay_rate
+        or args.rma_drop_rate or args.rma_corrupt_rate
+        or crashes or degradations
+    ):
         bad = [r for r in crashes if not 0 <= r < args.nprocs]
         if bad:
             raise SystemExit(f"--crash ranks {bad} outside 0..{args.nprocs - 1}")
@@ -131,7 +162,11 @@ def _cmd_match(args) -> int:
                 drop_rate=args.drop_rate,
                 dup_rate=args.dup_rate,
                 delay_rate=args.delay_rate,
+                degradations=degradations,
                 crashes=crashes,
+                detect_latency=args.detect_latency,
+                rma_drop_rate=args.rma_drop_rate,
+                rma_corrupt_rate=args.rma_corrupt_rate,
             )
         except ValueError as e:
             raise SystemExit(str(e)) from None
@@ -139,6 +174,11 @@ def _cmd_match(args) -> int:
             raise SystemExit(
                 "message faults (drop/dup/delay) require -m nsr — only the "
                 "Send-Recv backend carries the reliable-delivery shim"
+            )
+        if faults.has_rma_faults() and args.model != "rma":
+            raise SystemExit(
+                "put fates (--rma-drop-rate/--rma-corrupt-rate) require "
+                "-m rma — only the one-sided backend uses windows"
             )
 
     g = get_graph(args.dataset)
@@ -148,6 +188,7 @@ def _cmd_match(args) -> int:
         model=args.model,
         machine=get_machine(args.machine),
         faults=faults,
+        max_ops=args.max_ops,
     )
     print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
     print(f"model: {res.model} on {res.nprocs} simulated ranks")
@@ -161,6 +202,37 @@ def _cmd_match(args) -> int:
         ft = {k: v for k, v in res.fault_totals().items() if v}
         print(f"fault counters: {ft or 'none'}")
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.harness.chaos import matching_runner, run_chaos
+    from repro.harness.spec import get_graph
+    from repro.matching import run_matching
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    for b in backends:
+        if b not in ("nsr", "rma", "ncl"):
+            raise SystemExit(f"chaos supports nsr/rma/ncl, got {b!r}")
+    g = get_graph(args.dataset)
+    # Anchor crash times / degradation windows to each backend's actual
+    # fault-free makespan so sampled faults land mid-algorithm.
+    t_scales = {
+        b: run_matching(g, nprocs=args.nprocs, model=b).makespan for b in backends
+    }
+    runner = matching_runner(g, args.nprocs, max_ops=args.max_ops)
+    report = run_chaos(
+        runner,
+        seed=args.seed,
+        plans=args.plans,
+        nprocs=args.nprocs,
+        backends=backends,
+        t_scales=t_scales,
+        dataset=args.dataset,
+        do_shrink=not args.no_shrink,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    print(report.render())
+    return 1 if report.failures else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -234,7 +306,61 @@ def main(argv: list[str] | None = None) -> int:
         metavar="RANK:TIME",
         help="crash RANK at virtual TIME seconds (repeatable)",
     )
+    p_match.add_argument(
+        "--detect-latency",
+        type=float,
+        default=1e-5,
+        help="seconds after a crash before survivors are notified",
+    )
+    p_match.add_argument(
+        "--rma-drop-rate",
+        type=float,
+        default=0.0,
+        help="one-sided put silent-loss probability (rma model only)",
+    )
+    p_match.add_argument(
+        "--rma-corrupt-rate",
+        type=float,
+        default=0.0,
+        help="one-sided put bit-flip probability (rma model only)",
+    )
+    p_match.add_argument(
+        "--degrade",
+        action="append",
+        default=[],
+        metavar="RANK:T0:T1:FACTOR",
+        help="slow RANK's NIC by FACTOR during [T0, T1) (repeatable)",
+    )
+    p_match.add_argument(
+        "--max-ops",
+        type=int,
+        default=None,
+        help="abort the simulation after this many scheduler operations",
+    )
     p_match.set_defaults(fn=_cmd_match)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="sample seeded fault plans, verify, shrink failures"
+    )
+    p_chaos.add_argument("dataset", nargs="?", default="rgg-8k")
+    p_chaos.add_argument("-p", "--nprocs", type=int, default=8)
+    p_chaos.add_argument("--plans", type=int, default=30, help="fault plans to sample")
+    p_chaos.add_argument("--seed", type=int, default=1, help="sampling seed")
+    p_chaos.add_argument(
+        "--backends",
+        default="nsr,rma,ncl",
+        help="comma-separated backends to round-robin over",
+    )
+    p_chaos.add_argument(
+        "--max-ops",
+        type=int,
+        default=2_000_000,
+        help="per-run scheduler-op budget (classified as a hang when exceeded)",
+    )
+    p_chaos.add_argument(
+        "--no-shrink", action="store_true", help="report failures without shrinking"
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     args = parser.parse_args(argv)
     try:

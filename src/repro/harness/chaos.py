@@ -1,0 +1,364 @@
+"""Deterministic chaos harness for the fault-tolerant matching stack.
+
+``repro chaos`` samples N fault plans from a seeded space (message/RMA
+fault rates x crash sets x NIC-degradation windows x backends), runs
+each through the matching driver, and checks three properties:
+
+* **liveness** — the run terminates (no deadlock, no budget blow-up);
+* **safety** — the produced matching is valid on the survivor subgraph;
+* **determinism** — running the same plan twice produces an identical
+  fingerprint (makespan, weight, mate hash).
+
+Everything is a pure function of ``(seed, index)`` via counter-based
+hashing — there is no RNG state, so any failing plan can be re-run in
+isolation. On failure the harness *shrinks* the plan: it greedily tries
+strictly smaller candidates (drop a crash, bisect the crash set, zero or
+halve a fault rate, remove a degradation window, shorten it) and keeps
+any that still reproduces the same failure class, until a fixpoint. The
+minimal plan is printed as a ready-to-paste ``python -m repro match``
+invocation.
+
+The ``runner`` is pluggable (``backend, plan -> (status, detail)``) so
+the shrinker itself is testable against an intentionally buggy toy
+program — see ``tests/harness/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.mpisim.faults import FaultPlan, NicDegradation
+from repro.util.rng import derive_seed
+
+_U63 = float(1 << 63)
+
+#: failure classes, from most to least severe (sort key for reporting)
+STATUSES = ("hang", "crash", "invalid", "nondet", "ok")
+
+Runner = Callable[[str, FaultPlan], tuple[str, str]]
+
+
+def _unit(seed: int, *stream) -> float:
+    return derive_seed(seed, *stream) / _U63
+
+
+# ----------------------------------------------------------------------
+# plan sampling
+# ----------------------------------------------------------------------
+def sample_plan(
+    seed: int, index: int, nprocs: int, backend: str, t_scale: float
+) -> FaultPlan:
+    """Deterministically sample the ``index``-th fault plan.
+
+    ``t_scale`` anchors crash times and degradation windows to the
+    fault-free makespan of the backend under test, so faults land while
+    the algorithm is actually running. Message-fault rates are only
+    drawn for NSR (the backend with the reliable-delivery shim); RMA
+    put fates only for the one-sided backend.
+    """
+
+    def u(*tag) -> float:
+        return _unit(seed, "chaos", index, *tag)
+
+    # crash set: 0..3 distinct ranks, weighted towards 1-2
+    w = u("ncrash")
+    n_crashes = 0 if w < 0.20 else 1 if w < 0.62 else 2 if w < 0.88 else 3
+    crashes: dict[int, float] = {}
+    k = 0
+    while len(crashes) < min(n_crashes, max(0, nprocs - 2)):
+        r = int(u("crank", k) * nprocs) % nprocs
+        if r not in crashes:
+            crashes[r] = (0.05 + 0.80 * u("ctime", r)) * t_scale
+        k += 1
+
+    detect = (0.01 + 0.04 * u("detect")) * t_scale
+
+    degradations = []
+    if u("deg?") < 0.35:
+        dr = int(u("degrank") * nprocs) % nprocs
+        t0 = 0.5 * u("deg0") * t_scale
+        dur = (0.1 + 0.3 * u("degd")) * t_scale
+        degradations.append(
+            NicDegradation(
+                rank=dr, t_start=t0, t_end=t0 + dur,
+                factor=1.0 + 3.0 * u("degf"),
+            )
+        )
+
+    drop = dup = delay = rma_drop = rma_corrupt = 0.0
+    if backend == "nsr" and u("msg?") < 0.6:
+        drop = 0.10 * u("drop")
+        dup = 0.05 * u("dup")
+        delay = 0.20 * u("delay")
+    if backend == "rma" and u("rma?") < 0.6:
+        rma_drop = 0.08 * u("rdrop")
+        rma_corrupt = 0.08 * u("rcorrupt")
+
+    return FaultPlan(
+        seed=derive_seed(seed, "plan-seed", index) & 0x7FFFFFFF,
+        drop_rate=drop,
+        dup_rate=dup,
+        delay_rate=delay,
+        degradations=tuple(degradations),
+        crashes=crashes,
+        detect_latency=detect,
+        rma_drop_rate=rma_drop,
+        rma_corrupt_rate=rma_corrupt,
+    )
+
+
+# ----------------------------------------------------------------------
+# the default runner: matching + survivor verification + determinism
+# ----------------------------------------------------------------------
+def _fingerprint(res) -> tuple:
+    mate_hash = hashlib.sha256(res.mate.tobytes()).hexdigest()[:16]
+    return (res.makespan, float(res.weight), mate_hash)
+
+
+def matching_runner(g, nprocs: int, max_ops: int | None = None) -> Runner:
+    """Build the production runner: run, verify, run again, compare."""
+    from repro.matching.api import run_matching
+    from repro.matching.verify import check_matching_valid
+    from repro.mpisim.errors import (
+        DeadlockError,
+        RankFailure,
+        SimError,
+        SimLimitExceeded,
+    )
+
+    def one(backend: str, plan: FaultPlan):
+        return run_matching(
+            g, nprocs=nprocs, model=backend,
+            faults=None if plan.is_null() else plan, max_ops=max_ops,
+        )
+
+    def run(backend: str, plan: FaultPlan) -> tuple[str, str]:
+        try:
+            res = one(backend, plan)
+        except (DeadlockError, SimLimitExceeded) as e:
+            return "hang", str(e).splitlines()[0]
+        except (RankFailure, SimError) as e:
+            return "crash", repr(e)
+        try:
+            check_matching_valid(g, res.mate)
+        except AssertionError as e:
+            return "invalid", str(e)
+        try:
+            res2 = one(backend, plan)
+        except (SimError, AssertionError) as e:  # pragma: no cover - run 1 passed
+            return "nondet", f"second run failed: {e!r}"
+        if _fingerprint(res) != _fingerprint(res2):
+            return "nondet", f"{_fingerprint(res)} != {_fingerprint(res2)}"
+        return "ok", ""
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+def plan_size(plan: FaultPlan) -> tuple:
+    """Strictly decreasing along every shrink move."""
+    rates = (
+        plan.drop_rate, plan.dup_rate, plan.delay_rate,
+        plan.rma_drop_rate, plan.rma_corrupt_rate,
+    )
+    deg_span = sum(d.t_end - d.t_start for d in plan.degradations)
+    return (
+        len(plan.crashes) + len(plan.degradations) + sum(r > 0 for r in rates),
+        sum(rates),
+        deg_span,
+    )
+
+
+def _shrink_candidates(plan: FaultPlan):
+    """Strictly smaller plans to try, most aggressive first."""
+    crash_items = sorted(plan.crashes.items())
+    # bisect the crash set
+    if len(crash_items) > 1:
+        half = len(crash_items) // 2
+        yield replace(plan, crashes=dict(crash_items[:half]))
+        yield replace(plan, crashes=dict(crash_items[half:]))
+    # drop individual crashes
+    for r, _ in crash_items:
+        yield replace(plan, crashes={q: t for q, t in crash_items if q != r})
+    # zero all rates at once
+    rate_names = ("drop_rate", "dup_rate", "delay_rate",
+                  "rma_drop_rate", "rma_corrupt_rate")
+    if any(getattr(plan, n) > 0 for n in rate_names):
+        yield replace(plan, **{n: 0.0 for n in rate_names})
+    # zero, then halve, individual rates
+    for n in rate_names:
+        v = getattr(plan, n)
+        if v > 0:
+            yield replace(plan, **{n: 0.0})
+    for n in rate_names:
+        v = getattr(plan, n)
+        if v > 1e-4:
+            yield replace(plan, **{n: v / 2.0})
+    # remove, then narrow, degradation windows
+    for i in range(len(plan.degradations)):
+        yield replace(
+            plan,
+            degradations=plan.degradations[:i] + plan.degradations[i + 1:],
+        )
+    for i, d in enumerate(plan.degradations):
+        span = d.t_end - d.t_start
+        if span > 1e-9:
+            narrowed = NicDegradation(
+                rank=d.rank, t_start=d.t_start,
+                t_end=d.t_start + span / 2.0, factor=d.factor,
+            )
+            yield replace(
+                plan,
+                degradations=plan.degradations[:i] + (narrowed,)
+                + plan.degradations[i + 1:],
+            )
+
+
+def shrink_plan(
+    runner: Runner, backend: str, plan: FaultPlan, status: str,
+    max_attempts: int = 200,
+) -> tuple[FaultPlan, int]:
+    """Greedily minimise ``plan`` while it reproduces ``status``.
+
+    Returns ``(minimal plan, number of runner invocations)``. Greedy
+    first-accept: each round tries candidates in order and restarts from
+    the first strictly smaller plan that still fails the same way; a
+    round with no accepted candidate is a fixpoint.
+    """
+    attempts = 0
+    current = plan
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for cand in _shrink_candidates(current):
+            if plan_size(cand) >= plan_size(current):
+                continue
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            got, _ = runner(backend, cand)
+            if got == status:
+                current = cand
+                progress = True
+                break
+    return current, attempts
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def render_cli(
+    dataset: str, nprocs: int, backend: str, plan: FaultPlan
+) -> str:
+    """A ready-to-paste ``python -m repro match`` reproducing this plan."""
+    parts = [
+        f"python -m repro match {dataset}", f"-p {nprocs}", f"-m {backend}",
+        f"--fault-seed {plan.seed}",
+    ]
+    for r, t in sorted(plan.crashes.items()):
+        parts.append(f"--crash {r}:{t:.9g}")
+    if plan.crashes:
+        parts.append(f"--detect-latency {plan.detect_latency:.9g}")
+    for nm, flag in (
+        ("drop_rate", "--drop-rate"), ("dup_rate", "--dup-rate"),
+        ("delay_rate", "--delay-rate"), ("rma_drop_rate", "--rma-drop-rate"),
+        ("rma_corrupt_rate", "--rma-corrupt-rate"),
+    ):
+        v = getattr(plan, nm)
+        if v > 0:
+            parts.append(f"{flag} {v:.6g}")
+    for d in plan.degradations:
+        parts.append(
+            f"--degrade {d.rank}:{d.t_start:.9g}:{d.t_end:.9g}:{d.factor:.6g}"
+        )
+    return " ".join(parts)
+
+
+@dataclass
+class ChaosOutcome:
+    """One sampled plan's verdict."""
+
+    index: int
+    backend: str
+    plan: FaultPlan
+    status: str
+    detail: str = ""
+    shrunk: FaultPlan | None = None
+    shrink_attempts: int = 0
+
+
+@dataclass
+class ChaosReport:
+    seed: int
+    nprocs: int
+    dataset: str
+    outcomes: list[ChaosOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ChaosOutcome]:
+        return [o for o in self.outcomes if o.status != "ok"]
+
+    def render(self) -> str:
+        lines = [
+            f"chaos: {len(self.outcomes)} plans, seed={self.seed}, "
+            f"dataset={self.dataset}, p={self.nprocs}: "
+            f"{len(self.outcomes) - len(self.failures)} ok, "
+            f"{len(self.failures)} failing"
+        ]
+        for o in self.outcomes:
+            summary = (
+                f"crashes={sorted(o.plan.crashes)} "
+                f"rates=({o.plan.drop_rate:.3f},{o.plan.dup_rate:.3f},"
+                f"{o.plan.delay_rate:.3f},{o.plan.rma_drop_rate:.3f},"
+                f"{o.plan.rma_corrupt_rate:.3f}) "
+                f"deg={len(o.plan.degradations)}"
+            )
+            lines.append(f"  [{o.index:3d}] {o.backend:4s} {o.status:7s} {summary}")
+            if o.status != "ok":
+                lines.append(f"        {o.detail}")
+                target = o.shrunk if o.shrunk is not None else o.plan
+                label = "shrunk to" if o.shrunk is not None else "plan"
+                lines.append(
+                    f"        {label}: "
+                    + render_cli(self.dataset, self.nprocs, o.backend, target)
+                )
+        return "\n".join(lines)
+
+
+def run_chaos(
+    runner: Runner,
+    *,
+    seed: int,
+    plans: int,
+    nprocs: int,
+    backends: tuple[str, ...] = ("nsr", "rma", "ncl"),
+    t_scales: dict[str, float] | None = None,
+    dataset: str = "?",
+    do_shrink: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> ChaosReport:
+    """Sample ``plans`` fault plans round-robin over ``backends``, run
+    each through ``runner``, shrink failures. Fully deterministic given
+    ``seed`` (the runner must be, too)."""
+    report = ChaosReport(seed=seed, nprocs=nprocs, dataset=dataset)
+    for i in range(plans):
+        backend = backends[i % len(backends)]
+        t_scale = (t_scales or {}).get(backend, 1e-3)
+        plan = sample_plan(seed, i, nprocs, backend, t_scale)
+        status, detail = runner(backend, plan)
+        outcome = ChaosOutcome(
+            index=i, backend=backend, plan=plan, status=status, detail=detail
+        )
+        if status != "ok" and do_shrink:
+            shrunk, attempts = shrink_plan(runner, backend, plan, status)
+            outcome.shrink_attempts = attempts
+            if plan_size(shrunk) < plan_size(plan):
+                outcome.shrunk = shrunk
+        report.outcomes.append(outcome)
+        if progress is not None:
+            progress(f"[{i + 1}/{plans}] {backend} {status}")
+    return report

@@ -30,13 +30,14 @@ from repro.util.tables import TextTable
 def _layout_rank_main(ctx, parts):
     lg = parts[ctx.rank]
     backend = RMABackend(ctx, lg)
+    nbrs = list(backend.topo.neighbors)
     layout = {
-        "neighbors": list(backend.topo.neighbors),
-        "caps": list(backend.region_cap),
-        "starts": [int(s) for s in backend.region_start[:-1]],
+        "neighbors": nbrs,
+        "caps": [backend.region_cap[q] for q in nbrs],
+        "starts": [int(backend.region_start[q]) for q in nbrs],
         "window_elems": backend.win.size_of(ctx.rank),
-        "remote_base": [int(b) for b in backend.remote_base],
-        "ghosts": {q: lg.ghost_counts[q] for q in backend.topo.neighbors},
+        "remote_base": [int(backend.remote_base[q]) for q in nbrs],
+        "ghosts": {q: lg.ghost_counts[q] for q in nbrs},
     }
     ctx.barrier()
     return layout

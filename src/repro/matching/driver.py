@@ -113,6 +113,7 @@ def matching_rank_main(
         "hi": lg.hi,
         "mate": state.mate_global(),
         "iterations": info.get("iterations", 0),
+        "recoveries": info.get("recoveries", 0),
         "stats": state.stats,
         "model": model,
     }

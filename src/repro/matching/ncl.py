@@ -10,6 +10,20 @@ graph topology. This is why NCL wins when the process graph is sparse
 (one cheap exchange replaces thousands of tiny sends) and loses when it
 is near-complete (each collective couples a rank to p-1 neighbors —
 paper Fig. 4c, Tables III/IV).
+
+Crash recovery (extension; see docs/fault_model.md): under a crash plan
+the backend keeps a *cumulative* per-neighbor send log and ships
+``(start, chunk)`` payloads tagged with the chunk's position in that
+log; the receiver tracks a per-sender consumed count and skips overlap.
+A neighborhood collective is completed per-rank, so a crash can strand
+an exchange half-done — one side advanced its sent mark, the other
+never received the chunk. Recovery therefore renounces the dead rank,
+revokes the stale topology scope, rebuilds the process graph over the
+survivors (epoch-keyed agreement), resets every sent mark to zero and
+resends the full logs: at-least-once delivery plus exact dedup restores
+the no-loss invariant. Termination uses the survivor agreement instead
+of a world allreduce. The fault-free path is byte-identical to the
+original backend.
 """
 
 from __future__ import annotations
@@ -20,6 +34,7 @@ from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.errors import RankCrashed
 
 
 class NCLBackend:
@@ -31,15 +46,35 @@ class NCLBackend:
         self.options = options
         self.ctx = ctx
         self.lg = lg
-        self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
-        self.nbr_index = {q: k for k, q in enumerate(self.topo.neighbors)}
-        self.send_bufs: list[list[int]] = [[] for _ in self.topo.neighbors]
+        plan = ctx.fault_plan
+        self.fault_aware = plan is not None and plan.has_crashes()
         self._staged_bytes = 0
+        self.epoch: tuple[int, ...] = ()
+        self._recoveries = 0
+        if self.fault_aware:
+            # Setup moves into run(): construction collectives must be
+            # survivor-safe. Send state is keyed by *rank* (not neighbor
+            # slot) so it survives a topology rebuild.
+            self.topo = None
+            self._all_nbrs = sorted(set(int(q) for q in lg.neighbor_ranks))
+            #: cumulative flat (ctx, x, y) triples ever pushed, per target
+            self.sent_log: dict[int, list[int]] = {q: [] for q in self._all_nbrs}
+            #: ints of sent_log[q] already shipped in a completed exchange
+            self.sent_mark: dict[int, int] = {q: 0 for q in self._all_nbrs}
+            #: triples consumed from each sender (dedup on resend overlap)
+            self.consumed: dict[int, int] = {q: 0 for q in self._all_nbrs}
+        else:
+            self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
+            self.nbr_index = {q: k for k, q in enumerate(self.topo.neighbors)}
+            self.send_bufs: list[list[int]] = [[] for _ in self.topo.neighbors]
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
         """Stage the triple for the next collective exchange."""
-        self.send_bufs[self.nbr_index[target_rank]].extend((int(ctx_id), x, y))
+        if self.fault_aware:
+            self.sent_log[target_rank].extend((int(ctx_id), x, y))
+        else:
+            self.send_bufs[self.nbr_index[target_rank]].extend((int(ctx_id), x, y))
         self.ctx.alloc(TRIPLE_BYTES, "ncl-sendbuf")
         self._staged_bytes += TRIPLE_BYTES
 
@@ -69,7 +104,102 @@ class NCLBackend:
         return handled
 
     # ------------------------------------------------------------------
+    # crash-survivable path
+    # ------------------------------------------------------------------
+    def _exchange_logs(self, state: MatchingState) -> int:
+        """One incremental exchange of cumulative-log chunks.
+
+        Ships ``(start_triples, chunk)`` per surviving neighbor; the
+        receiver drops the already-consumed prefix, so a post-recovery
+        full-log resend (sent marks reset to zero) delivers each triple
+        exactly once. Marks advance only after the collective returns —
+        a raise mid-rendezvous leaves them untouched and the chunk is
+        simply resent.
+        """
+        topo = self.topo
+        nbrs = topo.neighbors
+        items = []
+        for q in nbrs:
+            start = self.sent_mark[q]
+            chunk = np.array(self.sent_log[q][start:], dtype=np.int64)
+            items.append((start // 3, chunk))
+        nbytes_each = [8 + int(arr.nbytes) for _, arr in items]
+        recv_bytes = 0
+        recv, _ = topo.neighbor_alltoallv(items, nbytes_each=nbytes_each)
+        for q in nbrs:
+            self.sent_mark[q] = len(self.sent_log[q])
+        handled = 0
+        for q, (start, arr) in zip(nbrs, recv):
+            have = self.consumed[q]
+            if start > have:
+                raise RuntimeError(
+                    f"NCL log gap from rank {q}: chunk starts at triple "
+                    f"{start} but only {have} consumed"
+                )
+            skip = (have - start) * 3
+            fresh = arr[skip:]
+            recv_bytes += int(fresh.nbytes)
+            for s in range(0, len(fresh), 3):
+                state.handle(
+                    Ctx(int(fresh[s])), int(fresh[s + 1]), int(fresh[s + 2])
+                )
+                handled += 1
+            self.consumed[q] = have + len(fresh) // 3
+        if recv_bytes:
+            self.ctx.alloc(recv_bytes, "ncl-recvbuf")
+            self.ctx.free(recv_bytes, "ncl-recvbuf")
+        return handled
+
+    def _setup(self, state: MatchingState) -> None:
+        """(Re)build the survivor topology and schedule a full resync."""
+        self.epoch = tuple(sorted(state.dead_ranks))
+        live = [q for q in self._all_nbrs if q not in state.dead_ranks]
+        self.topo = self.ctx.shrink_rebuild_topology(live, epoch=self.epoch)
+        if self._recoveries:
+            # A half-completed exchange may have advanced a peer's sent
+            # mark past data we never received: resend everything, the
+            # consumed counters dedup the overlap.
+            for q in live:
+                self.sent_mark[q] = 0
+
+    def _recover(self, state: MatchingState, blame: int) -> None:
+        ctx = self.ctx
+        for r in sorted(ctx.failed_ranks()):
+            if r not in state.dead_ranks:
+                state.renounce_rank(r)
+        if self.topo is not None:
+            ctx.revoke_topology(self.topo, blame)
+        self.topo = None
+        self._recoveries += 1
+
+    def _run_survivable(self, state: MatchingState) -> dict:
+        ctx = self.ctx
+        iterations = 0
+        started = False
+        while True:
+            try:
+                if self.topo is None:
+                    self._setup(state)
+                if not started:
+                    state.start()
+                    started = True
+                while True:
+                    iterations += 1
+                    self._exchange_logs(state)
+                    state.drain_work()
+                    debt = state.remaining()
+                    if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
+                        return {
+                            "iterations": iterations,
+                            "recoveries": self._recoveries,
+                        }
+            except RankCrashed as e:
+                self._recover(state, e.rank)
+
+    # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
+        if self.fault_aware:
+            return self._run_survivable(state)
         state.start()
         iterations = 0
         while True:

@@ -17,6 +17,28 @@ written counts -> read my window regions up to the advertised counts ->
 process -> global reduction on remaining work for the exit decision
 (paper §V-D: unlike Send-Recv, one-sided ranks cannot exit on local
 evidence alone).
+
+Fault tolerance (extension; see docs/fault_model.md):
+
+* **Put-fate verification** — when the fault plan injects one-sided
+  drop/corrupt faults, slots grow a fourth checksum word. Flush-before-
+  counts ordering guarantees every advertised slot has physically
+  arrived, so a zero checksum means *dropped* and a mismatch means
+  *corrupted* — never merely late. The receiver consumes in order,
+  stalls at the first bad slot, and piggybacks the bad-slot list on the
+  next counts exchange; the origin re-puts those slots (a fresh fate per
+  retry) from its sent-slot log. The termination reduction includes the
+  outstanding bad-slot debt so the loop cannot exit with holes.
+
+* **Crash recovery** — under a crash plan, setup moves inside the run
+  loop and every collective is survivor-safe (:meth:`RankContext.agree`
+  / epoch-keyed topology). One-sided data needs no resend on a crash:
+  pending window updates live in the store independent of any
+  collective, and counts are cumulative. Recovery renounces the dead
+  rank, revokes the stale topology scope, rebuilds the process graph
+  over the survivors, and resumes; the window itself is reused.
+
+The fault-free path is byte-identical to the original backend.
 """
 
 from __future__ import annotations
@@ -27,8 +49,18 @@ from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.errors import RankCrashed
+from repro.util.rng import derive_seed
 
 _SLOT = 3  # (context, x, y) int64 words per message slot
+_VSLOT = 4  # (checksum, context, x, y) words under put-fate verification
+
+_CHK_MASK = 0x7FFFFFFFFFFFFFFF
+
+
+def slot_checksum(ctx_id: int, x: int, y: int) -> int:
+    """Nonzero int64 checksum over one message slot's payload words."""
+    return (derive_seed(0x5EED, ctx_id, x, y) & _CHK_MASK) | 1
 
 
 class RMABackend:
@@ -40,75 +72,251 @@ class RMABackend:
         self.options = options
         self.ctx = ctx
         self.lg = lg
-        self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
-        nbrs = self.topo.neighbors
-        self.nbr_index = {q: k for k, q in enumerate(nbrs)}
+        plan = ctx.fault_plan
+        self.fault_aware = plan is not None and plan.has_crashes()
+        self.put_verify = plan is not None and plan.has_rma_faults()
+        self._slot = _VSLOT if self.put_verify else _SLOT
 
-        # Region capacity per neighbor: 2x shared ghosts (paper's bound).
-        caps = [2 * lg.ghost_counts[q] for q in nbrs]
-        self.region_cap = caps
-        # Prefix sum -> start *element* offset of each neighbor's region in
-        # MY window (slots are 3 elements wide).
-        starts = np.zeros(len(nbrs) + 1, dtype=np.int64)
+        # Window layout is fixed over the *original* neighbor set (a dead
+        # neighbor's region simply goes unused after recovery), so region
+        # offsets survive a topology rebuild unchanged.
+        self._all_nbrs = sorted(set(int(q) for q in lg.neighbor_ranks))
+        caps = [2 * lg.ghost_counts[q] for q in self._all_nbrs]
+        starts = np.zeros(len(self._all_nbrs) + 1, dtype=np.int64)
         np.cumsum(caps, out=starts[1:])
-        self.region_start = starts * _SLOT
-        total_slots = int(starts[-1])
-        self.win = ctx.win_allocate(total_slots * _SLOT, dtype=np.int64, fill=0)
+        self.region_cap = {q: int(c) for q, c in zip(self._all_nbrs, caps)}
+        self.region_start = {
+            q: int(starts[k]) * self._slot for k, q in enumerate(self._all_nbrs)
+        }
+        self._total_slots = int(starts[-1])
 
-        # Tell each neighbor where its region begins in my window; learn
-        # where my regions begin in theirs (the Fig. 1 alltoall).
-        mine = [int(self.region_start[k]) for k in range(len(nbrs))]
-        self.remote_base = self.topo.neighbor_alltoall(mine, nbytes_per_item=8)
+        self.write_cursor = {q: 0 for q in self._all_nbrs}  # slots written
+        self.read_cursor = {q: 0 for q in self._all_nbrs}  # slots consumed
+        # origin-side sent-slot log for checksum-retry re-puts
+        self.sent_log: dict[int, list[tuple[int, int, int]]] = (
+            {q: [] for q in self._all_nbrs} if self.put_verify else {}
+        )
+        # slots of MY window I found bad on the last scan, per sender
+        self._my_bad: dict[int, tuple[int, ...]] = {}
+        self.epoch: tuple[int, ...] = ()
+        self._recoveries = 0
+        self._win_charged = False
 
-        self.write_cursor = [0] * len(nbrs)  # slots written per neighbor
-        self.read_cursor = [0] * len(nbrs)  # slots consumed per neighbor
+        if self.fault_aware:
+            # Setup collectives move into run(): they must be
+            # survivor-safe, which plain scope-0 collectives are not.
+            self.topo = None
+            self.win = None
+            self.remote_base: dict[int, int] = {}
+        else:
+            self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
+            self.win = ctx.win_allocate(
+                self._total_slots * self._slot, dtype=np.int64, fill=0
+            )
+            mine = [int(self.region_start[q]) for q in self.topo.neighbors]
+            bases = self.topo.neighbor_alltoall(mine, nbytes_per_item=8)
+            self.remote_base = {
+                q: int(b) for q, b in zip(self.topo.neighbors, bases)
+            }
         # origin-side bookkeeping buffers (cursors + offsets), memory model
-        ctx.alloc(8 * 4 * max(1, len(nbrs)), "rma-bookkeeping")
+        ctx.alloc(8 * 4 * max(1, len(self._all_nbrs)), "rma-bookkeeping")
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
-        k = self.nbr_index[target_rank]
-        if self.write_cursor[k] >= self.region_cap[k]:
+        if self.write_cursor[target_rank] >= self.region_cap[target_rank]:
             raise RuntimeError(
                 f"RMA region overflow towards rank {target_rank}: "
-                f"{self.write_cursor[k]} >= {self.region_cap[k]} slots"
+                f"{self.write_cursor[target_rank]} >= "
+                f"{self.region_cap[target_rank]} slots"
             )
-        offset = (self.remote_base[k] + self.write_cursor[k] * _SLOT)
-        self.win.put(target_rank, np.array([int(ctx_id), x, y], dtype=np.int64), offset)
-        self.write_cursor[k] += 1
+        cur = self.write_cursor[target_rank]
+        offset = self.remote_base[target_rank] + cur * self._slot
+        if self.put_verify:
+            words = [slot_checksum(int(ctx_id), x, y), int(ctx_id), x, y]
+            self.sent_log[target_rank].append((int(ctx_id), x, y))
+        else:
+            words = [int(ctx_id), x, y]
+        self.win.put(target_rank, np.array(words, dtype=np.int64), offset)
+        self.write_cursor[target_rank] = cur + 1
+
+    # ------------------------------------------------------------------
+    def _exchange_counts(self):
+        """Flush, then trade cumulative counts (+ bad-slot reports)."""
+        self.win.flush_all()
+        nbrs = self.topo.neighbors
+        if self.put_verify:
+            items = [
+                (int(self.write_cursor[q]), self._my_bad.get(q, ()))
+                for q in nbrs
+            ]
+            nbytes_each = [8 + 8 * len(b) for _, b in items]
+            recv, _ = self.topo.neighbor_alltoallv(items, nbytes_each=nbytes_each)
+            counts = {q: int(c) for q, (c, _) in zip(nbrs, recv)}
+            reported = {q: b for q, (_, b) in zip(nbrs, recv) if b}
+            return counts, reported
+        recv = self.topo.neighbor_alltoall(
+            [int(self.write_cursor[q]) for q in nbrs], nbytes_per_item=8
+        )
+        return {q: int(c) for q, c in zip(nbrs, recv)}, {}
+
+    def _scan_region(self, state: MatchingState, buf, q: int, avail: int) -> int:
+        """Consume newly advertised slots from sender ``q`` in order.
+
+        Under put-fate verification, consumption stalls at the first slot
+        whose checksum fails (zero = dropped, mismatch = corrupted); the
+        remainder of the advertised range is still scanned so every bad
+        slot is reported — and re-put — in one round.
+        """
+        slot = self._slot
+        base = self.region_start[q]
+        handled = 0
+        cur = self.read_cursor[q]
+        if self.put_verify:
+            bad: list[int] = []
+            while cur < avail:
+                s = base + cur * slot
+                chk = int(buf[s])
+                ctx_id, x, y = int(buf[s + 1]), int(buf[s + 2]), int(buf[s + 3])
+                if chk != slot_checksum(ctx_id, x, y):
+                    bad.append(cur)
+                    break
+                state.handle(Ctx(ctx_id), x, y)
+                cur += 1
+                handled += 1
+            self.read_cursor[q] = cur
+            # report every remaining bad slot in the range, not just the
+            # first, so the origin repairs them all in one retry round
+            for probe in range(cur + 1, avail):
+                s = base + probe * slot
+                chk = int(buf[s])
+                ctx_id, x, y = int(buf[s + 1]), int(buf[s + 2]), int(buf[s + 3])
+                if chk != slot_checksum(ctx_id, x, y):
+                    bad.append(probe)
+            if bad:
+                self._my_bad[q] = tuple(bad)
+            else:
+                self._my_bad.pop(q, None)
+        else:
+            while cur < avail:
+                s = base + cur * slot
+                state.handle(Ctx(int(buf[s])), int(buf[s + 1]), int(buf[s + 2]))
+                cur += 1
+                handled += 1
+            self.read_cursor[q] = cur
+        return handled
+
+    def _repair_slots(self, reported: dict[int, tuple[int, ...]]) -> None:
+        """Re-put slots a neighbor reported bad (fresh fate per retry)."""
+        rc = self.ctx.counters()
+        for q, bads in reported.items():
+            for sidx in bads:
+                ctx_id, x, y = self.sent_log[q][sidx]
+                words = [slot_checksum(ctx_id, x, y), ctx_id, x, y]
+                self.win.put(
+                    q,
+                    np.array(words, dtype=np.int64),
+                    self.remote_base[q] + sidx * self._slot,
+                )
+                rc.put_retries += 1
 
     def _evoke_and_process(self, state: MatchingState) -> int:
         """flush -> counts exchange -> read new window slots."""
-        self.win.flush_all()
-        counts = self.topo.neighbor_alltoall(
-            [int(c) for c in self.write_cursor], nbytes_per_item=8
-        )
+        counts, reported = self._exchange_counts()
         self.win.sync_local()
         buf = self.win.local
         handled = 0
-        for k in range(len(self.topo.neighbors)):
-            avail = int(counts[k])
-            base = int(self.region_start[k])
-            while self.read_cursor[k] < avail:
-                s = (base + self.read_cursor[k] * _SLOT)
-                ctx_id, x, y = int(buf[s]), int(buf[s + 1]), int(buf[s + 2])
-                state.handle(Ctx(ctx_id), x, y)
-                self.read_cursor[k] += 1
-                handled += 1
+        for q in self.topo.neighbors:
+            handled += self._scan_region(state, buf, q, counts[q])
+        if reported:
+            self._repair_slots(reported)
         return handled
+
+    def _verify_debt(self) -> int:
+        """Bad slots this rank is still waiting to have repaired."""
+        return sum(len(v) for v in self._my_bad.values())
 
     # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
+        if not self.fault_aware:
+            return self._run_plain(state)
+        return self._run_survivable(state)
+
+    def _run_plain(self, state: MatchingState) -> dict:
         state.start()
         iterations = 0
         while True:
             iterations += 1
             self._evoke_and_process(state)
             state.drain_work()
-            if self.ctx.allreduce(state.remaining()) == 0:
+            if self.ctx.allreduce(state.remaining() + self._verify_debt()) == 0:
                 break
         return {"iterations": iterations}
 
+    # -- crash-survivable path -----------------------------------------
+    def _setup(self, state: MatchingState) -> None:
+        """(Re)build survivor topology, window, and region bases.
+
+        SPMD-symmetric and idempotent per failure epoch: every survivor
+        runs the same agreement sequence even when (say) the window
+        already exists, so per-scope collective sequence numbers stay
+        aligned across ranks re-entering from different program points.
+        """
+        ctx = self.ctx
+        self.epoch = tuple(sorted(state.dead_ranks))
+        live = [q for q in self._all_nbrs if q not in state.dead_ranks]
+        self.topo = ctx.shrink_rebuild_topology(live, epoch=self.epoch)
+        self.win = ctx.win_allocate_survivor(
+            self._total_slots * self._slot,
+            dtype=np.int64,
+            fill=0,
+            epoch=self.epoch,
+            tag="rma-data",
+            charge_memory=not self._win_charged,
+        )
+        self._win_charged = True
+        mine = [int(self.region_start[q]) for q in self.topo.neighbors]
+        bases = self.topo.neighbor_alltoall(mine, nbytes_per_item=8)
+        self.remote_base = {q: int(b) for q, b in zip(self.topo.neighbors, bases)}
+
+    def _recover(self, state: MatchingState, blame: int) -> None:
+        """Renounce newly detected failures and schedule a rebuild."""
+        ctx = self.ctx
+        for r in sorted(ctx.failed_ranks()):
+            if r not in state.dead_ranks:
+                state.renounce_rank(r)
+        if self.topo is not None:
+            # Strand-proof the abandoned scope: survivors still blocked in
+            # its collectives raise instead of waiting for us.
+            ctx.revoke_topology(self.topo, blame)
+        self.topo = None
+        for r in state.dead_ranks:
+            self._my_bad.pop(r, None)
+        self._recoveries += 1
+
+    def _run_survivable(self, state: MatchingState) -> dict:
+        ctx = self.ctx
+        iterations = 0
+        started = False
+        while True:
+            try:
+                if self.topo is None:
+                    self._setup(state)
+                if not started:
+                    state.start()
+                    started = True
+                while True:
+                    iterations += 1
+                    self._evoke_and_process(state)
+                    state.drain_work()
+                    debt = state.remaining() + self._verify_debt()
+                    if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
+                        return {
+                            "iterations": iterations,
+                            "recoveries": self._recoveries,
+                        }
+            except RankCrashed as e:
+                self._recover(state, e.rank)
+
     def finalize(self, state: MatchingState) -> None:
         self.win.free()
-        self.ctx.free(8 * 4 * max(1, len(self.topo.neighbors)), "rma-bookkeeping")
+        self.ctx.free(8 * 4 * max(1, len(self._all_nbrs)), "rma-bookkeeping")

@@ -24,6 +24,7 @@ Quick example::
     print(result.makespan, result.rank_results)
 """
 
+from repro.mpisim.collectives import AgreementCollective
 from repro.mpisim.context import RankContext
 from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
 from repro.mpisim.engine import Engine, EngineResult
@@ -100,6 +101,7 @@ __all__ = [
     "FaultPlan",
     "MessageFate",
     "NicDegradation",
+    "AgreementCollective",
     "fault_events",
     "fault_summary",
 ]

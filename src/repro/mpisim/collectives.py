@@ -135,6 +135,74 @@ class FullCollective:
         self.done.add(rank)
         return len(self.done) == self.nprocs
 
+    def missing_ranks(self) -> list[int]:
+        """Ranks that have not yet entered this collective."""
+        entries = self.entries
+        return [r for r in range(self.nprocs) if r not in entries]
+
+
+class AgreementCollective(FullCollective):
+    """ULFM-style survivor agreement: a full collective over live ranks.
+
+    Completion does not require *every* rank to enter — only every rank
+    that has not crashed (engine-confirmed kill). The completion time is
+    the latest of the entrants' entry times and the failure-notification
+    times of the crashed non-entrants, modelling a recovery protocol that
+    must wait out its failure detector before concluding a peer is gone.
+
+    The reduction combines the entrants' contributions only; a crashed
+    rank contributes nothing, exactly as in ``MPIX_Comm_agree`` over a
+    shrunken communicator.
+    """
+
+    __slots__ = ("crashed_at", "detect_latency")
+
+    def __init__(self, key, kind: str, nprocs: int, params: dict,
+                 crashed_at, detect_latency: float):
+        super().__init__(key, kind, nprocs, params)
+        #: live view of the engine's rank -> crash-time dict
+        self.crashed_at = crashed_at
+        self.detect_latency = detect_latency
+
+    @property
+    def complete(self) -> bool:
+        entries = self.entries
+        crashed = self.crashed_at
+        return all(r in entries or r in crashed for r in range(self.nprocs))
+
+    def wake_potential(self, rank: int) -> float | None:
+        if not self.complete:
+            return None
+        if self._base is None:
+            times = [t for t, _ in self.entries.values()]
+            times.extend(
+                tc + self.detect_latency
+                for r, tc in self.crashed_at.items()
+                if r not in self.entries
+            )
+            self._base = max(times)
+        return self._base
+
+    def participants(self) -> list[int]:
+        return sorted(self.entries)
+
+    def _combine(self) -> list[Any]:
+        ranks = self.participants()
+        datas = [self.entries[r][1] for r in ranks]
+        kind = self.kind
+        if kind == "agree":
+            red = _reduce(datas, self.params.get("op", "sum"))
+            return [red] * self.nprocs
+        if kind == "agree_gather":
+            table = {r: d for r, d in zip(ranks, datas)}
+            return [table] * self.nprocs
+        raise ValueError(f"unknown agreement kind {kind!r}")
+
+    def mark_done(self, rank: int) -> bool:
+        self.done.add(rank)
+        # every *entrant* has collected (crashed ranks never will)
+        return self.done >= self.entries.keys()
+
 
 class NeighborhoodCollective:
     """One in-flight neighborhood collective over a graph topology.
@@ -220,6 +288,22 @@ class NeighborhoodCollective:
         self.done.add(rank)
         return len(self.done) == self.nprocs
 
+    def missing_for(self, rank: int) -> list[int]:
+        """Members of ``rank``'s rendezvous set that have not entered."""
+        entries = self.entries
+        out = [q for q in self.adjacency[rank] if q not in entries]
+        if rank not in entries:
+            out.append(rank)
+        return sorted(out)
+
+    def missing_ranks(self) -> list[int]:
+        """Ranks some entrant is still waiting on."""
+        entries = self.entries
+        waited: set[int] = set()
+        for r in entries:
+            waited.update(q for q in self.adjacency[r] if q not in entries)
+        return sorted(waited)
+
 
 CollectiveLike = FullCollective | NeighborhoodCollective
 
@@ -232,6 +316,24 @@ def get_or_create_full(
         op = FullCollective(key, kind, nprocs, params)
         ops[key] = op
     elif not isinstance(op, FullCollective):
+        raise CommMismatchError(f"collective kind clash at {key}")
+    return op
+
+
+def get_or_create_agreement(
+    ops: dict,
+    key,
+    kind: str,
+    nprocs: int,
+    params: dict,
+    crashed_at,
+    detect_latency: float,
+) -> AgreementCollective:
+    op = ops.get(key)
+    if op is None:
+        op = AgreementCollective(key, kind, nprocs, params, crashed_at, detect_latency)
+        ops[key] = op
+    elif not isinstance(op, AgreementCollective):
         raise CommMismatchError(f"collective kind clash at {key}")
     return op
 

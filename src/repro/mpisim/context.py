@@ -13,7 +13,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.mpisim.collectives import get_or_create_full
+from repro.mpisim.collectives import get_or_create_agreement, get_or_create_full
 from repro.mpisim.errors import RankCrashed
 from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
 from repro.mpisim.topology import DistGraphTopology, payload_nbytes
@@ -270,7 +270,10 @@ class RankContext:
             # flipped from None to the rendezvous time — re-index them for
             # the heap scheduler (no-op under the reference scheduler).
             eng.notify_ranks(op.entries.keys())
-        eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
+        if eng.faults is not None and eng.faults.has_crashes():
+            self._block_crash_aware(op, f"{kind}#{key[1]}")
+        else:
+            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
 
         m = self.machine
         p = self.nprocs
@@ -298,6 +301,177 @@ class RankContext:
         if op.mark_done(rank):
             eng.coll_ops().pop(key, None)
         return result
+
+    def _block_crash_aware(self, op, label: str) -> None:
+        """Wait on a full collective under a crash plan.
+
+        Wakes on completion *or* on the next unseen failure notification.
+        If a crashed rank is among the missing participants the collective
+        can never complete, so the survivor raises :class:`RankCrashed`
+        (ULFM ``MPI_ERR_PROC_FAILED``) instead of hanging; unrelated
+        notifications re-enter the wait.
+        """
+        eng = self._engine
+        rank = self.rank
+
+        def potential() -> float | None:
+            t = op.wake_potential(rank)
+            if t is not None:
+                return t
+            return eng.failure_wake_potential(rank)
+
+        while True:
+            eng.block_on(rank, potential, label)
+            if op.wake_potential(rank) is not None:
+                return
+            failed = self.failed_ranks()
+            dead_missing = [q for q in op.missing_ranks() if q in failed]
+            if dead_missing:
+                raise RankCrashed(dead_missing[0])
+            # A failure that does not block this collective: keep waiting.
+
+    # ------------------------------------------------------------------
+    # survivor agreement / recovery (ULFM shrink-and-rebuild analogue)
+    # ------------------------------------------------------------------
+    def agree(self, value: Any, op: str = "sum", *, epoch: Sequence[int] = (),
+              kind: str = "agree", label: str = "") -> Any:
+        """Deterministic survivor agreement (``MPIX_Comm_agree`` analogue).
+
+        A full collective that completes over the *non-failed* ranks: a
+        crashed participant contributes nothing, and the rendezvous waits
+        out its failure notification instead of hanging. ``epoch`` is the
+        caller's sorted set of known-dead ranks; it keys the collective
+        scope, so survivors recovering from different program points
+        realign their per-scope sequence numbers. If a failure **not** in
+        ``epoch`` is detected mid-wait, the call raises
+        :class:`RankCrashed` so the caller restarts recovery at the
+        larger epoch — convergent, because epochs only grow.
+
+        ``label`` separates independent agreement streams (topology
+        rebuild vs window sizing vs termination): survivors may skip a
+        stream entirely on re-entry (e.g. an already-allocated window),
+        and per-scope sequence numbers must not couple across streams.
+        """
+        eng = self._engine
+        rank = self.rank
+        plan = eng.faults
+        detect = plan.detect_latency if plan is not None else 0.0
+        epoch = tuple(sorted(int(r) for r in epoch))
+        key = eng.next_coll_key(("agree", label, epoch), rank)
+        aop = get_or_create_agreement(
+            eng.coll_ops(), key, kind, self.nprocs, {"op": op},
+            eng.crashed_at_live(), detect,
+        )
+        aop.enter(rank, eng.clock_of(rank), value, kind, {"op": op})
+        if aop.complete:
+            eng.notify_ranks(aop.entries.keys())
+
+        def potential() -> float | None:
+            t = aop.wake_potential(rank)
+            if t is not None:
+                return t
+            return eng.failure_wake_potential(rank)
+
+        while True:
+            eng.block_on(rank, potential, f"{kind}#{key[1]}@{epoch}")
+            stale = sorted(q for q in self.failed_ranks() if q not in epoch)
+            if stale:
+                # Uniform failure reporting (the ULFM agree guarantee):
+                # raise even if the rendezvous completed. Every entrant
+                # observes the same plan-derived notification set at the
+                # same completion time, so either all return or all raise
+                # — a late entrant can never adopt a raiser's ghost entry
+                # and sail on with a stale epoch.
+                raise RankCrashed(stale[0])
+            if aop.wake_potential(rank) is not None:
+                break
+            # Notification for an already-known failure: keep waiting.
+
+        nbytes = payload_nbytes(value)
+        eng.charge_comm(rank, self.machine.allreduce_cost(self.nprocs, nbytes))
+        rc = eng.rank_counters(rank)
+        rc.collectives += 1
+        rc.bytes_collective += nbytes
+        eng.trace_event(rank, kind, nbytes=nbytes)
+        result = aop.result_for(rank)
+        if aop.mark_done(rank):
+            eng.coll_ops().pop(key, None)
+        return result
+
+    def agree_gather(self, value: Any, *, epoch: Sequence[int] = (),
+                     label: str = "") -> dict[int, Any]:
+        """Survivor agreement that gathers ``{rank: value}`` over entrants."""
+        return self.agree(value, epoch=epoch, kind="agree_gather", label=label)
+
+    def shrink_rebuild_topology(
+        self, neighbors: Sequence[int], *, epoch: Sequence[int] = ()
+    ) -> DistGraphTopology:
+        """Rebuild a distributed graph topology over the survivors.
+
+        Survivor-agreement analogue of :meth:`dist_graph_create_adjacent`:
+        the neighbor-list exchange runs as an agreement (crashed ranks
+        contribute nothing and get empty neighborhoods), and the topology
+        scope is keyed by the failure epoch so rebuilt neighborhood
+        collectives cannot collide with abandoned pre-crash ones. Raises
+        :class:`RankCrashed` if a rank the agreement skipped is not yet in
+        ``epoch`` — the caller must renounce it and retry.
+        """
+        epoch = tuple(sorted(int(r) for r in epoch))
+        my = sorted(set(int(q) for q in neighbors) - set(epoch))
+        gathered = self.agree_gather(my, epoch=epoch, label="topo")
+        silent = [r for r in range(self.nprocs) if r not in gathered and r not in epoch]
+        if silent:
+            # Crashed after the caller built its epoch; every entrant sees
+            # the same gathered table, so every survivor raises here.
+            raise RankCrashed(silent[0])
+        adjacency = [sorted(gathered.get(r, [])) for r in range(self.nprocs)]
+        DistGraphTopology.validate_symmetric(adjacency)
+        return DistGraphTopology(self, ("topo", epoch), adjacency, epoch=epoch)
+
+    def revoke_topology(self, topo: DistGraphTopology, dead_rank: int) -> None:
+        """Revoke a topology's scope (``MPIX_Comm_revoke`` analogue).
+
+        Any rank blocked in — or later entering — a neighborhood
+        collective on this scope raises :class:`RankCrashed` instead of
+        waiting for peers that already abandoned it during recovery.
+        """
+        self._engine.revoke_scope(topo.scope_id, self.now, int(dead_rank))
+
+    def win_allocate_survivor(
+        self, count: int, dtype=np.int64, fill: int = 0,
+        *, epoch: Sequence[int] = (), tag: str = "win",
+        charge_memory: bool = True,
+    ) -> Window:
+        """Survivor-safe RMA window allocation (agreement rendezvous).
+
+        Unlike :meth:`win_allocate` this tolerates participants crashing
+        mid-call. The backing store is created once per ``tag`` per engine
+        and shared, with every rank's buffer sized from the first
+        creator's gathered counts — so a straggler re-entering from a
+        larger failure epoch adopts the same store instead of allocating
+        a divergent one.
+        """
+        dtype = np.dtype(dtype)
+        epoch = tuple(sorted(int(r) for r in epoch))
+        sizes = self.agree_gather(int(count), epoch=epoch, label=f"win:{tag}")
+        eng = self._engine
+
+        def build() -> _WindowStore:
+            return _WindowStore(
+                win_id=eng.new_scope_id(),
+                dtype=dtype,
+                buffers=[
+                    np.full(int(sizes.get(r, 0)), fill, dtype=dtype)
+                    for r in range(self.nprocs)
+                ],
+            )
+
+        store = eng.shared_object(("win", tag), build)
+        if charge_memory:
+            eng.rank_counters(self.rank).alloc(
+                int(store.buffers[self.rank].size) * dtype.itemsize, "rma-window"
+            )
+        return Window(self, store)
 
     # ------------------------------------------------------------------
     # topology / RMA construction (both collective)

@@ -58,6 +58,9 @@ class RankCounters:
     dup_suppressed: int = 0  #: duplicate deliveries discarded by dedup
     acks_sent: int = 0  #: reliable-channel acknowledgment messages
     abandoned: int = 0  #: unacked messages given up after max retries
+    puts_dropped: int = 0  #: one-sided puts the network silently lost
+    puts_corrupted: int = 0  #: one-sided puts that landed bit-flipped
+    put_retries: int = 0  #: puts reissued after a failed checksum verify
 
     def alloc(self, nbytes: int, label: str = "misc") -> None:
         nbytes = int(nbytes)
@@ -162,6 +165,9 @@ class RunCounters:
                 "dup_suppressed",
                 "acks_sent",
                 "abandoned",
+                "puts_dropped",
+                "puts_corrupted",
+                "put_retries",
             )
         }
 

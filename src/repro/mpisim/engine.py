@@ -189,7 +189,12 @@ class Engine:
         self._pair_arrival: dict[tuple[int, int], float] = {}
         self._op_count = 0
         self._post_count = 0  # fault-fate index: one per post_message call
+        self._put_count = 0  # one-sided fate index: one per issued put
         self._crashed: dict[int, float] = {}  # rank -> time it was killed
+        # ULFM-style revocation: scope_id -> (revoke time, crashed rank that
+        # triggered it). Entrants of ops on a revoked scope raise instead
+        # of waiting for a rendezvous that can never complete.
+        self._revoked_scopes: dict[Any, tuple[float, int]] = {}
         self._switches = 0
         self._started = False
 
@@ -199,6 +204,10 @@ class Engine:
         self._next_scope_id = 1  # scope 0 = COMM_WORLD
         self._windows: list[Any] = []
         self._topologies: list[Any] = []
+        # Deterministic simulator-internal shared state (e.g. a window
+        # store adopted by ranks arriving from different failure epochs):
+        # first caller's factory wins, later callers get the same object.
+        self._shared_objects: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # public entry point
@@ -490,11 +499,23 @@ class Engine:
         shutdown. Its final clock is the crash time, so a crashed rank
         contributes exactly ``tc`` to the makespan.
         """
+        # The kill can be detected after the rank's clock already ran past
+        # tc (an op charged through the crash time before the next check):
+        # stamp the trace event at the overrun clock so per-rank traces
+        # stay monotone, while the detail and final clock keep exact tc.
+        stamp = max(rs.clock, tc)
         rs.clock = min(rs.clock, tc) if rs.state == _RUNNING else tc
         rs.state = _CRASHED
         rs.wake_potential = None
         self._crashed[rs.rank] = tc
-        self.trace_event(rs.rank, "fault", kind="crash", t=tc)
+        self._trace_event_at(rs.rank, stamp, "fault", kind="crash", t=tc)
+        # A kill is an event, not a plan-derived time: wake predicates
+        # that consult the confirmed-dead set (survivor agreements) must
+        # be re-evaluated, so conservatively re-index every parked rank.
+        if self._use_heap:
+            self._stale.update(
+                r.rank for r in self._ranks if r.state == _BLOCKED
+            )
 
     def _check_self_crash(self, rank: int) -> None:
         """Called from rank threads at every communication yield point:
@@ -505,10 +526,11 @@ class Engine:
             return
         rs = self._ranks[rank]
         if rs.clock >= tc:
+            stamp = rs.clock
             rs.clock = tc
             rs.state = _CRASHED
             self._crashed[rank] = tc
-            self.trace_event(rank, "fault", kind="crash", t=tc)
+            self._trace_event_at(rank, stamp, "fault", kind="crash", t=tc)
             raise SimAbort()
 
     def _crash_next_pending(self) -> bool:
@@ -547,6 +569,57 @@ class Engine:
     def crashed_at(self) -> dict[int, float]:
         return dict(self._crashed)
 
+    def crashed_at_live(self) -> dict[int, float]:
+        """The engine's *live* rank -> crash-time dict (shared, read-only).
+
+        Survivor-agreement collectives hold this so their completion
+        predicate tracks kills as they fire; callers must not mutate it.
+        """
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # ULFM-style scope revocation
+    # ------------------------------------------------------------------
+    def revoke_scope(self, scope_id: Any, t: float, dead_rank: int) -> None:
+        """Revoke a communication scope (``MPIX_Comm_revoke`` analogue).
+
+        Called by a rank that abandons a collective on ``scope_id`` after
+        detecting a crashed member. Every rank blocked in — or later
+        entering — an operation on that scope observes the revocation and
+        raises :class:`RankCrashed`, so survivors whose rendezvous sets do
+        not contain the dead rank cannot be stranded waiting on a peer
+        that already moved to recovery.
+        """
+        if scope_id in self._revoked_scopes:
+            return
+        self._revoked_scopes[scope_id] = (t, dead_rank)
+        if self._use_heap:
+            self._stale.update(
+                r.rank for r in self._ranks if r.state == _BLOCKED
+            )
+
+    def scope_revocation(self, scope_id: Any) -> tuple[float, int] | None:
+        """(revoke time, triggering dead rank) for a revoked scope, or None."""
+        return self._revoked_scopes.get(scope_id)
+
+    def next_put_index(self) -> int:
+        """Global one-sided fate index (one per issued put, retries included)."""
+        self._put_count += 1
+        return self._put_count
+
+    def shared_object(self, key: Any, factory) -> Any:
+        """Get-or-create a deterministic simulator-internal shared object.
+
+        The first caller's ``factory`` builds the object; later callers
+        (possibly arriving from a larger failure epoch) adopt it. Safe
+        because rank threads run strictly sequentially.
+        """
+        obj = self._shared_objects.get(key)
+        if obj is None:
+            obj = factory()
+            self._shared_objects[key] = obj
+        return obj
+
     def _raise_deadlock(self) -> None:
         last_events: dict[int, Any] = {}
         if self.trace:
@@ -572,8 +645,40 @@ class Engine:
             )
         self._abort = True
         raise DeadlockError(
-            f"deadlock: {len(states)} rank(s) stuck, none wakeable", states, details
+            f"deadlock: {len(states)} rank(s) stuck, none wakeable",
+            states,
+            details,
+            collectives=self._stalled_collectives(),
         )
+
+    def _stalled_collectives(self) -> list[dict]:
+        """Membership report for every incomplete in-flight collective.
+
+        One entry per stalled op: its key, kind, the ranks that entered,
+        the ranks some entrant is still waiting on, and — the diagnosis
+        that matters under a fault plan — which of the missing ranks are
+        already dead. Attached to every deadlock dump so a fault-induced
+        hang names the collective and the corpse blocking it.
+        """
+        out: list[dict] = []
+        for key, op in sorted(self._coll_ops.items(), key=lambda kv: repr(kv[0])):
+            if getattr(op, "complete", False):
+                continue  # complete full/agreement op awaiting pickup only
+            missing = op.missing_ranks()
+            if not missing:
+                continue  # no entrant is waiting on anyone
+            out.append(
+                {
+                    "key": key,
+                    "kind": op.kind,
+                    "entered": sorted(op.entries),
+                    "missing": missing,
+                    "crashed_missing": sorted(
+                        r for r in missing if r in self._crashed
+                    ),
+                }
+            )
+        return out
 
     # ------------------------------------------------------------------
     # rank-side yield primitives (called from rank threads)
@@ -670,6 +775,10 @@ class Engine:
         self._check_vtime(rs)
 
     def charge_comm(self, rank: int, seconds: float) -> None:
+        # Ticking here (not just in post_message) lets the op budget
+        # catch collective-only livelock — e.g. a recovery loop spinning
+        # on agreements without ever posting a point-to-point message.
+        self._tick()
         rs = self._ranks[rank]
         rs.clock += seconds
         self.counters.ranks[rank].comm_time += seconds
@@ -835,12 +944,15 @@ class Engine:
 
     def trace_event(self, rank: int, op: str, **detail: Any) -> None:
         """Record a trace event if tracing is enabled (cheap no-op otherwise)."""
+        self._trace_event_at(rank, self._ranks[rank].clock, op, **detail)
+
+    def _trace_event_at(self, rank: int, t: float, op: str, /, **detail: Any) -> None:
+        """Record a trace event with an explicit timestamp (used when the
+        rank's clock was rolled back, e.g. to a crash time)."""
         if self.trace is not None:
             from repro.mpisim.tracing import TraceEvent
 
-            self.trace.append(
-                TraceEvent(self._ranks[rank].clock, rank, op, detail)
-            )
+            self.trace.append(TraceEvent(t, rank, op, detail))
 
     def set_describe(self, rank: int, what: str) -> None:
         self._ranks[rank].describe = what
@@ -853,7 +965,13 @@ class Engine:
         self._next_scope_id += 1
         return sid
 
-    def next_coll_key(self, scope_id: int, rank: int) -> tuple[int, int]:
+    def next_coll_key(self, scope_id, rank: int):
+        """Next (scope, seq) key for ``rank`` on ``scope_id``.
+
+        Scope ids are ints for ordinary scopes; recovery collectives use
+        hashable tuple scopes (e.g. ``("agree", epoch)``) that cannot
+        collide with them.
+        """
         k = (scope_id, rank)
         seq = self._coll_seq.get(k, 0)
         self._coll_seq[k] = seq + 1

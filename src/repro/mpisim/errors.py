@@ -23,14 +23,31 @@ class DeadlockError(SimError):
         message: str,
         rank_states: dict[int, str] | None = None,
         details: dict[int, dict] | None = None,
+        collectives: list[dict] | None = None,
     ):
         self.rank_states = rank_states or {}
         self.details = details or {}
+        #: stalled in-flight collectives: each entry carries ``key``,
+        #: ``kind``, ``entered``, ``missing`` and ``crashed_missing``
+        self.collectives = collectives or []
         if self.rank_states:
             dump = "\n".join(
                 f"  rank {r}: {s}" for r, s in sorted(self.rank_states.items())
             )
             message = f"{message}\n{dump}"
+        if self.collectives:
+            lines = []
+            for c in self.collectives:
+                crashed = (
+                    f" (crashed: {c['crashed_missing']})"
+                    if c.get("crashed_missing")
+                    else ""
+                )
+                lines.append(
+                    f"  {c['kind']}@{c['key']}: entered={c['entered']} "
+                    f"missing={c['missing']}{crashed}"
+                )
+            message = f"{message}\nstalled collectives:\n" + "\n".join(lines)
         super().__init__(message)
 
 

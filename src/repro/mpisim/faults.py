@@ -86,9 +86,15 @@ class FaultPlan:
     #: seconds after a crash before survivors' MPI layer reports the
     #: failure (``RankContext.failed_ranks`` / ``RankCrashed``)
     detect_latency: float = 1e-5
+    #: P(a one-sided put silently vanishes on the wire) — models a lost
+    #: RDMA write that hardware retry failed to recover
+    rma_drop_rate: float = 0.0
+    #: P(a one-sided put lands bit-flipped in the target window)
+    rma_corrupt_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("drop_rate", "dup_rate", "delay_rate"):
+        for name in ("drop_rate", "dup_rate", "delay_rate",
+                     "rma_drop_rate", "rma_corrupt_rate"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {v}")
@@ -107,6 +113,11 @@ class FaultPlan:
             self,
             "_msg_faults",
             self.drop_rate > 0.0 or self.dup_rate > 0.0 or self.delay_rate > 0.0,
+        )
+        object.__setattr__(
+            self,
+            "_rma_faults",
+            self.rma_drop_rate > 0.0 or self.rma_corrupt_rate > 0.0,
         )
         by_rank: dict[int, list[NicDegradation]] = {}
         for d in self.degradations:
@@ -128,6 +139,9 @@ class FaultPlan:
     def has_message_faults(self) -> bool:
         return self._msg_faults
 
+    def has_rma_faults(self) -> bool:
+        return self._rma_faults
+
     def has_crashes(self) -> bool:
         return bool(self.crashes)
 
@@ -137,7 +151,10 @@ class FaultPlan:
     def is_null(self) -> bool:
         """True if this plan cannot change behaviour at all."""
         return not (
-            self.has_message_faults() or self.has_crashes() or self.has_degradations()
+            self.has_message_faults()
+            or self.has_rma_faults()
+            or self.has_crashes()
+            or self.has_degradations()
         )
 
     def needs_reliability(self) -> bool:
@@ -171,6 +188,38 @@ class FaultPlan:
                 d = self.delay_min + u * (self.delay_max - self.delay_min)
             delays.append(d)
         return MessageFate(copies=copies, delays=tuple(delays))
+
+    # ------------------------------------------------------------------
+    # one-sided (RMA) put fates
+    # ------------------------------------------------------------------
+    def put_fate(self, origin: int, target: int, index: int) -> str:
+        """Fate of the ``index``-th one-sided put issued in this run.
+
+        Returns ``"ok"``, ``"drop"`` (the write never reaches the target
+        window) or ``"corrupt"`` (it lands bit-flipped). ``index`` is the
+        engine's global put counter, so a retried put draws a fresh,
+        independent fate.
+        """
+        if not self._rma_faults:
+            return "ok"
+        if (
+            self.rma_drop_rate > 0.0
+            and _unit(self.seed, "rma-drop", origin, target, index) < self.rma_drop_rate
+        ):
+            return "drop"
+        if (
+            self.rma_corrupt_rate > 0.0
+            and _unit(self.seed, "rma-corrupt", origin, target, index)
+            < self.rma_corrupt_rate
+        ):
+            return "corrupt"
+        return "ok"
+
+    def corrupt_word(self, origin: int, target: int, index: int, size: int) -> tuple[int, int]:
+        """Deterministic (word position, nonzero xor mask) for a corrupt put."""
+        pos = derive_seed(self.seed, "rma-pos", origin, target, index) % max(1, size)
+        mask = derive_seed(self.seed, "rma-mask", origin, target, index) | 1
+        return int(pos), int(mask & 0x7FFFFFFFFFFFFFFF)
 
     # ------------------------------------------------------------------
     # NIC degradation

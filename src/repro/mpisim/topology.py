@@ -10,7 +10,47 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.mpisim.collectives import get_or_create_neighborhood
-from repro.mpisim.errors import CommMismatchError
+from repro.mpisim.errors import CommMismatchError, RankCrashed
+
+
+def _block_neighborhood(eng, ctx, op, scope_id, epoch_set, label: str) -> None:
+    """Crash-aware wait for a neighborhood rendezvous.
+
+    Completion wins when available; otherwise the wait also wakes on a
+    scope revocation or an unseen failure notification. A survivor that
+    detects a failure outside the topology's build epoch revokes the
+    scope (so peers whose rendezvous sets do not contain the dead rank
+    cannot be stranded either) and raises :class:`RankCrashed`, handing
+    control to the backend's shrink-and-rebuild recovery path.
+    """
+    rank = ctx.rank
+
+    def potential() -> float | None:
+        t = op.wake_potential(rank)
+        if t is not None:
+            return t
+        rev = eng.scope_revocation(scope_id)
+        if rev is not None:
+            return rev[0]
+        return eng.failure_wake_potential(rank)
+
+    while True:
+        eng.block_on(rank, potential, label)
+        if op.wake_potential(rank) is not None:
+            return
+        rev = eng.scope_revocation(scope_id)
+        if rev is not None:
+            raise RankCrashed(rev[1])
+        failed = ctx.failed_ranks()
+        fresh = sorted(q for q in failed if q not in epoch_set)
+        if fresh:
+            missing = op.missing_for(rank)
+            dead_missing = sorted(q for q in missing if q in failed)
+            blame = dead_missing[0] if dead_missing else fresh[0]
+            eng.revoke_scope(scope_id, eng.clock_of(rank), blame)
+            raise RankCrashed(blame)
+        # Notification already accounted for by this topology's epoch:
+        # keep waiting.
 
 
 def payload_nbytes(payload: Any) -> int:
@@ -37,7 +77,8 @@ class DistGraphTopology:
     the resulting process graph is symmetric.
     """
 
-    def __init__(self, ctx, scope_id: int, adjacency: list[list[int]]):
+    def __init__(self, ctx, scope_id, adjacency: list[list[int]],
+                 epoch: tuple[int, ...] = ()):
         self._ctx = ctx
         self.scope_id = scope_id
         self.adjacency = adjacency
@@ -46,6 +87,18 @@ class DistGraphTopology:
         self.degree = len(self.neighbors)
         # O(1) lookup from neighbor rank to buffer slot, as in real codes.
         self.neighbor_index = {q: i for i, q in enumerate(self.neighbors)}
+        #: ranks known dead when this topology was built — failure
+        #: notifications for them do not abort its collectives
+        self.epoch: tuple[int, ...] = tuple(epoch)
+        self._epoch_set = frozenset(self.epoch)
+
+    def _crash_aware(self, eng) -> bool:
+        return eng.faults is not None and eng.faults.has_crashes()
+
+    def _check_revoked(self, eng) -> None:
+        rev = eng.scope_revocation(self.scope_id)
+        if rev is not None:
+            raise RankCrashed(rev[1])
 
     @staticmethod
     def validate_symmetric(adjacency: list[list[int]]) -> None:
@@ -124,6 +177,8 @@ class DistGraphTopology:
         ctx = self._ctx
         eng = ctx._engine
         rank = self.rank
+        if self._crash_aware(eng):
+            self._check_revoked(eng)
         key = eng.next_coll_key(self.scope_id, rank)
         op = get_or_create_neighborhood(
             eng.coll_ops(), key, "neighbor_alltoallv", eng.nprocs, self.adjacency,
@@ -146,6 +201,9 @@ class DistGraphTopology:
         ctx = self._ctx
         eng = ctx._engine
         rank = self.rank
+        crash_aware = self._crash_aware(eng)
+        if crash_aware:
+            self._check_revoked(eng)
         key = eng.next_coll_key(self.scope_id, rank)
         op = get_or_create_neighborhood(
             eng.coll_ops(), key, kind, eng.nprocs, self.adjacency, params={}
@@ -155,7 +213,12 @@ class DistGraphTopology:
         # ({q} ∪ N(q) all present): re-index their heap candidates.
         eng.notify_ranks(self.neighbors)
         eng.set_describe(rank, f"{kind}#{key[1]}")
-        eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
+        if crash_aware:
+            _block_neighborhood(
+                eng, ctx, op, self.scope_id, self._epoch_set, f"{kind}#{key[1]}"
+            )
+        else:
+            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
 
         received = op.result_for(rank)
         m = eng.machine
@@ -213,9 +276,15 @@ class PendingNeighborExchange:
         eng = ctx._engine
         rank = topo.rank
         op = self._op
-        eng.block_on(
-            rank, lambda: op.wake_potential(rank), f"ineighbor_wait#{self._key[1]}"
-        )
+        if topo._crash_aware(eng):
+            _block_neighborhood(
+                eng, ctx, op, topo.scope_id, topo._epoch_set,
+                f"ineighbor_wait#{self._key[1]}",
+            )
+        else:
+            eng.block_on(
+                rank, lambda: op.wake_potential(rank), f"ineighbor_wait#{self._key[1]}"
+            )
         received = op.result_for(rank)
         recv_items = [x for x, _ in received]
         recv_bytes = [n for _, n in received]

@@ -105,12 +105,33 @@ class Window:
             matrix=eng.counters.rma,
             deliver=False,
         )
-        store.seq += 1
-        store.pending[target].append(
-            _PendingUpdate(arrival, store.seq, int(target_offset), data.copy(), accumulate)
-        )
-        eng.note_put(self.rank, self.win_id, arrival)
         rc = eng.rank_counters(self.rank)
+        plan = eng.faults
+        fate = "ok"
+        fate_idx = 0
+        if plan is not None and plan.has_rma_faults():
+            # Timing (origin cost, NIC serialization, flush completion) is
+            # charged identically for every fate: a dropped RDMA write
+            # still consumed the wire, it just never landed.
+            fate_idx = eng.next_put_index()
+            fate = plan.put_fate(self.rank, target, fate_idx)
+        if fate == "drop":
+            rc.puts_dropped += 1
+            eng.trace_event(self.rank, "put-drop", target=target, nbytes=nbytes)
+        else:
+            payload = data.copy()
+            if fate == "corrupt":
+                pos, mask = plan.corrupt_word(
+                    self.rank, target, fate_idx, payload.size
+                )
+                payload[pos] = payload.dtype.type(int(payload[pos]) ^ mask)
+                rc.puts_corrupted += 1
+                eng.trace_event(self.rank, "put-corrupt", target=target, nbytes=nbytes)
+            store.seq += 1
+            store.pending[target].append(
+                _PendingUpdate(arrival, store.seq, int(target_offset), payload, accumulate)
+            )
+        eng.note_put(self.rank, self.win_id, arrival)
         rc.puts += 1
         rc.bytes_put += nbytes
         rc.note_inflight(+1)

@@ -1,0 +1,186 @@
+"""Chaos harness: deterministic sampling, failure classification, and
+plan shrinking (validated against an intentionally buggy toy runner)."""
+
+import pytest
+
+from repro.harness.chaos import (
+    matching_runner,
+    plan_size,
+    render_cli,
+    run_chaos,
+    sample_plan,
+    shrink_plan,
+)
+from repro.mpisim.faults import FaultPlan, NicDegradation
+
+
+class TestSampling:
+    def test_same_seed_same_plans(self):
+        a = [sample_plan(5, i, 8, "nsr", 1e-3) for i in range(10)]
+        b = [sample_plan(5, i, 8, "nsr", 1e-3) for i in range(10)]
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = [sample_plan(5, i, 8, "nsr", 1e-3) for i in range(10)]
+        b = [sample_plan(6, i, 8, "nsr", 1e-3) for i in range(10)]
+        assert a != b
+
+    def test_backend_gating(self):
+        for i in range(30):
+            ncl = sample_plan(5, i, 8, "ncl", 1e-3)
+            assert not ncl.has_message_faults() and not ncl.has_rma_faults()
+            nsr = sample_plan(5, i, 8, "nsr", 1e-3)
+            assert not nsr.has_rma_faults()
+            rma = sample_plan(5, i, 8, "rma", 1e-3)
+            assert not rma.has_message_faults()
+
+    def test_crash_times_scale_with_makespan(self):
+        for i in range(30):
+            p = sample_plan(5, i, 8, "ncl", 2e-4)
+            for t in p.crashes.values():
+                assert 0 < t < 2e-4
+
+    def test_plans_are_valid(self):
+        # FaultPlan.__post_init__ validates; sampling must never trip it.
+        for i in range(50):
+            sample_plan(11, i, 6, "rma", 1e-3)
+
+
+class TestShrinking:
+    def _hang_if_rank2_dies(self, backend, plan):
+        """Toy buggy program: hangs whenever rank 2 is in the crash set."""
+        if 2 in plan.crashes:
+            return "hang", "stuck in barrier"
+        return "ok", ""
+
+    def test_shrinks_to_minimal_crash(self):
+        plan = FaultPlan(
+            seed=1,
+            drop_rate=0.031,
+            delay_rate=0.12,
+            crashes={0: 1e-4, 2: 2e-4, 3: 3e-4},
+            degradations=(NicDegradation(rank=1, t_start=0.0,
+                                         t_end=1e-4, factor=2.0),),
+        )
+        status, _ = self._hang_if_rank2_dies("nsr", plan)
+        assert status == "hang"
+        shrunk, attempts = shrink_plan(
+            self._hang_if_rank2_dies, "nsr", plan, "hang"
+        )
+        # Minimal repro: exactly the crash that triggers the bug, with
+        # every irrelevant fault source removed.
+        assert set(shrunk.crashes) == {2}
+        assert shrunk.drop_rate == 0.0 and shrunk.delay_rate == 0.0
+        assert shrunk.degradations == ()
+        assert plan_size(shrunk) < plan_size(plan)
+        assert attempts > 0
+
+    def test_shrink_preserves_failure_class(self):
+        def classify(backend, plan):
+            if 2 in plan.crashes and 3 in plan.crashes:
+                return "invalid", "needs both"
+            if 2 in plan.crashes:
+                return "hang", "different failure"
+            return "ok", ""
+
+        plan = FaultPlan(seed=1, crashes={1: 1e-4, 2: 2e-4, 3: 3e-4})
+        shrunk, _ = shrink_plan(classify, "ncl", plan, "invalid")
+        # Dropping rank 3 flips the class to "hang" — must be rejected.
+        assert set(shrunk.crashes) == {2, 3}
+
+    def test_unshrinkable_plan_is_fixpoint(self):
+        plan = FaultPlan(seed=1, crashes={2: 1e-4})
+        shrunk, _ = shrink_plan(self._hang_if_rank2_dies, "nsr", plan, "hang")
+        assert shrunk == plan
+
+    def test_rate_only_failure_shrinks_rates(self):
+        def flaky(backend, plan):
+            return ("crash", "boom") if plan.drop_rate > 0.01 else ("ok", "")
+
+        plan = FaultPlan(seed=1, drop_rate=0.08, dup_rate=0.04, delay_rate=0.1)
+        shrunk, _ = shrink_plan(flaky, "nsr", plan, "crash")
+        assert shrunk.dup_rate == 0.0 and shrunk.delay_rate == 0.0
+        assert 0.01 < shrunk.drop_rate <= 0.02  # halved to just above threshold
+
+    def test_size_order_is_strict_on_all_moves(self):
+        plan = FaultPlan(
+            seed=1, drop_rate=0.1, crashes={1: 1e-4, 2: 2e-4},
+            degradations=(NicDegradation(rank=0, t_start=0.0,
+                                         t_end=1e-4, factor=3.0),),
+        )
+        from repro.harness.chaos import _shrink_candidates
+
+        for cand in _shrink_candidates(plan):
+            assert plan_size(cand) < plan_size(plan)
+
+
+class TestRunChaos:
+    def _toy(self, backend, plan):
+        if 2 in plan.crashes:
+            return "hang", "toy bug"
+        return "ok", ""
+
+    def test_report_deterministic(self):
+        a = run_chaos(self._toy, seed=9, plans=12, nprocs=6, dataset="x")
+        b = run_chaos(self._toy, seed=9, plans=12, nprocs=6, dataset="x")
+        assert a.render() == b.render()
+
+    def test_failures_shrunk_and_rendered(self):
+        rep = run_chaos(self._toy, seed=9, plans=20, nprocs=6, dataset="toy")
+        assert rep.failures, "seeded space should include a rank-2 crash"
+        for o in rep.failures:
+            assert o.status == "hang"
+            target = o.shrunk if o.shrunk is not None else o.plan
+            assert 2 in target.crashes
+            line = render_cli("toy", 6, o.backend, target)
+            assert line.startswith("python -m repro match toy")
+            assert "--crash 2:" in line
+        # Round-trips through the actual CLI parser.
+        text = rep.render()
+        assert "shrunk to" in text or "plan:" in text
+
+    def test_no_shrink_flag(self):
+        rep = run_chaos(
+            self._toy, seed=9, plans=20, nprocs=6, dataset="x", do_shrink=False
+        )
+        assert all(o.shrunk is None for o in rep.outcomes)
+
+
+class TestRenderCli:
+    def test_cli_line_parses_back_to_same_plan(self):
+        plan = FaultPlan(
+            seed=77, drop_rate=0.05, crashes={1: 1.25e-4, 3: 3e-4},
+            detect_latency=2e-6,
+            degradations=(NicDegradation(rank=2, t_start=1e-5,
+                                         t_end=9e-5, factor=2.5),),
+        )
+        line = render_cli("rgg-8k", 8, "nsr", plan)
+        # Feed the generated flags back through the argparse pipeline.
+        from repro.__main__ import _parse_crashes, _parse_degradations
+
+        toks = line.split()
+        crashes = _parse_crashes(
+            [toks[i + 1] for i, t in enumerate(toks) if t == "--crash"]
+        )
+        assert crashes == plan.crashes
+        degs = _parse_degradations(
+            [toks[i + 1] for i, t in enumerate(toks) if t == "--degrade"]
+        )
+        assert degs == plan.degradations
+        assert f"--fault-seed {plan.seed}" in line
+        assert "--drop-rate 0.05" in line
+
+
+class TestMatchingRunner:
+    def test_ok_and_hang_classification(self):
+        from repro.graph.generators import rgg_graph
+
+        g = rgg_graph(256, target_avg_degree=6.0, seed=1)
+        runner = matching_runner(g, 2, max_ops=2_000_000)
+        status, _ = runner("ncl", FaultPlan(seed=1))
+        assert status == "ok"
+        # A two-op budget cannot finish: classified as a hang.
+        tight = matching_runner(g, 2, max_ops=2)
+        status, detail = tight("ncl", FaultPlan(seed=1, crashes={1: 1.0}))
+        assert status == "hang"
+        assert detail

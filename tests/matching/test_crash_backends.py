@@ -1,0 +1,136 @@
+"""Crash-survivable RMA and NCL backends, RMA put-fate repair, and
+per-backend golden pins for one canonical crash plan.
+
+The canonical instance mirrors ``test_golden_regression.py`` (R-MAT
+scale 7, seed 3, p=4, cori-aries) with rank 1 killed at t=1e-4. Exact
+float equality is intentional — see the golden-regression module
+docstring; if a pin trips after an *intentional* semantic change,
+re-record and say so in the commit message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import rgg_graph, rmat_graph
+from repro.matching import run_matching
+from repro.matching.verify import check_matching_valid
+from repro.mpisim.faults import FaultPlan
+from repro.mpisim.machine import cori_aries
+
+# model -> (makespan, weight, matched edges, crashed ranks)
+GOLDEN_CRASH = {
+    "nsr": (0.0009365654999999977, 22.723514399910133, 29, [1]),
+    "rma": (0.0003278700000000007, 23.626562698807945, 30, [1]),
+    "ncl": (0.0002704848000000009, 22.723514399910133, 29, [1]),
+}
+
+CRASH_PLAN = FaultPlan(seed=3, crashes={1: 1e-4}, detect_latency=1e-5)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(7, seed=3)
+
+
+@pytest.fixture(scope="module")
+def rgg():
+    return rgg_graph(1024, target_avg_degree=8.0, seed=2)
+
+
+@pytest.mark.parametrize("model", sorted(GOLDEN_CRASH))
+@pytest.mark.parametrize("scheduler", ["heap", "reference"])
+def test_golden_crash_pins(graph, model, scheduler):
+    makespan, weight, edges, crashed = GOLDEN_CRASH[model]
+    res = run_matching(
+        graph, 4, model, machine=cori_aries(), faults=CRASH_PLAN,
+        scheduler=scheduler,
+    )
+    check_matching_valid(graph, res.mate)
+    assert sorted(res.crashed_ranks) == crashed
+    assert res.makespan == makespan
+    assert res.weight == weight
+    assert res.num_matched_edges == edges
+
+
+@pytest.mark.parametrize("model", ["rma", "ncl"])
+class TestCrashRecovery:
+    def test_single_crash_valid_survivor_matching(self, rgg, model):
+        plan = FaultPlan(seed=3, crashes={2: 5e-5}, detect_latency=2e-6)
+        res = run_matching(rgg, 6, model, faults=plan)
+        assert sorted(res.crashed_ranks) == [2]
+        check_matching_valid(rgg, res.mate)
+        # Recovery actually ran (the crash fired mid-algorithm).
+        assert max(rr["recoveries"] for rr in res.rank_results if rr) >= 1
+
+    def test_multi_crash_converges(self, rgg, model):
+        plan = FaultPlan(
+            seed=5, crashes={1: 2e-5, 2: 2.1e-5, 5: 6e-5}, detect_latency=2e-6
+        )
+        res = run_matching(rgg, 6, model, faults=plan)
+        assert sorted(res.crashed_ranks) == [1, 2, 5]
+        check_matching_valid(rgg, res.mate)
+
+    def test_crash_run_deterministic_across_schedulers(self, rgg, model):
+        plan = FaultPlan(seed=4, crashes={0: 3e-5, 3: 9e-5}, detect_latency=2e-6)
+        a = run_matching(rgg, 6, model, faults=plan, scheduler="heap")
+        b = run_matching(rgg, 6, model, faults=plan, scheduler="reference")
+        assert a.makespan == b.makespan
+        assert np.array_equal(a.mate, b.mate)
+
+    def test_null_plan_byte_identical_to_no_plan(self, rgg, model):
+        clean = run_matching(rgg, 4, model)
+        null = run_matching(rgg, 4, model, faults=FaultPlan(seed=99))
+        assert null.makespan == clean.makespan
+        assert np.array_equal(null.mate, clean.mate)
+
+
+class TestRMAPutFates:
+    def test_drops_repaired_bit_identical(self, rgg):
+        clean = run_matching(rgg, 4, "rma")
+        plan = FaultPlan(seed=7, rma_drop_rate=0.05)
+        res = run_matching(rgg, 4, "rma", faults=plan)
+        ft = res.fault_totals()
+        assert ft["puts_dropped"] > 0
+        assert ft["put_retries"] >= ft["puts_dropped"]
+        assert np.array_equal(res.mate, clean.mate)
+        # Repair costs time, never data.
+        assert res.makespan > clean.makespan
+        assert res.weight == clean.weight
+
+    def test_corruption_repaired_bit_identical(self, rgg):
+        clean = run_matching(rgg, 4, "rma")
+        plan = FaultPlan(seed=8, rma_corrupt_rate=0.05)
+        res = run_matching(rgg, 4, "rma", faults=plan)
+        ft = res.fault_totals()
+        assert ft["puts_corrupted"] > 0
+        assert np.array_equal(res.mate, clean.mate)
+
+    def test_drop_and_corrupt_with_crash(self, rgg):
+        plan = FaultPlan(
+            seed=9, rma_drop_rate=0.08, rma_corrupt_rate=0.04,
+            crashes={3: 5e-5}, detect_latency=2e-6,
+        )
+        res = run_matching(rgg, 6, "rma", faults=plan)
+        assert sorted(res.crashed_ranks) == [3]
+        check_matching_valid(rgg, res.mate)
+        ft = res.fault_totals()
+        assert ft["puts_dropped"] > 0 or ft["puts_corrupted"] > 0
+
+    def test_put_fates_deterministic(self, rgg):
+        plan = FaultPlan(seed=7, rma_drop_rate=0.05, rma_corrupt_rate=0.03)
+        a = run_matching(rgg, 4, "rma", faults=plan)
+        b = run_matching(rgg, 4, "rma", faults=plan)
+        assert a.makespan == b.makespan
+        assert a.fault_totals() == b.fault_totals()
+        assert np.array_equal(a.mate, b.mate)
+
+    def test_put_fate_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(rma_drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(rma_corrupt_rate=-0.1)
+
+    def test_null_rma_plan_is_null(self):
+        assert FaultPlan(seed=1).is_null()
+        assert not FaultPlan(seed=1, rma_drop_rate=0.01).is_null()
+        assert FaultPlan(seed=1, rma_drop_rate=0.01).has_rma_faults()
