@@ -15,7 +15,11 @@ Commands
   fault plans (crashes, message/RMA faults, NIC degradation), run each
   backend under them with survivor-subgraph verification and
   determinism checks, and shrink any failure to a minimal reproducing
-  ``repro match`` invocation.
+  ``repro match`` invocation;
+- ``profile [dataset] [-p N] [-b BACKEND] [--out DIR]`` — one span-
+  profiled run: per-rank phase breakdown, critical-path analysis, and
+  (with ``--out``) the full artifact bundle including a Perfetto-
+  loadable Chrome trace (see docs/profiling.md).
 """
 
 from __future__ import annotations
@@ -204,6 +208,42 @@ def _cmd_match(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.harness.profiler import (
+        critical_path,
+        phase_table,
+        write_profile_bundle,
+    )
+    from repro.harness.spec import get_graph
+    from repro.matching import run_matching
+    from repro.mpisim.machine import get_machine
+    from repro.util.tables import format_seconds
+
+    g = get_graph(args.dataset)
+    res = run_matching(
+        g,
+        nprocs=args.nprocs,
+        model=args.backend,
+        machine=get_machine(args.machine),
+        profile=True,
+    )
+    prof = res.profile
+    print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
+    print(f"model: {res.model} on {res.nprocs} simulated ranks")
+    print(f"simulated time: {format_seconds(res.makespan)}")
+    print()
+    print(phase_table(prof, title=f"{res.model}: time per phase (s)").render())
+    print()
+    print(critical_path(prof).render())
+    if args.out:
+        files = write_profile_bundle(args.out, res, res.model)
+        print()
+        print(f"wrote {len(files)} artifacts to {args.out}/:")
+        for f in files:
+            print(f"  {f}")
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     from repro.harness.chaos import matching_runner, run_chaos
     from repro.harness.spec import get_graph
@@ -338,6 +378,22 @@ def main(argv: list[str] | None = None) -> int:
         help="abort the simulation after this many scheduler operations",
     )
     p_match.set_defaults(fn=_cmd_match)
+
+    p_prof = sub.add_parser(
+        "profile", help="span-profiled run: phase breakdown, critical path, trace"
+    )
+    p_prof.add_argument("dataset", nargs="?", default="rgg-8k")
+    p_prof.add_argument("-p", "--nprocs", type=int, default=8)
+    p_prof.add_argument(
+        "-b", "--backend", default="ncl",
+        choices=["nsr", "rma", "ncl", "mbp", "incl"],
+    )
+    p_prof.add_argument("--machine", default="cori-aries")
+    p_prof.add_argument(
+        "--out", default="", help="directory for the artifact bundle "
+        "(Chrome trace JSON, phase CSVs, comm matrices, critical path)"
+    )
+    p_prof.set_defaults(fn=_cmd_profile)
 
     p_chaos = sub.add_parser(
         "chaos", help="sample seeded fault plans, verify, shrink failures"

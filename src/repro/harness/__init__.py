@@ -9,6 +9,17 @@ from repro.harness.experiments.base import (
 )
 from repro.harness.figures import FigureData
 from repro.harness.perfprofile import PerformanceProfile, performance_profile
+from repro.harness.profiler import (
+    CriticalPath,
+    CriticalSegment,
+    chrome_trace,
+    chrome_trace_json,
+    critical_path,
+    phase_breakdown,
+    phase_table,
+    profile_from_chrome,
+    write_profile_bundle,
+)
 from repro.harness.runner import RunRecord, run_models, run_one
 from repro.harness.spec import DEFAULT_SEED, GraphSpec, all_specs, get_graph, get_spec
 from repro.harness.sweep import best_speedup_over_baseline, scaling_sweep
@@ -20,6 +31,15 @@ __all__ = [
     "FigureData",
     "PerformanceProfile",
     "performance_profile",
+    "CriticalPath",
+    "CriticalSegment",
+    "chrome_trace",
+    "chrome_trace_json",
+    "critical_path",
+    "phase_breakdown",
+    "phase_table",
+    "profile_from_chrome",
+    "write_profile_bundle",
     "RunRecord",
     "run_one",
     "run_models",

@@ -9,13 +9,24 @@ Given a set of problems (here: (input, nprocs) combinations) and solvers
 the best solver. The paper reads two things off this plot: RMA's curve
 hugs the Y axis (most consistently fast), and NSR's curve is far right
 (up to 6x slower) while still best on ~10% of problems.
+
+Failures: a solver that did not produce a time for a problem (missing
+entry, ``None``, ``nan``, or ``inf`` — e.g. a backend that legitimately
+failed under a chaos fault plan) gets ratio ∞ for that problem, per the
+standard Dolan-Moré convention, so its ρ curve plateaus below 1.0
+instead of the whole profile being rejected.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+
+# np.trapz was renamed to np.trapezoid in numpy 2.0; pyproject allows
+# numpy>=1.23, so resolve whichever this numpy provides.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
 
 
 @dataclass(frozen=True)
@@ -24,14 +35,20 @@ class PerformanceProfile:
     taus: np.ndarray  #: evaluation points (factor-of-best)
     curves: dict[str, np.ndarray]  #: solver -> rho(tau)
     ratios: dict[str, np.ndarray]  #: solver -> per-problem factor-of-best
+    #: (inf = failed/missing on that problem)
 
     def best_fraction(self, solver: str) -> float:
         """rho(1): fraction of problems where this solver was the winner."""
         return float(self.curves[solver][0])
 
+    def solve_fraction(self, solver: str) -> float:
+        """Fraction of problems the solver produced any finite time for
+        (the plateau its rho curve approaches as tau grows)."""
+        return float(np.isfinite(self.ratios[solver]).mean())
+
     def area(self, solver: str) -> float:
         """Area under the profile (higher = better overall)."""
-        return float(np.trapezoid(self.curves[solver], self.taus))
+        return float(_trapezoid(self.curves[solver], self.taus))
 
     def as_csv(self) -> str:
         lines = ["tau," + ",".join(self.solvers)]
@@ -41,6 +58,10 @@ class PerformanceProfile:
         return "\n".join(lines) + "\n"
 
 
+def _valid_time(t) -> bool:
+    return t is not None and math.isfinite(t)
+
+
 def performance_profile(
     times: dict[str, dict[str, float]],
     tau_max: float | None = None,
@@ -48,26 +69,37 @@ def performance_profile(
 ) -> PerformanceProfile:
     """Build a profile from ``times[problem][solver] = runtime``.
 
-    Every problem must have a time for every solver.
+    Solvers are the union over all problems; a missing / ``None`` /
+    non-finite entry counts as a failure on that problem (ratio ∞). A
+    finite runtime must be strictly positive.
     """
     problems = sorted(times)
     if not problems:
         raise ValueError("no problems given")
-    solvers = tuple(sorted(times[problems[0]]))
-    for p in problems:
-        if tuple(sorted(times[p])) != solvers:
-            raise ValueError(f"problem {p!r} is missing some solvers")
+    solvers = tuple(sorted({s for p in problems for s in times[p]}))
+    if not solvers:
+        raise ValueError("no solvers given")
 
-    ratio_rows = {s: [] for s in solvers}
+    ratio_rows: dict[str, list[float]] = {s: [] for s in solvers}
     for p in problems:
-        best = min(times[p].values())
-        if best <= 0:
+        finite = [t for t in times[p].values() if _valid_time(t)]
+        if any(t <= 0 for t in finite):
             raise ValueError(f"nonpositive runtime for problem {p!r}")
+        best = min(finite) if finite else None
         for s in solvers:
-            ratio_rows[s].append(times[p][s] / best)
+            t = times[p].get(s)
+            if best is None or not _valid_time(t):
+                ratio_rows[s].append(math.inf)
+            else:
+                ratio_rows[s].append(t / best)
     ratios = {s: np.array(v) for s, v in ratio_rows.items()}
 
-    worst = max(float(r.max()) for r in ratios.values())
+    finite_ratios = [
+        float(r[np.isfinite(r)].max())
+        for r in ratios.values()
+        if np.isfinite(r).any()
+    ]
+    worst = max(finite_ratios, default=1.0)
     if tau_max is None:
         tau_max = max(2.0, worst * 1.05)
     taus = np.linspace(1.0, tau_max, num_points)

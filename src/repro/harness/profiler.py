@@ -1,0 +1,350 @@
+"""Profile analysis: Chrome-trace export, phase breakdown, critical path.
+
+Consumes the engine's span profile (``profile=True`` runs; see
+docs/profiling.md) whose per-rank spans tile ``[0, makespan]`` exactly.
+Three analyses ride on that invariant:
+
+* :func:`chrome_trace` — the profile as a Chrome trace-event JSON object
+  (one "process" per rank), loadable in Perfetto / ``chrome://tracing``.
+  Exact span times ride in each event's ``args``, so
+  :func:`profile_from_chrome` reconstructs the :class:`RunProfile`
+  losslessly.
+* :func:`phase_breakdown` / :func:`phase_table` — per-rank seconds per
+  phase, the fine-grained replacement for the coarse 3-way
+  compute/comm/idle split behind the paper's Table VIII.
+* :func:`critical_path` — walk backwards from the last event over the
+  recorded wait dependencies (message arrivals, collective stragglers)
+  and report the chain of spans and cross-rank edges the makespan
+  actually serialized on. The segment durations telescope to exactly the
+  makespan.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.mpisim.tracing import RunProfile, Span
+from repro.util.tables import TextTable
+
+_US = 1e6  # chrome trace timestamps are microseconds
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event export / import
+# ---------------------------------------------------------------------------
+def chrome_trace(profile: RunProfile) -> dict:
+    """Render the profile in Chrome trace-event format (JSON object form).
+
+    Each rank is a "process" (pid = rank) carrying its spans as complete
+    ("X") events. The exact span boundaries are duplicated into ``args``
+    (``begin_s`` / ``end_s``) because the µs-scaled ``ts``/``dur`` fields
+    are lossy; :func:`profile_from_chrome` reads them back.
+    """
+    events: list[dict] = []
+    for r in range(profile.nprocs):
+        events.append(
+            {
+                "ph": "M",
+                "pid": r,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"rank {r}"},
+            }
+        )
+    for spans in profile.spans:
+        for s in spans:
+            args: dict = {"begin_s": s.begin, "end_s": s.end}
+            if s.stage:
+                args["stage"] = s.stage
+            if s.iteration:
+                args["iteration"] = s.iteration
+            if s.dep_rank >= 0:
+                args["dep_rank"] = s.dep_rank
+                args["dep_time"] = s.dep_time
+                args["dep_kind"] = s.dep_kind
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": s.rank,
+                    "tid": 0,
+                    "cat": "phase",
+                    "name": s.phase,
+                    "ts": s.begin * _US,
+                    "dur": s.duration * _US,
+                    "args": args,
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "nprocs": profile.nprocs,
+            "makespan": profile.makespan,
+            "final_clocks": list(profile.final_clocks),
+            "crashed": list(profile.crashed),
+        },
+    }
+
+
+def chrome_trace_json(profile: RunProfile) -> str:
+    """The Chrome trace as a deterministic JSON string."""
+    return json.dumps(chrome_trace(profile), sort_keys=True)
+
+
+def profile_from_chrome(data: dict | str) -> RunProfile:
+    """Rebuild the exact :class:`RunProfile` from :func:`chrome_trace`
+    output (dict or JSON string) — the round trip is lossless because
+    span boundaries travel as full-precision floats in ``args``."""
+    if isinstance(data, str):
+        data = json.loads(data)
+    other = data["otherData"]
+    nprocs = int(other["nprocs"])
+    per_rank: list[list[Span]] = [[] for _ in range(nprocs)]
+    for ev in data["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        a = ev["args"]
+        per_rank[int(ev["pid"])].append(
+            Span(
+                rank=int(ev["pid"]),
+                phase=ev["name"],
+                begin=float(a["begin_s"]),
+                end=float(a["end_s"]),
+                stage=a.get("stage", ""),
+                iteration=int(a.get("iteration", 0)),
+                dep_rank=int(a.get("dep_rank", -1)),
+                dep_time=float(a.get("dep_time", 0.0)),
+                dep_kind=a.get("dep_kind", ""),
+            )
+        )
+    for spans in per_rank:
+        spans.sort(key=lambda s: s.begin)
+    profile = RunProfile(
+        nprocs=nprocs,
+        makespan=float(other["makespan"]),
+        final_clocks=tuple(float(t) for t in other["final_clocks"]),
+        crashed=tuple(int(r) for r in other["crashed"]),
+        spans=tuple(tuple(spans) for spans in per_rank),
+    )
+    profile.validate_tiling()
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# per-rank phase breakdown (Table VIII feeder)
+# ---------------------------------------------------------------------------
+def phase_breakdown(profile: RunProfile) -> list[dict[str, float]]:
+    """``out[rank][phase] = seconds`` for every rank."""
+    return [profile.phase_seconds(r) for r in range(profile.nprocs)]
+
+
+def phase_table(profile: RunProfile, title: str = "time per phase (s)") -> TextTable:
+    """Per-rank / per-phase breakdown with an all-ranks total row."""
+    phases = profile.all_phases()
+    t = TextTable(["rank", *phases, "total"], title=title)
+    for r in range(profile.nprocs):
+        per = profile.phase_seconds(r)
+        row = [str(r)] + [f"{per.get(p, 0.0):.4g}" for p in phases]
+        row.append(f"{sum(per.values()):.4g}")
+        t.add_row(row)
+    per = profile.phase_seconds()
+    row = ["ALL"] + [f"{per.get(p, 0.0):.4g}" for p in phases]
+    row.append(f"{sum(per.values()):.4g}")
+    t.add_row(row)
+    return t
+
+
+def phase_csv(profile: RunProfile) -> str:
+    """Long-form ``rank,phase,seconds`` CSV of the breakdown."""
+    lines = ["rank,phase,seconds"]
+    for r in range(profile.nprocs):
+        for phase, sec in sorted(profile.phase_seconds(r).items()):
+            lines.append(f"{r},{phase},{sec!r}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# critical path
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class CriticalSegment:
+    """One interval of the critical path.
+
+    A local segment (``src < 0``) is time rank ``rank`` spent in
+    ``phase``. An edge segment (``src >= 0``) is the tail of a wait on
+    ``rank`` from the moment the remote cause happened on ``src``
+    (``t_from``) until the waiter proceeded (``t_to``) — i.e. time the
+    makespan spent crossing the ``src -> rank`` dependency.
+    """
+
+    rank: int
+    phase: str
+    stage: str
+    t_from: float
+    t_to: float
+    src: int = -1
+    kind: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_to - self.t_from
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    makespan: float
+    segments: tuple[CriticalSegment, ...]
+
+    def total(self) -> float:
+        """Sum of segment durations — telescopes to the makespan."""
+        return sum(s.duration for s in self.segments)
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Path seconds per phase (edge segments under their wait phase)."""
+        out: dict[str, float] = {}
+        for s in self.segments:
+            out[s.phase] = out.get(s.phase, 0.0) + s.duration
+        return out
+
+    def edge_seconds(self) -> dict[tuple[int, int, str], float]:
+        """Path seconds per (src, dst, kind) dependency edge."""
+        out: dict[tuple[int, int, str], float] = {}
+        for s in self.segments:
+            if s.src >= 0:
+                key = (s.src, s.rank, s.kind)
+                out[key] = out.get(key, 0.0) + s.duration
+        return out
+
+    def render(self) -> str:
+        lines = [
+            f"critical path: {len(self.segments)} segments, "
+            f"total {self.total():.6g} s (makespan {self.makespan:.6g} s)"
+        ]
+        lines.append("by phase:")
+        for phase, sec in sorted(
+            self.phase_seconds().items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {phase:<16} {sec:.6g} s "
+                         f"({100.0 * sec / max(self.makespan, 1e-300):.1f}%)")
+        edges = self.edge_seconds()
+        if edges:
+            lines.append("serializing edges:")
+            for (src, dst, kind), sec in sorted(
+                edges.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(f"  {src} -> {dst} ({kind}) {sec:.6g} s")
+        return "\n".join(lines)
+
+
+def critical_path(profile: RunProfile) -> CriticalPath:
+    """Walk the makespan's dependency chain backwards to time zero.
+
+    Start at the rank whose final clock *is* the makespan (lowest rank on
+    ties) and repeatedly: find the span covering the current time; if it
+    is a wait annotated with a remote cause no later than now, charge the
+    tail of the wait to that cross-rank edge and jump to the cause's rank
+    and time; otherwise charge the span locally and step to its begin.
+
+    Message edges always move time backwards (the send predates the
+    arrival by the wire latency), but a collective straggler's entry *is*
+    the instant the waiters proceed, so those edges are zero-duration
+    jumps at constant time — a per-instant visited-rank set breaks any
+    same-instant cycle. Time never increases and strictly decreases on
+    every local step, so the walk terminates and the segment durations
+    telescope to exactly the makespan.
+    """
+    if profile.makespan == 0.0:
+        return CriticalPath(0.0, ())
+    r = min(
+        q
+        for q in range(profile.nprocs)
+        if profile.final_clocks[q] == profile.makespan
+    )
+    begins = [[s.begin for s in spans] for spans in profile.spans]
+    t = profile.makespan
+    segments: list[CriticalSegment] = []
+    seen_at_t: set[int] = {r}  # ranks visited at the current instant
+    max_steps = (sum(len(s) for s in profile.spans) + 1) * (profile.nprocs + 1)
+    for _ in range(max_steps):
+        if t <= 0.0:
+            break
+        idx = bisect_left(begins[r], t) - 1
+        s = profile.spans[r][idx]
+        follow = (
+            s.dep_rank >= 0
+            and s.dep_rank != r
+            and s.dep_time <= t
+            and s.dep_rank not in seen_at_t
+        )
+        if follow:
+            segments.append(
+                CriticalSegment(r, s.phase, s.stage, s.dep_time, t,
+                                src=s.dep_rank, kind=s.dep_kind)
+            )
+            if s.dep_time < t:
+                seen_at_t = {s.dep_rank}
+            else:
+                seen_at_t.add(s.dep_rank)
+            r, t = s.dep_rank, s.dep_time
+        else:
+            segments.append(CriticalSegment(r, s.phase, s.stage, s.begin, t))
+            t = s.begin
+            seen_at_t = {r}
+    else:
+        raise RuntimeError("critical-path walk did not terminate")
+    segments.reverse()
+    return CriticalPath(profile.makespan, tuple(segments))
+
+
+# ---------------------------------------------------------------------------
+# bundle writer (the `repro profile` artifact set)
+# ---------------------------------------------------------------------------
+def _matrix_csv(mat) -> str:
+    lines = []
+    for row in mat:
+        lines.append(",".join(str(int(v)) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def write_profile_bundle(outdir, result, label: str) -> list[str]:
+    """Write the full `repro profile` artifact set for one run.
+
+    ``result`` is a :class:`~repro.matching.api.MatchingRunResult` from a
+    ``profile=True`` run. Everything written is a pure function of the
+    simulation, so reruns are byte-identical. Returns the file names
+    written (relative to ``outdir``).
+    """
+    from pathlib import Path
+
+    from repro.mpisim.power import energy_report, energy_table
+
+    profile = result.profile
+    if profile is None:
+        raise ValueError("result has no span profile; run with profile=True")
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: list[str] = []
+
+    def put(name: str, text: str) -> None:
+        (outdir / name).write_text(text)
+        written.append(name)
+
+    put(f"{label}_trace.json", chrome_trace_json(profile) + "\n")
+    put(f"{label}_phases.txt",
+        phase_table(profile, title=f"{label}: time per phase (s)").render() + "\n")
+    put(f"{label}_phases.csv", phase_csv(profile))
+    put(f"{label}_critical_path.txt", critical_path(profile).render() + "\n")
+    c = result.counters
+    for kind, mat in (("p2p", c.p2p), ("rma", c.rma), ("ncl", c.ncl)):
+        if mat.total_messages():
+            put(f"{label}_comm_{kind}_counts.csv", _matrix_csv(mat.counts))
+            put(f"{label}_comm_{kind}_bytes.csv", _matrix_csv(mat.bytes))
+    rep = energy_report(
+        label, result.makespan, c, time_split=profile.time_split()
+    )
+    put(f"{label}_energy.txt",
+        energy_table([rep], title=f"{label}: Table VIII row "
+                                  "(profile-attributed split)").render() + "\n")
+    return written

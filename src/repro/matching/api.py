@@ -56,6 +56,11 @@ class MatchingRunResult:
         """Run-wide fault/reliability counter sums (all zero when clean)."""
         return self.counters.fault_totals()
 
+    @property
+    def profile(self):
+        """The span profile, when the run had ``profile=True`` (else None)."""
+        return self.engine.profile
+
 
 def run_matching(
     g: CSRGraph,
@@ -68,6 +73,7 @@ def run_matching(
     max_ops: int | None = None,
     faults: FaultPlan | None = None,
     trace: bool = False,
+    profile: bool = False,
     compute_weight: bool = True,
     scheduler: str = "heap",
 ) -> MatchingRunResult:
@@ -82,6 +88,9 @@ def run_matching(
     projected onto the surviving subgraph. ``scheduler`` selects the
     engine scheduling implementation (``"heap"`` or ``"reference"``; see
     docs/engine_scheduling.md) — both are bit-identical in virtual time.
+    ``profile=True`` turns on the span profiler (docs/profiling.md): the
+    result's :attr:`MatchingRunResult.profile` then carries a
+    phase-attributed :class:`~repro.mpisim.tracing.RunProfile`.
     """
     machine = machine or cori_aries()
     options = options or MatchingOptions()
@@ -92,6 +101,7 @@ def run_matching(
         max_ops=max_ops if max_ops is not None else options.max_ops,
         max_vtime=options.max_vtime,
         trace=trace,
+        profile=profile,
         faults=faults,
         scheduler=scheduler,
     )

@@ -80,6 +80,7 @@ class NCLBackend:
 
     def _evoke_and_process(self, state: MatchingState) -> int:
         """One aggregated exchange: counts alltoall, then payload alltoallv."""
+        self.ctx.prof_stage("evoke")
         topo = self.topo
         counts = [len(b) // 3 for b in self.send_bufs]
         recv_counts = topo.neighbor_alltoall(counts, nbytes_per_item=8)
@@ -95,6 +96,7 @@ class NCLBackend:
         self._staged_bytes = 0
         for b in self.send_bufs:
             b.clear()
+        self.ctx.prof_stage("process")
         handled = 0
         for arr in items:
             for s in range(0, len(arr), 3):
@@ -116,6 +118,7 @@ class NCLBackend:
         a raise mid-rendezvous leaves them untouched and the chunk is
         simply resent.
         """
+        self.ctx.prof_stage("evoke")
         topo = self.topo
         nbrs = topo.neighbors
         items = []
@@ -128,6 +131,7 @@ class NCLBackend:
         recv, _ = topo.neighbor_alltoallv(items, nbytes_each=nbytes_each)
         for q in nbrs:
             self.sent_mark[q] = len(self.sent_log[q])
+        self.ctx.prof_stage("process")
         handled = 0
         for q, (start, arr) in zip(nbrs, recv):
             have = self.consumed[q]
@@ -152,6 +156,7 @@ class NCLBackend:
 
     def _setup(self, state: MatchingState) -> None:
         """(Re)build the survivor topology and schedule a full resync."""
+        self.ctx.prof_stage("recovery")
         self.epoch = tuple(sorted(state.dead_ranks))
         live = [q for q in self._all_nbrs if q not in state.dead_ranks]
         self.topo = self.ctx.shrink_rebuild_topology(live, epoch=self.epoch)
@@ -164,6 +169,7 @@ class NCLBackend:
 
     def _recover(self, state: MatchingState, blame: int) -> None:
         ctx = self.ctx
+        ctx.prof_stage("recovery")
         for r in sorted(ctx.failed_ranks()):
             if r not in state.dead_ranks:
                 state.renounce_rank(r)
@@ -185,8 +191,11 @@ class NCLBackend:
                     started = True
                 while True:
                     iterations += 1
+                    ctx.prof_iteration(iterations)
                     self._exchange_logs(state)
+                    ctx.prof_stage("push")
                     state.drain_work()
+                    ctx.prof_stage("terminate")
                     debt = state.remaining()
                     if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
                         return {
@@ -200,13 +209,17 @@ class NCLBackend:
     def run(self, state: MatchingState) -> dict:
         if self.fault_aware:
             return self._run_survivable(state)
+        ctx = self.ctx
         state.start()
         iterations = 0
         while True:
             iterations += 1
+            ctx.prof_iteration(iterations)
             self._evoke_and_process(state)
+            ctx.prof_stage("push")
             state.drain_work()
-            if self.ctx.allreduce(state.remaining()) == 0:
+            ctx.prof_stage("terminate")
+            if ctx.allreduce(state.remaining()) == 0:
                 break
         return {"iterations": iterations}
 

@@ -102,12 +102,16 @@ class NSRBackend:
 
     def _run_plain(self, state: MatchingState) -> dict:
         """Algorithm 3's main loop, event-driven."""
+        ctx = self.ctx
         state.start()
         iterations = 0
         while True:
             iterations += 1
+            ctx.prof_iteration(iterations)
+            ctx.prof_stage("evoke")
             progressed = self._drain_incoming(state) > 0
             if state.work:
+                ctx.prof_stage("push")
                 state.drain_work()
                 progressed = True
             if state.locally_done():
@@ -134,13 +138,16 @@ class NSRBackend:
 
         while True:
             iterations += 1
+            ctx.prof_iteration(iterations)
             if self.fault_aware:
+                ctx.prof_stage("recovery")
                 for r in ctx.failed_ranks():
                     if r not in state.dead_ranks:
                         state.renounce_rank(r)
                         if chan is not None:
                             chan.on_rank_failed(r)
             progressed = False
+            ctx.prof_stage("evoke")
             if chan is not None:
                 acks_before = rc.acks_sent
                 if chan.poll(deliver) > 0:
@@ -154,6 +161,7 @@ class NSRBackend:
                 if self._drain_incoming(state) > 0:
                     progressed = True
             if state.work:
+                ctx.prof_stage("push")
                 state.drain_work()
                 progressed = True
 

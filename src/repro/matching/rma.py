@@ -221,9 +221,11 @@ class RMABackend:
 
     def _evoke_and_process(self, state: MatchingState) -> int:
         """flush -> counts exchange -> read new window slots."""
+        self.ctx.prof_stage("evoke")
         counts, reported = self._exchange_counts()
         self.win.sync_local()
         buf = self.win.local
+        self.ctx.prof_stage("process")
         handled = 0
         for q in self.topo.neighbors:
             handled += self._scan_region(state, buf, q, counts[q])
@@ -242,13 +244,17 @@ class RMABackend:
         return self._run_survivable(state)
 
     def _run_plain(self, state: MatchingState) -> dict:
+        ctx = self.ctx
         state.start()
         iterations = 0
         while True:
             iterations += 1
+            ctx.prof_iteration(iterations)
             self._evoke_and_process(state)
+            ctx.prof_stage("push")
             state.drain_work()
-            if self.ctx.allreduce(state.remaining() + self._verify_debt()) == 0:
+            ctx.prof_stage("terminate")
+            if ctx.allreduce(state.remaining() + self._verify_debt()) == 0:
                 break
         return {"iterations": iterations}
 
@@ -262,6 +268,7 @@ class RMABackend:
         aligned across ranks re-entering from different program points.
         """
         ctx = self.ctx
+        ctx.prof_stage("recovery")
         self.epoch = tuple(sorted(state.dead_ranks))
         live = [q for q in self._all_nbrs if q not in state.dead_ranks]
         self.topo = ctx.shrink_rebuild_topology(live, epoch=self.epoch)
@@ -281,6 +288,7 @@ class RMABackend:
     def _recover(self, state: MatchingState, blame: int) -> None:
         """Renounce newly detected failures and schedule a rebuild."""
         ctx = self.ctx
+        ctx.prof_stage("recovery")
         for r in sorted(ctx.failed_ranks()):
             if r not in state.dead_ranks:
                 state.renounce_rank(r)
@@ -306,8 +314,11 @@ class RMABackend:
                     started = True
                 while True:
                     iterations += 1
+                    ctx.prof_iteration(iterations)
                     self._evoke_and_process(state)
+                    ctx.prof_stage("push")
                     state.drain_work()
+                    ctx.prof_stage("terminate")
                     debt = state.remaining() + self._verify_debt()
                     if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
                         return {

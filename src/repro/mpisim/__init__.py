@@ -53,12 +53,17 @@ from repro.mpisim.topology import (
     payload_nbytes,
 )
 from repro.mpisim.tracing import (
+    ProfilingError,
+    RunProfile,
+    Span,
+    SpanRecorder,
     TraceEvent,
     events_for_rank,
     fault_events,
     fault_summary,
     summarize_ops,
     time_ordered,
+    trace_from_csv,
     trace_to_csv,
 )
 from repro.mpisim.window import Window
@@ -79,6 +84,11 @@ __all__ = [
     "PendingNeighborExchange",
     "TraceEvent",
     "trace_to_csv",
+    "trace_from_csv",
+    "Span",
+    "RunProfile",
+    "SpanRecorder",
+    "ProfilingError",
     "summarize_ops",
     "events_for_rank",
     "time_ordered",

@@ -102,6 +102,15 @@ class FullCollective:
         """Engine block predicate: time rank may resume, or None."""
         return self.base_time() if self.complete else None
 
+    def straggler(self) -> tuple[int, float]:
+        """(rank, entry time) of the last entrant — the participant the
+        rendezvous was serialized on (smallest rank on ties). Only valid
+        once the collective is complete; used by the profiler to attach
+        a cross-rank dependency to collective waits."""
+        base = self.base_time()
+        rank = min(r for r, (t, _) in self.entries.items() if t == base)
+        return rank, base
+
     def result_for(self, rank: int) -> Any:
         if self._result_cache is None:
             self._result_cache = self._combine()
@@ -186,6 +195,20 @@ class AgreementCollective(FullCollective):
     def participants(self) -> list[int]:
         return sorted(self.entries)
 
+    def straggler(self) -> tuple[int, float]:
+        """Last event the agreement waited on: either the final entrant
+        or the failure notification of a crashed non-entrant."""
+        base = self.wake_potential(-1)
+        cands = [r for r, (t, _) in self.entries.items() if t == base]
+        if not cands:
+            cands = [
+                r for r, tc in self.crashed_at.items()
+                if r not in self.entries and tc + self.detect_latency == base
+            ]
+        if not cands:  # float mismatch cannot happen; stay safe anyway
+            cands = sorted(self.entries)
+        return min(cands), base
+
     def _combine(self) -> list[Any]:
         ranks = self.participants()
         datas = [self.entries[r][1] for r in ranks]
@@ -267,6 +290,13 @@ class NeighborhoodCollective:
         times = [self.entries[rank][0]]
         times.extend(self.entries[q][0] for q in self.adjacency[rank])
         return max(times)
+
+    def straggler_for(self, rank: int) -> tuple[int, float]:
+        """Last entrant of ``rank``'s rendezvous set ``{rank} ∪ N(rank)``
+        (smallest rank on ties). Only valid once ``ready_for(rank)``."""
+        base = self.wake_potential(rank)
+        group = [rank, *self.adjacency[rank]]
+        return min(q for q in group if self.entries[q][0] == base), base
 
     def result_for(self, rank: int) -> list[Any]:
         """Received items, aligned with ``adjacency[rank]`` order.

@@ -68,6 +68,23 @@ class RankContext:
         return self._engine.rank_counters(self.rank)
 
     # ------------------------------------------------------------------
+    # span-profiler annotations (no-ops when profiling is disabled; they
+    # never touch the virtual clock, so annotating is always safe)
+    # ------------------------------------------------------------------
+    def prof_stage(self, stage: str) -> None:
+        """Label subsequent spans with an application stage (e.g. the
+        paper's Push / Evoke / Process loop sections)."""
+        prof = self._engine.profiler
+        if prof is not None:
+            prof.set_stage(self.rank, stage)
+
+    def prof_iteration(self, iteration: int) -> None:
+        """Label subsequent spans with the outer-loop iteration number."""
+        prof = self._engine.profiler
+        if prof is not None:
+            prof.set_iteration(self.rank, iteration)
+
+    # ------------------------------------------------------------------
     # fault model / failure notification (ULFM-flavoured)
     # ------------------------------------------------------------------
     @property
@@ -113,7 +130,8 @@ class RankContext:
             # peer it already knows to be dead (MPI_ERR_PROC_FAILED).
             raise RankCrashed(dest)
         eng.yield_ready(self.rank)
-        eng.charge_comm(self.rank, self.machine.send_origin_cost(nbytes))
+        eng.charge_comm(self.rank, self.machine.send_origin_cost(nbytes),
+                        phase="send")
         arrival = eng.post_message(
             self.rank, dest, tag, payload, nbytes, matrix=eng.counters.p2p
         )
@@ -132,7 +150,7 @@ class RankContext:
         has physically arrived, else ``None``."""
         eng = self._engine
         eng.yield_ready(self.rank)
-        eng.charge_comm(self.rank, self.machine.o_probe)
+        eng.charge_comm(self.rank, self.machine.o_probe, phase="probe")
         eng.rank_counters(self.rank).probes += 1
         q = eng.queue_of(self.rank)
         idx = q.match_index(source, tag, before=eng.clock_of(self.rank))
@@ -161,7 +179,8 @@ class RankContext:
             return tf if t is None else min(t, tf)
 
         while True:
-            eng.block_on(self.rank, potential, f"recv(src={source},tag={tag})")
+            eng.block_on(self.rank, potential, f"recv(src={source},tag={tag})",
+                         wait_phase="recv-wait")
             idx = q.match_index(source, tag, before=eng.clock_of(self.rank))
             if idx is not None:
                 break
@@ -173,7 +192,11 @@ class RankContext:
                 raise RankCrashed(source)
             # Unrelated failure (or wildcard receive): keep waiting.
         msg = q.pop(idx)
-        eng.charge_comm(self.rank, self.machine.o_recv)
+        if eng.profiler is not None:
+            # The wait (if any) ended because this message arrived: the
+            # critical path continues at the sender's send time.
+            eng.profiler.attach_dep(self.rank, msg.src, msg.send_time, "message")
+        eng.charge_comm(self.rank, self.machine.o_recv, phase="recv")
         rc = eng.rank_counters(self.rank)
         rc.recvs += 1
         rc.bytes_received += msg.nbytes
@@ -217,7 +240,12 @@ class RankContext:
                 cands.append(tf)
             return min(cands) if cands else None
 
-        eng.block_on(self.rank, potential, f"probe_block(src={source},tag={tag})")
+        eng.block_on(self.rank, potential, f"probe_block(src={source},tag={tag})",
+                     wait_phase="recv-wait")
+        if eng.profiler is not None:
+            m = q.earliest_match(source, tag)
+            if m is not None and m.arrival <= eng.clock_of(self.rank):
+                eng.profiler.attach_dep(self.rank, m.src, m.send_time, "message")
         if eng.faults is not None and eng.faults.has_crashes():
             # Consume any notification we were woken for: wake-once
             # semantics (failed_ranks recomputes from the plan, so the
@@ -273,7 +301,12 @@ class RankContext:
         if eng.faults is not None and eng.faults.has_crashes():
             self._block_crash_aware(op, f"{kind}#{key[1]}")
         else:
-            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
+            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}",
+                         wait_phase="collective-wait")
+        if eng.profiler is not None:
+            sq, st = op.straggler()
+            if sq != rank:
+                eng.profiler.attach_dep(rank, sq, st, "collective")
 
         m = self.machine
         p = self.nprocs
@@ -292,7 +325,7 @@ class RankContext:
             cost = m.alltoall_cost(p, params.get("nbytes_per_pair", nbytes))
         else:  # pragma: no cover - guarded by collectives module
             raise ValueError(kind)
-        eng.charge_comm(rank, cost)
+        eng.charge_comm(rank, cost, phase="collective")
         rc = eng.rank_counters(rank)
         rc.collectives += 1
         rc.bytes_collective += nbytes
@@ -321,7 +354,7 @@ class RankContext:
             return eng.failure_wake_potential(rank)
 
         while True:
-            eng.block_on(rank, potential, label)
+            eng.block_on(rank, potential, label, wait_phase="collective-wait")
             if op.wake_potential(rank) is not None:
                 return
             failed = self.failed_ranks()
@@ -373,7 +406,8 @@ class RankContext:
             return eng.failure_wake_potential(rank)
 
         while True:
-            eng.block_on(rank, potential, f"{kind}#{key[1]}@{epoch}")
+            eng.block_on(rank, potential, f"{kind}#{key[1]}@{epoch}",
+                         wait_phase="recovery-wait")
             stale = sorted(q for q in self.failed_ranks() if q not in epoch)
             if stale:
                 # Uniform failure reporting (the ULFM agree guarantee):
@@ -387,8 +421,13 @@ class RankContext:
                 break
             # Notification for an already-known failure: keep waiting.
 
+        if eng.profiler is not None:
+            sq, st = aop.straggler()
+            if sq != rank:
+                eng.profiler.attach_dep(rank, sq, st, "agreement")
         nbytes = payload_nbytes(value)
-        eng.charge_comm(rank, self.machine.allreduce_cost(self.nprocs, nbytes))
+        eng.charge_comm(rank, self.machine.allreduce_cost(self.nprocs, nbytes),
+                        phase="recovery")
         rc = eng.rank_counters(rank)
         rc.collectives += 1
         rc.bytes_collective += nbytes

@@ -44,6 +44,8 @@ class RankCounters:
     allocations: dict[str, int] = field(default_factory=dict)
     current_bytes: int = 0
     peak_bytes: int = 0
+    free_underflows: int = 0  #: frees exceeding the label's balance
+    underflow_bytes: int = 0  #: bytes those frees over-released
 
     # transient transport state
     pending_inflight: int = 0
@@ -69,9 +71,24 @@ class RankCounters:
         self.peak_bytes = max(self.peak_bytes, self.current_bytes)
 
     def free(self, nbytes: int, label: str = "misc") -> None:
+        """Release bytes previously registered under ``label``.
+
+        A free exceeding the label's outstanding balance (double-free or
+        mislabeled free — e.g. a duplicated message releasing the same
+        send request twice) is clamped at zero instead of silently
+        driving ``current_bytes`` negative, and counted in
+        ``free_underflows`` / ``underflow_bytes``.
+        """
         nbytes = int(nbytes)
-        self.allocations[label] = self.allocations.get(label, 0) - nbytes
-        self.current_bytes -= nbytes
+        have = self.allocations.get(label, 0)
+        if nbytes > have:
+            self.free_underflows += 1
+            self.underflow_bytes += nbytes - have
+            self.allocations[label] = 0
+            self.current_bytes -= have
+        else:
+            self.allocations[label] = have - nbytes
+            self.current_bytes -= nbytes
 
     def note_inflight(self, delta: int) -> None:
         self.pending_inflight += delta

@@ -54,6 +54,7 @@ from repro.mpisim.errors import (
 from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel
 from repro.mpisim.message import Message, ReceiveQueue
+from repro.mpisim.tracing import RunProfile, SpanRecorder
 
 # rank run states
 _NEW = "new"
@@ -87,6 +88,9 @@ class _RankState:
     result: Any = None
     error: BaseException | None = None
     describe: str = ""  # last operation, for deadlock dumps
+    # span profiling: phase attributed to scheduler idle advances while
+    # this rank is parked ("recv-wait", "collective-wait", ...)
+    wait_phase: str = "wait"
     # crash notifications already consumed by this rank's wake logic
     failures_seen: set[int] = field(default_factory=set)
     # heap scheduler: version of this rank's newest candidate-heap entry;
@@ -108,6 +112,7 @@ class EngineResult:
     crashed_ranks: tuple[int, ...] = ()  #: ranks killed by the fault plan
     final_clocks: tuple[float, ...] = ()  #: per-rank final virtual clocks
     trace: list | None = None  #: TraceEvent list when tracing was enabled
+    profile: RunProfile | None = None  #: span profile when profiling was enabled
 
     def max_clock(self) -> float:
         return self.makespan
@@ -127,6 +132,12 @@ class Engine:
         operations (guards against runaway programs in tests).
     max_vtime:
         Abort when any rank's clock passes this virtual time.
+    profile:
+        Record phase-attributed :class:`~repro.mpisim.tracing.Span`\\ s
+        for every virtual second of every rank; the finalized
+        :class:`~repro.mpisim.tracing.RunProfile` is returned on
+        ``EngineResult.profile``. Off by default (zero cost, and the
+        differential suite proves the disabled path bit-identical).
     scheduler:
         ``"heap"`` (default, indexed candidate heap with lazy
         invalidation) or ``"reference"`` (the original linear scan, kept
@@ -145,6 +156,7 @@ class Engine:
         max_ops: int | None = None,
         max_vtime: float | None = None,
         trace: bool = False,
+        profile: bool = False,
         faults: FaultPlan | None = None,
         scheduler: str = "heap",
         audit: bool = False,
@@ -179,6 +191,9 @@ class Engine:
 
         self.counters = RunCounters(nprocs)
         self.trace: list | None = [] if trace else None
+        # Span profiler: records a phase-attributed span at every clock
+        # advance. None when disabled, so the hot paths pay one branch.
+        self.profiler: SpanRecorder | None = SpanRecorder(nprocs) if profile else None
         self._ranks = [_RankState(r) for r in range(nprocs)]
         self._sched_event = threading.Event()
         self._abort = False
@@ -259,6 +274,12 @@ class Engine:
             raise RankFailure(first.rank, first.error) from first.error
 
         makespan = max(rs.clock for rs in self._ranks)
+        profile = None
+        if self.profiler is not None:
+            profile = self.profiler.finalize(
+                tuple(rs.clock for rs in self._ranks), makespan,
+                dict(self._crashed),
+            )
         return EngineResult(
             nprocs=self.nprocs,
             makespan=makespan,
@@ -270,6 +291,7 @@ class Engine:
             crashed_ranks=tuple(sorted(self._crashed)),
             final_clocks=tuple(rs.clock for rs in self._ranks),
             trace=self.trace,
+            profile=profile,
         )
 
     # ------------------------------------------------------------------
@@ -354,6 +376,9 @@ class Engine:
                 continue
             if t > rs.clock:
                 self.counters.ranks[rank].idle_time += t - rs.clock
+                if self.profiler is not None:
+                    self.profiler.add(rank, rs.wait_phase, rs.clock, t,
+                                      is_wait=True)
                 rs.clock = t
             self._switch_to(rs)
 
@@ -447,6 +472,9 @@ class Engine:
                     continue
             if t > rs.clock:
                 self.counters.ranks[rank].idle_time += t - rs.clock
+                if self.profiler is not None:
+                    self.profiler.add(rank, rs.wait_phase, rs.clock, t,
+                                      is_wait=True)
                 rs.clock = t
             self._switch_to(rs)
             if rs.state == _FAILED:
@@ -735,16 +763,19 @@ class Engine:
         rank: int,
         wake_potential: Callable[[], float | None],
         describe: str,
+        wait_phase: str = "wait",
     ) -> None:
         """Park until ``wake_potential()`` yields a time and we are minimal.
 
         On return the rank's clock has been advanced to the wake time (the
-        gap is accounted as idle time).
+        gap is accounted as idle time, attributed to ``wait_phase`` when
+        profiling).
         """
         if self.faults is not None:
             self._check_self_crash(rank)
         rs = self._ranks[rank]
         rs.describe = describe
+        rs.wait_phase = wait_phase
         # Fast path: already satisfiable and we are minimal.
         t = wake_potential()
         if t is not None and t <= rs.clock:
@@ -770,16 +801,20 @@ class Engine:
 
     def charge_compute(self, rank: int, seconds: float) -> None:
         rs = self._ranks[rank]
+        if self.profiler is not None and seconds > 0.0:
+            self.profiler.add(rank, "compute", rs.clock, rs.clock + seconds)
         rs.clock += seconds
         self.counters.ranks[rank].compute_time += seconds
         self._check_vtime(rs)
 
-    def charge_comm(self, rank: int, seconds: float) -> None:
+    def charge_comm(self, rank: int, seconds: float, phase: str = "comm") -> None:
         # Ticking here (not just in post_message) lets the op budget
         # catch collective-only livelock — e.g. a recovery loop spinning
         # on agreements without ever posting a point-to-point message.
         self._tick()
         rs = self._ranks[rank]
+        if self.profiler is not None and seconds > 0.0:
+            self.profiler.add(rank, phase, rs.clock, rs.clock + seconds)
         rs.clock += seconds
         self.counters.ranks[rank].comm_time += seconds
         self._check_vtime(rs)

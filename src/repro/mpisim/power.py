@@ -54,7 +54,7 @@ class EnergyReport:
         return [
             self.label,
             f"{self.mem_per_rank_mb:.1f}",
-            f"{self.node_energy_kj * 1e3:.3g}",
+            f"{self.node_energy_kj:.3g}",
             f"{self.node_power_kw:.3f}",
             f"{self.compute_pct:.1f}",
             f"{self.mpi_pct:.1f}",
@@ -67,13 +67,24 @@ def energy_report(
     makespan: float,
     counters: RunCounters,
     model: PowerModel | None = None,
+    *,
+    time_split: tuple[float, float, float] | None = None,
 ) -> EnergyReport:
-    """Evaluate the power model against one run's counters."""
+    """Evaluate the power model against one run's counters.
+
+    ``time_split`` optionally overrides the coarse counter-derived
+    ``(compute, comm, idle)`` seconds — ``repro profile`` passes the
+    span profiler's phase-attributed split
+    (:meth:`repro.mpisim.tracing.RunProfile.time_split`) here, so
+    Table VIII is fed by the same attribution the Chrome trace shows.
+    """
     model = model or PowerModel()
     nprocs = counters.nprocs
     nodes = max(1, -(-nprocs // model.ranks_per_node))  # ceil division
 
-    compute, comm, idle = counters.time_split()
+    compute, comm, idle = (
+        counters.time_split() if time_split is None else time_split
+    )
     total = compute + comm + idle
     if total <= 0.0:
         total = 1e-30
@@ -113,7 +124,7 @@ def energy_report(
 def energy_table(reports: list[EnergyReport], title: str) -> TextTable:
     """Render reports in the paper's Table VIII layout."""
     t = TextTable(
-        ["Ver.", "Mem.(MB/proc)", "Node eng.(J)", "Node pwr.(kW)", "Comp.%", "MPI%", "EDP"],
+        ["Ver.", "Mem.(MB/proc)", "Node eng.(kJ)", "Node pwr.(kW)", "Comp.%", "MPI%", "EDP"],
         title=title,
     )
     for r in reports:

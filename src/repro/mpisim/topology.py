@@ -35,7 +35,7 @@ def _block_neighborhood(eng, ctx, op, scope_id, epoch_set, label: str) -> None:
         return eng.failure_wake_potential(rank)
 
     while True:
-        eng.block_on(rank, potential, label)
+        eng.block_on(rank, potential, label, wait_phase="collective-wait")
         if op.wake_potential(rank) is not None:
             return
         rev = eng.scope_revocation(scope_id)
@@ -192,7 +192,8 @@ class DistGraphTopology:
         m = eng.machine
         active_out = sum(1 for _, n in payload if n > 0)
         eng.charge_comm(
-            rank, m.o_ncl_setup + active_out * m.o_ncl_per_neighbor
+            rank, m.o_ncl_setup + active_out * m.o_ncl_per_neighbor,
+            phase="collective",
         )
         return PendingNeighborExchange(self, key, op, [n for _, n in payload])
 
@@ -218,7 +219,12 @@ class DistGraphTopology:
                 eng, ctx, op, self.scope_id, self._epoch_set, f"{kind}#{key[1]}"
             )
         else:
-            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}")
+            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}",
+                         wait_phase="collective-wait")
+        if eng.profiler is not None:
+            sq, st = op.straggler_for(rank)
+            if sq != rank:
+                eng.profiler.attach_dep(rank, sq, st, "neighbor-collective")
 
         received = op.result_for(rank)
         m = eng.machine
@@ -237,7 +243,7 @@ class DistGraphTopology:
             cost = m.neighbor_alltoallv_cost(
                 self.degree, sum(send_bytes), recv_total, active_lanes=active
             )
-        eng.charge_comm(rank, cost)
+        eng.charge_comm(rank, cost, phase="collective")
         rc.neighbor_collectives += 1
         rc.bytes_collective += sum(send_bytes)
         for q, nb in zip(self.neighbors, send_bytes):
@@ -283,8 +289,13 @@ class PendingNeighborExchange:
             )
         else:
             eng.block_on(
-                rank, lambda: op.wake_potential(rank), f"ineighbor_wait#{self._key[1]}"
+                rank, lambda: op.wake_potential(rank), f"ineighbor_wait#{self._key[1]}",
+                wait_phase="collective-wait",
             )
+        if eng.profiler is not None:
+            sq, st = op.straggler_for(rank)
+            if sq != rank:
+                eng.profiler.attach_dep(rank, sq, st, "neighbor-collective")
         received = op.result_for(rank)
         recv_items = [x for x, _ in received]
         recv_bytes = [n for _, n in received]
@@ -303,7 +314,7 @@ class PendingNeighborExchange:
         ready_at = max(op.wake_potential(rank), self._issue_time + wire)
         now = eng.clock_of(rank)
         if ready_at > now:
-            eng.charge_comm(rank, ready_at - now)
+            eng.charge_comm(rank, ready_at - now, phase="collective")
         rc = eng.rank_counters(rank)
         rc.neighbor_collectives += 1
         rc.bytes_collective += sum(self._send_bytes)

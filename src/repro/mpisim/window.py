@@ -94,7 +94,7 @@ class Window:
         eng.yield_ready(self.rank)
         m = eng.machine
         nbytes = int(data.nbytes)
-        eng.charge_comm(self.rank, m.put_origin_cost(nbytes))
+        eng.charge_comm(self.rank, m.put_origin_cost(nbytes), phase="put")
         arrival = eng.post_message(
             self.rank,
             target,
@@ -149,8 +149,8 @@ class Window:
         now = eng.clock_of(self.rank)
         if latest > now:
             # DMA completion wait is communication time, not idle time.
-            eng.charge_comm(self.rank, latest - now)
-        eng.charge_comm(self.rank, eng.machine.o_flush)
+            eng.charge_comm(self.rank, latest - now, phase="flush")
+        eng.charge_comm(self.rank, eng.machine.o_flush, phase="flush")
         rc.flushes += 1
         rc.pending_inflight = 0
         eng.trace_event(self.rank, "flush", win=self.win_id)
@@ -166,7 +166,7 @@ class Window:
         ctx = self._ctx
         eng = ctx._engine
         eng.yield_ready(self.rank)
-        eng.charge_comm(self.rank, eng.machine.o_win_sync)
+        eng.charge_comm(self.rank, eng.machine.o_win_sync, phase="sync")
         now = eng.clock_of(self.rank)
         pend = self._store.pending[self.rank]
         if not pend:
@@ -204,7 +204,11 @@ class Window:
                 f"> size {store.buffers[target].size} (target {target})"
             )
         nbytes = int(count * store.dtype.itemsize)
-        eng.charge_comm(self.rank, m.o_get + 2 * m.alpha + m.wire_bytes(nbytes, True) * m.beta)
+        eng.charge_comm(
+            self.rank,
+            m.o_get + 2 * m.alpha + m.wire_bytes(nbytes, True) * m.beta,
+            phase="get",
+        )
         rc = eng.rank_counters(self.rank)
         rc.gets += 1
         eng.counters.rma.record(target, self.rank, nbytes)

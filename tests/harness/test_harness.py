@@ -104,9 +104,16 @@ def test_performance_profile_validation():
     with pytest.raises(ValueError):
         performance_profile({})
     with pytest.raises(ValueError):
-        performance_profile({"p": {"a": 1.0}, "q": {"b": 1.0}})
-    with pytest.raises(ValueError):
         performance_profile({"p": {"a": 0.0, "b": 1.0}})
+
+
+def test_performance_profile_partial_coverage():
+    # Solvers are the union across problems; a solver missing from a
+    # problem simply fails it (ratio inf) rather than raising.
+    prof = performance_profile({"p": {"a": 1.0}, "q": {"b": 1.0}})
+    assert prof.solvers == ("a", "b")
+    assert prof.solve_fraction("a") == pytest.approx(0.5)
+    assert prof.curves["a"][-1] == pytest.approx(0.5)
 
 
 # -- figures ---------------------------------------------------------------
@@ -195,3 +202,44 @@ def test_registry_names_unique_and_stable():
     assert len(names) == len(set(names))
     # sorted order is the CLI listing order; keep it deterministic
     assert names == [s.name for s in all_specs()]
+
+
+def test_performance_profile_area_and_trapezoid():
+    """Regression: .area() called np.trapezoid, absent before numpy 2.0;
+    the fallback must integrate correctly on whatever numpy is present."""
+    prof = performance_profile(
+        {"p1": {"a": 1.0, "b": 2.0}, "p2": {"a": 1.0, "b": 4.0}},
+        tau_max=5.0,
+        num_points=401,
+    )
+    # a is always best: rho_a == 1 everywhere, area == tau range
+    assert prof.area("a") == pytest.approx(4.0, rel=1e-6)
+    assert prof.area("b") < prof.area("a")
+
+
+def test_performance_profile_with_failures():
+    """Missing/None/NaN/inf runtimes are failures (ratio inf): the
+    solver's curve plateaus below 1.0 instead of raising."""
+    times = {
+        "p1": {"a": 1.0, "b": 2.0},
+        "p2": {"a": 1.0, "b": float("nan")},
+        "p3": {"a": 1.0, "b": None},
+        "p4": {"a": float("inf"), "b": 1.0},
+    }
+    prof = performance_profile(times, tau_max=100.0)
+    assert prof.solve_fraction("a") == pytest.approx(3 / 4)
+    assert prof.solve_fraction("b") == pytest.approx(2 / 4)
+    assert prof.curves["a"][-1] == pytest.approx(3 / 4)
+    assert prof.curves["b"][-1] == pytest.approx(2 / 4)
+    assert np.isinf(prof.ratios["b"][1])
+
+
+def test_performance_profile_all_failed_problem():
+    # one problem nobody solved still counts in the denominator
+    times = {
+        "p1": {"a": 1.0, "b": 1.0},
+        "p2": {"a": float("inf"), "b": None},
+    }
+    prof = performance_profile(times, tau_max=10.0)
+    for s in ("a", "b"):
+        assert prof.curves[s][-1] == pytest.approx(0.5)

@@ -1,0 +1,180 @@
+"""Profile analysis: Chrome trace round-trip, critical path, bundle.
+
+The critical-path invariant is the load-bearing one: on a hand-built
+3-rank profile the walk must recover the known dependency chain, and on
+real matching runs the segment durations must telescope to *exactly*
+the golden-pinned makespans.
+"""
+
+import json
+
+import pytest
+
+from repro.graph.generators import rmat_graph
+from repro.harness.profiler import (
+    chrome_trace,
+    chrome_trace_json,
+    critical_path,
+    phase_breakdown,
+    phase_csv,
+    phase_table,
+    profile_from_chrome,
+    write_profile_bundle,
+)
+from repro.matching import run_matching
+from repro.mpisim.machine import cori_aries
+from repro.mpisim.tracing import RunProfile, Span
+
+from tests.matching.test_golden_regression import GOLDEN
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat_graph(7, seed=3)
+
+
+def profiled_run(graph, model):
+    return run_matching(graph, 4, model, machine=cori_aries(), profile=True)
+
+
+# -- hand-built 3-rank program ---------------------------------------------
+def hand_profile() -> RunProfile:
+    """Rank 0 computes, sends to 1; rank 1 relays to 2; rank 2 finishes.
+
+    Timeline (seconds):
+      r0: compute [0,4), send [4,5), done [5,10]
+      r1: recv-wait [0,5) <- r0's send at 4, recv [5,6), send [6,7), done
+      r2: recv-wait [0,7) <- r1's send at 6, recv [7,9), compute [9,10)
+    """
+    spans = (
+        (
+            Span(0, "compute", 0.0, 4.0),
+            Span(0, "send", 4.0, 5.0),
+            Span(0, "done", 5.0, 10.0),
+        ),
+        (
+            Span(1, "recv-wait", 0.0, 5.0, dep_rank=0, dep_time=4.0,
+                 dep_kind="message"),
+            Span(1, "recv", 5.0, 6.0),
+            Span(1, "send", 6.0, 7.0),
+            Span(1, "done", 7.0, 10.0),
+        ),
+        (
+            Span(2, "recv-wait", 0.0, 7.0, dep_rank=1, dep_time=6.0,
+                 dep_kind="message"),
+            Span(2, "recv", 7.0, 9.0),
+            Span(2, "compute", 9.0, 10.0),
+        ),
+    )
+    prof = RunProfile(
+        nprocs=3,
+        makespan=10.0,
+        final_clocks=(5.0, 7.0, 10.0),
+        crashed=(),
+        spans=spans,
+    )
+    prof.validate_tiling()
+    return prof
+
+
+def test_hand_built_critical_path():
+    cp = critical_path(hand_profile())
+    assert cp.total() == cp.makespan == 10.0
+    # the walk crosses exactly the two message edges, newest first in
+    # time order after the reverse: 0->1 then 1->2
+    edges = [(s.src, s.rank, s.kind) for s in cp.segments if s.src >= 0]
+    assert edges == [(0, 1, "message"), (1, 2, "message")]
+    # Chain: the edge segment charged to each waiter covers the wire time
+    # from the send's *issue* (dep_time) to the waiter proceeding, so the
+    # walk jumps straight past the sender's send span to its issue time.
+    assert [(s.rank, s.phase, s.t_from, s.t_to) for s in cp.segments] == [
+        (0, "compute", 0.0, 4.0),
+        (1, "recv-wait", 4.0, 5.0),  # 0 -> 1 edge tail
+        (1, "recv", 5.0, 6.0),
+        (2, "recv-wait", 6.0, 7.0),  # 1 -> 2 edge tail
+        (2, "recv", 7.0, 9.0),
+        (2, "compute", 9.0, 10.0),
+    ]
+    assert cp.edge_seconds() == {(0, 1, "message"): 1.0, (1, 2, "message"): 1.0}
+    out = cp.render()
+    assert "0 -> 1 (message)" in out and "makespan 10" in out
+
+
+def test_hand_built_chrome_round_trip():
+    prof = hand_profile()
+    assert profile_from_chrome(chrome_trace_json(prof)) == prof
+
+
+# -- chrome trace schema ----------------------------------------------------
+def test_chrome_trace_schema(graph):
+    res = profiled_run(graph, "ncl")
+    data = chrome_trace(res.profile)
+    assert set(data) == {"traceEvents", "displayTimeUnit", "otherData"}
+    evs = data["traceEvents"]
+    meta = [e for e in evs if e["ph"] == "M"]
+    spans = [e for e in evs if e["ph"] == "X"]
+    assert len(meta) == res.nprocs
+    assert {e["args"]["name"] for e in meta} == {
+        f"rank {r}" for r in range(res.nprocs)
+    }
+    for e in spans:
+        assert e["ts"] >= 0 and e["dur"] > 0
+        assert e["ts"] == e["args"]["begin_s"] * 1e6
+        assert 0 <= e["pid"] < res.nprocs
+    # valid JSON, deterministic, and lossless
+    js = chrome_trace_json(res.profile)
+    assert json.loads(js) == data
+    assert js == chrome_trace_json(res.profile)
+    assert profile_from_chrome(js) == res.profile
+
+
+# -- golden-pinned critical paths -------------------------------------------
+@pytest.mark.parametrize("model", sorted(GOLDEN))
+def test_critical_path_telescopes_to_golden_makespan(graph, model):
+    res = profiled_run(graph, model)
+    makespan = GOLDEN[model][0]
+    assert res.makespan == makespan  # profiling must not perturb time
+    cp = critical_path(res.profile)
+    assert cp.total() == makespan  # exact telescoping, not approx
+    # path times never increase and segments are contiguous per hop
+    for a, b in zip(cp.segments, cp.segments[1:]):
+        assert a.t_to <= b.t_to
+        assert b.t_from <= b.t_to
+
+
+# -- breakdown and bundle ---------------------------------------------------
+def test_phase_breakdown_and_table(graph):
+    res = profiled_run(graph, "rma")
+    rows = phase_breakdown(res.profile)
+    assert len(rows) == res.nprocs
+    for r, per in enumerate(rows):
+        assert per == res.profile.phase_seconds(r)
+    out = phase_table(res.profile).render()
+    assert "rank" in out and "ALL" in out
+    csv = phase_csv(res.profile)
+    assert csv.startswith("rank,phase,seconds")
+    # every (rank, phase) pair appears
+    assert len(csv.strip().split("\n")) == 1 + sum(len(p) for p in rows)
+
+
+def test_write_profile_bundle(tmp_path, graph):
+    res = profiled_run(graph, "ncl")
+    files = write_profile_bundle(tmp_path, res, "ncl")
+    for name in files:
+        assert (tmp_path / name).exists()
+    prof = profile_from_chrome((tmp_path / "ncl_trace.json").read_text())
+    assert prof == res.profile
+    assert "critical path" in (tmp_path / "ncl_critical_path.txt").read_text()
+    assert "Node eng.(kJ)" in (tmp_path / "ncl_energy.txt").read_text()
+    # byte-identical on rerun (deterministic artifacts)
+    first = {n: (tmp_path / n).read_bytes() for n in files}
+    res2 = profiled_run(graph, "ncl")
+    write_profile_bundle(tmp_path, res2, "ncl")
+    for n in files:
+        assert (tmp_path / n).read_bytes() == first[n]
+
+
+def test_bundle_requires_profile(tmp_path, graph):
+    res = run_matching(graph, 4, "ncl", machine=cori_aries())
+    with pytest.raises(ValueError):
+        write_profile_bundle(tmp_path, res, "ncl")

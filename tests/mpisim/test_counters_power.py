@@ -106,3 +106,53 @@ def test_energy_table_renders():
     rep = energy_report("NSR", 1.0, run)
     out = energy_table([rep], "title").render()
     assert "NSR" in out and "EDP" in out
+
+
+def test_energy_row_renders_kilojoules():
+    """Regression: as_row used to render node_energy_kj * 1e3 under a
+    "(J)" header — the row must carry kJ and the header must say so."""
+    run = RunCounters(4)
+    for rc in run.ranks:
+        rc.compute_time = 1.0
+    model = PowerModel(ranks_per_node=4)
+    rep = energy_report("X", makespan=2.0, counters=run, model=model)
+    # hand-computed: 1 node, all-compute -> P = p_static + 4 * p_core_active
+    watts = model.p_static_node + 4 * model.p_core_active
+    assert rep.node_energy_kj == pytest.approx(watts * 2.0 / 1000.0)
+    row = rep.as_row()
+    assert row[2] == f"{rep.node_energy_kj:.3g}"
+    header = energy_table([rep], "t").render().splitlines()[1]
+    assert "Node eng.(kJ)" in header
+    assert "(J)" not in header.replace("(kJ)", "")
+
+
+def test_energy_report_time_split_override():
+    run = RunCounters(2)
+    for rc in run.ranks:
+        rc.idle_time = 1.0  # counters say all idle
+    base = energy_report("b", 1.0, run)
+    hot = energy_report("h", 1.0, run, time_split=(2.0, 0.0, 0.0))
+    assert hot.compute_pct == pytest.approx(100.0)
+    assert hot.node_energy_kj > base.node_energy_kj
+
+
+def test_free_underflow_clamped_and_counted():
+    """Regression: a double-free used to drive current_bytes negative."""
+    rc = RankCounters(0)
+    rc.alloc(100, "buf")
+    rc.free(100, "buf")
+    rc.free(100, "buf")  # double free
+    assert rc.current_bytes == 0
+    assert rc.allocations["buf"] == 0
+    assert rc.free_underflows == 1
+    assert rc.underflow_bytes == 100
+    # partial underflow releases only the outstanding balance
+    rc.alloc(30, "buf")
+    rc.free(50, "buf")
+    assert rc.current_bytes == 0
+    assert rc.free_underflows == 2
+    assert rc.underflow_bytes == 120
+    # a never-allocated label underflows by the full amount
+    rc.free(10, "ghost")
+    assert rc.current_bytes == 0
+    assert rc.underflow_bytes == 130

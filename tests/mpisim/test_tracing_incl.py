@@ -139,3 +139,37 @@ def test_incl_backend_listed():
     from repro.matching import BACKENDS
 
     assert "incl" in BACKENDS
+
+
+def test_trace_csv_escapes_adversarial_detail():
+    """Regression: detail values with CSV/key=value structure characters
+    (commas, semicolons, '=', newlines, '%') used to break the row
+    format; now they are percent-escaped and round-trip exactly."""
+    from repro.mpisim.tracing import TraceEvent, trace_from_csv, trace_to_csv
+
+    events = [
+        TraceEvent(0.125, 0, "agree", {"members": (0, 1, 2), "note": "a,b"}),
+        TraceEvent(0.25, 1, "deadlock", {"dump": "r0=wait;\nr1=x%25,y"}),
+        TraceEvent(0.5, 2, "send", {"k=v": "=;,%\r\n", "n": 3, "f": 0.1}),
+    ]
+    csv = trace_to_csv(events)
+    lines = csv.strip().split("\n")
+    assert lines[0] == "time,rank,op,detail"
+    assert len(lines) == 1 + len(events)  # newlines in detail stay escaped
+    for ln in lines[1:]:
+        assert len(ln.split(",", 3)) == 4
+    assert trace_from_csv(csv) == events
+
+
+def test_trace_csv_round_trips_real_run():
+    def prog(ctx):
+        ctx.isend((ctx.rank + 1) % 2, (ctx.rank, "x"))
+        ctx.recv()
+        ctx.barrier()
+
+    eng = Engine(2, cori_aries(), trace=True)
+    eng.run(prog)
+    from repro.mpisim.tracing import trace_from_csv
+
+    events = time_ordered(eng.trace)
+    assert trace_from_csv(trace_to_csv(events)) == events
