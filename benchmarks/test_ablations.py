@@ -64,6 +64,16 @@ def test_ablation_eager_threshold(run_exp):
     assert abs(match_forced - match_free) < 0.05 * match_free  # matching doesn't
 
 
+def test_ablation_aggregation(run_exp):
+    out = run_exp("ablate-aggregation")
+    msgs = out.data["msgs"]
+    times = out.data["times"]
+    # Coalescing must cut wire messages hard and win on simulated time;
+    # mate-array identity is asserted inside the experiment itself.
+    assert msgs["nsr"] / msgs["nsr-agg"] >= 5.0
+    assert times["nsr-agg"] < times["nsr"]
+
+
 def test_extension_edge_balance(run_exp):
     out = run_exp("ext-edge-balance")
     assert out.data["sigma_balanced"] < 0.6 * out.data["sigma_uniform"]

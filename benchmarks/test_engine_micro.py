@@ -97,11 +97,11 @@ def test_engine_scatter_p64_reference_scheduler(benchmark):
 
 def test_matching_simulation_throughput(benchmark):
     from repro.graph.generators import rmat_graph
-    from repro.matching import run_matching
+    from repro.matching import RunConfig, run_matching
 
     g = rmat_graph(9, seed=1)
     benchmark.pedantic(
-        lambda: run_matching(g, 8, "ncl", machine=zero_latency()),
+        lambda: run_matching(g, 8, "ncl", config=RunConfig(machine=zero_latency())),
         rounds=3,
         iterations=1,
     )

@@ -11,7 +11,7 @@ Run:  python examples/machine_model_sensitivity.py
 """
 
 from repro.graph.generators import rmat_graph, sbm_hilo_graph
-from repro.matching import run_matching
+from repro.matching import run_matching, RunConfig
 from repro.mpisim import commodity_cluster, cori_aries
 from repro.util.tables import TextTable, format_seconds
 
@@ -31,7 +31,7 @@ def sweep(g, p, title):
     )
     for name, machine in MACHINES:
         times = {
-            m: run_matching(g, p, m, machine=machine, compute_weight=False).makespan
+            m: run_matching(g, p, m, config=RunConfig(machine=machine, compute_weight=False)).makespan
             for m in ("nsr", "rma", "ncl")
         }
         winner = min(times, key=times.get).upper()

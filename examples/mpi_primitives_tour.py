@@ -9,8 +9,10 @@ three communication families the paper compares:
 2. one-sided RMA (window, put, flush, passive-target polling),
 3. a distributed graph topology with neighborhood collectives,
 
-plus classic collectives — and shows the virtual clock, counters, and
-energy model the experiments are built from.
+plus classic collectives, persistent requests (``send_init``/``start``),
+nonblocking receives (``irecv``/``waitall``), and the message
+aggregator — and shows the virtual clock, counters, and energy model
+the experiments are built from.
 
 Run:  python examples/mpi_primitives_tour.py
 """
@@ -54,6 +56,31 @@ def rank_program(ctx):
     for q, item in zip(topo.neighbors, got):
         assert item == q * 10 + me
 
+    # --- 5. persistent requests + nonblocking receives ---------------------
+    # A persistent send pays envelope construction (o_send_init) once and
+    # a cheaper o_send_start per message — MPI_Send_init/MPI_Start.
+    recvs = [ctx.irecv(source=left, tag=2) for _ in range(4)]
+    chan = ctx.send_init(right, tag=2)
+    for i in range(4):
+        chan.start((me, i), nbytes=16)
+    for m in ctx.waitall(recvs):
+        assert m.payload[0] == left
+
+    # --- 6. message aggregation --------------------------------------------
+    # Coalesce small same-destination messages into batched wire messages
+    # (one envelope per batch) — the transport trick behind the nsr-agg
+    # matching backend. poll() hands back each coalesced message.
+    agg = ctx.aggregator(flush_count=8)
+    for i in range(8):
+        agg.append(right, i, f"tiny-{i}", 24)  # 8th append auto-flushes
+    agg.flush_all()  # iteration boundary: ship any stragglers
+    got = []
+    while len(got) < 8:
+        agg.poll(lambda src, tag, payload: got.append((tag, payload)))
+        if len(got) < 8:
+            ctx.probe()  # fast-forward to the next arrival
+    assert got == [(i, f"tiny-{i}") for i in range(8)]
+
     # local computation advances the virtual clock
     ctx.compute(units=1000)
     return ctx.now
@@ -69,6 +96,11 @@ def main() -> None:
     print(f"\np2p messages: {c.p2p.total_messages()}  "
           f"RMA puts: {c.rma.total_messages()}  "
           f"neighborhood exchanges: {c.ncl.total_messages()}")
+    agg = c.aggregation_totals()
+    print(f"aggregation: {agg['agg_msgs_coalesced']} messages in "
+          f"{agg['agg_batches']} batches, "
+          f"{agg['agg_bytes_saved']} header bytes saved, "
+          f"{agg['persistent_starts']} persistent starts")
     compute, comm, idle = c.time_split()
     print(f"time split across ranks: compute={format_seconds(compute)} "
           f"comm={format_seconds(comm)} idle={format_seconds(idle)}")

@@ -21,7 +21,7 @@ from repro.graph import (
 )
 from repro.graph.generators import cage15_proxy
 from repro.graph.spy import adjacency_density, render_ascii
-from repro.matching import run_matching
+from repro.matching import run_matching, RunConfig
 from repro.util.tables import TextTable, format_seconds
 
 
@@ -56,8 +56,8 @@ def main() -> None:
         title=f"matching runtime on {p} simulated ranks",
     )
     for model in ("nsr", "rma", "ncl"):
-        t_orig = run_matching(g, p, model, compute_weight=False).makespan
-        t_rcm = run_matching(gr, p, model, compute_weight=False).makespan
+        t_orig = run_matching(g, p, model, config=RunConfig(compute_weight=False)).makespan
+        t_rcm = run_matching(gr, p, model, config=RunConfig(compute_weight=False)).makespan
         t2.add_row(
             [
                 model.upper(),

@@ -17,7 +17,7 @@ Run:  python examples/social_network_matching.py
 from repro.graph import partition_graph, process_graph_stats_from_parts
 from repro.graph.generators import orkut_proxy
 from repro.graph.spy import render_ascii
-from repro.matching import run_matching
+from repro.matching import run_matching, RunConfig
 from repro.util.tables import TextTable, format_seconds
 
 
@@ -34,9 +34,7 @@ def main() -> None:
         stats = process_graph_stats_from_parts(partition_graph(g, p))
         times = {}
         for model in ("nsr", "rma", "ncl"):
-            times[model] = run_matching(
-                g, nprocs=p, model=model, compute_weight=False
-            ).makespan
+            times[model] = run_matching(g, nprocs=p, model=model, config=RunConfig(compute_weight=False)).makespan
         adv = times["nsr"] / times["ncl"]
         table.add_row(
             [
@@ -54,7 +52,7 @@ def main() -> None:
     print("rank adds another neighbor every collective must touch, so the")
     print("NCL advantage column shrinks as p grows (paper Fig. 6).\n")
 
-    res = run_matching(g, nprocs=16, model="nsr", compute_weight=False)
+    res = run_matching(g, nprocs=16, model="nsr", config=RunConfig(compute_weight=False))
     print("Send-Recv message-count matrix at p=16 (row=sender):")
     print(render_ascii(res.counters.p2p.counts))
 

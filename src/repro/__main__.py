@@ -16,6 +16,11 @@ Commands
   backend under them with survivor-subgraph verification and
   determinism checks, and shrink any failure to a minimal reproducing
   ``repro match`` invocation;
+
+The ``match`` / ``profile`` / ``chaos`` commands accept
+``--config FILE.toml``: a named run profile whose values fill in any
+flag the command line left at its default (explicit CLI flags always
+win). See ``examples/profiles/`` and docs/api.md.
 - ``profile [dataset] [-p N] [-b BACKEND] [--out DIR]`` — one span-
   profiled run: per-rank phase breakdown, critical-path analysis, and
   (with ``--out``) the full artifact bundle including a Perfetto-
@@ -109,6 +114,64 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _load_toml(path: str) -> dict:
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python < 3.11
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ModuleNotFoundError:
+            raise SystemExit(
+                "--config requires Python 3.11+ (tomllib) or the tomli "
+                "package; neither is available"
+            ) from None
+    try:
+        with open(path, "rb") as f:
+            return tomllib.load(f)
+    except OSError as e:
+        raise SystemExit(f"cannot read config file {path}: {e}") from None
+    except tomllib.TOMLDecodeError as e:
+        raise SystemExit(f"bad TOML in {path}: {e}") from None
+
+
+def _apply_config_file(args, parser) -> None:
+    """Merge a ``--config FILE.toml`` profile into parsed arguments.
+
+    Precedence: explicit CLI flags > file values > parser defaults. A
+    flag is "explicit" when its parsed value differs from the parser
+    default (for repeatable flags like ``--crash``: when any were
+    passed), so profiles can set anything without clobbering what the
+    user typed. Top-level keys apply to every command; a ``[match]`` /
+    ``[profile]`` / ``[chaos]`` table applies to that command only and
+    overrides top-level keys.
+    """
+    data = _load_toml(args.config)
+    flat = {k: v for k, v in data.items() if not isinstance(v, dict)}
+    section = data.get(args.command, {})
+    if not isinstance(section, dict):
+        raise SystemExit(f"[{args.command}] in {args.config} must be a table")
+    flat.update(section)
+    known = {a.dest for a in parser._actions}
+    for key, value in flat.items():
+        dest = key.replace("-", "_")
+        if dest not in known or dest in ("config", "fn", "command"):
+            raise SystemExit(
+                f"unknown key {key!r} in {args.config} for command "
+                f"{args.command!r}"
+            )
+        current = getattr(args, dest)
+        default = parser.get_default(dest)
+        if isinstance(current, list):
+            # Repeatable flags (--crash/--degrade): the parser default
+            # list is mutated in place by append actions, so "explicit"
+            # means non-empty, and file values only fill an empty list.
+            if not current:
+                items = value if isinstance(value, list) else [value]
+                setattr(args, dest, [str(v) for v in items])
+        elif current == default:
+            setattr(args, dest, value)
+
+
 def _parse_crashes(specs: list[str]) -> dict[int, float]:
     """Parse repeated ``--crash RANK:TIME`` options."""
     crashes: dict[int, float] = {}
@@ -144,7 +207,7 @@ def _parse_degradations(specs: list[str]):
 
 def _cmd_match(args) -> int:
     from repro.harness.spec import get_graph
-    from repro.matching import run_matching
+    from repro.matching import MatchingOptions, RunConfig, run_matching
     from repro.mpisim.faults import FaultPlan
     from repro.mpisim.machine import get_machine
     from repro.util.tables import format_seconds
@@ -186,13 +249,20 @@ def _cmd_match(args) -> int:
             )
 
     g = get_graph(args.dataset)
+    options = MatchingOptions(
+        agg_flush_bytes=args.agg_flush_bytes or None,
+        agg_flush_count=args.agg_flush_count or None,
+    )
     res = run_matching(
         g,
         nprocs=args.nprocs,
         model=args.model,
-        machine=get_machine(args.machine),
-        faults=faults,
-        max_ops=args.max_ops,
+        config=RunConfig(
+            machine=get_machine(args.machine),
+            options=options,
+            faults=faults,
+            max_ops=args.max_ops,
+        ),
     )
     print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
     print(f"model: {res.model} on {res.nprocs} simulated ranks")
@@ -200,6 +270,9 @@ def _cmd_match(args) -> int:
     print(f"matching: {res.num_matched_edges} edges, weight {res.weight:.6g}")
     print(f"messages: {res.total_messages()}  iterations: {res.iterations}")
     print(f"peak memory: {res.counters.avg_peak_memory() / 2**20:.2f} MB/rank avg")
+    agg = {k: v for k, v in res.counters.aggregation_totals().items() if v}
+    if agg:
+        print(f"aggregation: {agg}")
     if faults is not None:
         if res.crashed_ranks:
             print(f"crashed ranks: {','.join(map(str, res.crashed_ranks))}")
@@ -215,7 +288,7 @@ def _cmd_profile(args) -> int:
         write_profile_bundle,
     )
     from repro.harness.spec import get_graph
-    from repro.matching import run_matching
+    from repro.matching import RunConfig, run_matching
     from repro.mpisim.machine import get_machine
     from repro.util.tables import format_seconds
 
@@ -224,8 +297,7 @@ def _cmd_profile(args) -> int:
         g,
         nprocs=args.nprocs,
         model=args.backend,
-        machine=get_machine(args.machine),
-        profile=True,
+        config=RunConfig(machine=get_machine(args.machine), profile=True),
     )
     prof = res.profile
     print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
@@ -324,9 +396,22 @@ def main(argv: list[str] | None = None) -> int:
     p_match.add_argument("dataset")
     p_match.add_argument("-p", "--nprocs", type=int, default=16)
     p_match.add_argument(
-        "-m", "--model", default="ncl", choices=["nsr", "rma", "ncl", "mbp", "incl"]
+        "-m", "--model", default="ncl",
+        choices=["nsr", "rma", "ncl", "mbp", "incl", "nsr-agg"],
     )
     p_match.add_argument("--machine", default="cori-aries")
+    p_match.add_argument(
+        "--config", default="", metavar="FILE.toml",
+        help="run profile; fills in flags left at their defaults",
+    )
+    p_match.add_argument(
+        "--agg-flush-bytes", type=int, default=8192,
+        help="nsr-agg lane auto-flush byte threshold (0 disables)",
+    )
+    p_match.add_argument(
+        "--agg-flush-count", type=int, default=0,
+        help="nsr-agg lane auto-flush message count (0 disables)",
+    )
     p_match.add_argument(
         "--drop-rate", type=float, default=0.0, help="message drop probability"
     )
@@ -377,7 +462,7 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="abort the simulation after this many scheduler operations",
     )
-    p_match.set_defaults(fn=_cmd_match)
+    p_match.set_defaults(fn=_cmd_match, _parser=p_match)
 
     p_prof = sub.add_parser(
         "profile", help="span-profiled run: phase breakdown, critical path, trace"
@@ -386,14 +471,18 @@ def main(argv: list[str] | None = None) -> int:
     p_prof.add_argument("-p", "--nprocs", type=int, default=8)
     p_prof.add_argument(
         "-b", "--backend", default="ncl",
-        choices=["nsr", "rma", "ncl", "mbp", "incl"],
+        choices=["nsr", "rma", "ncl", "mbp", "incl", "nsr-agg"],
     )
     p_prof.add_argument("--machine", default="cori-aries")
+    p_prof.add_argument(
+        "--config", default="", metavar="FILE.toml",
+        help="run profile; fills in flags left at their defaults",
+    )
     p_prof.add_argument(
         "--out", default="", help="directory for the artifact bundle "
         "(Chrome trace JSON, phase CSVs, comm matrices, critical path)"
     )
-    p_prof.set_defaults(fn=_cmd_profile)
+    p_prof.set_defaults(fn=_cmd_profile, _parser=p_prof)
 
     p_chaos = sub.add_parser(
         "chaos", help="sample seeded fault plans, verify, shrink failures"
@@ -416,9 +505,15 @@ def main(argv: list[str] | None = None) -> int:
     p_chaos.add_argument(
         "--no-shrink", action="store_true", help="report failures without shrinking"
     )
-    p_chaos.set_defaults(fn=_cmd_chaos)
+    p_chaos.add_argument(
+        "--config", default="", metavar="FILE.toml",
+        help="run profile; fills in flags left at their defaults",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos, _parser=p_chaos)
 
     args = parser.parse_args(argv)
+    if getattr(args, "config", ""):
+        _apply_config_file(args, args._parser)
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `python -m repro datasets | head`

@@ -26,6 +26,7 @@ import numpy as np
 from repro.mpisim import Engine, cori_aries
 from repro.mpisim.machine import MachineModel
 from repro.util.rng import make_rng
+from repro.matching.config import RunConfig
 
 SCHEDULERS = ("reference", "heap")
 
@@ -202,7 +203,7 @@ def _bench_e2e(quick: bool, repeats: int) -> dict[str, Any]:
         res = None
         for _ in range(repeats):
             t0 = time.perf_counter()
-            res = run_matching(g, nprocs, "ncl", scheduler=sched)
+            res = run_matching(g, nprocs, "ncl", config=RunConfig(scheduler=sched))
             wall = time.perf_counter() - t0
             if best is None or wall < best:
                 best = wall
@@ -223,6 +224,43 @@ def _bench_e2e(quick: bool, repeats: int) -> dict[str, Any]:
     return entry
 
 
+def _bench_aggregation(quick: bool, repeats: int) -> dict[str, Any]:
+    """nsr vs nsr-agg on the same instance: wall time, wire messages, and
+    the coalescing ratio — the transport-layer half of the engine story.
+
+    Both runs must produce the identical matching (asserted), so the
+    message ratio is a pure transport effect, never an algorithmic one.
+    """
+    from repro.graph.generators import rmat_graph
+    from repro.matching import run_matching
+
+    scale = 8 if quick else 10
+    nprocs = 16
+    g = rmat_graph(scale, seed=1)
+    entry: dict[str, Any] = {"scale": scale, "nprocs": nprocs}
+    for model in ("nsr", "nsr-agg"):
+        best = None
+        res = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            res = run_matching(g, nprocs, model, config=RunConfig())
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        entry[model] = {
+            "wall_s": best,
+            "makespan": res.makespan,
+            "weight": res.weight,
+            "messages": res.total_messages(),
+        }
+        if model == "nsr-agg":
+            entry["aggregation"] = res.counters.aggregation_totals()
+    if entry["nsr"]["weight"] != entry["nsr-agg"]["weight"]:
+        raise AssertionError("aggregation changed the matching outcome")
+    entry["message_ratio"] = entry["nsr"]["messages"] / entry["nsr-agg"]["messages"]
+    return entry
+
+
 def run_bench(
     quick: bool = False, repeats: int = 3, out_path: str = "BENCH_engine.json"
 ) -> dict[str, Any]:
@@ -236,6 +274,7 @@ def run_bench(
         "unix_time": time.time(),
         "micro": _bench_micro(quick, repeats),
         "e2e": _bench_e2e(quick, repeats),
+        "aggregation": _bench_aggregation(quick, repeats),
     }
     # ru_maxrss is KiB on Linux, bytes on macOS.
     rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -284,6 +323,14 @@ def render_report(report: dict[str, Any]) -> str:
         ]
     )
     lines = [t.render()]
+    ag = report.get("aggregation")
+    if ag:
+        lines.append(
+            f"aggregation (rmat scale {ag['scale']}, p={ag['nprocs']}): "
+            f"{ag['nsr']['messages']} wire msgs (nsr) vs "
+            f"{ag['nsr-agg']['messages']} (nsr-agg) = "
+            f"{ag['message_ratio']:.2f}x fewer, identical matching"
+        )
     lines.append(
         f"peak RSS: {report['peak_rss_bytes'] / 2**20:.1f} MB   "
         f"micro speedup range: {report['min_micro_speedup']:.2f}x"

@@ -31,6 +31,7 @@ from typing import Callable
 
 from repro.mpisim.faults import FaultPlan, NicDegradation
 from repro.util.rng import derive_seed
+from repro.matching.config import RunConfig
 
 _U63 = float(1 << 63)
 
@@ -129,10 +130,7 @@ def matching_runner(g, nprocs: int, max_ops: int | None = None) -> Runner:
     )
 
     def one(backend: str, plan: FaultPlan):
-        return run_matching(
-            g, nprocs=nprocs, model=backend,
-            faults=None if plan.is_null() else plan, max_ops=max_ops,
-        )
+        return run_matching(g, nprocs=nprocs, model=backend, config=RunConfig(faults=None if plan.is_null() else plan, max_ops=max_ops))
 
     def run(backend: str, plan: FaultPlan) -> tuple[str, str]:
         try:

@@ -33,6 +33,7 @@ from repro.graph.generators import rmat_graph
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.spec import DEFAULT_SEED
 from repro.matching.api import run_matching
+from repro.matching.config import RunConfig
 from repro.matching.verify import check_matching_valid
 from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import cori_aries
@@ -46,7 +47,7 @@ def run_faults(fast: bool = True) -> ExperimentOutput:
     g = rmat_graph(scale, seed=DEFAULT_SEED)
     machine = cori_aries()
 
-    base = run_matching(g, p, "nsr", machine=machine)
+    base = run_matching(g, p, "nsr", config=RunConfig(machine=machine))
     check_matching_valid(g, base.mate)
 
     drop_rates = [0.0, 0.02, 0.05, 0.10, 0.20]
@@ -61,7 +62,7 @@ def run_faults(fast: bool = True) -> ExperimentOutput:
         plan = FaultPlan(
             seed=DEFAULT_SEED, drop_rate=dr, dup_rate=dr / 2, delay_rate=dr
         )
-        r = run_matching(g, p, "nsr", machine=machine, faults=plan)
+        r = run_matching(g, p, "nsr", config=RunConfig(machine=machine, faults=plan))
         check_matching_valid(g, r.mate)
         identical &= bool(np.array_equal(r.mate, base.mate))
         ft = r.fault_totals()
@@ -93,14 +94,14 @@ def run_faults(fast: bool = True) -> ExperimentOutput:
     )
     crash_data = {}
     for model in ("nsr", "rma", "ncl"):
-        b = base if model == "nsr" else run_matching(g, p, model, machine=machine)
+        b = base if model == "nsr" else run_matching(g, p, model, config=RunConfig(machine=machine))
         check_matching_valid(g, b.mate)
         crash_plan = FaultPlan(
             seed=DEFAULT_SEED,
             crashes={victim: b.makespan * 0.3},
             detect_latency=b.makespan * 0.02,
         )
-        rc = run_matching(g, p, model, machine=machine, faults=crash_plan)
+        rc = run_matching(g, p, model, config=RunConfig(machine=machine, faults=crash_plan))
         check_matching_valid(g, rc.mate)
         retention = rc.weight / b.weight
         widowed = sum(rr["stats"].widowed for rr in rc.rank_results if rr)
@@ -132,11 +133,11 @@ def run_faults(fast: bool = True) -> ExperimentOutput:
         )
 
     # RMA put fates: silent loss + corruption, repaired by flush-verify.
-    rma_base = run_matching(g, p, "rma", machine=machine)
+    rma_base = run_matching(g, p, "rma", config=RunConfig(machine=machine))
     fate_plan = FaultPlan(
         seed=DEFAULT_SEED, rma_drop_rate=0.05, rma_corrupt_rate=0.02
     )
-    rf = run_matching(g, p, "rma", machine=machine, faults=fate_plan)
+    rf = run_matching(g, p, "rma", config=RunConfig(machine=machine, faults=fate_plan))
     check_matching_valid(g, rf.mate)
     rma_identical = bool(np.array_equal(rf.mate, rma_base.mate))
     rft = rf.fault_totals()

@@ -21,6 +21,7 @@ from repro.graph.generators import rmat_graph
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.spec import DEFAULT_SEED
 from repro.matching.api import run_matching
+from repro.matching.config import RunConfig
 from repro.matching.rma import RMABackend, _SLOT
 from repro.mpisim.engine import Engine
 from repro.mpisim.machine import zero_latency
@@ -84,7 +85,7 @@ def run(fast: bool = True) -> ExperimentOutput:
 
     # Capacity: a full matching run must never overflow a region (the
     # RMA backend raises if it would).
-    run_matching(g, p, "rma", machine=zero_latency(), compute_weight=False)
+    run_matching(g, p, "rma", config=RunConfig(machine=zero_latency(), compute_weight=False))
 
     return ExperimentOutput(
         exp_id="fig1",

@@ -14,6 +14,7 @@ from repro.graph.spy import grid_to_csv, render_ascii
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.spec import get_graph
 from repro.matching.api import run_matching
+from repro.matching.config import RunConfig
 
 
 @experiment("fig2")
@@ -21,7 +22,7 @@ def run(fast: bool = True) -> ExperimentOutput:
     p = 16
     g = get_graph("rmat-s10" if fast else "rmat-s12")
 
-    match_res = run_matching(g, p, model="nsr", compute_weight=False)
+    match_res = run_matching(g, p, model="nsr", config=RunConfig(compute_weight=False))
     _, bfs_res, bfs_rounds = run_bfs(g, p, root=0)
 
     m_mat = match_res.counters.p2p

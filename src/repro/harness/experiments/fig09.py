@@ -16,6 +16,7 @@ from repro.graph.spy import diagonal_mass_fraction, grid_to_csv, render_ascii
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.spec import get_graph
 from repro.matching.api import run_matching
+from repro.matching.config import RunConfig
 
 
 def _volume_stats(mat: np.ndarray) -> tuple[float, float]:
@@ -29,8 +30,8 @@ def run(fast: bool = True) -> ExperimentOutput:
     p = 32
     g = get_graph("hv15r")
     gr, _ = rcm_reorder(g)
-    res_o = run_matching(g, p, model="nsr", compute_weight=False)
-    res_r = run_matching(gr, p, model="nsr", compute_weight=False)
+    res_o = run_matching(g, p, model="nsr", config=RunConfig(compute_weight=False))
+    res_r = run_matching(gr, p, model="nsr", config=RunConfig(compute_weight=False))
     bo = res_o.counters.p2p.bytes
     br = res_r.counters.p2p.bytes
     diag_o = diagonal_mass_fraction(bo, width=1)

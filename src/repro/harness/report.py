@@ -56,6 +56,10 @@ PAPER_CLAIMS: dict[str, str] = {
                            "rejects early and loses weight.",
     "ablate-probe-cost": "(ours) the NSR/NCL gap scales with per-message "
                          "software overhead — aggregation amortizes it.",
+    "ablate-aggregation": "(ours, paper §IV-C) NCL's advantage over NSR "
+                          "comes from message aggregation; nsr-agg keeps "
+                          "Send-Recv semantics and recovers it with "
+                          "coalescing alone.",
     "ablate-eager-threshold": "(ours, DESIGN §5.2) the eager/rendezvous "
                               "cutoff matters for bulk traffic (BFS), not "
                               "for matching's 24-byte messages.",

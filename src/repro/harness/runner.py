@@ -10,6 +10,7 @@ from dataclasses import dataclass
 
 from repro.graph.csr import CSRGraph
 from repro.matching.api import MatchingRunResult, run_matching
+from repro.matching.config import RunConfig
 from repro.matching.driver import MatchingOptions
 from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel, cori_aries
@@ -50,15 +51,7 @@ def run_one(
 ) -> RunRecord:
     """Execute one matching run and package its measurements."""
     machine = machine or cori_aries()
-    res = run_matching(
-        g,
-        nprocs,
-        model=model,
-        machine=machine,
-        options=options,
-        faults=faults,
-        compute_weight=True,
-    )
+    res = run_matching(g, nprocs, model=model, config=RunConfig(machine=machine, options=options, faults=faults, compute_weight=True))
     c = res.counters
     erep = energy_report(model.upper(), res.makespan, c, power)
     return RunRecord(

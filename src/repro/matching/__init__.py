@@ -8,6 +8,7 @@ neighborhood collectives (``ncl``), and a MatchBox-P-style baseline
 """
 
 from repro.matching.api import MatchingRunResult, run_matching
+from repro.matching.config import RunConfig
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.driver import BACKENDS, MatchingOptions, matching_rank_main
 from repro.matching.serial import (
@@ -33,6 +34,7 @@ from repro.matching.verify import (
 __all__ = [
     "run_matching",
     "MatchingRunResult",
+    "RunConfig",
     "MatchingOptions",
     "matching_rank_main",
     "BACKENDS",

@@ -9,12 +9,14 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.graph.distribution import partition_graph
+from repro.matching.config import RunConfig
 from repro.matching.driver import MatchingOptions, matching_rank_main
 from repro.matching.serial import matching_weight
 from repro.mpisim.counters import RunCounters
@@ -62,48 +64,115 @@ class MatchingRunResult:
         return self.engine.profile
 
 
+class _Unset:
+    """Sentinel distinguishing "kwarg not passed" from an explicit None."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+#: legacy run_matching kwargs and their RunConfig field names (identical)
+_LEGACY_KWARGS = (
+    "machine",
+    "options",
+    "dist",
+    "max_ops",
+    "faults",
+    "trace",
+    "profile",
+    "compute_weight",
+    "scheduler",
+)
+
+
 def run_matching(
     g: CSRGraph,
     nprocs: int,
     model: str = "nsr",
-    machine: MachineModel | None = None,
-    options: MatchingOptions | None = None,
+    machine: MachineModel | None | _Unset = _UNSET,
+    options: MatchingOptions | None | _Unset = _UNSET,
     *,
-    dist=None,
-    max_ops: int | None = None,
-    faults: FaultPlan | None = None,
-    trace: bool = False,
-    profile: bool = False,
-    compute_weight: bool = True,
-    scheduler: str = "heap",
+    config: RunConfig | None = None,
+    dist=_UNSET,
+    max_ops: int | None | _Unset = _UNSET,
+    faults: FaultPlan | None | _Unset = _UNSET,
+    trace: bool | _Unset = _UNSET,
+    profile: bool | _Unset = _UNSET,
+    compute_weight: bool | _Unset = _UNSET,
+    scheduler: str | _Unset = _UNSET,
 ) -> MatchingRunResult:
     """Partition ``g`` over ``nprocs`` simulated ranks and match it.
 
-    ``model`` is one of ``nsr`` / ``rma`` / ``ncl`` / ``mbp`` / ``incl``.
-    ``dist`` optionally overrides the 1D block distribution (e.g.
-    :func:`repro.graph.distribution.edge_balanced_distribution`).
-    ``faults`` injects a deterministic fault plan (message faults require
-    ``model="nsr"``, whose reliable-delivery shim masks them — see
-    docs/fault_model.md). When ranks crash, the returned mate array is
-    projected onto the surviving subgraph. ``scheduler`` selects the
-    engine scheduling implementation (``"heap"`` or ``"reference"``; see
-    docs/engine_scheduling.md) — both are bit-identical in virtual time.
-    ``profile=True`` turns on the span profiler (docs/profiling.md): the
-    result's :attr:`MatchingRunResult.profile` then carries a
-    phase-attributed :class:`~repro.mpisim.tracing.RunProfile`.
+    ``model`` is one of ``nsr`` / ``rma`` / ``ncl`` / ``mbp`` / ``incl``
+    / ``nsr-agg``; everything else about the run lives in ``config``, a
+    :class:`~repro.matching.config.RunConfig`:
+
+    * ``config.dist`` overrides the 1D block distribution (e.g.
+      :func:`repro.graph.distribution.edge_balanced_distribution`).
+    * ``config.faults`` injects a deterministic fault plan (message
+      faults require ``model="nsr"``, whose reliable-delivery shim masks
+      them — see docs/fault_model.md). When ranks crash, the returned
+      mate array is projected onto the surviving subgraph.
+    * ``config.scheduler`` selects the engine scheduling implementation
+      (``"heap"`` or ``"reference"``; see docs/engine_scheduling.md) —
+      both are bit-identical in virtual time.
+    * ``config.profile=True`` turns on the span profiler
+      (docs/profiling.md): the result's
+      :attr:`MatchingRunResult.profile` then carries a phase-attributed
+      :class:`~repro.mpisim.tracing.RunProfile`.
+
+    The pre-RunConfig keyword arguments (``machine=``, ``options=``,
+    ``dist=``, ...) still work and produce bit-identical results — the
+    shim just packs them into a :class:`RunConfig` — but emit a
+    :class:`DeprecationWarning`; see docs/api.md for the migration
+    guide. Mixing them with ``config=`` is an error.
     """
-    machine = machine or cori_aries()
-    options = options or MatchingOptions()
-    parts = partition_graph(g, nprocs, dist=dist)
+    passed = {
+        name: value
+        for name, value in (
+            ("machine", machine),
+            ("options", options),
+            ("dist", dist),
+            ("max_ops", max_ops),
+            ("faults", faults),
+            ("trace", trace),
+            ("profile", profile),
+            ("compute_weight", compute_weight),
+            ("scheduler", scheduler),
+        )
+        if value is not _UNSET
+    }
+    if passed:
+        if config is not None:
+            raise TypeError(
+                "run_matching: cannot mix config= with legacy keyword "
+                f"argument(s) {sorted(passed)}; fold them into the RunConfig"
+            )
+        warnings.warn(
+            "run_matching keyword arguments "
+            f"{sorted(passed)} are deprecated; pass "
+            "config=RunConfig(...) instead (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        config = RunConfig(**passed)
+    elif config is None:
+        config = RunConfig()
+
+    machine = config.machine or cori_aries()
+    options = config.options or MatchingOptions()
+    parts = partition_graph(g, nprocs, dist=config.dist)
     engine = Engine(
         nprocs,
         machine,
-        max_ops=max_ops if max_ops is not None else options.max_ops,
+        max_ops=config.max_ops if config.max_ops is not None else options.max_ops,
         max_vtime=options.max_vtime,
-        trace=trace,
-        profile=profile,
-        faults=faults,
-        scheduler=scheduler,
+        trace=config.trace,
+        profile=config.profile,
+        faults=config.faults,
+        scheduler=config.scheduler,
     )
     result = engine.run(matching_rank_main, args=(parts, model, options))
 
@@ -115,7 +184,7 @@ def run_matching(
     dead_ranges = [(parts[r].lo, parts[r].hi) for r in crashed]
     if dead_ranges:
         mate = restrict_mate_to_survivors(mate, dead_ranges)
-    weight = matching_weight(g, mate) if compute_weight else float("nan")
+    weight = matching_weight(g, mate) if config.compute_weight else float("nan")
     iterations = max((rr["iterations"] for rr in survivors), default=0)
     return MatchingRunResult(
         model=model,

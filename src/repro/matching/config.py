@@ -1,0 +1,53 @@
+"""Run configuration for :func:`repro.matching.api.run_matching`.
+
+One frozen dataclass replaces the historical kwarg sprawl
+(``machine/options/dist/max_ops/faults/trace/profile/...``): build a
+:class:`RunConfig` once, pass it everywhere, derive variants with
+:meth:`RunConfig.evolve`. The old keyword arguments still work through a
+``DeprecationWarning`` shim in ``run_matching`` and produce bit-identical
+results (the shim only repackages the values).
+
+>>> from repro.matching import RunConfig, run_matching
+>>> cfg = RunConfig(machine=cori_aries(), profile=True)    # doctest: +SKIP
+>>> res = run_matching(g, 16, "ncl", config=cfg)           # doctest: +SKIP
+>>> res2 = run_matching(g, 16, "ncl", config=cfg.evolve(trace=True))  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.matching.driver import MatchingOptions
+from repro.mpisim.faults import FaultPlan
+from repro.mpisim.machine import MachineModel
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything configurable about one matching run except the problem.
+
+    The problem is ``(g, nprocs, model)`` — positional arguments of
+    :func:`~repro.matching.api.run_matching`; this object is the rest.
+    ``None`` fields mean "use the standard default" (``cori-aries``
+    machine, default :class:`~repro.matching.driver.MatchingOptions`,
+    1D block distribution, no budget, no faults).
+    """
+
+    machine: MachineModel | None = None  #: cost model; None = cori-aries
+    options: MatchingOptions | None = None  #: algorithm/backend tunables
+    dist: Any = None  #: vertex distribution override (e.g.
+    #: :func:`repro.graph.distribution.edge_balanced_distribution`)
+    max_ops: int | None = None  #: engine operation budget (overrides
+    #: ``options.max_ops`` when set)
+    faults: FaultPlan | None = None  #: deterministic fault plan
+    trace: bool = False  #: record per-op trace events
+    profile: bool = False  #: span profiler (docs/profiling.md)
+    compute_weight: bool = True  #: weigh the matching (skip for timing
+    #: sweeps that only need the makespan)
+    scheduler: str = "heap"  #: engine scheduler ("heap" or "reference")
+
+    def evolve(self, **changes) -> "RunConfig":
+        """A copy with ``changes`` applied (frozen-dataclass ``replace``)."""
+        return dataclasses.replace(self, **changes)

@@ -16,6 +16,7 @@ from repro.matching.incl import INCLBackend
 from repro.matching.mbp import MBPBackend
 from repro.matching.ncl import NCLBackend
 from repro.matching.nsr import NSRBackend
+from repro.matching.nsr_agg import NSRAggBackend
 from repro.matching.rma import RMABackend
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
@@ -28,6 +29,9 @@ BACKENDS = {
     # extension (not in the paper): nonblocking neighborhood collectives
     # with compute/transfer overlap — see repro/matching/incl.py
     "incl": INCLBackend,
+    # extension: NSR semantics over the message-aggregation layer — the
+    # ablation point between nsr and ncl (repro/matching/nsr_agg.py)
+    "nsr-agg": NSRAggBackend,
 }
 
 
@@ -51,6 +55,15 @@ class MatchingOptions:
     #: virtual); None derives ~4x RTT from the machine model
     rto_max: float | None = None  #: backoff cap (s); None = 64x rto
     max_retries: int = 25  #: retransmissions per message before giving up
+
+    # -- message aggregation (nsr-agg backend) ------------------------
+    agg_flush_bytes: int | None = 8192  #: lane auto-flush byte threshold
+    #: (None disables; lanes then flush only at iteration boundaries)
+    agg_flush_count: int | None = None  #: lane auto-flush message-count
+    #: threshold (None disables)
+    agg_flush_delay: float | None = 5e-6  #: aggregation timer (virtual s):
+    #: how long an idle rank lingers for more coalescable traffic before
+    #: flushing its lanes (None flushes immediately on running dry)
 
     # -- simulation budgets (guard runaway runs; SimLimitExceeded) ----
     max_ops: int | None = None  #: engine operation budget

@@ -120,7 +120,7 @@ class NSRBackend:
                 # Nothing local to do: the next change must arrive on the
                 # wire. Real codes spin on Iprobe; we model the blocking
                 # probe (fast-forwarding the clock) and account the wait.
-                self.ctx.probe_block()
+                self.ctx.probe()
         return {"iterations": iterations}
 
     def _run_hardened(self, state: MatchingState) -> dict:
@@ -175,13 +175,13 @@ class NSRBackend:
                     quiet_until = ctx.now + self._linger
                 if ctx.now >= quiet_until:
                     break
-                ctx.probe_block(deadline=quiet_until)
+                ctx.probe(deadline=quiet_until)
                 continue
             quiet_until = None
 
             if not progressed:
                 deadline = chan.next_deadline() if chan is not None else None
-                ctx.probe_block(deadline=deadline)
+                ctx.probe(deadline=deadline)
         return {"iterations": iterations}
 
     def finalize(self, state: MatchingState) -> None:

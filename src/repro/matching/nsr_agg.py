@@ -1,0 +1,160 @@
+"""NSR-AGG — Send-Recv matching over the message-aggregation layer.
+
+The ablation backend between NSR and NCL: it keeps NSR's asynchronous
+Send-Recv semantics and purely local termination (no collectives at all),
+but routes every Push through a
+:class:`~repro.mpisim.aggregate.MessageAggregator`, so same-destination
+triples coalesce into batched wire messages. Table I mapping: Push =
+append to a per-destination coalescing lane, Evoke = probe + unpack one
+*batch* at a time, Process = dispatch the coalesced triples.
+
+Lanes accumulate across productive iterations and flush at every
+*blocking* boundary — before the rank waits on the wire or leaves the
+loop, so no triple ever sits buffered while its target depends on it
+(the invariant NSR's local-termination argument needs). Flushing on
+every iteration would shrink the coalescing window to one poll's worth
+of traffic; flushing only when out of local work lets whole proposal
+cascades ride one batch. Hot lanes additionally auto-flush at the
+configured byte or message-count threshold
+(``MatchingOptions.agg_flush_bytes`` / ``agg_flush_count``).
+
+Comparing ``nsr-agg`` against ``nsr`` and ``ncl`` isolates how much of
+NCL's advantage (paper Tables III/IV, Fig. 4) is *pure aggregation*
+versus the collective machinery itself — the question the
+``ablate-aggregation`` experiment quantifies.
+
+Fault tolerance: rank crashes are handled NSR-style (renounce the dead
+rank's cross edges and finish on the survivor subgraph), and messages
+still buffered for a detected-dead destination are dropped and reported
+via the ``agg_dropped_dead`` counter. Message-fault plans (drop/dup/
+delay) are **not** supported — the aggregator has no ack/retry shim —
+and are rejected at construction.
+"""
+
+from __future__ import annotations
+
+from repro.graph.distribution import LocalGraph
+from repro.matching.contexts import TRIPLE_BYTES, Ctx
+from repro.matching.state import MatchingState
+from repro.mpisim.context import RankContext
+
+#: lane auto-flush defaults: the byte threshold sits at the eager limit's
+#: order of magnitude so only pathologically hot lanes flush early; the
+#: normal case is one batch per destination per blocking boundary.
+DEFAULT_FLUSH_BYTES = 8192
+DEFAULT_FLUSH_COUNT = None
+#: how long a rank lingers (virtual seconds) for more coalescable
+#: traffic before flushing, once it runs out of local work — the
+#: aggregation timer; a few network latencies wide, so one linger spans
+#: a whole wave of in-flight proposals
+DEFAULT_FLUSH_DELAY = 5e-6
+
+
+class NSRAggBackend:
+    """Send-Recv with same-destination message coalescing."""
+
+    name = "nsr-agg"
+    #: batched unpacking amortizes the per-message software dispatch that
+    #: costs plain NSR handle_scale=14 (paper §V-B: derived from the
+    #: NSR/NCL runtime gap); one probe+recv covers a whole batch.
+    handle_scale = 2.0
+
+    def __init__(self, ctx: RankContext, lg: LocalGraph, options=None):
+        self.ctx = ctx
+        self.lg = lg
+        self.options = options
+        plan = ctx.fault_plan
+        if plan is not None and plan.needs_reliability():
+            raise ValueError(
+                "nsr-agg does not support message-fault plans (the "
+                "aggregator has no ack/retry channel); use the nsr "
+                "backend for drop/dup/delay injection"
+            )
+        self.fault_aware = plan is not None and plan.has_crashes()
+        # Same fixed per-peer footprint as NSR (request tables + eager
+        # pool), so nsr vs nsr-agg memory differences are transport-only.
+        deg = max(1, len(lg.neighbor_ranks))
+        self._fixed_bytes = (
+            64 * deg + ctx.machine.eager_pool_per_peer_bytes * len(lg.neighbor_ranks)
+        )
+        ctx.alloc(self._fixed_bytes, "p2p-tables")
+
+        flush_bytes = getattr(options, "agg_flush_bytes", DEFAULT_FLUSH_BYTES)
+        flush_count = getattr(options, "agg_flush_count", DEFAULT_FLUSH_COUNT)
+        self.flush_delay = getattr(options, "agg_flush_delay", DEFAULT_FLUSH_DELAY)
+        self.agg = ctx.aggregator(
+            flush_bytes=flush_bytes, flush_count=flush_count
+        )
+        self._staged_bytes = 0
+
+    # ------------------------------------------------------------------
+    def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
+        """Stage the triple in the target's coalescing lane."""
+        self.agg.append(target_rank, int(ctx_id), (x, y), TRIPLE_BYTES)
+        self.ctx.alloc(TRIPLE_BYTES, "agg-sendbuf")
+        self._staged_bytes += TRIPLE_BYTES
+
+    def _deliver(self, src: int, user_tag: int, payload) -> None:
+        x, y = payload
+        self._state.handle(Ctx(user_tag), x, y)
+
+    # ------------------------------------------------------------------
+    def _flush_boundary(self) -> None:
+        """Ship every lane; runs before any block or loop exit."""
+        self.agg.flush_all()
+        if self._staged_bytes:
+            self.ctx.free(self._staged_bytes, "agg-sendbuf")
+            self._staged_bytes = 0
+
+    def run(self, state: MatchingState) -> dict:
+        """NSR's event loop with batch transport and boundary flushes."""
+        ctx = self.ctx
+        agg = self.agg
+        self._state = state
+        state.start()
+        iterations = 0
+        lingered = False
+        while True:
+            iterations += 1
+            ctx.prof_iteration(iterations)
+            if self.fault_aware:
+                ctx.prof_stage("recovery")
+                for r in ctx.failed_ranks():
+                    if r not in state.dead_ranks:
+                        state.renounce_rank(r)
+                        agg.drop_rank(r)
+            ctx.prof_stage("evoke")
+            progressed = agg.poll(self._deliver) > 0
+            if state.work:
+                ctx.prof_stage("push")
+                state.drain_work()
+                progressed = True
+            if progressed:
+                lingered = False
+                continue
+            if state.locally_done():
+                # Final responses (REJECT/INVALID to peers still waiting
+                # on us) must go on the wire before this rank leaves.
+                self._flush_boundary()
+                break
+            # Out of local work. If messages are staged, linger one timer
+            # period first: in-flight traffic that lands within it gets
+            # coalesced into the same batches (and resets the timer).
+            if (
+                self.flush_delay is not None
+                and not lingered
+                and agg.pending_messages() > 0
+            ):
+                lingered = True
+                ctx.probe(deadline=ctx.now + self.flush_delay)
+                continue
+            # Timer expired (or nothing staged): ship everything — nothing
+            # may stay buffered while peers wait on us — then fast-forward
+            # to the next arrival.
+            self._flush_boundary()
+            lingered = False
+            ctx.probe()
+        return {"iterations": iterations}
+
+    def finalize(self, state: MatchingState) -> None:
+        self.ctx.free(self._fixed_bytes, "p2p-tables")

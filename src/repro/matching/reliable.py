@@ -11,7 +11,7 @@ over an unreliable fabric (or what the fabric's own link layer does):
 * **positive acknowledgment** of every DATA message;
 * **timeout + retransmit** with capped exponential backoff in *virtual*
   time (deadlines are serviced by the owner's event loop via the timed
-  ``probe_block``);
+  ``probe``);
 * **duplicate suppression and reorder buffering** at the receiver: user
   payloads are handed up exactly once, in per-channel send order, which
   restores MPI's non-overtaking guarantee under delay faults.
@@ -77,7 +77,7 @@ class ReliableChannel:
         chan.send(dst, tag, payload, nbytes)     # instead of ctx.isend
         chan.poll(handler)                       # instead of iprobe+recv
         chan.service(ctx.now)                    # fire due retransmits
-        ctx.probe_block(deadline=chan.next_deadline())  # timed wait
+        ctx.probe(deadline=chan.next_deadline())  # timed wait
 
     ``handler(src, user_tag, payload)`` sees each payload exactly once,
     in per-source send order.

@@ -24,6 +24,13 @@ Quick example::
     print(result.makespan, result.rank_results)
 """
 
+from repro.mpisim.aggregate import (
+    AGG_TAG,
+    MessageAggregator,
+    PersistentSendRequest,
+    RecvRequest,
+    waitall,
+)
 from repro.mpisim.collectives import AgreementCollective
 from repro.mpisim.context import RankContext
 from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
@@ -114,4 +121,9 @@ __all__ = [
     "AgreementCollective",
     "fault_events",
     "fault_summary",
+    "AGG_TAG",
+    "MessageAggregator",
+    "PersistentSendRequest",
+    "RecvRequest",
+    "waitall",
 ]

@@ -1,0 +1,311 @@
+"""Persistent requests and message aggregation over the p2p substrate.
+
+The paper attributes much of NCL's advantage over Send-Recv to
+*aggregation*: one neighborhood exchange replaces thousands of tiny
+per-edge messages, amortizing the per-message software overhead that
+dominates the small-message regime (MPI Advance makes the same move as a
+portable library layer above MPI). This module provides that capability
+independently of the collective machinery, so aggregation can be studied
+— and charged under the machine model — on its own:
+
+* :class:`PersistentSendRequest` / :class:`RecvRequest` — the simulated
+  analogue of ``MPI_Send_init`` / ``MPI_Start`` / ``MPI_Irecv`` /
+  ``MPI_Waitall``. A persistent send pays the envelope-construction cost
+  once (``machine.o_send_init``) and a cheaper ``o_send_start`` per
+  message, instead of the full ``o_send`` every time.
+* :class:`MessageAggregator` — coalesces same-destination small messages
+  into batched wire messages. A batch is charged as **one** envelope
+  (``machine.header_bytes``) plus the concatenated payloads plus one
+  small framing word per coalesced message, so the eager/rendezvous
+  crossover and NIC injection serialization see the batch exactly as a
+  real packed buffer. Flush policy: byte threshold, message-count
+  threshold, and explicit flushes at iteration boundaries.
+
+Everything is crash-aware: messages buffered for a destination whose
+failure has been detected are dropped and reported in the per-rank
+``agg_dropped_dead`` counter instead of raising mid-flush.
+
+All batching decisions are deterministic (thresholds in virtual-time
+order, ``flush_all`` in sorted destination order), so aggregated runs are
+bit-reproducible like everything else in the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
+
+#: default MPI tag carrying aggregated batches (chosen clear of the
+#: matching contexts 1..4 and the reliable-channel tags 100/101)
+AGG_TAG = 140
+
+
+class PersistentSendRequest:
+    """A prebuilt send channel to one destination (``MPI_Send_init``).
+
+    Created via :meth:`RankContext.send_init`; each :meth:`start` ships
+    one payload with the amortized ``o_send_start`` overhead. In the
+    simulator's eager model a started send completes locally, so
+    :meth:`wait` never blocks — it exists so ``waitall`` can treat send
+    and receive requests uniformly.
+    """
+
+    __slots__ = ("ctx", "dest", "tag", "starts", "last_arrival")
+
+    def __init__(self, ctx, dest: int, tag: int = 0):
+        self.ctx = ctx
+        self.dest = dest
+        self.tag = tag
+        self.starts = 0
+        self.last_arrival = 0.0
+
+    def start(self, payload: Any, nbytes: int | None = None) -> float:
+        """Start the request with ``payload``; returns the arrival time."""
+        arrival = self.ctx._post_send(
+            self.dest, payload, self.tag, nbytes, persistent=True
+        )
+        self.starts += 1
+        self.last_arrival = arrival
+        return arrival
+
+    def wait(self) -> float:
+        """Eager-protocol completion: already done; returns last arrival."""
+        return self.last_arrival
+
+
+class RecvRequest:
+    """A posted nonblocking receive (``MPI_Irecv``).
+
+    ``test()`` completes the receive if a matching message has physically
+    arrived; ``wait()`` blocks (fast-forwarding the virtual clock) until
+    one does. The delivered :class:`Message` is cached, so ``wait`` after
+    a successful ``test`` is free.
+    """
+
+    __slots__ = ("ctx", "source", "tag", "_msg")
+
+    def __init__(self, ctx, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self.ctx = ctx
+        self.source = source
+        self.tag = tag
+        self._msg: Message | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self._msg is not None
+
+    def test(self) -> Message | None:
+        """Nonblocking completion attempt (``MPI_Test``)."""
+        if self._msg is None:
+            if self.ctx.iprobe(self.source, self.tag) is not None:
+                self._msg = self.ctx.recv(self.source, self.tag)
+        return self._msg
+
+    def wait(self) -> Message:
+        """Blocking completion (``MPI_Wait``)."""
+        if self._msg is None:
+            self._msg = self.ctx.recv(self.source, self.tag)
+        return self._msg
+
+
+def waitall(requests: Iterable[PersistentSendRequest | RecvRequest]) -> list:
+    """Complete every request in order; returns each request's result.
+
+    Send requests yield their arrival time, receive requests the
+    delivered :class:`Message` — the uniform completion call the MPI-style
+    API promises (also available as ``ctx.waitall``).
+    """
+    return [r.wait() for r in requests]
+
+
+class _Lane:
+    """Sender-side buffer of coalesced messages for one destination."""
+
+    __slots__ = ("entries", "payload_bytes", "request")
+
+    def __init__(self):
+        self.entries: list[tuple[int, Any]] = []  # (user_tag, payload)
+        self.payload_bytes = 0
+        self.request: PersistentSendRequest | None = None
+
+
+class MessageAggregator:
+    """Coalesce same-destination small messages into batched wire messages.
+
+    Owner-driven, like :class:`~repro.matching.reliable.ReliableChannel`::
+
+        agg = ctx.aggregator(flush_count=64)
+        agg.append(dst, tag, payload, nbytes)   # instead of ctx.isend
+        agg.flush_all()                         # iteration boundary
+        agg.poll(handler)                       # instead of iprobe+recv
+
+    ``handler(src, user_tag, payload)`` sees each coalesced message
+    exactly once, in per-source append order (batches preserve order and
+    the p2p substrate is non-overtaking).
+
+    Flush policy: a lane is auto-flushed the moment its buffered payload
+    reaches ``flush_bytes`` or its message count reaches ``flush_count``
+    (whichever first; ``None`` disables that trigger), and explicitly via
+    :meth:`flush` / :meth:`flush_all` at iteration boundaries.
+
+    Each batch travels as one wire message: ``header_bytes`` once, plus
+    every payload, plus ``machine.agg_submsg_header_bytes`` of framing
+    per coalesced message — so NIC serialization and the eager/rendezvous
+    protocol switch see exactly what a real packed buffer would present.
+    Packing and unpacking charge ``machine.pack_byte_cost`` per payload
+    byte under the ``pack`` profiler phase.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        *,
+        flush_bytes: int | None = None,
+        flush_count: int | None = None,
+        tag: int = AGG_TAG,
+        use_persistent: bool = True,
+    ):
+        if flush_bytes is not None and flush_bytes <= 0:
+            raise ValueError("flush_bytes must be positive or None")
+        if flush_count is not None and flush_count <= 0:
+            raise ValueError("flush_count must be positive or None")
+        self.ctx = ctx
+        self.flush_bytes = flush_bytes
+        self.flush_count = flush_count
+        self.tag = tag
+        self.use_persistent = use_persistent
+        self._lanes: dict[int, _Lane] = {}
+
+    # ------------------------------------------------------------------
+    # send side
+    # ------------------------------------------------------------------
+    def append(self, dest: int, tag: int, payload: Any, nbytes: int) -> None:
+        """Buffer one small message for ``dest``; may auto-flush the lane."""
+        if self.ctx.is_failed(dest):
+            rc = self.ctx.counters()
+            rc.agg_dropped_dead += 1
+            return
+        lane = self._lanes.get(dest)
+        if lane is None:
+            lane = self._lanes[dest] = _Lane()
+        lane.entries.append((tag, payload))
+        lane.payload_bytes += int(nbytes)
+        if (
+            self.flush_count is not None and len(lane.entries) >= self.flush_count
+        ) or (
+            self.flush_bytes is not None and lane.payload_bytes >= self.flush_bytes
+        ):
+            self.flush(dest)
+
+    def flush(self, dest: int) -> int:
+        """Ship ``dest``'s buffered messages as one batch.
+
+        Returns the number of coalesced messages shipped (0 for an empty
+        lane — an empty flush sends nothing and counts nothing). If the
+        destination's failure has been detected by now, the buffer is
+        dropped and reported instead.
+        """
+        lane = self._lanes.get(dest)
+        if lane is None or not lane.entries:
+            return 0
+        ctx = self.ctx
+        eng = ctx._engine
+        rc = ctx.counters()
+        k = len(lane.entries)
+        payload_bytes = lane.payload_bytes
+        entries = tuple(lane.entries)
+        lane.entries = []
+        lane.payload_bytes = 0
+        if ctx.is_failed(dest):
+            rc.agg_dropped_dead += k
+            eng.trace_event(ctx.rank, "agg-drop", dest=dest, msgs=k)
+            return 0
+        m = ctx.machine
+        wire = payload_bytes + k * m.agg_submsg_header_bytes
+        # Packing the batch buffer is real sender-side work.
+        if m.pack_byte_cost > 0.0:
+            eng.charge_comm(ctx.rank, m.pack_byte_cost * payload_bytes,
+                            phase="pack")
+        if self.use_persistent:
+            if lane.request is None:
+                lane.request = ctx.send_init(dest, tag=self.tag)
+            lane.request.start(entries, nbytes=wire)
+        else:
+            ctx.isend(dest, entries, tag=self.tag, nbytes=wire)
+        rc.agg_msgs_coalesced += k
+        rc.agg_batches += 1
+        rc.agg_batch_bytes += wire
+        # Envelope bytes an unaggregated sender would have paid, minus the
+        # framing the batch adds (can go negative for degenerate k=1
+        # batches — honest accounting, not clamped).
+        rc.agg_bytes_saved += (k - 1) * m.header_bytes \
+            - k * m.agg_submsg_header_bytes
+        eng.trace_event(ctx.rank, "agg-flush", dest=dest, msgs=k, nbytes=wire)
+        return k
+
+    def flush_all(self) -> int:
+        """Explicit iteration-boundary flush of every lane (sorted order)."""
+        shipped = 0
+        for dest in sorted(self._lanes):
+            shipped += self.flush(dest)
+        return shipped
+
+    def drop_rank(self, rank: int) -> int:
+        """Discard the lane for a crashed peer; returns messages dropped."""
+        lane = self._lanes.pop(rank, None)
+        if lane is None or not lane.entries:
+            return 0
+        k = len(lane.entries)
+        rc = self.ctx.counters()
+        rc.agg_dropped_dead += k
+        self.ctx._engine.trace_event(self.ctx.rank, "agg-drop", dest=rank, msgs=k)
+        return k
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_messages(self, dest: int | None = None) -> int:
+        """Buffered-but-unflushed message count (one lane or all)."""
+        if dest is not None:
+            lane = self._lanes.get(dest)
+            return 0 if lane is None else len(lane.entries)
+        return sum(len(lane.entries) for lane in self._lanes.values())
+
+    def pending_bytes(self, dest: int | None = None) -> int:
+        if dest is not None:
+            lane = self._lanes.get(dest)
+            return 0 if lane is None else lane.payload_bytes
+        return sum(lane.payload_bytes for lane in self._lanes.values())
+
+    # ------------------------------------------------------------------
+    # receive side
+    # ------------------------------------------------------------------
+    def poll(self, handler: Callable[[int, int, Any], None]) -> int:
+        """Unpack every arrived batch; returns coalesced messages delivered.
+
+        The receiver pays one ``o_recv`` per *batch* (charged by the
+        underlying ``recv``) plus the per-byte unpack cost — this is the
+        software saving aggregation exists for.
+        """
+        ctx = self.ctx
+        eng = ctx._engine
+        rc = ctx.counters()
+        m = ctx.machine
+        delivered = 0
+        while True:
+            hdr = ctx.iprobe(tag=self.tag)
+            if hdr is None:
+                return delivered
+            src, _, _ = hdr
+            msg = ctx.recv(source=src, tag=self.tag)
+            entries: Sequence[tuple[int, Any]] = msg.payload
+            payload_bytes = msg.nbytes - len(entries) * m.agg_submsg_header_bytes
+            if m.pack_byte_cost > 0.0 and payload_bytes > 0:
+                eng.charge_comm(ctx.rank, m.pack_byte_cost * payload_bytes,
+                                phase="pack")
+            rc.agg_batches_received += 1
+            rc.agg_msgs_delivered += len(entries)
+            for user_tag, payload in entries:
+                handler(src, user_tag, payload)
+                delivered += 1

@@ -9,10 +9,17 @@ conventions where a direct analogue exists.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Sequence
 
 import numpy as np
 
+from repro.mpisim.aggregate import (
+    MessageAggregator,
+    PersistentSendRequest,
+    RecvRequest,
+    waitall as _waitall,
+)
 from repro.mpisim.collectives import get_or_create_agreement, get_or_create_full
 from repro.mpisim.errors import RankCrashed
 from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
@@ -113,14 +120,21 @@ class RankContext:
     # ------------------------------------------------------------------
     # point-to-point
     # ------------------------------------------------------------------
-    def isend(
-        self, dest: int, payload: Any, *, tag: int = 0, nbytes: int | None = None
+    def _post_send(
+        self,
+        dest: int,
+        payload: Any,
+        tag: int,
+        nbytes: int | None,
+        *,
+        persistent: bool = False,
     ) -> float:
-        """Nonblocking send; returns the (virtual) arrival time.
+        """Shared send path for :meth:`isend` and persistent ``start``.
 
-        Models eager-protocol completion: the send buffer is logically
-        copied, so the operation completes locally once the origin overhead
-        has been charged (rendezvous sends absorb the handshake cost).
+        The charging sequence (yield → origin overhead → wire posting →
+        counters → trace) is the bit-reproducibility contract: both entry
+        points must observe it identically, differing only in the origin
+        cost charged and the trace verb.
         """
         if nbytes is None:
             nbytes = payload_nbytes(payload)
@@ -130,8 +144,11 @@ class RankContext:
             # peer it already knows to be dead (MPI_ERR_PROC_FAILED).
             raise RankCrashed(dest)
         eng.yield_ready(self.rank)
-        eng.charge_comm(self.rank, self.machine.send_origin_cost(nbytes),
-                        phase="send")
+        if persistent:
+            cost = self.machine.persistent_start_cost(nbytes)
+        else:
+            cost = self.machine.send_origin_cost(nbytes)
+        eng.charge_comm(self.rank, cost, phase="send")
         arrival = eng.post_message(
             self.rank, dest, tag, payload, nbytes, matrix=eng.counters.p2p
         )
@@ -140,8 +157,80 @@ class RankContext:
         rc.bytes_sent += nbytes
         rc.note_inflight(+1)
         rc.alloc(self.machine.send_request_bytes, "send-requests")
-        eng.trace_event(self.rank, "send", dest=dest, tag=tag, nbytes=nbytes)
+        if persistent:
+            rc.persistent_starts += 1
+            eng.trace_event(self.rank, "start", dest=dest, tag=tag, nbytes=nbytes)
+        else:
+            eng.trace_event(self.rank, "send", dest=dest, tag=tag, nbytes=nbytes)
         return arrival
+
+    def isend(
+        self, dest: int, payload: Any, *, tag: int = 0, nbytes: int | None = None
+    ) -> float:
+        """Nonblocking send; returns the (virtual) arrival time.
+
+        Models eager-protocol completion: the send buffer is logically
+        copied, so the operation completes locally once the origin overhead
+        has been charged (rendezvous sends absorb the handshake cost).
+        """
+        return self._post_send(dest, payload, tag, nbytes)
+
+    def send_init(self, dest: int, *, tag: int = 0) -> PersistentSendRequest:
+        """Build a persistent send request (``MPI_Send_init``).
+
+        Pays the envelope-construction overhead (``machine.o_send_init``)
+        once, here; each subsequent :meth:`PersistentSendRequest.start`
+        costs only ``machine.o_send_start`` instead of the full
+        ``o_send`` — the standard amortization for fixed communication
+        partners (which is exactly what a matching rank's neighbor set is).
+        """
+        eng = self._engine
+        eng.yield_ready(self.rank)
+        eng.charge_comm(self.rank, self.machine.o_send_init, phase="send")
+        eng.trace_event(self.rank, "send-init", dest=dest, tag=tag)
+        return PersistentSendRequest(self, dest, tag)
+
+    def irecv(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> RecvRequest:
+        """Post a nonblocking receive (``MPI_Irecv``); returns a request.
+
+        Posting is free local bookkeeping — the receive's costs are
+        charged when the request completes (``test``/``wait``), exactly
+        as :meth:`recv` would charge them.
+        """
+        return RecvRequest(self, source, tag)
+
+    def waitall(
+        self, requests: Sequence[PersistentSendRequest | RecvRequest]
+    ) -> list:
+        """Complete every request in order (``MPI_Waitall``).
+
+        Returns each request's completion value: the arrival time for
+        send requests, the delivered :class:`Message` for receives.
+        """
+        return _waitall(requests)
+
+    def aggregator(
+        self,
+        *,
+        flush_bytes: int | None = None,
+        flush_count: int | None = None,
+        tag: int | None = None,
+        use_persistent: bool = True,
+    ) -> MessageAggregator:
+        """Create a :class:`~repro.mpisim.aggregate.MessageAggregator`
+        that coalesces this rank's small same-destination messages into
+        batched wire messages. See the class docstring for the flush
+        policy and charging model."""
+        kwargs: dict[str, Any] = dict(
+            flush_bytes=flush_bytes,
+            flush_count=flush_count,
+            use_persistent=use_persistent,
+        )
+        if tag is not None:
+            kwargs["tag"] = tag
+        return MessageAggregator(self, **kwargs)
 
     def iprobe(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
@@ -207,7 +296,7 @@ class RankContext:
         eng.trace_event(self.rank, "recv", src=msg.src, tag=msg.tag, nbytes=msg.nbytes)
         return msg
 
-    def probe_block(
+    def probe(
         self,
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
@@ -240,7 +329,7 @@ class RankContext:
                 cands.append(tf)
             return min(cands) if cands else None
 
-        eng.block_on(self.rank, potential, f"probe_block(src={source},tag={tag})",
+        eng.block_on(self.rank, potential, f"probe(src={source},tag={tag})",
                      wait_phase="recv-wait")
         if eng.profiler is not None:
             m = q.earliest_match(source, tag)
@@ -251,6 +340,21 @@ class RankContext:
             # semantics (failed_ranks recomputes from the plan, so the
             # application still observes every failure).
             eng.consume_failure_notifications(self.rank)
+
+    def probe_block(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        deadline: float | None = None,
+    ) -> None:
+        """Deprecated alias for :meth:`probe` (the MPI-style name)."""
+        warnings.warn(
+            "RankContext.probe_block is deprecated; use RankContext.probe",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.probe(source, tag, deadline=deadline)
 
     def pending_message_count(self) -> int:
         """Messages queued for this rank (arrived or still in flight)."""

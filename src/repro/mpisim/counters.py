@@ -64,6 +64,17 @@ class RankCounters:
     puts_corrupted: int = 0  #: one-sided puts that landed bit-flipped
     put_retries: int = 0  #: puts reissued after a failed checksum verify
 
+    # message aggregation (repro.mpisim.aggregate; zero when unused)
+    agg_msgs_coalesced: int = 0  #: small messages that rode in a batch
+    agg_batches: int = 0  #: aggregated wire messages sent
+    agg_batch_bytes: int = 0  #: wire bytes of those batches (payload+framing)
+    agg_bytes_saved: int = 0  #: envelope bytes not sent vs one-per-message
+    agg_msgs_delivered: int = 0  #: coalesced messages unpacked at this rank
+    agg_batches_received: int = 0  #: batches unpacked at this rank
+    agg_dropped_dead: int = 0  #: buffered messages discarded because the
+    #: destination rank was detected dead before the flush
+    persistent_starts: int = 0  #: MPI_Start calls on persistent requests
+
     def alloc(self, nbytes: int, label: str = "misc") -> None:
         nbytes = int(nbytes)
         self.allocations[label] = self.allocations.get(label, 0) + nbytes
@@ -185,6 +196,22 @@ class RunCounters:
                 "puts_dropped",
                 "puts_corrupted",
                 "put_retries",
+            )
+        }
+
+    def aggregation_totals(self) -> dict[str, int]:
+        """Run-wide message-aggregation counter sums (zero when unused)."""
+        return {
+            attr: int(self.total(attr))
+            for attr in (
+                "agg_msgs_coalesced",
+                "agg_batches",
+                "agg_batch_bytes",
+                "agg_bytes_saved",
+                "agg_msgs_delivered",
+                "agg_batches_received",
+                "agg_dropped_dead",
+                "persistent_starts",
             )
         }
 

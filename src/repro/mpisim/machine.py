@@ -46,6 +46,12 @@ class MachineModel:
     o_send: float = 0.55e-6  #: sender-side cost of (I)send
     o_recv: float = 0.65e-6  #: receiver-side cost of Recv incl. matching
     o_probe: float = 0.20e-6  #: cost of one Iprobe poll
+    o_send_init: float = 0.6e-6  #: one-time cost of building a persistent
+    #: send request (``MPI_Send_init``: argument validation, envelope and
+    #: protocol selection done once instead of per message)
+    o_send_start: float = 0.30e-6  #: cost of ``MPI_Start`` on a prebuilt
+    #: persistent request — cheaper than ``o_send`` because the envelope
+    #: work was paid at init time (the MPI-4 partitioned/persistent story)
     eager_pool_per_peer_bytes: int = 64 * 1024  #: eager-protocol buffer
     #: pool a two-sided rank pins per connected peer (cray-mpich style);
     #: only backends that open point-to-point channels pay it
@@ -77,6 +83,12 @@ class MachineModel:
     #: NCL/RMA, reproducing the paper's Fig. 4c crossover.
     pack_byte_cost: float = 3.0e-10  #: per-byte cost of (un)packing
     #: aggregation buffers (memcpy-rate-ish)
+
+    # -- message aggregation ------------------------------------------------
+    agg_submsg_header_bytes: int = 8  #: per-coalesced-message framing word
+    #: (tag + length) inside an aggregated wire message; the batch itself
+    #: pays ``header_bytes`` exactly once, which is where aggregation's
+    #: envelope savings come from
 
     # -- congestion ---------------------------------------------------------
     nic_serialization: bool = True  #: serialize injection/drain per rank NIC
@@ -128,6 +140,18 @@ class MachineModel:
         """
         t = self.wire_bytes(nbytes, one_sided) * self.beta
         return t * factor if factor != 1.0 else t
+
+    def persistent_start_cost(self, nbytes: int) -> float:
+        """CPU time charged at the sender for starting a persistent send.
+
+        Same protocol structure as :meth:`send_origin_cost` (rendezvous
+        still needs its handshake), but the per-call software overhead is
+        the amortized ``o_send_start``.
+        """
+        cost = self.o_send_start
+        if nbytes > self.eager_threshold:
+            cost += self.rendezvous_extra_hops * self.alpha
+        return cost
 
     def put_origin_cost(self, nbytes: int) -> float:
         cost = self.o_put
@@ -234,6 +258,8 @@ def cori_aries() -> MachineModel:
         o_send=0.9e-6,
         o_recv=1.1e-6,
         o_probe=0.35e-6,
+        o_send_init=1.0e-6,
+        o_send_start=0.45e-6,
         o_put=0.30e-6,
         o_flush=0.6e-6,
         eager_threshold=8192,
@@ -249,6 +275,8 @@ def commodity_cluster() -> MachineModel:
         o_send=2.0e-6,
         o_recv=2.5e-6,
         o_probe=0.8e-6,
+        o_send_init=2.2e-6,
+        o_send_start=1.0e-6,
         o_put=1.0e-6,
         o_flush=1.5e-6,
         eager_threshold=4096,
@@ -270,6 +298,8 @@ def zero_latency() -> MachineModel:
         o_send=tiny,
         o_recv=tiny,
         o_probe=tiny,
+        o_send_init=tiny,
+        o_send_start=tiny,
         o_put=tiny,
         o_flush=tiny,
         o_coll=tiny,

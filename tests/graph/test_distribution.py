@@ -9,6 +9,7 @@ from repro.graph.distribution import (
     process_graph_adjacency,
 )
 from repro.graph.generators import grid2d_graph, rmat_graph
+from repro.matching.config import RunConfig
 
 
 def test_block_ranges_cover_everything():
@@ -166,8 +167,5 @@ def test_matching_correct_under_edge_balanced_distribution():
     g = rmat_graph(7, seed=6)
     ref = greedy_matching(g)
     for model in ("nsr", "ncl"):
-        res = run_matching(
-            g, 4, model, machine=zero_latency(),
-            dist=edge_balanced_distribution(g, 4),
-        )
+        res = run_matching(g, 4, model, config=RunConfig(machine=zero_latency(), dist=edge_balanced_distribution(g, 4)))
         assert np.array_equal(res.mate, ref.mate)

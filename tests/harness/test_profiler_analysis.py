@@ -21,7 +21,7 @@ from repro.harness.profiler import (
     profile_from_chrome,
     write_profile_bundle,
 )
-from repro.matching import run_matching
+from repro.matching import run_matching, RunConfig
 from repro.mpisim.machine import cori_aries
 from repro.mpisim.tracing import RunProfile, Span
 
@@ -34,7 +34,7 @@ def graph():
 
 
 def profiled_run(graph, model):
-    return run_matching(graph, 4, model, machine=cori_aries(), profile=True)
+    return run_matching(graph, 4, model, config=RunConfig(machine=cori_aries(), profile=True))
 
 
 # -- hand-built 3-rank program ---------------------------------------------
@@ -175,6 +175,6 @@ def test_write_profile_bundle(tmp_path, graph):
 
 
 def test_bundle_requires_profile(tmp_path, graph):
-    res = run_matching(graph, 4, "ncl", machine=cori_aries())
+    res = run_matching(graph, 4, "ncl", config=RunConfig(machine=cori_aries()))
     with pytest.raises(ValueError):
         write_profile_bundle(tmp_path, res, "ncl")

@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.graph.generators import rgg_graph, rmat_graph
-from repro.matching import run_matching
+from repro.matching import run_matching, RunConfig
 from repro.matching.verify import check_matching_valid
 from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import cori_aries
@@ -41,10 +41,7 @@ def rgg():
 @pytest.mark.parametrize("scheduler", ["heap", "reference"])
 def test_golden_crash_pins(graph, model, scheduler):
     makespan, weight, edges, crashed = GOLDEN_CRASH[model]
-    res = run_matching(
-        graph, 4, model, machine=cori_aries(), faults=CRASH_PLAN,
-        scheduler=scheduler,
-    )
+    res = run_matching(graph, 4, model, config=RunConfig(machine=cori_aries(), faults=CRASH_PLAN, scheduler=scheduler))
     check_matching_valid(graph, res.mate)
     assert sorted(res.crashed_ranks) == crashed
     assert res.makespan == makespan
@@ -56,7 +53,7 @@ def test_golden_crash_pins(graph, model, scheduler):
 class TestCrashRecovery:
     def test_single_crash_valid_survivor_matching(self, rgg, model):
         plan = FaultPlan(seed=3, crashes={2: 5e-5}, detect_latency=2e-6)
-        res = run_matching(rgg, 6, model, faults=plan)
+        res = run_matching(rgg, 6, model, config=RunConfig(faults=plan))
         assert sorted(res.crashed_ranks) == [2]
         check_matching_valid(rgg, res.mate)
         # Recovery actually ran (the crash fired mid-algorithm).
@@ -66,20 +63,20 @@ class TestCrashRecovery:
         plan = FaultPlan(
             seed=5, crashes={1: 2e-5, 2: 2.1e-5, 5: 6e-5}, detect_latency=2e-6
         )
-        res = run_matching(rgg, 6, model, faults=plan)
+        res = run_matching(rgg, 6, model, config=RunConfig(faults=plan))
         assert sorted(res.crashed_ranks) == [1, 2, 5]
         check_matching_valid(rgg, res.mate)
 
     def test_crash_run_deterministic_across_schedulers(self, rgg, model):
         plan = FaultPlan(seed=4, crashes={0: 3e-5, 3: 9e-5}, detect_latency=2e-6)
-        a = run_matching(rgg, 6, model, faults=plan, scheduler="heap")
-        b = run_matching(rgg, 6, model, faults=plan, scheduler="reference")
+        a = run_matching(rgg, 6, model, config=RunConfig(faults=plan, scheduler="heap"))
+        b = run_matching(rgg, 6, model, config=RunConfig(faults=plan, scheduler="reference"))
         assert a.makespan == b.makespan
         assert np.array_equal(a.mate, b.mate)
 
     def test_null_plan_byte_identical_to_no_plan(self, rgg, model):
         clean = run_matching(rgg, 4, model)
-        null = run_matching(rgg, 4, model, faults=FaultPlan(seed=99))
+        null = run_matching(rgg, 4, model, config=RunConfig(faults=FaultPlan(seed=99)))
         assert null.makespan == clean.makespan
         assert np.array_equal(null.mate, clean.mate)
 
@@ -88,7 +85,7 @@ class TestRMAPutFates:
     def test_drops_repaired_bit_identical(self, rgg):
         clean = run_matching(rgg, 4, "rma")
         plan = FaultPlan(seed=7, rma_drop_rate=0.05)
-        res = run_matching(rgg, 4, "rma", faults=plan)
+        res = run_matching(rgg, 4, "rma", config=RunConfig(faults=plan))
         ft = res.fault_totals()
         assert ft["puts_dropped"] > 0
         assert ft["put_retries"] >= ft["puts_dropped"]
@@ -100,7 +97,7 @@ class TestRMAPutFates:
     def test_corruption_repaired_bit_identical(self, rgg):
         clean = run_matching(rgg, 4, "rma")
         plan = FaultPlan(seed=8, rma_corrupt_rate=0.05)
-        res = run_matching(rgg, 4, "rma", faults=plan)
+        res = run_matching(rgg, 4, "rma", config=RunConfig(faults=plan))
         ft = res.fault_totals()
         assert ft["puts_corrupted"] > 0
         assert np.array_equal(res.mate, clean.mate)
@@ -110,7 +107,7 @@ class TestRMAPutFates:
             seed=9, rma_drop_rate=0.08, rma_corrupt_rate=0.04,
             crashes={3: 5e-5}, detect_latency=2e-6,
         )
-        res = run_matching(rgg, 6, "rma", faults=plan)
+        res = run_matching(rgg, 6, "rma", config=RunConfig(faults=plan))
         assert sorted(res.crashed_ranks) == [3]
         check_matching_valid(rgg, res.mate)
         ft = res.fault_totals()
@@ -118,8 +115,8 @@ class TestRMAPutFates:
 
     def test_put_fates_deterministic(self, rgg):
         plan = FaultPlan(seed=7, rma_drop_rate=0.05, rma_corrupt_rate=0.03)
-        a = run_matching(rgg, 4, "rma", faults=plan)
-        b = run_matching(rgg, 4, "rma", faults=plan)
+        a = run_matching(rgg, 4, "rma", config=RunConfig(faults=plan))
+        b = run_matching(rgg, 4, "rma", config=RunConfig(faults=plan))
         assert a.makespan == b.makespan
         assert a.fault_totals() == b.fault_totals()
         assert np.array_equal(a.mate, b.mate)

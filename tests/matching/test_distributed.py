@@ -19,6 +19,7 @@ from repro.graph.generators import (
     star_graph,
 )
 from repro.matching import (
+    RunConfig,
     BACKENDS,
     MatchingOptions,
     check_cross_rank_consistency,
@@ -47,7 +48,7 @@ GRAPHS = [
 @pytest.mark.parametrize("name,g", GRAPHS, ids=[n for n, _ in GRAPHS])
 def test_backend_matches_serial_greedy(model, name, g):
     ref = greedy_matching(g)
-    res = run_matching(g, nprocs=4, model=model, machine=FAST)
+    res = run_matching(g, nprocs=4, model=model, config=RunConfig(machine=FAST))
     check_matching_valid(g, res.mate)
     check_matching_maximal(g, res.mate)
     check_cross_rank_consistency(res.mate)
@@ -60,7 +61,7 @@ def test_backend_matches_serial_greedy(model, name, g):
 def test_process_count_invariance(model, nprocs):
     g = rmat_graph(7, seed=11)
     ref = greedy_matching(g)
-    res = run_matching(g, nprocs=nprocs, model=model, machine=FAST)
+    res = run_matching(g, nprocs=nprocs, model=model, config=RunConfig(machine=FAST))
     assert np.array_equal(res.mate, ref.mate)
 
 
@@ -68,14 +69,14 @@ def test_uneven_partition():
     g = path_graph(29, seed=2)  # 29 vertices over 4 ranks: 8,7,7,7
     ref = greedy_matching(g)
     for model in sorted(BACKENDS):
-        res = run_matching(g, nprocs=4, model=model, machine=FAST)
+        res = run_matching(g, nprocs=4, model=model, config=RunConfig(machine=FAST))
         assert np.array_equal(res.mate, ref.mate)
 
 
 def test_deterministic_repeat():
     g = rmat_graph(7, seed=4)
-    r1 = run_matching(g, nprocs=4, model="nsr", machine=FAST)
-    r2 = run_matching(g, nprocs=4, model="nsr", machine=FAST)
+    r1 = run_matching(g, nprocs=4, model="nsr", config=RunConfig(machine=FAST))
+    r2 = run_matching(g, nprocs=4, model="nsr", config=RunConfig(machine=FAST))
     assert np.array_equal(r1.mate, r2.mate)
     assert r1.makespan == r2.makespan
     assert r1.total_messages() == r2.total_messages()
@@ -84,10 +85,7 @@ def test_deterministic_repeat():
 def test_eager_reject_option_valid_but_maybe_weaker():
     g = rmat_graph(7, seed=4)
     ref = greedy_matching(g)
-    res = run_matching(
-        g, nprocs=4, model="nsr", machine=FAST,
-        options=MatchingOptions(eager_reject=True),
-    )
+    res = run_matching(g, nprocs=4, model="nsr", config=RunConfig(machine=FAST, options=MatchingOptions(eager_reject=True)))
     check_matching_valid(g, res.mate)
     # half-approx heuristic should stay in the right ballpark
     assert res.weight >= 0.5 * ref.weight
@@ -98,7 +96,7 @@ def test_unknown_model_rejected():
 
     g = path_graph(10, seed=1)
     with pytest.raises(RankFailure) as ei:
-        run_matching(g, nprocs=2, model="carrier-pigeon", machine=FAST)
+        run_matching(g, nprocs=2, model="carrier-pigeon", config=RunConfig(machine=FAST))
     assert isinstance(ei.value.original, KeyError)
 
 
@@ -109,13 +107,13 @@ def test_message_budget_respected():
 
     parts = partition_graph(g, 4)
     cross = sum(p.num_cross_edges for p in parts)  # directed cross count
-    res = run_matching(g, nprocs=4, model="nsr", machine=FAST)
+    res = run_matching(g, nprocs=4, model="nsr", config=RunConfig(machine=FAST))
     assert res.counters.p2p.total_messages() <= 2 * cross
 
 
 def test_stats_populated():
     g = rmat_graph(7, seed=4)
-    res = run_matching(g, nprocs=4, model="ncl", machine=FAST)
+    res = run_matching(g, nprocs=4, model="ncl", config=RunConfig(machine=FAST))
     st = res.rank_results if False else res.rank_results
     for rr in res.rank_results:
         s = rr["stats"]
@@ -125,13 +123,13 @@ def test_stats_populated():
 
 def test_matched_fraction_reasonable():
     g = rmat_graph(8, seed=9)
-    res = run_matching(g, nprocs=4, model="rma", machine=FAST)
+    res = run_matching(g, nprocs=4, model="rma", config=RunConfig(machine=FAST))
     assert res.num_matched_edges > g.num_vertices // 8
 
 
 def test_mbp_sends_acks():
     g = rmat_graph(7, seed=4)
-    res = run_matching(g, nprocs=4, model="mbp", machine=FAST)
+    res = run_matching(g, nprocs=4, model="mbp", config=RunConfig(machine=FAST))
     acks = sum(rr["stats"].received["ACK"] for rr in res.rank_results)
     requests = sum(rr["stats"].sent["REQUEST"] for rr in res.rank_results)
     # every cross REQUEST is acknowledged
@@ -142,8 +140,8 @@ def test_mbp_sends_acks():
 def test_rma_vs_ncl_same_messages_semantics():
     """RMA and NCL carry the same algorithmic payloads (same contexts)."""
     g = rmat_graph(7, seed=4)
-    res_rma = run_matching(g, nprocs=4, model="rma", machine=FAST)
-    res_ncl = run_matching(g, nprocs=4, model="ncl", machine=FAST)
+    res_rma = run_matching(g, nprocs=4, model="rma", config=RunConfig(machine=FAST))
+    res_ncl = run_matching(g, nprocs=4, model="ncl", config=RunConfig(machine=FAST))
     def ctx_totals(res):
         tot = {}
         for rr in res.rank_results:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.graph.generators import rmat_graph, rgg_graph
 from repro.matching.api import run_matching
+from repro.matching.config import RunConfig
 from repro.matching.driver import MatchingOptions
 from repro.matching.verify import (
     check_matching_valid,
@@ -29,7 +30,7 @@ def clean(graph):
 class TestMessageFaults:
     def test_ten_percent_drops_same_matching(self, graph, clean):
         plan = FaultPlan(seed=5, drop_rate=0.10)
-        r = run_matching(graph, 4, "nsr", faults=plan)
+        r = run_matching(graph, 4, "nsr", config=RunConfig(faults=plan))
         check_matching_valid(graph, r.mate)
         check_cross_rank_consistency(r.mate)
         assert np.array_equal(r.mate, clean.mate)
@@ -40,7 +41,7 @@ class TestMessageFaults:
 
     def test_dup_and_delay_suppressed(self, graph, clean):
         plan = FaultPlan(seed=6, dup_rate=0.2, delay_rate=0.3)
-        r = run_matching(graph, 4, "nsr", faults=plan)
+        r = run_matching(graph, 4, "nsr", config=RunConfig(faults=plan))
         assert np.array_equal(r.mate, clean.mate)
         ft = r.fault_totals()
         assert ft["msgs_duplicated"] > 0
@@ -48,21 +49,21 @@ class TestMessageFaults:
 
     def test_same_seed_runs_identical(self, graph):
         plan = lambda: FaultPlan(seed=9, drop_rate=0.1, dup_rate=0.05, delay_rate=0.1)
-        a = run_matching(graph, 4, "nsr", faults=plan())
-        b = run_matching(graph, 4, "nsr", faults=plan())
+        a = run_matching(graph, 4, "nsr", config=RunConfig(faults=plan()))
+        b = run_matching(graph, 4, "nsr", config=RunConfig(faults=plan()))
         assert a.makespan == b.makespan
         assert np.array_equal(a.mate, b.mate)
         assert a.fault_totals() == b.fault_totals()
 
     def test_null_plan_matches_no_plan_exactly(self, graph, clean):
-        r = run_matching(graph, 4, "nsr", faults=FaultPlan(seed=1))
+        r = run_matching(graph, 4, "nsr", config=RunConfig(faults=FaultPlan(seed=1)))
         assert r.makespan == clean.makespan
         assert np.array_equal(r.mate, clean.mate)
 
     def test_forced_reliable_on_clean_network(self, graph, clean):
         # The shim itself must not change the matching, only the timing.
         opts = MatchingOptions(reliable=True)
-        r = run_matching(graph, 4, "nsr", options=opts)
+        r = run_matching(graph, 4, "nsr", config=RunConfig(options=opts))
         check_matching_valid(graph, r.mate)
         assert np.array_equal(r.mate, clean.mate)
         assert r.fault_totals()["acks_sent"] > 0
@@ -70,7 +71,7 @@ class TestMessageFaults:
     def test_drops_on_rgg(self):
         g = rgg_graph(2048, target_avg_degree=8.0, seed=2)
         base = run_matching(g, 8, "nsr")
-        r = run_matching(g, 8, "nsr", faults=FaultPlan(seed=2, drop_rate=0.15))
+        r = run_matching(g, 8, "nsr", config=RunConfig(faults=FaultPlan(seed=2, drop_rate=0.15)))
         check_matching_valid(g, r.mate)
         assert np.array_equal(r.mate, base.mate)
 
@@ -82,7 +83,7 @@ class TestCrashes:
             crashes={2: clean.makespan * 0.3},
             detect_latency=clean.makespan * 0.02,
         )
-        r = run_matching(graph, 4, "nsr", faults=plan)
+        r = run_matching(graph, 4, "nsr", config=RunConfig(faults=plan))
         assert r.crashed_ranks == (2,)
         assert len(r.dead_ranges) == 1
         check_matching_valid(graph, r.mate)
@@ -102,7 +103,7 @@ class TestCrashes:
             crashes={1: clean.makespan * 0.4},
             detect_latency=clean.makespan * 0.02,
         )
-        r = run_matching(graph, 4, "nsr", faults=plan)
+        r = run_matching(graph, 4, "nsr", config=RunConfig(faults=plan))
         assert r.crashed_ranks == (1,)
         check_matching_valid(graph, r.mate)
         check_cross_rank_consistency(r.mate)
@@ -110,7 +111,7 @@ class TestCrashes:
     def test_early_crash_removes_whole_rank(self, graph):
         # Crash before any message arrives: survivors match among themselves.
         plan = FaultPlan(seed=1, crashes={3: 1e-12}, detect_latency=1e-9)
-        r = run_matching(graph, 4, "nsr", faults=plan)
+        r = run_matching(graph, 4, "nsr", config=RunConfig(faults=plan))
         assert r.crashed_ranks == (3,)
         check_matching_valid(graph, r.mate)
 
@@ -127,14 +128,12 @@ class TestCrashes:
 class TestBudgets:
     def test_max_ops_budget_via_options(self, graph):
         with pytest.raises(SimLimitExceeded):
-            run_matching(graph, 4, "nsr", options=MatchingOptions(max_ops=50))
+            run_matching(graph, 4, "nsr", config=RunConfig(options=MatchingOptions(max_ops=50)))
 
     def test_max_vtime_budget_via_options(self, graph):
         with pytest.raises(SimLimitExceeded):
-            run_matching(graph, 4, "nsr", options=MatchingOptions(max_vtime=1e-9))
+            run_matching(graph, 4, "nsr", config=RunConfig(options=MatchingOptions(max_vtime=1e-9)))
 
     def test_generous_budgets_pass(self, graph, clean):
-        r = run_matching(
-            graph, 4, "nsr", options=MatchingOptions(max_ops=10**9, max_vtime=1e6)
-        )
+        r = run_matching(graph, 4, "nsr", config=RunConfig(options=MatchingOptions(max_ops=10**9, max_vtime=1e6)))
         assert np.array_equal(r.mate, clean.mate)

@@ -17,7 +17,7 @@ change, re-record the constants and say so in the commit message.
 import pytest
 
 from repro.graph.generators import rmat_graph
-from repro.matching import run_matching
+from repro.matching import run_matching, RunConfig
 from repro.mpisim.machine import cori_aries
 
 # model -> (makespan, weight, matched edges, iterations)
@@ -26,6 +26,7 @@ GOLDEN = {
     "rma": (0.00040368000000000055, 33.23161028286712, 40, 8),
     "ncl": (0.0003901130000000003, 33.23161028286712, 40, 8),
     "mbp": (0.002519747499999989, 33.23161028286712, 40, 6),
+    "nsr-agg": (0.0002336318000000013, 33.23161028286712, 40, 32),
 }
 
 
@@ -38,7 +39,7 @@ def graph():
 @pytest.mark.parametrize("scheduler", ["heap", "reference"])
 def test_golden_pins(graph, model, scheduler):
     makespan, weight, edges, iters = GOLDEN[model]
-    res = run_matching(graph, 4, model, machine=cori_aries(), scheduler=scheduler)
+    res = run_matching(graph, 4, model, config=RunConfig(machine=cori_aries(), scheduler=scheduler))
     assert res.makespan == makespan
     assert res.weight == weight
     assert res.num_matched_edges == edges

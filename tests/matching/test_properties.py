@@ -15,6 +15,7 @@ from hypothesis import strategies as st
 from repro.graph.build import build_graph
 from repro.graph.csr import CSRGraph
 from repro.matching import (
+    RunConfig,
     check_half_approx,
     check_matching_maximal,
     check_matching_valid,
@@ -82,7 +83,7 @@ def test_distributed_nsr_equals_greedy(g: CSRGraph, nprocs):
     if g.num_vertices < nprocs:
         nprocs = g.num_vertices
     ref = greedy_matching(g)
-    res = run_matching(g, nprocs=nprocs, model="nsr", machine=FAST)
+    res = run_matching(g, nprocs=nprocs, model="nsr", config=RunConfig(machine=FAST))
     assert np.array_equal(res.mate, ref.mate)
 
 
@@ -90,7 +91,7 @@ def test_distributed_nsr_equals_greedy(g: CSRGraph, nprocs):
 @given(g=random_graphs(), model=st.sampled_from(["ncl", "rma"]))
 def test_distributed_collectives_equal_greedy(g: CSRGraph, model):
     ref = greedy_matching(g)
-    res = run_matching(g, nprocs=min(4, g.num_vertices), model=model, machine=FAST)
+    res = run_matching(g, nprocs=min(4, g.num_vertices), model=model, config=RunConfig(machine=FAST))
     assert np.array_equal(res.mate, ref.mate)
 
 

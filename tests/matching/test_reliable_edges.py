@@ -52,7 +52,7 @@ class TestDuplicateAck:
                 chan.service(ctx.now)
                 if len(got) >= 10 and chan.idle():
                     return got
-                ctx.probe_block(deadline=chan.next_deadline())
+                ctx.probe(deadline=chan.next_deadline())
             return ("spun-out", got)
 
         res = run_plan(2, prog, plan)
@@ -76,7 +76,7 @@ class TestAbandonment:
                 chan.service(ctx.now, may_abandon=may_abandon)
                 if chan.idle():
                     break
-                ctx.probe_block(deadline=chan.next_deadline())
+                ctx.probe(deadline=chan.next_deadline())
             return (chan.idle(), ctx.counters().abandoned)
 
         return prog
@@ -99,7 +99,7 @@ class TestAbandonment:
             try:
                 while not chan.idle():
                     chan.service(ctx.now, may_abandon=False)
-                    ctx.probe_block(deadline=chan.next_deadline())
+                    ctx.probe(deadline=chan.next_deadline())
             except RetryExhausted:
                 return "raised"
             return "silent"
@@ -127,7 +127,7 @@ class TestOnRankFailed:
                     reaped = chan.on_rank_failed(1)
                     continue
                 chan.service(ctx.now)
-                ctx.probe_block(deadline=chan.next_deadline())
+                ctx.probe(deadline=chan.next_deadline())
             retrans = ctx.counters().retransmits
             return (reaped, retrans, chan.idle())
 
@@ -155,7 +155,7 @@ class TestOnRankFailed:
                 chan.service(ctx.now)
                 if chan.idle():
                     break
-                ctx.probe_block(deadline=chan.next_deadline())
+                ctx.probe(deadline=chan.next_deadline())
             return chan.idle()
 
         res = run_plan(2, prog, plan)

@@ -1,0 +1,316 @@
+"""Persistent requests, irecv/waitall, and the message aggregator:
+flush-policy edge cases, crash handling, wire accounting, deprecation."""
+
+import warnings
+
+import pytest
+
+from repro.mpisim import Engine, FaultPlan, MessageAggregator, cori_aries
+from repro.mpisim.machine import zero_latency
+
+
+# ----------------------------------------------------------------------
+# persistent requests and nonblocking receives
+# ----------------------------------------------------------------------
+class TestPersistentRequests:
+    def test_send_init_start_delivers(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                req = ctx.send_init(1, tag=9)
+                for i in range(5):
+                    req.start(i, nbytes=24)
+                assert req.starts == 5
+                req.wait()  # eager: free, never blocks
+            else:
+                return [ctx.recv(source=0, tag=9).payload for _ in range(5)]
+
+        res = Engine(2, cori_aries()).run(prog)
+        assert res.rank_results[1] == [0, 1, 2, 3, 4]
+        assert res.counters.ranks[0].persistent_starts == 5
+
+    def test_persistent_start_cheaper_than_isend(self):
+        """o_send_start < o_send, so N persistent sends finish earlier on
+        the sender's clock than N plain isends of the same messages."""
+
+        def run(persistent):
+            def prog(ctx):
+                if ctx.rank == 0:
+                    if persistent:
+                        req = ctx.send_init(1)
+                        for i in range(50):
+                            req.start(i, nbytes=24)
+                    else:
+                        for i in range(50):
+                            ctx.isend(1, i, nbytes=24)
+                    return ctx.now
+                for _ in range(50):
+                    ctx.recv(source=0)
+
+            return Engine(2, cori_aries()).run(prog).rank_results[0]
+
+        assert run(persistent=True) < run(persistent=False)
+
+    def test_irecv_test_wait(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                req = ctx.irecv(source=1, tag=3)
+                assert req.test() is None  # nothing sent yet
+                assert not req.complete
+                ctx.recv(source=1, tag=1)  # sync: peer sent tag-3 first
+                msg = req.wait()
+                assert req.complete and req.test() is msg
+                return msg.payload
+            ctx.isend(0, "payload", tag=3)
+            ctx.isend(0, "go", tag=1)
+
+        res = Engine(2, cori_aries()).run(prog)
+        assert res.rank_results[0] == "payload"
+
+    def test_waitall_mixed_requests(self):
+        def prog(ctx):
+            if ctx.rank == 0:
+                reqs = [ctx.irecv(source=1, tag=t) for t in (1, 2)]
+                send = ctx.send_init(1, tag=5)
+                send.start("x", nbytes=8)
+                done = ctx.waitall(reqs + [send])
+                return [m.payload for m in done[:2]]
+            ctx.isend(0, "a", tag=1)
+            ctx.isend(0, "b", tag=2)
+            ctx.recv(source=0, tag=5)
+
+        res = Engine(2, cori_aries()).run(prog)
+        assert res.rank_results[0] == ["a", "b"]
+
+
+# ----------------------------------------------------------------------
+# aggregator flush policy
+# ----------------------------------------------------------------------
+def agg_pair(sender, *, nprocs=2, machine=None, faults=None, trace=False):
+    """Run ``sender`` on rank 0 against a drain-everything rank 1."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            return sender(ctx)
+        got = []
+        agg = ctx.aggregator()
+        ctx.probe(deadline=ctx.now + 1.0)
+        while ctx.iprobe() is not None:
+            agg.poll(lambda src, tag, payload: got.append((src, tag, payload)))
+        return got
+
+    eng = Engine(nprocs, machine or cori_aries(), faults=faults, trace=trace)
+    return eng.run(prog)
+
+
+class TestFlushPolicy:
+    def test_count_threshold_boundary(self):
+        """Exactly flush_count appends trigger the flush; one fewer stays."""
+
+        def sender(ctx):
+            agg = ctx.aggregator(flush_count=3)
+            agg.append(1, 0, "a", 24)
+            agg.append(1, 0, "b", 24)
+            assert agg.pending_messages() == 2  # below threshold: buffered
+            agg.append(1, 0, "c", 24)
+            assert agg.pending_messages() == 0  # reaching it flushed
+            assert ctx.counters().agg_batches == 1
+            assert ctx.counters().agg_msgs_coalesced == 3
+
+        res = agg_pair(sender)
+        assert [p for _, _, p in res.rank_results[1]] == ["a", "b", "c"]
+
+    def test_byte_threshold_boundary(self):
+        """payload_bytes == flush_bytes flushes (>=, not >)."""
+
+        def sender(ctx):
+            agg = ctx.aggregator(flush_bytes=48)
+            agg.append(1, 0, "a", 24)
+            assert agg.pending_bytes() == 24
+            agg.append(1, 0, "b", 24)  # lands exactly on the threshold
+            assert agg.pending_messages() == 0
+            assert ctx.counters().agg_batches == 1
+
+        agg_pair(sender)
+
+    def test_empty_flush_is_a_noop(self):
+        def sender(ctx):
+            agg = ctx.aggregator()
+            assert agg.flush(1) == 0
+            assert agg.flush_all() == 0
+            rc = ctx.counters()
+            assert rc.agg_batches == 0 and rc.sends == 0
+
+        res = agg_pair(sender)
+        assert res.rank_results[1] == []
+
+    def test_invalid_thresholds_rejected(self):
+        def sender(ctx):
+            with pytest.raises(ValueError):
+                ctx.aggregator(flush_bytes=0)
+            with pytest.raises(ValueError):
+                ctx.aggregator(flush_count=-1)
+
+        agg_pair(sender)
+
+    def test_explicit_flush_order_and_delivery(self):
+        """flush_all ships lanes in sorted destination order and receivers
+        see messages in per-source append order."""
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                agg = ctx.aggregator()
+                for i in range(4):
+                    agg.append(2, i, f"to2-{i}", 24)
+                    agg.append(1, i, f"to1-{i}", 24)
+                assert agg.flush_all() == 8
+                assert agg.pending_messages() == 0
+            else:
+                got = []
+                agg = ctx.aggregator()
+                while len(got) < 4:
+                    agg.poll(lambda s, t, p: got.append((t, p)))
+                    if len(got) < 4:
+                        ctx.probe()
+                return got
+
+        res = Engine(3, cori_aries()).run(prog)
+        assert res.rank_results[1] == [(i, f"to1-{i}") for i in range(4)]
+        assert res.rank_results[2] == [(i, f"to2-{i}") for i in range(4)]
+
+    def test_wire_accounting(self):
+        """One batch = one wire message of payload + per-msg framing bytes,
+        and bytes_saved records the avoided envelopes minus the framing."""
+
+        def sender(ctx):
+            agg = ctx.aggregator()
+            for i in range(4):
+                agg.append(1, 0, i, 24)
+            agg.flush_all()
+            m = ctx.machine
+            rc = ctx.counters()
+            assert rc.sends == 1
+            wire = 4 * 24 + 4 * m.agg_submsg_header_bytes
+            assert rc.agg_batch_bytes == wire
+            assert rc.bytes_sent == wire  # one wire message, batch-sized
+            assert rc.agg_bytes_saved == (
+                3 * m.header_bytes - 4 * m.agg_submsg_header_bytes
+            )
+
+        res = agg_pair(sender)
+        rc1 = res.rank_results and res.counters.ranks[1]
+        assert rc1.agg_batches_received == 1
+        assert rc1.agg_msgs_delivered == 4
+
+    def test_singleton_batch_saves_nothing(self):
+        """k=1 batches save negative header bytes — honest, unclamped."""
+
+        def sender(ctx):
+            agg = ctx.aggregator()
+            agg.append(1, 0, "only", 24)
+            agg.flush_all()
+            assert ctx.counters().agg_bytes_saved == (
+                -ctx.machine.agg_submsg_header_bytes
+            )
+
+        agg_pair(sender)
+
+
+# ----------------------------------------------------------------------
+# crash awareness
+# ----------------------------------------------------------------------
+class TestCrashHandling:
+    def test_append_to_detected_dead_rank_drops(self):
+        plan = FaultPlan(crashes={1: 1e-6}, detect_latency=1e-6)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                agg = ctx.aggregator()
+                ctx.compute(seconds=1e-3)  # well past crash + detection
+                assert ctx.is_failed(1)
+                agg.append(1, 0, "lost", 24)
+                rc = ctx.counters()
+                assert agg.pending_messages() == 0  # never buffered
+                assert rc.agg_dropped_dead == 1 and rc.sends == 0
+            else:
+                ctx.compute(seconds=1.0)  # killed at 1e-6
+
+        Engine(2, cori_aries(), faults=plan).run(prog)
+
+    def test_flush_to_crashed_rank_drops_buffer(self):
+        """Messages buffered before detection are dropped at flush time."""
+        plan = FaultPlan(crashes={1: 1e-6}, detect_latency=1e-6)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                agg = ctx.aggregator()
+                agg.append(1, 0, "a", 24)  # buffered: crash not detected yet
+                agg.append(1, 0, "b", 24)
+                assert agg.pending_messages() == 2
+                ctx.compute(seconds=1e-3)
+                assert agg.flush(1) == 0
+                rc = ctx.counters()
+                assert rc.agg_dropped_dead == 2
+                assert rc.sends == 0 and rc.agg_batches == 0
+            else:
+                ctx.compute(seconds=1.0)
+
+        Engine(2, cori_aries(), faults=plan).run(prog)
+
+    def test_drop_rank_discards_lane(self):
+        plan = FaultPlan(crashes={1: 1e-6}, detect_latency=1e-6)
+
+        def prog(ctx):
+            if ctx.rank == 0:
+                agg = ctx.aggregator()
+                agg.append(1, 0, "a", 24)
+                ctx.compute(seconds=1e-3)
+                assert agg.drop_rank(1) == 1
+                assert agg.drop_rank(1) == 0  # idempotent
+                assert ctx.counters().agg_dropped_dead == 1
+            else:
+                ctx.compute(seconds=1.0)
+
+        Engine(2, cori_aries(), faults=plan).run(prog)
+
+
+# ----------------------------------------------------------------------
+# determinism & deprecation
+# ----------------------------------------------------------------------
+def test_aggregated_run_is_deterministic():
+    def prog(ctx):
+        nxt = (ctx.rank + 1) % ctx.nprocs
+        agg = ctx.aggregator(flush_count=4)
+        for i in range(10):
+            agg.append(nxt, 0, i, 24)
+        agg.flush_all()
+        got = []
+        while len(got) < 10:
+            agg.poll(lambda s, t, p: got.append(p))
+            if len(got) < 10:
+                ctx.probe()
+        return got
+
+    a = Engine(4, cori_aries()).run(prog)
+    b = Engine(4, cori_aries()).run(prog)
+    assert a.makespan == b.makespan
+    assert a.rank_results == b.rank_results
+
+
+def test_probe_block_alias_warns_and_works():
+    caught = []
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.isend(1, "x")
+        else:
+            with warnings.catch_warnings(record=True) as w:
+                warnings.simplefilter("always")
+                ctx.probe_block()
+            caught.extend(w)
+            return ctx.recv(source=0).payload
+
+    res = Engine(2, cori_aries()).run(prog)
+    assert res.rank_results[1] == "x"
+    assert len(caught) == 1
+    assert issubclass(caught[0].category, DeprecationWarning)
+    assert "probe_block is deprecated" in str(caught[0].message)

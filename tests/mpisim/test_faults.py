@@ -185,7 +185,7 @@ class TestCrashes:
             if ctx.rank == 1:
                 ctx.compute(seconds=1.0)
                 return None
-            ctx.probe_block(deadline=None)  # woken by the failure event
+            ctx.probe(deadline=None)  # woken by the failure event
             return sorted(ctx.failed_ranks())
 
         res = Engine(2, cori_aries(), faults=plan).run(prog)

@@ -77,13 +77,13 @@ def test_iprobe_respects_arrival_time():
     assert res.rank_results[1] == (None, True)
 
 
-def test_probe_block_fast_forwards():
+def test_probe_fast_forwards():
     def prog(ctx):
         if ctx.rank == 0:
             ctx.compute(seconds=0.5)
             ctx.isend(1, "later")
         else:
-            ctx.probe_block()
+            ctx.probe()
             assert ctx.iprobe() is not None
             m = ctx.recv()
             return ctx.now
@@ -97,7 +97,7 @@ def test_iprobe_returns_header():
         if ctx.rank == 0:
             ctx.isend(1, (1, 2, 3), tag=9, nbytes=24)
         else:
-            ctx.probe_block()
+            ctx.probe()
             hdr = ctx.iprobe()
             assert hdr == (0, 9, 24)
             ctx.recv()

@@ -28,6 +28,7 @@ from repro.mpisim import Engine, FaultPlan, cori_aries, trace_to_csv
 from repro.mpisim.machine import commodity_cluster, get_machine, zero_latency
 from repro.mpisim.tracing import time_ordered
 from repro.util.rng import make_rng
+from repro.matching.config import RunConfig
 
 MACHINES = ["cori-aries", "commodity", "zero-latency"]
 
@@ -243,7 +244,7 @@ def test_matching_backends_bit_identical(model):
 
     g = rmat_graph(7, seed=2)
     runs = {
-        sched: run_matching(g, 4, model, scheduler=sched, trace=True)
+        sched: run_matching(g, 4, model, config=RunConfig(scheduler=sched, trace=True))
         for sched in ("reference", "heap")
     }
     a, b = runs["reference"], runs["heap"]
@@ -266,7 +267,7 @@ def test_matching_under_faults_bit_identical():
     g = rmat_graph(7, seed=2)
     plan = FaultPlan(seed=5, drop_rate=0.05, dup_rate=0.05)
     runs = {
-        sched: run_matching(g, 4, "nsr", faults=plan, scheduler=sched)
+        sched: run_matching(g, 4, "nsr", config=RunConfig(faults=plan, scheduler=sched))
         for sched in ("reference", "heap")
     }
     a, b = runs["reference"], runs["heap"]
