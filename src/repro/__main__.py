@@ -205,9 +205,41 @@ def _parse_degradations(specs: list[str]):
     return tuple(out)
 
 
+def _parse_partitions(specs: list[str]):
+    """Parse repeated ``--partition T0:T1:G0|G1|...`` options, where each
+    group is a comma-separated rank list (e.g. ``1e-4:3e-4:0,1|2,3``)."""
+    from repro.mpisim.faults import PartitionWindow
+
+    out = []
+    for s in specs:
+        try:
+            t0_s, t1_s, groups_s = s.split(":", 2)
+            groups = tuple(
+                tuple(int(r) for r in grp.split(","))
+                for grp in groups_s.split("|")
+            )
+            out.append(
+                PartitionWindow(
+                    t_start=float(t0_s), t_end=float(t1_s), groups=groups
+                )
+            )
+        except ValueError as e:
+            raise SystemExit(
+                f"bad --partition spec {s!r}; expected T0:T1:G0|G1 with "
+                f"comma-separated rank groups ({e})"
+            ) from None
+    return tuple(out)
+
+
 def _cmd_match(args) -> int:
     from repro.harness.spec import get_graph
     from repro.matching import MatchingOptions, RunConfig, run_matching
+    from repro.mpisim.checkpoint import (
+        CheckpointConfig,
+        CheckpointStore,
+        load_checkpoint,
+    )
+    from repro.mpisim.errors import SimKilled
     from repro.mpisim.faults import FaultPlan
     from repro.mpisim.machine import get_machine
     from repro.util.tables import format_seconds
@@ -215,10 +247,11 @@ def _cmd_match(args) -> int:
     faults = None
     crashes = _parse_crashes(args.crash)
     degradations = _parse_degradations(args.degrade)
+    partitions = _parse_partitions(args.partition)
     if (
         args.drop_rate or args.dup_rate or args.delay_rate
         or args.rma_drop_rate or args.rma_corrupt_rate
-        or crashes or degradations
+        or crashes or degradations or partitions
     ):
         bad = [r for r in crashes if not 0 <= r < args.nprocs]
         if bad:
@@ -230,6 +263,7 @@ def _cmd_match(args) -> int:
                 dup_rate=args.dup_rate,
                 delay_rate=args.delay_rate,
                 degradations=degradations,
+                partitions=partitions,
                 crashes=crashes,
                 detect_latency=args.detect_latency,
                 rma_drop_rate=args.rma_drop_rate,
@@ -237,10 +271,11 @@ def _cmd_match(args) -> int:
             )
         except ValueError as e:
             raise SystemExit(str(e)) from None
-        if faults.needs_reliability() and args.model != "nsr":
+        if faults.needs_reliability() and args.model not in ("nsr", "nsr-agg"):
             raise SystemExit(
-                "message faults (drop/dup/delay) require -m nsr — only the "
-                "Send-Recv backend carries the reliable-delivery shim"
+                "message faults and partitions (drop/dup/delay/--partition) "
+                "require -m nsr or -m nsr-agg — only the Send-Recv backends "
+                "carry a reliable-delivery shim"
             )
         if faults.has_rma_faults() and args.model != "rma":
             raise SystemExit(
@@ -248,22 +283,61 @@ def _cmd_match(args) -> int:
                 "-m rma — only the one-sided backend uses windows"
             )
 
+    checkpoint = None
+    if args.checkpoint_interval:
+        checkpoint = CheckpointConfig(
+            interval=args.checkpoint_interval,
+            store=CheckpointStore(),
+            dir=args.checkpoint_dir or None,
+        )
+    restore = None
+    if args.resume:
+        try:
+            restore = load_checkpoint(args.resume)
+        except (OSError, ValueError) as e:
+            raise SystemExit(f"cannot resume from {args.resume}: {e}") from None
+        if restore.nprocs != args.nprocs:
+            raise SystemExit(
+                f"{args.resume} snapshots {restore.nprocs} ranks; "
+                f"rerun with -p {restore.nprocs}"
+            )
+        print(
+            f"resuming from {args.resume} "
+            f"(epoch {restore.epoch}, vtime {restore.vtime:.6e})"
+        )
+
     g = get_graph(args.dataset)
     options = MatchingOptions(
         agg_flush_bytes=args.agg_flush_bytes or None,
         agg_flush_count=args.agg_flush_count or None,
     )
-    res = run_matching(
-        g,
-        nprocs=args.nprocs,
-        model=args.model,
-        config=RunConfig(
-            machine=get_machine(args.machine),
-            options=options,
-            faults=faults,
-            max_ops=args.max_ops,
-        ),
-    )
+    try:
+        res = run_matching(
+            g,
+            nprocs=args.nprocs,
+            model=args.model,
+            config=RunConfig(
+                machine=get_machine(args.machine),
+                options=options,
+                faults=faults,
+                max_ops=args.max_ops,
+                checkpoint=checkpoint,
+                kill_at=args.kill_at,
+                restore=restore,
+            ),
+        )
+    except SimKilled as e:
+        print(f"run killed at virtual time {e.t:.6e} (--kill-at)")
+        if checkpoint is not None:
+            n = len(checkpoint.store)
+            print(f"checkpoints taken before the kill: {n}")
+            if n and checkpoint.dir is not None:
+                last = checkpoint.store.latest()
+                print(
+                    f"resume with: --resume {checkpoint.dir}/"
+                    f"{checkpoint.prefix}-epoch{last.epoch}.ckpt"
+                )
+        return 0
     print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
     print(f"model: {res.model} on {res.nprocs} simulated ranks")
     print(f"simulated time: {format_seconds(res.makespan)}")
@@ -278,6 +352,9 @@ def _cmd_match(args) -> int:
             print(f"crashed ranks: {','.join(map(str, res.crashed_ranks))}")
         ft = {k: v for k, v in res.fault_totals().items() if v}
         print(f"fault counters: {ft or 'none'}")
+    if checkpoint is not None:
+        where = f" in {checkpoint.dir}" if checkpoint.dir is not None else ""
+        print(f"checkpoints: {len(checkpoint.store)} coordinated cuts{where}")
     return 0
 
 
@@ -317,21 +394,30 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.harness.chaos import matching_runner, run_chaos
+    from repro.harness.chaos import (
+        matching_runner,
+        restart_matching_runner,
+        run_chaos,
+    )
     from repro.harness.spec import get_graph
     from repro.matching import run_matching
 
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     for b in backends:
-        if b not in ("nsr", "rma", "ncl"):
-            raise SystemExit(f"chaos supports nsr/rma/ncl, got {b!r}")
+        if b not in ("nsr", "nsr-agg", "rma", "ncl"):
+            raise SystemExit(f"chaos supports nsr/nsr-agg/rma/ncl, got {b!r}")
     g = get_graph(args.dataset)
     # Anchor crash times / degradation windows to each backend's actual
     # fault-free makespan so sampled faults land mid-algorithm.
     t_scales = {
         b: run_matching(g, nprocs=args.nprocs, model=b).makespan for b in backends
     }
-    runner = matching_runner(g, args.nprocs, max_ops=args.max_ops)
+    if args.restart:
+        runner = restart_matching_runner(
+            g, args.nprocs, t_scales, max_ops=args.max_ops
+        )
+    else:
+        runner = matching_runner(g, args.nprocs, max_ops=args.max_ops)
     report = run_chaos(
         runner,
         seed=args.seed,
@@ -462,6 +548,38 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="abort the simulation after this many scheduler operations",
     )
+    p_match.add_argument(
+        "--partition",
+        action="append",
+        default=[],
+        metavar="T0:T1:G0|G1",
+        help="network partition over virtual [T0, T1): rank groups like "
+        "0,1|2,3 cannot reach each other until the heal (repeatable)",
+    )
+    p_match.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        default=0.0,
+        help="take coordinated checkpoints every this many virtual seconds",
+    )
+    p_match.add_argument(
+        "--checkpoint-dir",
+        default="",
+        help="also persist each checkpoint as a .ckpt file here",
+    )
+    p_match.add_argument(
+        "--kill-at",
+        type=float,
+        default=None,
+        help="kill the run at this virtual time (restart testing)",
+    )
+    p_match.add_argument(
+        "--resume",
+        default="",
+        metavar="FILE.ckpt",
+        help="resume from a saved checkpoint instead of starting fresh "
+        "(pass the same dataset/-p/-m/fault flags as the original run)",
+    )
     p_match.set_defaults(fn=_cmd_match, _parser=p_match)
 
     p_prof = sub.add_parser(
@@ -504,6 +622,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_chaos.add_argument(
         "--no-shrink", action="store_true", help="report failures without shrinking"
+    )
+    p_chaos.add_argument(
+        "--restart",
+        action="store_true",
+        help="checkpoint/restart mode: kill each run at sampled points, "
+        "resume from the latest checkpoint, and require bit-identical "
+        "completion (reports rollback/retry/spurious-detection costs)",
     )
     p_chaos.add_argument(
         "--config", default="", metavar="FILE.toml",

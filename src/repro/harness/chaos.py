@@ -1,8 +1,9 @@
 """Deterministic chaos harness for the fault-tolerant matching stack.
 
 ``repro chaos`` samples N fault plans from a seeded space (message/RMA
-fault rates x crash sets x NIC-degradation windows x backends), runs
-each through the matching driver, and checks three properties:
+fault rates x crash sets x NIC-degradation windows x network-partition
+windows x backends), runs each through the matching driver, and checks
+three properties:
 
 * **liveness** — the run terminates (no deadlock, no budget blow-up);
 * **safety** — the produced matching is valid on the survivor subgraph;
@@ -18,9 +19,16 @@ any that still reproduces the same failure class, until a fixpoint. The
 minimal plan is printed as a ready-to-paste ``python -m repro match``
 invocation.
 
-The ``runner`` is pluggable (``backend, plan -> (status, detail)``) so
-the shrinker itself is testable against an intentionally buggy toy
-program — see ``tests/harness/test_chaos.py``.
+The ``runner`` is pluggable (``backend, plan -> (status, detail)`` or
+``(status, detail, recovery)``) so the shrinker itself is testable
+against an intentionally buggy toy program — see
+``tests/harness/test_chaos.py``.
+
+``repro chaos --restart`` swaps in :func:`restart_matching_runner`:
+every plan additionally runs a checkpointed reference, gets killed at
+sampled virtual times, resumes from the latest saved checkpoint, and
+must complete bit-identically — with recovery costs (rollback virtual
+time, retries, spurious detections) reported per plan.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.mpisim.faults import FaultPlan, NicDegradation
+from repro.mpisim.faults import FaultPlan, NicDegradation, PartitionWindow
 from repro.util.rng import derive_seed
 from repro.matching.config import RunConfig
 
@@ -89,7 +97,7 @@ def sample_plan(
         )
 
     drop = dup = delay = rma_drop = rma_corrupt = 0.0
-    if backend == "nsr" and u("msg?") < 0.6:
+    if backend in ("nsr", "nsr-agg") and u("msg?") < 0.6:
         drop = 0.10 * u("drop")
         dup = 0.05 * u("dup")
         delay = 0.20 * u("delay")
@@ -97,12 +105,27 @@ def sample_plan(
         rma_drop = 0.08 * u("rdrop")
         rma_corrupt = 0.08 * u("rcorrupt")
 
+    # network partitions: only the Send-Recv backends carry a transport
+    # that masks them (retry deferral across the window); a partition is
+    # sampled as a random 2-coloring of the ranks over a mid-run window.
+    partitions: tuple[PartitionWindow, ...] = ()
+    if backend in ("nsr", "nsr-agg") and nprocs >= 2 and u("part?") < 0.35:
+        g0 = tuple(r for r in range(nprocs) if u("pside", r) < 0.5)
+        g1 = tuple(r for r in range(nprocs) if r not in g0)
+        if g0 and g1:
+            t0 = (0.05 + 0.45 * u("pt0")) * t_scale
+            dur = (0.05 + 0.40 * u("pdur")) * t_scale
+            partitions = (
+                PartitionWindow(t_start=t0, t_end=t0 + dur, groups=(g0, g1)),
+            )
+
     return FaultPlan(
         seed=derive_seed(seed, "plan-seed", index) & 0x7FFFFFFF,
         drop_rate=drop,
         dup_rate=dup,
         delay_rate=delay,
         degradations=tuple(degradations),
+        partitions=partitions,
         crashes=crashes,
         detect_latency=detect,
         rma_drop_rate=rma_drop,
@@ -154,6 +177,123 @@ def matching_runner(g, nprocs: int, max_ops: int | None = None) -> Runner:
     return run
 
 
+def restart_matching_runner(
+    g,
+    nprocs: int,
+    t_scales: dict[str, float],
+    max_ops: int | None = None,
+    kills: int = 2,
+) -> Runner:
+    """Build the ``--restart`` runner: checkpointed reference run, then
+    kill/resume cycles proved bit-identical against it.
+
+    Each plan gets one uninterrupted checkpointed reference run, then
+    ``kills`` deterministic kill points sampled mid-run. Every killed run
+    restarts from the latest checkpoint it saved before the kill (or
+    from scratch when the kill lands before the first cut) and must
+    reproduce the reference bit-for-bit: mate array, weight, makespan,
+    the trace suffix from the cut onward, and the fault-counter totals.
+    The runner returns a third element with the recovery-cost metrics
+    (virtual time lost to rollback, transport retries, spurious
+    detections — the last must stay zero: a healed partition never looks
+    like a crash).
+    """
+    from repro.matching.api import run_matching
+    from repro.mpisim.checkpoint import CheckpointConfig, CheckpointStore
+    from repro.mpisim.errors import (
+        DeadlockError,
+        RankFailure,
+        SimError,
+        SimKilled,
+        SimLimitExceeded,
+    )
+
+    def run(backend: str, plan: FaultPlan):
+        t_scale = t_scales.get(backend, 1e-3)
+        interval = t_scale / 4.0
+        faults = None if plan.is_null() else plan
+
+        def cfg(**kw) -> RunConfig:
+            return RunConfig(faults=faults, max_ops=max_ops, trace=True, **kw)
+
+        store = CheckpointStore()
+        try:
+            ref = run_matching(
+                g, nprocs=nprocs, model=backend,
+                config=cfg(checkpoint=CheckpointConfig(interval=interval,
+                                                       store=store)),
+            )
+        except (DeadlockError, SimLimitExceeded) as e:
+            return "hang", str(e).splitlines()[0]
+        except (RankFailure, SimError) as e:
+            return "crash", repr(e)
+        ref_fp = _fingerprint(ref)
+        ref_totals = ref.fault_totals()
+        recovery = {
+            "kills": 0,
+            "rollback_vtime": 0.0,
+            "from_scratch": 0,
+            "retries": ref_totals["retransmits"]
+            + ref_totals["agg_batch_retries"],
+            "spurious_detections": ref_totals["spurious_detections"],
+        }
+        for k in range(kills):
+            kill_t = (0.25 + 0.6 * _unit(plan.seed, "kill", k)) * ref.makespan
+            kstore = CheckpointStore()
+            try:
+                run_matching(
+                    g, nprocs=nprocs, model=backend,
+                    config=cfg(checkpoint=CheckpointConfig(interval=interval,
+                                                           store=kstore),
+                               kill_at=kill_t),
+                )
+                continue  # finished before the kill fired; nothing to resume
+            except SimKilled:
+                pass
+            except (RankFailure, SimError) as e:
+                return "crash", f"killed run failed: {e!r}", recovery
+            snap = kstore.latest_before(kill_t)
+            recovery["kills"] += 1
+            if snap is None:
+                # Killed before the first coordinated cut: restart from
+                # scratch, losing the whole prefix. The rerun keeps the
+                # same checkpoint config — on the Send-Recv backends an
+                # enabled checkpointer deterministically shifts the
+                # schedule (see docs/fault_model.md), so only a rerun
+                # with identical cadence reproduces the reference.
+                recovery["from_scratch"] += 1
+                recovery["rollback_vtime"] += kill_t
+                rcfg = cfg(
+                    checkpoint=CheckpointConfig(
+                        interval=interval, store=CheckpointStore()
+                    )
+                )
+                expect_trace = ref.engine.trace
+            else:
+                recovery["rollback_vtime"] += kill_t - snap.vtime
+                rcfg = cfg(restore=snap)
+                expect_trace = ref.engine.trace[snap.state()["trace_len"]:]
+            try:
+                res = run_matching(g, nprocs=nprocs, model=backend, config=rcfg)
+            except (RankFailure, SimError) as e:
+                return "crash", f"resumed run failed: {e!r}", recovery
+            if (
+                _fingerprint(res) != ref_fp
+                or res.engine.trace != expect_trace
+                or res.fault_totals() != ref_totals
+            ):
+                epoch = "scratch" if snap is None else f"epoch {snap.epoch}"
+                return (
+                    "nondet",
+                    f"restart (kill@{kill_t:.3e}, {epoch}) diverged from "
+                    f"the uninterrupted run",
+                    recovery,
+                )
+        return "ok", "", recovery
+
+    return run
+
+
 # ----------------------------------------------------------------------
 # shrinking
 # ----------------------------------------------------------------------
@@ -164,10 +304,15 @@ def plan_size(plan: FaultPlan) -> tuple:
         plan.rma_drop_rate, plan.rma_corrupt_rate,
     )
     deg_span = sum(d.t_end - d.t_start for d in plan.degradations)
+    part_span = sum(w.t_end - w.t_start for w in plan.partitions)
+    part_ranks = sum(len(g) for w in plan.partitions for g in w.groups)
     return (
-        len(plan.crashes) + len(plan.degradations) + sum(r > 0 for r in rates),
+        len(plan.crashes) + len(plan.degradations) + len(plan.partitions)
+        + sum(r > 0 for r in rates),
         sum(rates),
         deg_span,
+        part_span,
+        part_ranks,
     )
 
 
@@ -214,6 +359,34 @@ def _shrink_candidates(plan: FaultPlan):
                 degradations=plan.degradations[:i] + (narrowed,)
                 + plan.degradations[i + 1:],
             )
+    # remove, then narrow, partition windows; then thin their groups
+    for i in range(len(plan.partitions)):
+        yield replace(
+            plan,
+            partitions=plan.partitions[:i] + plan.partitions[i + 1:],
+        )
+    for i, w in enumerate(plan.partitions):
+        span = w.t_end - w.t_start
+        if span > 1e-9:
+            narrowed = PartitionWindow(
+                t_start=w.t_start, t_end=w.t_start + span / 2.0,
+                groups=w.groups,
+            )
+            yield replace(
+                plan,
+                partitions=plan.partitions[:i] + (narrowed,)
+                + plan.partitions[i + 1:],
+            )
+        for gi, grp in enumerate(w.groups):
+            # a group needs >= 1 rank; try dropping its last member
+            if len(grp) > 1:
+                thinned = w.groups[:gi] + (grp[:-1],) + w.groups[gi + 1:]
+                yield replace(
+                    plan,
+                    partitions=plan.partitions[:i]
+                    + (PartitionWindow(w.t_start, w.t_end, thinned),)
+                    + plan.partitions[i + 1:],
+                )
 
 
 def shrink_plan(
@@ -238,7 +411,7 @@ def shrink_plan(
             attempts += 1
             if attempts > max_attempts:
                 break
-            got, _ = runner(backend, cand)
+            got = runner(backend, cand)[0]
             if got == status:
                 current = cand
                 progress = True
@@ -273,6 +446,9 @@ def render_cli(
         parts.append(
             f"--degrade {d.rank}:{d.t_start:.9g}:{d.t_end:.9g}:{d.factor:.6g}"
         )
+    for w in plan.partitions:
+        groups = "|".join(",".join(map(str, grp)) for grp in w.groups)
+        parts.append(f"--partition {w.t_start:.9g}:{w.t_end:.9g}:{groups}")
     return " ".join(parts)
 
 
@@ -287,6 +463,10 @@ class ChaosOutcome:
     detail: str = ""
     shrunk: FaultPlan | None = None
     shrink_attempts: int = 0
+    #: restart-mode recovery costs (None outside ``--restart``): kills
+    #: taken, virtual time lost to rollback, from-scratch restarts,
+    #: transport retries, and spurious failure detections (must be 0)
+    recovery: dict | None = None
 
 
 @dataclass
@@ -313,8 +493,18 @@ class ChaosReport:
                 f"rates=({o.plan.drop_rate:.3f},{o.plan.dup_rate:.3f},"
                 f"{o.plan.delay_rate:.3f},{o.plan.rma_drop_rate:.3f},"
                 f"{o.plan.rma_corrupt_rate:.3f}) "
-                f"deg={len(o.plan.degradations)}"
+                f"deg={len(o.plan.degradations)} "
+                f"part={len(o.plan.partitions)}"
             )
+            if o.recovery is not None:
+                r = o.recovery
+                summary += (
+                    f" | kills={r['kills']}"
+                    f" rollback={r['rollback_vtime']:.3e}"
+                    f" scratch={r['from_scratch']}"
+                    f" retries={r['retries']}"
+                    f" spurious={r['spurious_detections']}"
+                )
             lines.append(f"  [{o.index:3d}] {o.backend:4s} {o.status:7s} {summary}")
             if o.status != "ok":
                 lines.append(f"        {o.detail}")
@@ -347,9 +537,12 @@ def run_chaos(
         backend = backends[i % len(backends)]
         t_scale = (t_scales or {}).get(backend, 1e-3)
         plan = sample_plan(seed, i, nprocs, backend, t_scale)
-        status, detail = runner(backend, plan)
+        out = runner(backend, plan)
+        status, detail = out[0], out[1]
+        recovery = out[2] if len(out) > 2 else None
         outcome = ChaosOutcome(
-            index=i, backend=backend, plan=plan, status=status, detail=detail
+            index=i, backend=backend, plan=plan, status=status, detail=detail,
+            recovery=recovery,
         )
         if status != "ok" and do_shrink:
             shrunk, attempts = shrink_plan(runner, backend, plan, status)

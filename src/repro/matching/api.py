@@ -173,6 +173,9 @@ def run_matching(
         profile=config.profile,
         faults=config.faults,
         scheduler=config.scheduler,
+        checkpoint=config.checkpoint,
+        kill_at=config.kill_at,
+        restore=config.restore,
     )
     result = engine.run(matching_rank_main, args=(parts, model, options))
 

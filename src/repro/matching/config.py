@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.matching.driver import MatchingOptions
+from repro.mpisim.checkpoint import CheckpointConfig, EngineSnapshot
 from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel
 
@@ -47,6 +48,15 @@ class RunConfig:
     compute_weight: bool = True  #: weigh the matching (skip for timing
     #: sweeps that only need the makespan)
     scheduler: str = "heap"  #: engine scheduler ("heap" or "reference")
+
+    # -- checkpoint/restart (docs/fault_model.md) ---------------------
+    checkpoint: CheckpointConfig | None = None  #: take coordinated
+    #: checkpoints at the configured virtual-time interval
+    kill_at: float | None = None  #: abort the run (``SimKilled``) once
+    #: any rank's clock passes this virtual time — the chaos harness's
+    #: crash-the-whole-job lever for restart testing
+    restore: EngineSnapshot | None = None  #: resume from this snapshot
+    #: instead of starting at virtual time 0 (bit-identical completion)
 
     def evolve(self, **changes) -> "RunConfig":
         """A copy with ``changes`` applied (frozen-dataclass ``replace``)."""

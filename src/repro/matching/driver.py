@@ -97,7 +97,18 @@ def matching_rank_main(
     """
     options = options or MatchingOptions()
     lg = parts[ctx.rank]
-    if options.charge_graph_memory:
+    # Resuming from a coordinated checkpoint: reconstruction is charge-
+    # free (the restored clocks and counters already cover everything up
+    # to the cut), so every ctx.alloc below is skipped and the mutable
+    # state/backends adopt the snapshot instead of starting fresh.
+    resuming = ctx.resuming
+    rblob = ctx.resume_app_state() if resuming else None
+    if resuming and rblob is None:
+        raise ValueError(
+            f"cannot resume rank {ctx.rank}: the checkpoint carries no "
+            f"application state (was it taken by a non-matching workload?)"
+        )
+    if options.charge_graph_memory and not resuming:
         ctx.alloc(lg.memory_bytes(), "graph-csr")
 
     backend = make_backend(model, ctx, lg, options)
@@ -112,7 +123,23 @@ def matching_rank_main(
     # Candidate-order arrays, eviction/pending sets, pair table — all
     # O(local edges); register them with the memory model.
     state_bytes = 8 * lg.num_local_directed_edges + 64 * lg.num_owned
-    ctx.alloc(state_bytes, "matching-state")
+    if not resuming:
+        ctx.alloc(state_bytes, "matching-state")
+
+    if rblob is not None:
+        restore = getattr(backend, "restore_checkpoint", None)
+        if restore is None:
+            raise ValueError(
+                f"backend {model!r} does not support checkpoint resume"
+            )
+        state.restore(rblob["state"])
+        restore(rblob["backend"])
+
+    snap_fn = getattr(backend, "snapshot", None)
+    if snap_fn is not None:
+        ctx.register_checkpoint_provider(
+            lambda: {"state": state.snapshot(), "backend": snap_fn()}
+        )
 
     info = backend.run(state)
     backend.finalize(state)

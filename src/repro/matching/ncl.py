@@ -35,6 +35,7 @@ from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
 from repro.mpisim.errors import RankCrashed
+from repro.mpisim.topology import DistGraphTopology
 
 
 class NCLBackend:
@@ -47,10 +48,16 @@ class NCLBackend:
         self.ctx = ctx
         self.lg = lg
         plan = ctx.fault_plan
+        self._plan = plan
         self.fault_aware = plan is not None and plan.has_crashes()
         self._staged_bytes = 0
         self.epoch: tuple[int, ...] = ()
         self._recoveries = 0
+        # Loop state lives on the instance so a checkpoint provider can
+        # capture it while the rank is parked at a checkpoint tick.
+        self._iterations = 0
+        self._started = False
+        self._resumed = False
         if self.fault_aware:
             # Setup moves into run(): construction collectives must be
             # survivor-safe. Send state is keyed by *rank* (not neighbor
@@ -63,6 +70,11 @@ class NCLBackend:
             self.sent_mark: dict[int, int] = {q: 0 for q in self._all_nbrs}
             #: triples consumed from each sender (dedup on resend overlap)
             self.consumed: dict[int, int] = {q: 0 for q in self._all_nbrs}
+        elif ctx.resuming:
+            # Topology and send buffers come from the checkpoint
+            # (restore_checkpoint); re-running the setup collective would
+            # charge time the uninterrupted run never spent.
+            self.topo = None
         else:
             self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
             self.nbr_index = {q: k for k, q in enumerate(self.topo.neighbors)}
@@ -172,6 +184,10 @@ class NCLBackend:
         ctx.prof_stage("recovery")
         for r in sorted(ctx.failed_ranks()):
             if r not in state.dead_ranks:
+                if self._plan is None or self._plan.crash_time(r) is None:
+                    # Detection is plan-driven: a partitioned-but-alive
+                    # peer can never land here; the counter proves it.
+                    ctx.counters().spurious_detections += 1
                 state.renounce_rank(r)
         if self.topo is not None:
             ctx.revoke_topology(self.topo, blame)
@@ -180,18 +196,20 @@ class NCLBackend:
 
     def _run_survivable(self, state: MatchingState) -> dict:
         ctx = self.ctx
-        iterations = 0
-        started = False
+        if self._resumed:
+            self._resumed = False
+            ctx.reissue_parked_wait()
         while True:
             try:
                 if self.topo is None:
                     self._setup(state)
-                if not started:
+                if not self._started:
                     state.start()
-                    started = True
+                    self._started = True
                 while True:
-                    iterations += 1
-                    ctx.prof_iteration(iterations)
+                    ctx.checkpoint_tick()
+                    self._iterations += 1
+                    ctx.prof_iteration(self._iterations)
                     self._exchange_logs(state)
                     ctx.prof_stage("push")
                     state.drain_work()
@@ -199,7 +217,7 @@ class NCLBackend:
                     debt = state.remaining()
                     if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
                         return {
-                            "iterations": iterations,
+                            "iterations": self._iterations,
                             "recoveries": self._recoveries,
                         }
             except RankCrashed as e:
@@ -210,18 +228,76 @@ class NCLBackend:
         if self.fault_aware:
             return self._run_survivable(state)
         ctx = self.ctx
-        state.start()
-        iterations = 0
+        if self._resumed:
+            self._resumed = False
+            ctx.reissue_parked_wait()
+        else:
+            state.start()
         while True:
-            iterations += 1
-            ctx.prof_iteration(iterations)
+            # Coordinated-checkpoint safepoint: parks here (charge-free)
+            # when a cut is due; a resumed run re-enters at this exact
+            # point and the tick no-ops (the next due time was advanced
+            # before the snapshot was taken).
+            ctx.checkpoint_tick()
+            self._iterations += 1
+            ctx.prof_iteration(self._iterations)
             self._evoke_and_process(state)
             ctx.prof_stage("push")
             state.drain_work()
             ctx.prof_stage("terminate")
             if ctx.allreduce(state.remaining()) == 0:
                 break
-        return {"iterations": iterations}
+        return {"iterations": self._iterations}
+
+    # ------------------------------------------------------------------
+    # checkpoint capture/restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Backend loop/buffer state for a coordinated checkpoint.
+
+        Topology handles are captured as ``(scope_id, adjacency, epoch)``
+        and rebuilt communication-free on resume.
+        """
+        blob: dict = {
+            "iterations": self._iterations,
+            "started": self._started,
+            "recoveries": self._recoveries,
+            "epoch": self.epoch,
+            "staged_bytes": self._staged_bytes,
+            "topo": None
+            if self.topo is None
+            else (self.topo.scope_id, self.topo.adjacency, self.topo.epoch),
+        }
+        if self.fault_aware:
+            blob["sent_log"] = self.sent_log
+            blob["sent_mark"] = self.sent_mark
+            blob["consumed"] = self.consumed
+        else:
+            blob["send_bufs"] = self.send_bufs
+        return blob
+
+    def restore_checkpoint(self, blob: dict) -> None:
+        """Adopt a snapshot; the next :meth:`run` resumes mid-loop."""
+        self._iterations = blob["iterations"]
+        self._started = blob["started"]
+        self._recoveries = blob["recoveries"]
+        self.epoch = blob["epoch"]
+        self._staged_bytes = blob["staged_bytes"]
+        if blob["topo"] is not None:
+            scope_id, adjacency, epoch = blob["topo"]
+            self.topo = DistGraphTopology(
+                self.ctx, scope_id, adjacency, epoch=epoch
+            )
+        if self.fault_aware:
+            self.sent_log = blob["sent_log"]
+            self.sent_mark = blob["sent_mark"]
+            self.consumed = blob["consumed"]
+        else:
+            self.send_bufs = blob["send_bufs"]
+            self.nbr_index = {
+                q: k for k, q in enumerate(self.topo.neighbors)
+            }
+        self._resumed = True
 
     def finalize(self, state: MatchingState) -> None:
         if self._staged_bytes:

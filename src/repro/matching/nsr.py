@@ -46,13 +46,24 @@ class NSRBackend:
         self._fixed_bytes = (
             64 * deg + ctx.machine.eager_pool_per_peer_bytes * len(lg.neighbor_ranks)
         )
-        self.ctx.alloc(self._fixed_bytes, "p2p-tables")
+        if not ctx.resuming:
+            # Resume: the restored counters already carry this allocation.
+            self.ctx.alloc(self._fixed_bytes, "p2p-tables")
 
         plan = ctx.fault_plan
+        self._plan = plan
         want_reliable = getattr(options, "reliable", None)
         if want_reliable is None:
             want_reliable = plan is not None and plan.needs_reliability()
         self.fault_aware = plan is not None and plan.has_crashes()
+        # A quiescent rank must stay alive past the last partition heal:
+        # a peer's retransmission deferred behind the cut cannot reach us
+        # before then, so the linger clock starts no earlier than this.
+        self._quiet_floor = (
+            max((w.t_end for w in plan.partitions), default=0.0)
+            if plan is not None
+            else 0.0
+        )
         self.channel: ReliableChannel | None = None
         if want_reliable:
             self.channel = ReliableChannel(
@@ -66,6 +77,12 @@ class NSRBackend:
             # still finds us alive to ack it.
             delay_max = plan.delay_max if plan is not None else 0.0
             self._linger = 3.0 * self.channel.rto_max + delay_max
+
+        # Loop state lives on the instance so a checkpoint provider can
+        # capture it while the rank is parked inside a probe.
+        self._iterations = 0
+        self._quiet_until: float | None = None
+        self._resumed = False
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
@@ -100,14 +117,32 @@ class NSRBackend:
             return self._run_hardened(state)
         return self._run_plain(state)
 
+    def _renounce(self, state: MatchingState, r: int) -> None:
+        """ULFM-style recovery for detected-dead rank ``r``."""
+        if self._plan is None or self._plan.crash_time(r) is None:
+            # Detection is plan-driven, so this cannot happen for a merely
+            # partitioned peer — the counter proves it stayed that way.
+            self.ctx.counters().spurious_detections += 1
+        state.renounce_rank(r)
+        if self.channel is not None:
+            self.channel.on_rank_failed(r)
+
     def _run_plain(self, state: MatchingState) -> dict:
         """Algorithm 3's main loop, event-driven."""
         ctx = self.ctx
-        state.start()
-        iterations = 0
+        if self._resumed:
+            self._resumed = False
+            ctx.reissue_parked_wait()
+        else:
+            state.start()
         while True:
-            iterations += 1
-            ctx.prof_iteration(iterations)
+            # Coordinated-checkpoint boundary: charge-free no-op until a
+            # cut is due, then parks so the scheduler can assemble the
+            # snapshot (ranks caught in a blocking probe are safepoints
+            # already). A resumed run re-enters here and the tick no-ops.
+            ctx.checkpoint_tick()
+            self._iterations += 1
+            ctx.prof_iteration(self._iterations)
             ctx.prof_stage("evoke")
             progressed = self._drain_incoming(state) > 0
             if state.work:
@@ -121,31 +156,32 @@ class NSRBackend:
                 # wire. Real codes spin on Iprobe; we model the blocking
                 # probe (fast-forwarding the clock) and account the wait.
                 self.ctx.probe()
-        return {"iterations": iterations}
+        return {"iterations": self._iterations}
 
     def _run_hardened(self, state: MatchingState) -> dict:
         """Event loop with reliable delivery and/or crash handling."""
         ctx = self.ctx
         chan = self.channel
         rc = ctx.counters()
-        state.start()
-        iterations = 0
-        quiet_until: float | None = None
+        if self._resumed:
+            self._resumed = False
+            ctx.reissue_parked_wait()
+        else:
+            state.start()
 
         def deliver(src: int, user_tag: int, payload) -> None:
             x, y = payload
             state.handle(Ctx(user_tag), x, y)
 
         while True:
-            iterations += 1
-            ctx.prof_iteration(iterations)
+            ctx.checkpoint_tick()
+            self._iterations += 1
+            ctx.prof_iteration(self._iterations)
             if self.fault_aware:
                 ctx.prof_stage("recovery")
                 for r in ctx.failed_ranks():
                     if r not in state.dead_ranks:
-                        state.renounce_rank(r)
-                        if chan is not None:
-                            chan.on_rank_failed(r)
+                        self._renounce(state, r)
             progressed = False
             ctx.prof_stage("evoke")
             if chan is not None:
@@ -155,7 +191,7 @@ class NSRBackend:
                 if rc.acks_sent > acks_before:
                     # Any receipt (dups included) restarts the linger
                     # clock: the sender clearly had not seen our ack yet.
-                    quiet_until = None
+                    self._quiet_until = None
                 chan.service(ctx.now, may_abandon=state.locally_done())
             else:
                 if self._drain_incoming(state) > 0:
@@ -170,19 +206,44 @@ class NSRBackend:
                     break
                 # Quiescent, all sends acked. Linger for a quiet period,
                 # still acking retransmissions, so peers can retire their
-                # pending tables before we disappear.
-                if quiet_until is None:
-                    quiet_until = ctx.now + self._linger
-                if ctx.now >= quiet_until:
+                # pending tables before we disappear. The clock starts no
+                # earlier than the last partition heal — a deferred
+                # retransmission cannot reach us before then.
+                if self._quiet_until is None:
+                    self._quiet_until = (
+                        max(ctx.now, self._quiet_floor) + self._linger
+                    )
+                if ctx.now >= self._quiet_until:
                     break
-                ctx.probe(deadline=quiet_until)
+                ctx.probe(deadline=self._quiet_until)
                 continue
-            quiet_until = None
+            self._quiet_until = None
 
             if not progressed:
                 deadline = chan.next_deadline() if chan is not None else None
                 ctx.probe(deadline=deadline)
-        return {"iterations": iterations}
+        return {"iterations": self._iterations}
+
+    # ------------------------------------------------------------------
+    # checkpoint capture/restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Backend loop/transport state for a coordinated checkpoint."""
+        blob: dict = {
+            "iterations": self._iterations,
+            "quiet_until": self._quiet_until,
+        }
+        if self.channel is not None:
+            blob["channel"] = self.channel.snapshot()
+        return blob
+
+    def restore_checkpoint(self, blob: dict) -> None:
+        """Adopt a snapshot; the next :meth:`run` resumes mid-loop."""
+        self._iterations = blob["iterations"]
+        self._quiet_until = blob["quiet_until"]
+        if self.channel is not None:
+            self.channel.restore(blob["channel"])
+        self._resumed = True
 
     def finalize(self, state: MatchingState) -> None:
         self.ctx.free(self._fixed_bytes, "p2p-tables")

@@ -27,8 +27,13 @@ Fault tolerance: rank crashes are handled NSR-style (renounce the dead
 rank's cross edges and finish on the survivor subgraph), and messages
 still buffered for a detected-dead destination are dropped and reported
 via the ``agg_dropped_dead`` counter. Message-fault plans (drop/dup/
-delay) are **not** supported — the aggregator has no ack/retry shim —
-and are rejected at construction.
+delay) and network partitions are masked by the aggregator's own
+batch-level ack/retry protocol (``reliable=True`` on the
+:class:`~repro.mpisim.aggregate.MessageAggregator`): a lost batch is
+retransmitted whole, a duplicated batch is suppressed by its sequence
+number, and a batch trapped behind a partition is re-sent after the
+heal — so the backend computes the identical matching to ``nsr`` under
+the same fault plan.
 """
 
 from __future__ import annotations
@@ -64,28 +69,54 @@ class NSRAggBackend:
         self.lg = lg
         self.options = options
         plan = ctx.fault_plan
-        if plan is not None and plan.needs_reliability():
-            raise ValueError(
-                "nsr-agg does not support message-fault plans (the "
-                "aggregator has no ack/retry channel); use the nsr "
-                "backend for drop/dup/delay injection"
-            )
+        self._plan = plan
         self.fault_aware = plan is not None and plan.has_crashes()
+        want_reliable = getattr(options, "reliable", None)
+        if want_reliable is None:
+            want_reliable = plan is not None and plan.needs_reliability()
+        self.reliable = bool(want_reliable)
         # Same fixed per-peer footprint as NSR (request tables + eager
         # pool), so nsr vs nsr-agg memory differences are transport-only.
         deg = max(1, len(lg.neighbor_ranks))
         self._fixed_bytes = (
             64 * deg + ctx.machine.eager_pool_per_peer_bytes * len(lg.neighbor_ranks)
         )
-        ctx.alloc(self._fixed_bytes, "p2p-tables")
+        if not ctx.resuming:
+            # Resume: the restored counters already carry this allocation.
+            ctx.alloc(self._fixed_bytes, "p2p-tables")
 
         flush_bytes = getattr(options, "agg_flush_bytes", DEFAULT_FLUSH_BYTES)
         flush_count = getattr(options, "agg_flush_count", DEFAULT_FLUSH_COUNT)
         self.flush_delay = getattr(options, "agg_flush_delay", DEFAULT_FLUSH_DELAY)
         self.agg = ctx.aggregator(
-            flush_bytes=flush_bytes, flush_count=flush_count
+            flush_bytes=flush_bytes,
+            flush_count=flush_count,
+            reliable=self.reliable,
+            rto=getattr(options, "rto", None),
+            rto_max=getattr(options, "rto_max", None),
+            max_retries=getattr(options, "max_retries", 25),
         )
         self._staged_bytes = 0
+
+        # Same post-quiescence linger policy as NSR's reliable channel:
+        # outlive a peer's worst-case backed-off retransmission (plus its
+        # injected delay), and never start the clock before the last
+        # partition heals — deferred retransmissions arrive only after it.
+        if self.reliable:
+            delay_max = plan.delay_max if plan is not None else 0.0
+            self._linger = 3.0 * self.agg.rto_max + delay_max
+        self._quiet_floor = (
+            max((w.t_end for w in plan.partitions), default=0.0)
+            if plan is not None
+            else 0.0
+        )
+
+        # Loop state lives on the instance so a checkpoint provider can
+        # capture it while the rank is parked inside a probe.
+        self._iterations = 0
+        self._lingered = False
+        self._quiet_until: float | None = None
+        self._resumed = False
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
@@ -110,51 +141,108 @@ class NSRAggBackend:
         """NSR's event loop with batch transport and boundary flushes."""
         ctx = self.ctx
         agg = self.agg
+        rc = ctx.counters()
         self._state = state
-        state.start()
-        iterations = 0
-        lingered = False
+        if self._resumed:
+            self._resumed = False
+            ctx.reissue_parked_wait()
+        else:
+            state.start()
         while True:
-            iterations += 1
-            ctx.prof_iteration(iterations)
+            ctx.checkpoint_tick()
+            self._iterations += 1
+            ctx.prof_iteration(self._iterations)
             if self.fault_aware:
                 ctx.prof_stage("recovery")
                 for r in ctx.failed_ranks():
                     if r not in state.dead_ranks:
+                        if self._plan is None or self._plan.crash_time(r) is None:
+                            # Detection is plan-driven: a partitioned-but-
+                            # alive peer can never land here; prove it.
+                            rc.spurious_detections += 1
                         state.renounce_rank(r)
                         agg.drop_rank(r)
             ctx.prof_stage("evoke")
+            acks_before = rc.agg_acks_sent
             progressed = agg.poll(self._deliver) > 0
+            if rc.agg_acks_sent > acks_before:
+                # Any batch receipt (dups included) restarts the linger
+                # clock: the sender clearly had not seen our ack yet.
+                self._quiet_until = None
+            agg.service(ctx.now, may_abandon=state.locally_done())
             if state.work:
                 ctx.prof_stage("push")
                 state.drain_work()
                 progressed = True
             if progressed:
-                lingered = False
+                self._lingered = False
                 continue
             if state.locally_done():
                 # Final responses (REJECT/INVALID to peers still waiting
                 # on us) must go on the wire before this rank leaves.
                 self._flush_boundary()
-                break
+                if not self.reliable:
+                    break
+                if agg.idle():
+                    # Quiescent, every batch acked. Linger (still acking
+                    # retransmissions) so peers can retire their pending
+                    # tables; the clock starts no earlier than the last
+                    # partition heal.
+                    if self._quiet_until is None:
+                        self._quiet_until = (
+                            max(ctx.now, self._quiet_floor) + self._linger
+                        )
+                    if ctx.now >= self._quiet_until:
+                        break
+                    ctx.probe(deadline=self._quiet_until)
+                    continue
+                # Unacked batches remain: wait for their acks or the
+                # retransmission timer, whichever first.
+                self._quiet_until = None
+                ctx.probe(deadline=agg.next_deadline())
+                continue
+            self._quiet_until = None
             # Out of local work. If messages are staged, linger one timer
             # period first: in-flight traffic that lands within it gets
             # coalesced into the same batches (and resets the timer).
             if (
                 self.flush_delay is not None
-                and not lingered
+                and not self._lingered
                 and agg.pending_messages() > 0
             ):
-                lingered = True
+                self._lingered = True
                 ctx.probe(deadline=ctx.now + self.flush_delay)
                 continue
             # Timer expired (or nothing staged): ship everything — nothing
             # may stay buffered while peers wait on us — then fast-forward
-            # to the next arrival.
+            # to the next arrival (bounded by the retransmission timer in
+            # reliable mode; next_deadline() is None otherwise).
             self._flush_boundary()
-            lingered = False
-            ctx.probe()
-        return {"iterations": iterations}
+            self._lingered = False
+            ctx.probe(deadline=agg.next_deadline())
+        return {"iterations": self._iterations}
+
+    # ------------------------------------------------------------------
+    # checkpoint capture/restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Backend loop/transport state for a coordinated checkpoint."""
+        return {
+            "iterations": self._iterations,
+            "lingered": self._lingered,
+            "quiet_until": self._quiet_until,
+            "staged_bytes": self._staged_bytes,
+            "agg": self.agg.snapshot(),
+        }
+
+    def restore_checkpoint(self, blob: dict) -> None:
+        """Adopt a snapshot; the next :meth:`run` resumes mid-loop."""
+        self._iterations = blob["iterations"]
+        self._lingered = blob["lingered"]
+        self._quiet_until = blob["quiet_until"]
+        self._staged_bytes = blob["staged_bytes"]
+        self.agg.restore(blob["agg"])
+        self._resumed = True
 
     def finalize(self, state: MatchingState) -> None:
         self.ctx.free(self._fixed_bytes, "p2p-tables")

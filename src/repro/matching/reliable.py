@@ -142,12 +142,26 @@ class ReliableChannel:
         """
         fired = 0
         rc = self.ctx.counters()
+        plan = self.ctx.fault_plan
         for key in list(self._unacked):
             p = self._unacked.get(key)
             if p is None or p.deadline > now:
                 continue
             if self.ctx.is_failed(p.dst):
                 del self._unacked[key]
+                continue
+            if (
+                plan is not None and plan.partitions
+                and plan.partitioned(self.ctx.rank, p.dst, now)
+            ):
+                # The peer is unreachable, not dead: defer the retry to
+                # the heal time without burning an attempt. This is what
+                # keeps "partitioned" distinct from "crashed" — a healed
+                # partition can never exhaust retries into an abandon,
+                # and the failure detector (plan-driven) never fires for
+                # it, so no spurious shrink is possible.
+                p.deadline = plan.partition_clear_time(self.ctx.rank, p.dst, now)
+                rc.partition_deferrals += 1
                 continue
             if p.attempt >= self.max_retries:
                 if may_abandon:
@@ -184,6 +198,24 @@ class ReliableChannel:
         for k in doomed:
             del self._unacked[k]
         return len(doomed)
+
+    # ------------------------------------------------------------------
+    # checkpoint capture/restore (engine pickles the returned tree)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Transport state for a coordinated checkpoint (picklable,
+        no context references — the engine pickles it immediately)."""
+        return {
+            "next_seq": self._next_seq,
+            "unacked": self._unacked,
+            "peers": self._peers,
+        }
+
+    def restore(self, blob: dict) -> None:
+        """Adopt a snapshot taken by :meth:`snapshot` (resume path)."""
+        self._next_seq = blob["next_seq"]
+        self._unacked = blob["unacked"]
+        self._peers = blob["peers"]
 
     # ------------------------------------------------------------------
     # receive side

@@ -50,6 +50,8 @@ from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
 from repro.mpisim.errors import RankCrashed
+from repro.mpisim.topology import DistGraphTopology
+from repro.mpisim.window import Window
 from repro.util.rng import derive_seed
 
 _SLOT = 3  # (context, x, y) int64 words per message slot
@@ -99,12 +101,22 @@ class RMABackend:
         # slots of MY window I found bad on the last scan, per sender
         self._my_bad: dict[int, tuple[int, ...]] = {}
         self.epoch: tuple[int, ...] = ()
+        self._plan = plan
         self._recoveries = 0
         self._win_charged = False
+        # Loop state lives on the instance so a checkpoint provider can
+        # capture it while the rank is parked at a checkpoint tick.
+        self._iterations = 0
+        self._started = False
+        self._resumed = False
 
-        if self.fault_aware:
+        if self.fault_aware or ctx.resuming:
             # Setup collectives move into run(): they must be
             # survivor-safe, which plain scope-0 collectives are not.
+            # On resume, window and topology come from the checkpoint
+            # instead (restore_checkpoint) — re-running the setup
+            # collectives would charge time the uninterrupted run never
+            # spent.
             self.topo = None
             self.win = None
             self.remote_base: dict[int, int] = {}
@@ -118,8 +130,10 @@ class RMABackend:
             self.remote_base = {
                 q: int(b) for q, b in zip(self.topo.neighbors, bases)
             }
-        # origin-side bookkeeping buffers (cursors + offsets), memory model
-        ctx.alloc(8 * 4 * max(1, len(self._all_nbrs)), "rma-bookkeeping")
+        if not ctx.resuming:
+            # origin-side bookkeeping buffers (cursors + offsets), memory
+            # model; a resume's restored counters already carry this.
+            ctx.alloc(8 * 4 * max(1, len(self._all_nbrs)), "rma-bookkeeping")
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
@@ -245,18 +259,26 @@ class RMABackend:
 
     def _run_plain(self, state: MatchingState) -> dict:
         ctx = self.ctx
-        state.start()
-        iterations = 0
+        if self._resumed:
+            self._resumed = False
+            ctx.reissue_parked_wait()
+        else:
+            state.start()
         while True:
-            iterations += 1
-            ctx.prof_iteration(iterations)
+            # Coordinated-checkpoint safepoint: parks here (charge-free)
+            # when a cut is due; a resumed run re-enters at this exact
+            # point and the tick no-ops (the next due time was advanced
+            # before the snapshot was taken).
+            ctx.checkpoint_tick()
+            self._iterations += 1
+            ctx.prof_iteration(self._iterations)
             self._evoke_and_process(state)
             ctx.prof_stage("push")
             state.drain_work()
             ctx.prof_stage("terminate")
             if ctx.allreduce(state.remaining() + self._verify_debt()) == 0:
                 break
-        return {"iterations": iterations}
+        return {"iterations": self._iterations}
 
     # -- crash-survivable path -----------------------------------------
     def _setup(self, state: MatchingState) -> None:
@@ -291,6 +313,10 @@ class RMABackend:
         ctx.prof_stage("recovery")
         for r in sorted(ctx.failed_ranks()):
             if r not in state.dead_ranks:
+                if self._plan is None or self._plan.crash_time(r) is None:
+                    # Detection is plan-driven: a partitioned-but-alive
+                    # peer can never land here; the counter proves it.
+                    ctx.counters().spurious_detections += 1
                 state.renounce_rank(r)
         if self.topo is not None:
             # Strand-proof the abandoned scope: survivors still blocked in
@@ -303,18 +329,20 @@ class RMABackend:
 
     def _run_survivable(self, state: MatchingState) -> dict:
         ctx = self.ctx
-        iterations = 0
-        started = False
+        if self._resumed:
+            self._resumed = False
+            ctx.reissue_parked_wait()
         while True:
             try:
                 if self.topo is None:
                     self._setup(state)
-                if not started:
+                if not self._started:
                     state.start()
-                    started = True
+                    self._started = True
                 while True:
-                    iterations += 1
-                    ctx.prof_iteration(iterations)
+                    ctx.checkpoint_tick()
+                    self._iterations += 1
+                    ctx.prof_iteration(self._iterations)
                     self._evoke_and_process(state)
                     ctx.prof_stage("push")
                     state.drain_work()
@@ -322,11 +350,62 @@ class RMABackend:
                     debt = state.remaining() + self._verify_debt()
                     if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
                         return {
-                            "iterations": iterations,
+                            "iterations": self._iterations,
                             "recoveries": self._recoveries,
                         }
             except RankCrashed as e:
                 self._recover(state, e.rank)
+
+    # ------------------------------------------------------------------
+    # checkpoint capture/restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Backend loop/window state for a coordinated checkpoint.
+
+        The shared :class:`~repro.mpisim.window._WindowStore` is captured
+        by reference: the engine pickles the whole cut in one pass, so
+        every rank's blob resolves to the *same* restored store object —
+        window sharing survives the round trip by pickle memoization.
+        Topology handles are captured as ``(scope_id, adjacency, epoch)``
+        and rebuilt communication-free on resume.
+        """
+        return {
+            "iterations": self._iterations,
+            "started": self._started,
+            "recoveries": self._recoveries,
+            "epoch": self.epoch,
+            "write_cursor": self.write_cursor,
+            "read_cursor": self.read_cursor,
+            "sent_log": self.sent_log,
+            "my_bad": self._my_bad,
+            "win_charged": self._win_charged,
+            "remote_base": self.remote_base,
+            "win_store": None if self.win is None else self.win._store,
+            "topo": None
+            if self.topo is None
+            else (self.topo.scope_id, self.topo.adjacency, self.topo.epoch),
+        }
+
+    def restore_checkpoint(self, blob: dict) -> None:
+        """Adopt a snapshot; the next :meth:`run` resumes mid-loop."""
+        self._iterations = blob["iterations"]
+        self._started = blob["started"]
+        self._recoveries = blob["recoveries"]
+        self.epoch = blob["epoch"]
+        self.write_cursor = blob["write_cursor"]
+        self.read_cursor = blob["read_cursor"]
+        self.sent_log = blob["sent_log"]
+        self._my_bad = blob["my_bad"]
+        self._win_charged = blob["win_charged"]
+        self.remote_base = blob["remote_base"]
+        if blob["win_store"] is not None:
+            self.win = Window(self.ctx, blob["win_store"])
+        if blob["topo"] is not None:
+            scope_id, adjacency, epoch = blob["topo"]
+            self.topo = DistGraphTopology(
+                self.ctx, scope_id, adjacency, epoch=epoch
+            )
+        self._resumed = True
 
     def finalize(self, state: MatchingState) -> None:
         self.win.free()

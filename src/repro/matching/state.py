@@ -406,6 +406,46 @@ class MatchingState:
         return len(doomed) + len(retarget)
 
     # ------------------------------------------------------------------
+    # checkpoint capture/restore
+    # ------------------------------------------------------------------
+    #: every field the protocol mutates after construction; the candidate
+    #: order (``cand``), ghost lists, and graph itself are pure functions
+    #: of the input partition and are rebuilt by ``__init__`` on resume.
+    _SNAPSHOT_FIELDS = (
+        "stats",
+        "status",
+        "mate",
+        "pointer",
+        "ptr_idx",
+        "evicted",
+        "pending",
+        "processed",
+        "active_pairs",
+        "nghosts",
+        "awaiting",
+        "dead_ranks",
+        "work",
+    )
+
+    def snapshot(self) -> dict:
+        """Mutable protocol state for a coordinated checkpoint.
+
+        Returns live references — the engine pickles the tree immediately
+        at the capture instant, which both isolates it from further
+        mutation and keeps the copy cost off the simulated clock.
+        """
+        return {f: getattr(self, f) for f in self._SNAPSHOT_FIELDS}
+
+    def restore(self, blob: dict) -> None:
+        """Adopt a snapshot taken by :meth:`snapshot` (resume path).
+
+        The blob arrives freshly unpickled, so adopting the objects
+        directly cannot alias another run's state.
+        """
+        for f in self._SNAPSHOT_FIELDS:
+            setattr(self, f, blob[f])
+
+    # ------------------------------------------------------------------
     # phases / termination
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -35,6 +35,13 @@ from repro.mpisim.collectives import AgreementCollective
 from repro.mpisim.context import RankContext
 from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
 from repro.mpisim.engine import Engine, EngineResult
+from repro.mpisim.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    EngineSnapshot,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.mpisim.errors import (
     CommMismatchError,
     DeadlockError,
@@ -42,9 +49,15 @@ from repro.mpisim.errors import (
     RankFailure,
     RetryExhausted,
     SimError,
+    SimKilled,
     SimLimitExceeded,
 )
-from repro.mpisim.faults import FaultPlan, MessageFate, NicDegradation
+from repro.mpisim.faults import (
+    FaultPlan,
+    MessageFate,
+    NicDegradation,
+    PartitionWindow,
+)
 from repro.mpisim.machine import (
     MachineModel,
     commodity_cluster,
@@ -118,6 +131,13 @@ __all__ = [
     "FaultPlan",
     "MessageFate",
     "NicDegradation",
+    "PartitionWindow",
+    "SimKilled",
+    "CheckpointConfig",
+    "CheckpointStore",
+    "EngineSnapshot",
+    "save_checkpoint",
+    "load_checkpoint",
     "AgreementCollective",
     "fault_events",
     "fault_summary",

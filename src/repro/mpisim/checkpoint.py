@@ -1,0 +1,205 @@
+"""Coordinated checkpoint/restart artifacts for the simulated runtime.
+
+The engine takes *coordinated* checkpoints: at configurable virtual-time
+intervals it waits for every live rank to park at a **safepoint** (a
+backend-marked wait such as ``ctx.probe`` or an explicit
+``ctx.checkpoint_tick()`` at a loop boundary), then captures one global
+snapshot — per-rank clocks, receive queues, NIC availability, the
+engine's deterministic fault/ordering streams (the counter-based
+"RNG state" is just the op/post/put counters), in-flight collectives,
+run counters, and a per-rank application blob supplied by a registered
+checkpoint provider (matching state, reliable-channel and aggregator
+buffers, loop position).
+
+A snapshot is a single pickled payload hashed with SHA-256 at capture
+time, so checkpoints are content-addressed and bit-comparable across
+runs. Pickling the whole cut at once preserves object identity between
+ranks (e.g. a shared RMA window store stays shared after restore).
+
+Restores are **bit-identical**: an engine built with
+``Engine(..., restore=snapshot)`` replays to exactly the same mate
+array, weight, counters, and trace suffix as the uninterrupted run —
+this is enforced by golden pins and a Hypothesis round-trip property
+(``tests/mpisim/test_checkpoint.py``, ``tests/matching/test_restart.py``).
+
+On-disk artifacts use a small ``.ckpt`` envelope: magic, format
+version, metadata, and the payload guarded by its SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import pickle
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+_MAGIC = b"RPCKPT1\n"
+_VERSION = 1
+
+#: pickle protocol pinned for stable on-disk artifacts
+PICKLE_PROTOCOL = 4
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """One coordinated checkpoint: a content-hashed engine state cut.
+
+    ``payload`` is the pickled state tree (opaque to callers); ``sha256``
+    is the hash of those bytes, taken at capture time. ``epoch`` is the
+    snapshot's ordinal within its run (0-based) and ``vtime`` the virtual
+    time of the coordinated cut (every rank's clock is <= ``vtime`` for
+    safepoint-parked ranks and >= ``vtime`` for tick-parked ranks; the
+    cut is consistent because no messages cross it undelivered — they
+    ride along inside the pickled receive queues).
+    """
+
+    epoch: int
+    vtime: float
+    nprocs: int
+    payload: bytes
+    sha256: str
+
+    def state(self) -> dict:
+        """Unpickle the payload (a fresh copy each call)."""
+        return pickle.loads(self.payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineSnapshot(epoch={self.epoch}, vtime={self.vtime:.9g}, "
+            f"nprocs={self.nprocs}, {len(self.payload)} bytes, "
+            f"sha256={self.sha256[:12]}...)"
+        )
+
+
+def make_snapshot(epoch: int, vtime: float, nprocs: int, state: dict) -> EngineSnapshot:
+    """Pickle ``state`` immediately (isolating it from further mutation)
+    and wrap it with its content hash."""
+    payload = pickle.dumps(state, protocol=PICKLE_PROTOCOL)
+    return EngineSnapshot(
+        epoch=epoch,
+        vtime=vtime,
+        nprocs=nprocs,
+        payload=payload,
+        sha256=_sha256(payload),
+    )
+
+
+class CheckpointStore:
+    """In-memory (and optionally on-disk) collection of snapshots.
+
+    ``keep`` bounds the number retained in memory (oldest dropped
+    first); ``None`` keeps everything. When ``dir`` is set on the
+    :class:`CheckpointConfig`, each snapshot is also written to
+    ``<dir>/<prefix>-epoch<N>.ckpt`` as it is taken.
+    """
+
+    def __init__(self, keep: int | None = None):
+        if keep is not None and keep < 1:
+            raise ValueError(f"CheckpointStore.keep must be >= 1, got {keep}")
+        self.keep = keep
+        self._snapshots: list[EngineSnapshot] = []
+
+    def add(self, snap: EngineSnapshot) -> None:
+        self._snapshots.append(snap)
+        if self.keep is not None:
+            del self._snapshots[: max(0, len(self._snapshots) - self.keep)]
+
+    def latest(self) -> EngineSnapshot | None:
+        return self._snapshots[-1] if self._snapshots else None
+
+    def latest_before(self, vtime: float) -> EngineSnapshot | None:
+        """The most recent snapshot with ``vtime <= vtime`` (for restart
+        after a kill at ``vtime``)."""
+        best = None
+        for s in self._snapshots:
+            if s.vtime <= vtime:
+                best = s
+        return best
+
+    def at_epoch(self, epoch: int) -> EngineSnapshot | None:
+        for s in self._snapshots:
+            if s.epoch == epoch:
+                return s
+        return None
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self):
+        return iter(self._snapshots)
+
+    def __getitem__(self, i: int) -> EngineSnapshot:
+        return self._snapshots[i]
+
+
+@dataclass
+class CheckpointConfig:
+    """Turn on coordinated checkpointing for an engine run.
+
+    ``interval`` is the virtual-time spacing between coordinated cuts
+    (first cut at ``interval``, then every ``interval`` after). The
+    engine appends each snapshot to ``store``; with ``dir`` set it also
+    writes ``.ckpt`` files there. Checkpointing is pure instrumentation:
+    it charges no virtual time and leaves makespan, counters, and the
+    trace bit-identical to a run without it.
+    """
+
+    interval: float
+    store: CheckpointStore = field(default_factory=CheckpointStore)
+    dir: str | Path | None = None
+    prefix: str = "checkpoint"
+
+    def __post_init__(self) -> None:
+        if not (self.interval > 0):
+            raise ValueError(
+                f"CheckpointConfig.interval must be > 0, got {self.interval}"
+            )
+
+
+def save_checkpoint(snap: EngineSnapshot, path: str | Path) -> Path:
+    """Write ``snap`` as a ``.ckpt`` envelope (magic, version, metadata,
+    SHA-256-guarded payload)."""
+    path = Path(path)
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    buf.write(struct.pack("<IIQd", _VERSION, snap.nprocs, snap.epoch, snap.vtime))
+    buf.write(bytes.fromhex(snap.sha256))
+    buf.write(struct.pack("<Q", len(snap.payload)))
+    buf.write(snap.payload)
+    path.write_bytes(buf.getvalue())
+    return path
+
+
+def load_checkpoint(path: str | Path) -> EngineSnapshot:
+    """Read a ``.ckpt`` envelope back, verifying magic, version, length,
+    and payload hash."""
+    path = Path(path)
+    data = path.read_bytes()
+    if not data.startswith(_MAGIC):
+        raise ValueError(f"{path}: not a repro checkpoint (bad magic)")
+    off = len(_MAGIC)
+    version, nprocs, epoch, vtime = struct.unpack_from("<IIQd", data, off)
+    off += struct.calcsize("<IIQd")
+    if version != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported checkpoint format version {version} "
+            f"(this build reads version {_VERSION})"
+        )
+    sha = data[off : off + 32].hex()
+    off += 32
+    (plen,) = struct.unpack_from("<Q", data, off)
+    off += struct.calcsize("<Q")
+    payload = data[off : off + plen]
+    if len(payload) != plen:
+        raise ValueError(f"{path}: truncated checkpoint payload")
+    if _sha256(payload) != sha:
+        raise ValueError(f"{path}: checkpoint payload hash mismatch (corrupt file)")
+    return EngineSnapshot(
+        epoch=epoch, vtime=vtime, nprocs=nprocs, payload=payload, sha256=sha
+    )

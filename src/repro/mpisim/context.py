@@ -39,6 +39,14 @@ class RankContext:
         self.rank = rank
         self.nprocs = engine.nprocs
         self.machine = engine.machine
+        # set by Engine.run on a restore: this rank's snapshot record
+        self._resume: dict | None = None
+        # set while resuming from a tick park: the next checkpoint_tick
+        # was already consumed by the cut's release in the original run
+        self._skip_tick = False
+        # set while re-issuing a recorded probe wait: the next probe
+        # must park even if the restored queue already satisfies it
+        self._reissue_force = False
 
     # ------------------------------------------------------------------
     # local time / work / memory
@@ -116,6 +124,82 @@ class RankContext:
             return False
         tc = plan.crash_time(rank)
         return tc is not None and self.now >= tc + plan.detect_latency
+
+    # ------------------------------------------------------------------
+    # coordinated checkpoint/restart
+    # ------------------------------------------------------------------
+    def checkpoint_tick(self) -> None:
+        """Mark a checkpoint boundary (collective-style backend loop top).
+
+        A no-op unless checkpointing is on and a cut is due, in which
+        case the rank parks (charging nothing) until every live rank has
+        reached a boundary and the coordinated snapshot is taken.
+        Probe-loop backends still mark their loop tops with this so a cut
+        can be assembled while traffic is in flight; their ``ctx.probe``
+        parks are additionally safepoints.
+        """
+        if self._skip_tick:
+            # Restored from a tick park: the original run consumed this
+            # boundary when the assembly released the rank, so the first
+            # post-resume tick must not re-park (the rank's clock may
+            # already sit past the *next* due point under clock skew).
+            self._skip_tick = False
+            return
+        self._engine.checkpoint_tick(self.rank)
+
+    def register_checkpoint_provider(self, fn) -> None:
+        """Register this rank's application-state capture hook.
+
+        ``fn()`` is called at every coordinated cut and must return a
+        picklable blob with no engine/context references; after a
+        restore the same blob comes back via :meth:`resume_app_state`.
+        """
+        self._engine.register_checkpoint_provider(self.rank, fn)
+
+    @property
+    def resuming(self) -> bool:
+        """True when this rank is starting from a restored checkpoint."""
+        return self._resume is not None
+
+    def resume_app_state(self) -> Any:
+        """The application blob this rank's provider captured at the cut."""
+        return self._resume["app"] if self._resume is not None else None
+
+    def reissue_parked_wait(self) -> None:
+        """Re-enter the wait this rank was parked in at the checkpoint.
+
+        Bit-identity argument: safepoint parks charge nothing before
+        blocking (``probe`` builds its wake closure and parks; all costs
+        are charged *after* the wake), so re-issuing the recorded wait
+        from restored state reproduces the original wake decision
+        exactly. Tick parks are not re-issued: the assembly released the
+        rank *through* its tick, so the first post-resume
+        ``checkpoint_tick`` is skipped — otherwise a rank whose clock
+        already passed the next due point would park one iteration
+        earlier than the uninterrupted run did. Consumes the resume
+        record.
+        """
+        resume = self._resume
+        self._resume = None
+        if resume is None:
+            return
+        wait = resume.get("wait")
+        if wait is None:
+            return
+        if wait[0] == "tick":
+            self._skip_tick = True
+            return
+        if wait[0] == "probe":
+            # Force the park: the recorded wait proves the rank was
+            # genuinely blocked at the cut, but messages captured in the
+            # restored queue may already satisfy the wait — the rank
+            # must still sit parked until the replayed token order
+            # reaches its candidate time, as the original run's did.
+            _, source, tag, deadline = wait
+            self._reissue_force = True
+            self.probe(source, tag, deadline=deadline)
+            return
+        raise ValueError(f"unknown checkpoint wait spec {wait!r}")
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -218,15 +302,27 @@ class RankContext:
         flush_count: int | None = None,
         tag: int | None = None,
         use_persistent: bool = True,
+        reliable: bool = False,
+        rto: float | None = None,
+        rto_max: float | None = None,
+        max_retries: int = 25,
     ) -> MessageAggregator:
         """Create a :class:`~repro.mpisim.aggregate.MessageAggregator`
         that coalesces this rank's small same-destination messages into
-        batched wire messages. See the class docstring for the flush
+        batched wire messages. With ``reliable=True`` every batch carries
+        a per-destination sequence number and is acked, retransmitted on
+        timeout, and deduplicated at the receiver — the aggregated
+        analogue of the NSR reliable-delivery shim, required under
+        drop/dup/delay fault plans. See the class docstring for the flush
         policy and charging model."""
         kwargs: dict[str, Any] = dict(
             flush_bytes=flush_bytes,
             flush_count=flush_count,
             use_persistent=use_persistent,
+            reliable=reliable,
+            rto=rto,
+            rto_max=rto_max,
+            max_retries=max_retries,
         )
         if tag is not None:
             kwargs["tag"] = tag
@@ -329,8 +425,12 @@ class RankContext:
                 cands.append(tf)
             return min(cands) if cands else None
 
+        force = self._reissue_force
+        self._reissue_force = False
         eng.block_on(self.rank, potential, f"probe(src={source},tag={tag})",
-                     wait_phase="recv-wait")
+                     wait_phase="recv-wait",
+                     safepoint=("probe", source, tag, deadline),
+                     force_park=force)
         if eng.profiler is not None:
             m = q.earliest_match(source, tag)
             if m is not None and m.arrival <= eng.clock_of(self.rank):

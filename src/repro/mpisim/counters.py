@@ -63,6 +63,14 @@ class RankCounters:
     puts_dropped: int = 0  #: one-sided puts the network silently lost
     puts_corrupted: int = 0  #: one-sided puts that landed bit-flipped
     put_retries: int = 0  #: puts reissued after a failed checksum verify
+    msgs_partitioned: int = 0  #: sends swallowed by an active partition window
+    partition_deferrals: int = 0  #: retries deferred (not burned) while the
+    #: destination was unreachable through a partition
+    spurious_detections: int = 0  #: ranks renounced as dead that the fault
+    #: plan never crashed (must stay zero: a healed partition is not a death)
+    agg_batch_retries: int = 0  #: aggregated batches retransmitted on timeout
+    agg_acks_sent: int = 0  #: batch acknowledgments sent (reliable agg mode)
+    agg_dup_batches: int = 0  #: duplicate batch deliveries suppressed by seq
 
     # message aggregation (repro.mpisim.aggregate; zero when unused)
     agg_msgs_coalesced: int = 0  #: small messages that rode in a batch
@@ -196,6 +204,12 @@ class RunCounters:
                 "puts_dropped",
                 "puts_corrupted",
                 "put_retries",
+                "msgs_partitioned",
+                "partition_deferrals",
+                "spurious_detections",
+                "agg_batch_retries",
+                "agg_acks_sent",
+                "agg_dup_batches",
             )
         }
 

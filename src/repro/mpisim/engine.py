@@ -42,13 +42,21 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
+from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.mpisim.checkpoint import (
+    CheckpointConfig,
+    EngineSnapshot,
+    make_snapshot,
+    save_checkpoint,
+)
 from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
 from repro.mpisim.errors import (
     DeadlockError,
     RankFailure,
     SimAbort,
+    SimKilled,
     SimLimitExceeded,
 )
 from repro.mpisim.faults import FaultPlan
@@ -68,6 +76,12 @@ _CRASHED = "crashed"  # killed by the fault plan at its scheduled time
 _INF = float("inf")
 
 SCHEDULERS = ("heap", "reference")
+
+
+def _never_wake() -> float | None:
+    """Wake potential of a tick-parked rank: only the checkpoint
+    assembly (not any message/collective event) may release it."""
+    return None
 
 
 @dataclass(slots=True)
@@ -96,6 +110,11 @@ class _RankState:
     # heap scheduler: version of this rank's newest candidate-heap entry;
     # any entry carrying an older version is stale and skipped on pop.
     heap_ver: int = 0
+    # checkpointing: set while parked at a backend-marked safepoint wait
+    # (a spec like ("probe", src, tag, deadline) the resume path replays)
+    safepoint: tuple | None = None
+    # checkpointing: parked at an explicit ctx.checkpoint_tick() boundary
+    ckpt_tick: bool = False
 
 
 @dataclass
@@ -160,6 +179,9 @@ class Engine:
         faults: FaultPlan | None = None,
         scheduler: str = "heap",
         audit: bool = False,
+        checkpoint: CheckpointConfig | None = None,
+        kill_at: float | None = None,
+        restore: EngineSnapshot | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -224,6 +246,52 @@ class Engine:
         # first caller's factory wins, later callers get the same object.
         self._shared_objects: dict[Any, Any] = {}
 
+        # ---- coordinated checkpoint/restart ----
+        self.kill_at = kill_at
+        self._ckpt = checkpoint
+        self._ckpt_epoch = 0
+        self._ckpt_next_due = checkpoint.interval if checkpoint is not None else _INF
+        self._ckpt_providers: dict[int, Callable[[], Any]] = {}
+        self._restore_state: dict | None = None
+        if restore is not None:
+            if profile:
+                raise ValueError(
+                    "profile=True cannot be combined with restore= (the span "
+                    "profiler requires observing the run from virtual time 0)"
+                )
+            st = restore.state()
+            if st["nprocs"] != nprocs:
+                raise ValueError(
+                    f"snapshot was taken with nprocs={st['nprocs']}, "
+                    f"engine has nprocs={nprocs}"
+                )
+            if st["machine"] != machine:
+                raise ValueError(
+                    "snapshot was taken under a different machine model; "
+                    "restore requires the identical model for bit-identity"
+                )
+            if st["faults"] != faults:
+                raise ValueError(
+                    "snapshot was taken under a different fault plan; "
+                    "restore requires the identical plan for bit-identity"
+                )
+            # Re-arm checkpointing exactly as the snapshot left it: the
+            # interval and the next due point must match the original run
+            # so every later cut (and deterministic skip) replays
+            # identically. A caller-passed config contributes only its
+            # store/dir/prefix; the cadence always comes from the snapshot.
+            ck = st["ckpt"]
+            if checkpoint is not None:
+                self._ckpt = CheckpointConfig(
+                    interval=ck["interval"], store=checkpoint.store,
+                    dir=checkpoint.dir, prefix=checkpoint.prefix,
+                )
+            else:
+                self._ckpt = CheckpointConfig(interval=ck["interval"])
+            self._ckpt_next_due = ck["next_due"]
+            self._ckpt_epoch = ck["epoch"]
+            self._restore_state = st
+
     # ------------------------------------------------------------------
     # public entry point
     # ------------------------------------------------------------------
@@ -244,9 +312,33 @@ class Engine:
 
         from repro.mpisim.context import RankContext  # cycle-free at runtime
 
+        restore = self._restore_state
+        if restore is not None:
+            self._apply_restore_globals(restore)
         for rs in self._ranks:
+            rsnap = restore["ranks"][rs.rank] if restore is not None else None
+            if rsnap is not None and rsnap["status"] != "live":
+                # Finished and crashed ranks need no thread: their final
+                # state is already part of the snapshot.
+                rs.clock = rsnap["clock"]
+                rs.nic_out_free = rsnap.get("nic_out_free", 0.0)
+                rs.nic_in_free = rsnap.get("nic_in_free", 0.0)
+                if rsnap["status"] == "done":
+                    rs.state = _DONE
+                    rs.result = rsnap["result"]
+                else:
+                    rs.state = _CRASHED
+                continue
             extra = tuple(per_rank_args[rs.rank]) if per_rank_args else ()
             ctx = RankContext(self, rs.rank)
+            if rsnap is not None:
+                rs.clock = rsnap["clock"]
+                rs.queue = rsnap["queue"]
+                rs.nic_out_free = rsnap["nic_out_free"]
+                rs.nic_in_free = rsnap["nic_in_free"]
+                rs.rma_outstanding = rsnap["rma_outstanding"]
+                rs.failures_seen = rsnap["failures_seen"]
+                ctx._resume = rsnap
             rs.thread = threading.Thread(
                 target=self._thread_main,
                 args=(rs, ctx, target, tuple(args) + extra),
@@ -255,6 +347,23 @@ class Engine:
             )
             rs.state = _READY
             rs.thread.start()
+
+        if restore is not None:
+            # Ranks recorded at a safepoint wait (e.g. a probe) were
+            # already parked when the cut was assembled, so they must be
+            # back in that park before any scheduling decision: the next
+            # cut can be due before their candidate time, and the
+            # uninterrupted run assembles it while they sit blocked. The
+            # path from thread start to the re-issued park charges no
+            # virtual time and emits no trace, so running it eagerly (in
+            # rank order) is invisible to the replayed schedule.
+            for rs in self._ranks:
+                rsnap = restore["ranks"][rs.rank]
+                if rs.state != _READY or rsnap["status"] != "live":
+                    continue
+                wait = rsnap.get("wait")
+                if wait is not None and wait[0] != "tick":
+                    self._switch_to(rs)
 
         try:
             if self._use_heap:
@@ -269,7 +378,7 @@ class Engine:
         failed = [rs for rs in self._ranks if rs.state == _FAILED]
         if failed:
             first = failed[0]
-            if isinstance(first.error, SimLimitExceeded):
+            if isinstance(first.error, (SimLimitExceeded, SimKilled)):
                 raise first.error
             raise RankFailure(first.rank, first.error) from first.error
 
@@ -357,6 +466,8 @@ class Engine:
                 key = (t, rs.rank)
                 if best is None or key < best:
                     best = key
+            if self._ckpt is not None and self._ckpt_poll(best):
+                continue
             if best is None:
                 if all_done:
                     return
@@ -452,6 +563,8 @@ class Engine:
         while True:
             self._drain_stale()
             best = self._heap_min()
+            if self._ckpt is not None and self._ckpt_poll(best):
+                continue
             if best is None:
                 if all(rs.state in (_DONE, _CRASHED) for rs in ranks):
                     return
@@ -510,6 +623,197 @@ class Engine:
         self._sched_event.clear()
         rs.event.set()
         self._sched_event.wait()
+
+    # ------------------------------------------------------------------
+    # coordinated checkpointing (scheduler side)
+    # ------------------------------------------------------------------
+    def _ckpt_poll(self, best: tuple[float, int] | None) -> bool:
+        """Check whether the next checkpoint cut can be assembled.
+
+        A cut is taken when every live rank is parked at a checkpoint
+        boundary — either an explicit ``ctx.checkpoint_tick()`` park
+        (collective-style backends) or a backend-marked safepoint wait
+        (probe-loop backends) — and no rank can still act before the due
+        time. Returns True when it consumed this scheduling decision
+        (snapshot taken and/or tick-parked ranks released); the loop then
+        re-evaluates from scratch.
+
+        Deadlock breaker: when the only wakeable events are held by
+        tick-parked ranks (e.g. a rank parked inside a neighborhood
+        collective is waiting for a peer that parked at its loop-top
+        tick), the due point is *skipped deterministically* — ticks are
+        released without a snapshot and the next due time advances. A
+        restored run replays the same skip because every snapshot records
+        the advanced ``next_due``.
+        """
+        due = self._ckpt_next_due
+        if best is not None and best[0] < due:
+            return False
+        live = [rs for rs in self._ranks if rs.state not in (_DONE, _CRASHED)]
+        if not live or any(rs.state == _FAILED for rs in live):
+            return False
+        ticked = [rs for rs in live if rs.state == _BLOCKED and rs.ckpt_tick]
+        all_parked = all(
+            rs.state == _BLOCKED and (rs.ckpt_tick or rs.safepoint is not None)
+            for rs in live
+        )
+        if all_parked and (ticked or best is not None):
+            self._take_checkpoint(due)
+            self._ckpt_next_due = due + self._ckpt.interval
+            self._release_ticks(ticked)
+            return True
+        if best is None and ticked:
+            self._ckpt_next_due = due + self._ckpt.interval
+            self._release_ticks(ticked)
+            return True
+        return False
+
+    def _release_ticks(self, ticked: list[_RankState]) -> None:
+        """Wake tick-parked ranks at their own clocks (zero virtual cost)."""
+        for rs in ticked:
+            rs.ckpt_tick = False
+            rs.state = _READY
+            rs.wake_potential = None
+            if self._use_heap:
+                self._push_candidate(rs)
+
+    def _take_checkpoint(self, due: float) -> None:
+        """Capture one coordinated cut and append it to the store.
+
+        The whole engine state goes into a single pickle, which preserves
+        object identity across ranks (a window store shared by all ranks
+        is restored as one shared object) and isolates the snapshot from
+        any mutation after this instant. Checkpointing charges no virtual
+        time and emits no trace events, so a checkpointed run is
+        bit-identical to an uncheckpointed one.
+        """
+        ranks_state: list[dict] = []
+        for rs in self._ranks:
+            if rs.state == _DONE:
+                ranks_state.append({
+                    "status": "done", "clock": rs.clock, "result": rs.result,
+                    "nic_out_free": rs.nic_out_free,
+                    "nic_in_free": rs.nic_in_free,
+                })
+                continue
+            if rs.state == _CRASHED:
+                ranks_state.append({"status": "crashed", "clock": rs.clock})
+                continue
+            provider = self._ckpt_providers.get(rs.rank)
+            ranks_state.append({
+                "status": "live",
+                "clock": rs.clock,
+                "queue": rs.queue,
+                "nic_out_free": rs.nic_out_free,
+                "nic_in_free": rs.nic_in_free,
+                "rma_outstanding": rs.rma_outstanding,
+                "failures_seen": rs.failures_seen,
+                "wait": ("tick",) if rs.ckpt_tick else rs.safepoint,
+                "app": provider() if provider is not None else None,
+            })
+        state = {
+            "nprocs": self.nprocs,
+            "machine": self.machine,
+            "faults": self.faults,
+            "scheduler": self.scheduler,
+            "vtime": due,
+            "ranks": ranks_state,
+            "send_seq": self._send_seq,
+            "pair_arrival": self._pair_arrival,
+            "op_count": self._op_count,
+            "post_count": self._post_count,
+            "put_count": self._put_count,
+            "crashed": self._crashed,
+            "revoked_scopes": self._revoked_scopes,
+            "switches": self._switches,
+            "coll_seq": self._coll_seq,
+            "coll_ops": self._coll_ops,
+            "next_scope_id": self._next_scope_id,
+            "shared_objects": self._shared_objects,
+            "counters": self.counters,
+            "trace_len": len(self.trace) if self.trace is not None else 0,
+            "ckpt": {
+                "interval": self._ckpt.interval,
+                "next_due": due + self._ckpt.interval,
+                "epoch": self._ckpt_epoch + 1,
+            },
+        }
+        snap = make_snapshot(self._ckpt_epoch, due, self.nprocs, state)
+        self._ckpt_epoch += 1
+        self._ckpt.store.add(snap)
+        if self._ckpt.dir is not None:
+            ckdir = Path(self._ckpt.dir)
+            ckdir.mkdir(parents=True, exist_ok=True)
+            save_checkpoint(
+                snap, ckdir / f"{self._ckpt.prefix}-epoch{snap.epoch}.ckpt"
+            )
+
+    def _apply_restore_globals(self, st: dict) -> None:
+        """Adopt the snapshot's engine-global state (restore path).
+
+        All these structures come out of one pickle, so cross-references
+        survive: restored agreement collectives' ``crashed_at`` is the
+        same dict object as ``st["crashed"]``, which becomes
+        ``self._crashed`` here — kills after resume stay visible to
+        collectives created before the cut. The explicit rewiring below
+        is belt-and-braces for snapshots assembled by other means.
+        """
+        self._send_seq = st["send_seq"]
+        self._pair_arrival = st["pair_arrival"]
+        self._op_count = st["op_count"]
+        self._post_count = st["post_count"]
+        self._put_count = st["put_count"]
+        self._crashed = st["crashed"]
+        self._revoked_scopes = st["revoked_scopes"]
+        self._switches = st["switches"]
+        self._coll_seq = st["coll_seq"]
+        self._coll_ops = st["coll_ops"]
+        self._next_scope_id = st["next_scope_id"]
+        self._shared_objects = st["shared_objects"]
+        self.counters = st["counters"]
+        from repro.mpisim.collectives import AgreementCollective
+
+        for op in self._coll_ops.values():
+            if isinstance(op, AgreementCollective):
+                op.crashed_at = self._crashed
+
+    def register_checkpoint_provider(self, rank: int, fn: Callable[[], Any]) -> None:
+        """Register the application-state capture hook for ``rank``.
+
+        Called back (scheduler side) at every coordinated cut; must
+        return a picklable blob free of engine/context references. The
+        blob comes back as ``ctx.resume_app_state()`` after a restore.
+        """
+        self._ckpt_providers[rank] = fn
+
+    def checkpoint_tick(self, rank: int) -> None:
+        """Rank-side checkpoint boundary for collective-style backends.
+
+        A no-op until this rank's clock reaches the next due cut; then
+        the rank parks (with no wake condition) until the scheduler has
+        assembled the cut and releases it at its own clock. Charges
+        nothing, so runs with checkpointing enabled stay bit-identical.
+        """
+        if self._ckpt is None:
+            return
+        rs = self._ranks[rank]
+        if rs.clock < self._ckpt_next_due:
+            return
+        if self.faults is not None:
+            self._check_self_crash(rank)
+        rs.describe = "checkpoint-tick"
+        rs.wait_phase = "checkpoint-wait"
+        rs.state = _BLOCKED
+        rs.wake_potential = _never_wake
+        rs.ckpt_tick = True
+        if self._use_heap:
+            # Invalidate any stale heap entry for this rank: a tick park
+            # must only be released by the checkpoint assembly itself.
+            rs.heap_ver += 1
+        self._park(rs)
+        rs.state = _RUNNING
+        rs.ckpt_tick = False
+        rs.describe = ""
 
     # ------------------------------------------------------------------
     # fault-plan crash machinery
@@ -764,12 +1068,26 @@ class Engine:
         wake_potential: Callable[[], float | None],
         describe: str,
         wait_phase: str = "wait",
+        safepoint: tuple | None = None,
+        force_park: bool = False,
     ) -> None:
         """Park until ``wake_potential()`` yields a time and we are minimal.
 
         On return the rank's clock has been advanced to the wake time (the
         gap is accounted as idle time, attributed to ``wait_phase`` when
-        profiling).
+        profiling). A non-None ``safepoint`` marks this park as a
+        checkpoint boundary: the coordinated cut may include a rank
+        parked here, and the spec (e.g. ``("probe", src, tag, deadline)``)
+        is recorded so the resume path can re-issue the identical wait.
+
+        ``force_park`` skips the already-satisfiable fast path. The
+        resume path uses it when re-issuing a recorded safepoint wait:
+        the original rank was genuinely parked (a fast-path wait records
+        no safepoint), and messages that landed in the queue between the
+        original park and the cut must not turn the re-issued wait into
+        an immediate return — the rank has to sit blocked until the
+        replayed token order reaches its candidate time, exactly as the
+        uninterrupted run's rank did.
         """
         if self.faults is not None:
             self._check_self_crash(rank)
@@ -777,16 +1095,19 @@ class Engine:
         rs.describe = describe
         rs.wait_phase = wait_phase
         # Fast path: already satisfiable and we are minimal.
-        t = wake_potential()
-        if t is not None and t <= rs.clock:
-            self.yield_ready(rank)
-            return
+        if not force_park:
+            t = wake_potential()
+            if t is not None and t <= rs.clock:
+                self.yield_ready(rank)
+                return
         rs.state = _BLOCKED
         rs.wake_potential = wake_potential
+        rs.safepoint = safepoint
         if self._use_heap:
             self._push_candidate(rs)
         self._park(rs)
         rs.state = _RUNNING
+        rs.safepoint = None
         rs.describe = ""
 
     # ------------------------------------------------------------------
@@ -824,6 +1145,8 @@ class Engine:
             raise SimLimitExceeded(
                 f"virtual time budget exceeded ({self.max_vtime}s) on rank {rs.rank}"
             )
+        if self.kill_at is not None and rs.clock > self.kill_at:
+            raise SimKilled(self.kill_at)
 
     # ------------------------------------------------------------------
     # transport (senders call this while holding the token)
@@ -920,6 +1243,13 @@ class Engine:
             self._pair_arrival[pair] = arrival
             src_rc = self.counters.ranks[src]
             self._post_count += 1
+            if plan.partitions and plan.partitioned(src, dst, srs.clock):
+                # An active partition window swallows the send entirely
+                # (evaluated at send time; the fate stream is untouched —
+                # fates are pure functions of the post index).
+                src_rc.msgs_partitioned += 1
+                self.trace_event(src, "fault", kind="partition", dst=dst, tag=tag)
+                return arrival
             fate = plan.message_fate(src, dst, self._post_count)
             if fate.copies == 0:
                 src_rc.msgs_dropped += 1

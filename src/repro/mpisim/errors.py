@@ -72,6 +72,21 @@ class SimLimitExceeded(SimError):
     """The engine exceeded its configured operation or virtual-time budget."""
 
 
+class SimKilled(SimError):
+    """The run was killed at a scheduled virtual time (``kill_at``).
+
+    Models an external job kill (wall-clock limit, node reclaim) for
+    checkpoint/restart testing: the engine aborts the moment any rank's
+    clock passes the kill time. Checkpoints taken before the kill
+    survive in the run's :class:`~repro.mpisim.checkpoint.CheckpointStore`
+    and the run can be resumed from the latest one.
+    """
+
+    def __init__(self, t: float):
+        super().__init__(f"run killed at virtual time {t:.9g}")
+        self.t = t
+
+
 class RankCrashed(SimError):
     """Communication with a rank that is known (detected) to have crashed.
 

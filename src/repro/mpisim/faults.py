@@ -6,7 +6,13 @@ A :class:`FaultPlan` describes everything that can go wrong in one run:
 * transient per-rank **NIC degradation** windows (a multiplier on
   injection and latency cost while the window is open),
 * **rank crashes** at a fixed virtual time, with ULFM-style failure
-  notification after a detection latency.
+  notification after a detection latency,
+* **network partitions**: windows during which rank groups are mutually
+  unreachable (messages between groups are lost in flight), after which
+  the network heals. Unlike a crash, every rank stays alive — the
+  failure detector never reports a partitioned peer as dead, so
+  recovery is the transport's job (retry past the heal), not the
+  membership layer's.
 
 Determinism is the whole point: the fate of a message is a pure function
 of ``(plan.seed, src, dst, message index)`` via a counter-based
@@ -54,9 +60,83 @@ class NicDegradation:
 
     def __post_init__(self) -> None:
         if self.factor < 1.0:
-            raise ValueError(f"degradation factor must be >= 1, got {self.factor}")
+            raise ValueError(
+                f"NicDegradation.factor must be >= 1, got {self.factor}"
+            )
+        if self.t_start < 0.0:
+            raise ValueError(
+                f"NicDegradation.t_start must be >= 0, got {self.t_start}"
+            )
         if self.t_end <= self.t_start:
-            raise ValueError("degradation window must have t_end > t_start")
+            raise ValueError(
+                f"NicDegradation.t_end must be > t_start, got "
+                f"t_end={self.t_end} <= t_start={self.t_start}"
+            )
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One transient network partition.
+
+    While ``t_start <= t < t_end`` (virtual send time), ranks belonging
+    to *different* entries of ``groups`` cannot exchange two-sided
+    messages: anything posted across the cut is silently lost in flight
+    (counted in the sender's ``msgs_partitioned``). Ranks not listed in
+    any group are unaffected — they can reach, and be reached by,
+    everyone. At ``t_end`` the network heals; nothing lost is replayed
+    by the network, so recovery is the job of the reliable transports
+    (ack/retry past the heal).
+
+    A partition is *not* a crash: every rank keeps executing and the
+    failure detector (:meth:`FaultPlan.notified_failures`) never reports
+    a partitioned-but-alive peer. See docs/fault_model.md.
+    """
+
+    t_start: float
+    t_end: float
+    groups: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.t_start < 0.0:
+            raise ValueError(
+                f"PartitionWindow.t_start must be >= 0, got {self.t_start}"
+            )
+        if self.t_end <= self.t_start:
+            raise ValueError(
+                f"PartitionWindow.t_end must be > t_start, got "
+                f"t_end={self.t_end} <= t_start={self.t_start}"
+            )
+        groups = tuple(tuple(sorted(int(r) for r in grp)) for grp in self.groups)
+        object.__setattr__(self, "groups", groups)
+        if len(groups) < 2:
+            raise ValueError(
+                f"PartitionWindow.groups needs >= 2 groups to cut anything, "
+                f"got {len(groups)}"
+            )
+        seen: dict[int, int] = {}
+        for gi, grp in enumerate(groups):
+            if not grp:
+                raise ValueError(f"PartitionWindow.groups[{gi}] is empty")
+            for r in grp:
+                if r < 0:
+                    raise ValueError(
+                        f"PartitionWindow.groups[{gi}] contains negative rank {r}"
+                    )
+                if r in seen:
+                    raise ValueError(
+                        f"PartitionWindow.groups: rank {r} appears in both "
+                        f"groups[{seen[r]}] and groups[{gi}]"
+                    )
+                seen[r] = gi
+        object.__setattr__(self, "_group_of", seen)
+
+    def separates(self, a: int, b: int) -> bool:
+        """True if this window (while open) cuts the (a, b) pair."""
+        ga = self._group_of.get(a)
+        if ga is None:
+            return False
+        gb = self._group_of.get(b)
+        return gb is not None and gb != ga
 
 
 @dataclass(frozen=True)
@@ -81,6 +161,8 @@ class FaultPlan:
     delay_min: float = 0.0  #: extra delay lower bound (seconds)
     delay_max: float = 50e-6  #: extra delay upper bound (seconds)
     degradations: tuple[NicDegradation, ...] = ()
+    #: transient network partitions (rank groups mutually unreachable)
+    partitions: tuple[PartitionWindow, ...] = ()
     #: rank -> virtual crash time; the rank stops executing at that time
     crashes: dict[int, float] = field(default_factory=dict)
     #: seconds after a crash before survivors' MPI layer reports the
@@ -97,14 +179,28 @@ class FaultPlan:
                      "rma_drop_rate", "rma_corrupt_rate"):
             v = getattr(self, name)
             if not 0.0 <= v <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {v}")
+                raise ValueError(f"FaultPlan.{name} must be in [0, 1], got {v}")
+        if self.delay_min < 0.0:
+            raise ValueError(
+                f"FaultPlan.delay_min must be >= 0, got {self.delay_min}"
+            )
         if self.delay_max < self.delay_min:
-            raise ValueError("delay_max must be >= delay_min")
+            raise ValueError(
+                f"FaultPlan.delay_max must be >= delay_min, got "
+                f"delay_max={self.delay_max} < delay_min={self.delay_min}"
+            )
         if self.detect_latency < 0.0:
-            raise ValueError("detect_latency must be >= 0")
+            raise ValueError(
+                f"FaultPlan.detect_latency must be >= 0, got "
+                f"{self.detect_latency}"
+            )
         for r, t in self.crashes.items():
+            if r < 0:
+                raise ValueError(f"FaultPlan.crashes contains negative rank {r}")
             if t < 0.0:
-                raise ValueError(f"crash time for rank {r} must be >= 0, got {t}")
+                raise ValueError(
+                    f"FaultPlan.crashes[{r}] must be >= 0, got {t}"
+                )
         # Derived lookup structures, cached once: the engine consults the
         # plan on every posted message and every blocked-rank wake check,
         # so these must not be recomputed per call. (The dataclass is
@@ -132,6 +228,11 @@ class FaultPlan:
                 sorted((tc + self.detect_latency, r) for r, tc in self.crashes.items())
             ),
         )
+        object.__setattr__(
+            self,
+            "_partitions_sorted",
+            tuple(sorted(self.partitions, key=lambda w: (w.t_start, w.t_end))),
+        )
 
     # ------------------------------------------------------------------
     # classification
@@ -148,6 +249,9 @@ class FaultPlan:
     def has_degradations(self) -> bool:
         return bool(self.degradations)
 
+    def has_partitions(self) -> bool:
+        return bool(self.partitions)
+
     def is_null(self) -> bool:
         """True if this plan cannot change behaviour at all."""
         return not (
@@ -155,11 +259,16 @@ class FaultPlan:
             or self.has_rma_faults()
             or self.has_crashes()
             or self.has_degradations()
+            or self.has_partitions()
         )
 
     def needs_reliability(self) -> bool:
-        """Do rank programs need an ack/retry shim to run correctly?"""
-        return self.has_message_faults()
+        """Do rank programs need an ack/retry shim to run correctly?
+
+        True for message fates (drop/dup/delay) and for partitions —
+        both lose messages that only an ack/retry transport can recover.
+        """
+        return self.has_message_faults() or self.has_partitions()
 
     # ------------------------------------------------------------------
     # message fates
@@ -234,6 +343,46 @@ class FaultPlan:
             if d.t_start <= t < d.t_end:
                 f *= d.factor
         return f
+
+    # ------------------------------------------------------------------
+    # network partitions
+    # ------------------------------------------------------------------
+    def partitioned(self, src: int, dst: int, t: float) -> bool:
+        """True if a message sent src -> dst at time ``t`` crosses a cut.
+
+        Evaluated at *send* time: a message posted inside an open window
+        whose groups separate the pair is lost (the window closing while
+        it is in flight does not save it — the network dropped it at
+        injection). Self-sends never partition.
+        """
+        if not self.partitions or src == dst:
+            return False
+        for w in self._partitions_sorted:
+            if w.t_start <= t < w.t_end and w.separates(src, dst):
+                return True
+        return False
+
+    def partition_clear_time(self, src: int, dst: int, t: float) -> float:
+        """Earliest time >= ``t`` at which src -> dst is not partitioned.
+
+        Returns ``t`` itself when the pair is reachable now. Retry
+        transports use this to defer a retransmission past the heal
+        instead of burning retry attempts into a dead wire.
+        """
+        if not self.partitions or src == dst:
+            return t
+        cleared = t
+        # Windows may overlap or chain; iterate until no open window
+        # separates the pair at the candidate time.
+        for _ in range(len(self._partitions_sorted) + 1):
+            blocked = False
+            for w in self._partitions_sorted:
+                if w.t_start <= cleared < w.t_end and w.separates(src, dst):
+                    cleared = w.t_end
+                    blocked = True
+            if not blocked:
+                return cleared
+        return cleared
 
     # ------------------------------------------------------------------
     # crashes / failure notification

@@ -7,11 +7,12 @@ from repro.harness.chaos import (
     matching_runner,
     plan_size,
     render_cli,
+    restart_matching_runner,
     run_chaos,
     sample_plan,
     shrink_plan,
 )
-from repro.mpisim.faults import FaultPlan, NicDegradation
+from repro.mpisim.faults import FaultPlan, NicDegradation, PartitionWindow
 
 
 class TestSampling:
@@ -44,6 +45,19 @@ class TestSampling:
         # FaultPlan.__post_init__ validates; sampling must never trip it.
         for i in range(50):
             sample_plan(11, i, 6, "rma", 1e-3)
+            sample_plan(11, i, 6, "nsr-agg", 1e-3)
+
+    def test_partitions_only_on_sendrecv_backends(self):
+        # Only nsr/nsr-agg carry a transport that masks a healed cut.
+        seen = 0
+        for i in range(40):
+            assert not sample_plan(5, i, 8, "ncl", 1e-3).has_partitions()
+            assert not sample_plan(5, i, 8, "rma", 1e-3).has_partitions()
+            p = sample_plan(5, i, 8, "nsr", 1e-3)
+            seen += p.has_partitions()
+            for w in p.partitions:
+                assert 0 < w.t_start < w.t_end < 1e-3
+        assert seen > 0, "seeded space should include partition plans"
 
 
 class TestShrinking:
@@ -107,11 +121,41 @@ class TestShrinking:
             seed=1, drop_rate=0.1, crashes={1: 1e-4, 2: 2e-4},
             degradations=(NicDegradation(rank=0, t_start=0.0,
                                          t_end=1e-4, factor=3.0),),
+            partitions=(PartitionWindow(t_start=1e-5, t_end=9e-5,
+                                        groups=((0, 1), (2, 3))),),
         )
         from repro.harness.chaos import _shrink_candidates
 
         for cand in _shrink_candidates(plan):
             assert plan_size(cand) < plan_size(plan)
+
+    def test_partition_failure_shrinks_to_minimal_cut(self):
+        def classify(backend, plan):
+            # Toy bug: trips whenever some window separates ranks 0 and 1.
+            for w in plan.partitions:
+                if w.separates(0, 1):
+                    return "hang", "0-1 cut"
+            return "ok", ""
+
+        plan = FaultPlan(
+            seed=1, drop_rate=0.06, crashes={3: 2e-4},
+            partitions=(
+                PartitionWindow(t_start=1e-5, t_end=4e-4,
+                                groups=((0, 2), (1, 3))),
+                PartitionWindow(t_start=5e-4, t_end=6e-4,
+                                groups=((2,), (3,))),
+            ),
+        )
+        shrunk, _ = shrink_plan(classify, "nsr", plan, "hang")
+        # Everything irrelevant to the 0-1 cut is gone: the second
+        # window, the crash, the rates, and the extra group members.
+        assert len(shrunk.partitions) == 1
+        (w,) = shrunk.partitions
+        assert w.groups == ((0,), (1,))
+        assert w.separates(0, 1)
+        assert shrunk.crashes == {}
+        assert shrunk.drop_rate == 0.0
+        assert plan_size(shrunk) < plan_size(plan)
 
 
 class TestRunChaos:
@@ -170,6 +214,21 @@ class TestRenderCli:
         assert f"--fault-seed {plan.seed}" in line
         assert "--drop-rate 0.05" in line
 
+    def test_partition_flag_round_trips(self):
+        plan = FaultPlan(
+            seed=3,
+            partitions=(PartitionWindow(t_start=2e-4, t_end=4.5e-4,
+                                        groups=((0, 1), (2, 3))),),
+        )
+        line = render_cli("rmat-s10", 4, "nsr-agg", plan)
+        from repro.__main__ import _parse_partitions
+
+        toks = line.split()
+        windows = _parse_partitions(
+            [toks[i + 1] for i, t in enumerate(toks) if t == "--partition"]
+        )
+        assert windows == plan.partitions
+
 
 class TestMatchingRunner:
     def test_ok_and_hang_classification(self):
@@ -184,3 +243,30 @@ class TestMatchingRunner:
         status, detail = tight("ncl", FaultPlan(seed=1, crashes={1: 1.0}))
         assert status == "hang"
         assert detail
+
+
+class TestRestartRunner:
+    def test_kill_resume_cycles_report_recovery_costs(self):
+        from repro.graph.generators import rmat_graph
+        from repro.matching import run_matching
+
+        g = rmat_graph(6, seed=2)
+        t_scales = {
+            m: run_matching(g, 2, m).makespan for m in ("ncl", "nsr-agg")
+        }
+        runner = restart_matching_runner(g, 2, t_scales)
+
+        status, detail, recovery = runner("ncl", FaultPlan(seed=4))
+        assert (status, detail) == ("ok", "")
+        assert recovery["kills"] > 0
+        assert recovery["rollback_vtime"] > 0.0
+        assert recovery["spurious_detections"] == 0
+
+        # A lossy plan on the aggregated transport still restarts
+        # bit-identically, with the transport's retries surfaced.
+        status, _, recovery = runner(
+            "nsr-agg", FaultPlan(seed=5, drop_rate=0.05)
+        )
+        assert status == "ok"
+        assert recovery["retries"] > 0
+        assert recovery["spurious_detections"] == 0

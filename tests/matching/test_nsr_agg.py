@@ -92,10 +92,19 @@ def test_crash_yields_valid_survivor_matching():
     assert np.all(res.mate[lo:hi] == -1)
 
 
-def test_message_fault_plan_rejected():
-    """nsr-agg has no ack/retry shim, so drop/dup/delay plans must be
-    refused up front rather than silently losing batches."""
+def test_message_fault_plan_masked_by_reliable_batches():
+    """Drop/dup/delay plans are masked by the aggregator's batch-level
+    ack/retry protocol: the matching equals nsr's under the same plan
+    (and the fault-free one), with retransmissions actually exercised."""
     g = rmat_graph(7, seed=3)
     plan = FaultPlan(seed=1, drop_rate=0.05)
-    with pytest.raises(RankFailure, match="message-fault"):
-        run_matching(g, 4, "nsr-agg", config=RunConfig(faults=plan))
+    res = run_matching(g, 4, "nsr-agg", config=RunConfig(faults=plan))
+    ref = run_matching(g, 4, "nsr", config=RunConfig(faults=plan))
+    clean = run_matching(g, 4, "nsr-agg")
+    assert np.array_equal(res.mate, ref.mate)
+    assert np.array_equal(res.mate, clean.mate)
+    assert res.weight == clean.weight
+    totals = res.fault_totals()
+    assert totals["msgs_dropped"] > 0
+    assert totals["agg_batch_retries"] > 0
+    assert totals["spurious_detections"] == 0

@@ -1,0 +1,155 @@
+"""Checkpoint artifacts: snapshots, the store, and the .ckpt envelope.
+
+The engine-level bit-identity contract lives in
+``tests/matching/test_restart.py``; this file covers the artifact layer
+— content hashing, store retention/selection, config validation, and
+the on-disk envelope's corruption detection.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import rmat_graph
+from repro.matching import RunConfig, run_matching
+from repro.mpisim.checkpoint import (
+    CheckpointConfig,
+    CheckpointStore,
+    EngineSnapshot,
+    load_checkpoint,
+    make_snapshot,
+    save_checkpoint,
+)
+
+
+def snap(epoch=0, vtime=1e-4, nprocs=4, state=None):
+    return make_snapshot(epoch, vtime, nprocs,
+                         {"hello": epoch} if state is None else state)
+
+
+class TestSnapshot:
+    def test_content_hash_is_of_payload(self):
+        a = snap(state={"x": 1})
+        b = snap(state={"x": 1})
+        c = snap(state={"x": 2})
+        assert a.sha256 == b.sha256
+        assert a.sha256 != c.sha256
+
+    def test_state_returns_fresh_copies(self):
+        s = snap(state={"q": [1, 2]})
+        first = s.state()
+        first["q"].append(3)
+        assert s.state() == {"q": [1, 2]}
+
+
+class TestStore:
+    def test_latest_and_epoch_lookup(self):
+        store = CheckpointStore()
+        assert store.latest() is None
+        for e in range(4):
+            store.add(snap(epoch=e, vtime=e * 1e-4))
+        assert len(store) == 4
+        assert store.latest().epoch == 3
+        assert store.at_epoch(2).epoch == 2
+        assert store.at_epoch(9) is None
+        assert [s.epoch for s in store] == [0, 1, 2, 3]
+        assert store[1].epoch == 1
+
+    def test_latest_before_selects_restart_point(self):
+        store = CheckpointStore()
+        for e in range(4):
+            store.add(snap(epoch=e, vtime=(e + 1) * 1e-4))
+        assert store.latest_before(2.5e-4).epoch == 1
+        assert store.latest_before(4e-4).epoch == 3  # inclusive
+        assert store.latest_before(0.5e-4) is None
+
+    def test_keep_bounds_memory(self):
+        store = CheckpointStore(keep=2)
+        for e in range(5):
+            store.add(snap(epoch=e, vtime=e * 1e-4))
+        assert [s.epoch for s in store] == [3, 4]
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(keep=0)
+
+
+class TestConfig:
+    @pytest.mark.parametrize("interval", [0.0, -1e-4, float("nan")])
+    def test_interval_must_be_positive(self, interval):
+        with pytest.raises(ValueError, match="interval"):
+            CheckpointConfig(interval=interval)
+
+
+class TestEnvelope:
+    def test_save_load_round_trip(self, tmp_path):
+        s = snap(epoch=7, vtime=3.25e-4, nprocs=8, state={"m": list(range(50))})
+        path = save_checkpoint(s, tmp_path / "x.ckpt")
+        back = load_checkpoint(path)
+        assert back == s  # frozen dataclass: full field equality
+        assert back.state() == {"m": list(range(50))}
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "x.ckpt"
+        save_checkpoint(snap(), p)
+        data = bytearray(p.read_bytes())
+        data[:4] = b"NOPE"
+        p.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="bad magic"):
+            load_checkpoint(p)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        p = tmp_path / "x.ckpt"
+        save_checkpoint(snap(), p)
+        data = bytearray(p.read_bytes())
+        struct.pack_into("<I", data, 8, 99)  # version field follows magic
+        p.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="version 99"):
+            load_checkpoint(p)
+
+    def test_corrupt_payload_rejected(self, tmp_path):
+        p = tmp_path / "x.ckpt"
+        save_checkpoint(snap(), p)
+        data = bytearray(p.read_bytes())
+        data[-1] ^= 0xFF
+        p.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="hash mismatch"):
+            load_checkpoint(p)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        p = tmp_path / "x.ckpt"
+        save_checkpoint(snap(), p)
+        p.write_bytes(p.read_bytes()[:-10])
+        with pytest.raises(ValueError, match="truncated"):
+            load_checkpoint(p)
+
+
+class TestOnDiskIntegration:
+    def test_engine_writes_loadable_ckpt_files(self, tmp_path):
+        """With dir set, every cut lands on disk and resumes identically."""
+        g = rmat_graph(7, seed=3)
+        store = CheckpointStore()
+        cfg = CheckpointConfig(interval=8e-5, store=store, dir=tmp_path,
+                               prefix="ck")
+        ref = run_matching(g, 4, "ncl", config=RunConfig(checkpoint=cfg))
+        assert len(store) > 0
+        files = sorted(tmp_path.glob("ck-epoch*.ckpt"))
+        assert len(files) == len(store)
+        for s, f in zip(store, files):
+            disk = load_checkpoint(f)
+            assert disk == s
+        res = run_matching(
+            g, 4, "ncl",
+            config=RunConfig(restore=load_checkpoint(files[-1])),
+        )
+        assert np.array_equal(res.mate, ref.mate)
+        assert res.weight == ref.weight
+        assert res.makespan == ref.makespan
+
+    def test_load_wrong_nprocs_is_callers_problem(self, tmp_path):
+        """The envelope records nprocs so the CLI can refuse a mismatched
+        resume before building an engine."""
+        s = snap(nprocs=8)
+        back = load_checkpoint(save_checkpoint(s, tmp_path / "x.ckpt"))
+        assert back.nprocs == 8

@@ -1,0 +1,119 @@
+"""FaultPlan construction validation: every malformed plan is rejected
+at build time with a message naming the offending field, so a bad chaos
+config or CLI flag fails fast instead of producing a silently-wrong run.
+
+Behavioral fault tests (fates, crashes, degradation) live in
+``test_faults.py``; partition masking end-to-end lives in
+``tests/matching/test_restart.py``.
+"""
+
+import pytest
+
+from repro.mpisim.faults import FaultPlan, NicDegradation, PartitionWindow
+
+
+class TestFaultPlanRejections:
+    @pytest.mark.parametrize("name", [
+        "drop_rate", "dup_rate", "delay_rate",
+        "rma_drop_rate", "rma_corrupt_rate",
+    ])
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rates_must_be_probabilities(self, name, value):
+        with pytest.raises(ValueError, match=name):
+            FaultPlan(**{name: value})
+
+    def test_delay_min_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="delay_min"):
+            FaultPlan(delay_min=-1e-6)
+
+    def test_delay_max_must_dominate_delay_min(self):
+        with pytest.raises(ValueError, match="delay_max"):
+            FaultPlan(delay_min=2e-5, delay_max=1e-5)
+
+    def test_detect_latency_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="detect_latency"):
+            FaultPlan(detect_latency=-1e-6)
+
+    def test_crash_rank_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="negative rank"):
+            FaultPlan(crashes={-1: 1e-4})
+
+    def test_crash_time_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match=r"crashes\[2\]"):
+            FaultPlan(crashes={2: -1e-4})
+
+
+class TestNicDegradationRejections:
+    def test_factor_must_not_speed_up(self):
+        with pytest.raises(ValueError, match="factor"):
+            NicDegradation(rank=0, t_start=0.0, t_end=1e-4, factor=0.5)
+
+    def test_t_start_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="t_start"):
+            NicDegradation(rank=0, t_start=-1e-4, t_end=1e-4, factor=2.0)
+
+    def test_window_must_be_nonempty(self):
+        with pytest.raises(ValueError, match="t_end"):
+            NicDegradation(rank=0, t_start=1e-4, t_end=1e-4, factor=2.0)
+
+
+class TestPartitionWindowRejections:
+    def test_t_start_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="t_start"):
+            PartitionWindow(t_start=-1e-4, t_end=1e-4, groups=((0,), (1,)))
+
+    def test_window_must_be_nonempty(self):
+        with pytest.raises(ValueError, match="t_end"):
+            PartitionWindow(t_start=1e-4, t_end=1e-4, groups=((0,), (1,)))
+
+    def test_needs_at_least_two_groups(self):
+        with pytest.raises(ValueError, match="2 groups"):
+            PartitionWindow(t_start=0.0, t_end=1e-4, groups=((0, 1),))
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match=r"groups\[1\] is empty"):
+            PartitionWindow(t_start=0.0, t_end=1e-4, groups=((0,), ()))
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError, match="negative rank"):
+            PartitionWindow(t_start=0.0, t_end=1e-4, groups=((0,), (-2,)))
+
+    def test_rank_in_two_groups_rejected(self):
+        with pytest.raises(ValueError, match="rank 1 appears in both"):
+            PartitionWindow(t_start=0.0, t_end=1e-4, groups=((0, 1), (1, 2)))
+
+
+class TestPartitionPredicates:
+    W = PartitionWindow(t_start=1e-4, t_end=3e-4, groups=((0, 1), (2, 3)))
+
+    def test_separates_only_across_the_cut(self):
+        assert self.W.separates(0, 2)
+        assert self.W.separates(3, 1)
+        assert not self.W.separates(0, 1)  # same group
+        assert not self.W.separates(0, 5)  # rank 5 unlisted
+        assert not self.W.separates(5, 6)
+
+    def test_partitioned_is_send_time_windowed(self):
+        plan = FaultPlan(partitions=(self.W,))
+        assert not plan.partitioned(0, 2, 0.5e-4)  # before the window
+        assert plan.partitioned(0, 2, 1e-4)  # t_start inclusive
+        assert plan.partitioned(0, 2, 2.9e-4)
+        assert not plan.partitioned(0, 2, 3e-4)  # healed at t_end
+        assert not plan.partitioned(0, 0, 2e-4)  # self-sends never cut
+
+    def test_clear_time_chains_overlapping_windows(self):
+        plan = FaultPlan(partitions=(
+            PartitionWindow(t_start=1e-4, t_end=3e-4, groups=((0,), (1,))),
+            PartitionWindow(t_start=2.5e-4, t_end=5e-4, groups=((0,), (1,))),
+        ))
+        # Retry at 2e-4 must defer past *both* windows, not just the first.
+        assert plan.partition_clear_time(0, 1, 2e-4) == 5e-4
+        assert plan.partition_clear_time(0, 1, 6e-4) == 6e-4
+        assert plan.partition_clear_time(0, 2, 2e-4) == 2e-4  # unlisted pair
+
+    def test_partitions_imply_needs_reliability(self):
+        plan = FaultPlan(partitions=(self.W,))
+        assert plan.has_partitions()
+        assert plan.needs_reliability()
+        assert not plan.is_null()
+        assert not FaultPlan().needs_reliability()
