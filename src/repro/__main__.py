@@ -324,6 +324,8 @@ def _cmd_match(args) -> int:
                 checkpoint=checkpoint,
                 kill_at=args.kill_at,
                 restore=restore,
+                # None → RunConfig's default ($REPRO_ENGINE or threaded)
+                **({"engine": args.engine} if args.engine else {}),
             ),
         )
     except SimKilled as e:
@@ -486,6 +488,11 @@ def main(argv: list[str] | None = None) -> int:
         choices=["nsr", "rma", "ncl", "mbp", "incl", "nsr-agg"],
     )
     p_match.add_argument("--machine", default="cori-aries")
+    p_match.add_argument(
+        "--engine", default=None, choices=["threaded", "coroutine"],
+        help="execution engine (bit-identical results; coroutine scales "
+        "to thousands of ranks). Default: $REPRO_ENGINE or threaded",
+    )
     p_match.add_argument(
         "--config", default="", metavar="FILE.toml",
         help="run profile; fills in flags left at their defaults",

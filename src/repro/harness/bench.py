@@ -35,14 +35,17 @@ SCHEDULERS = ("reference", "heap")
 # microbenchmark rank programs
 # ----------------------------------------------------------------------
 def _pingpong(rounds: int) -> Callable:
+    # Generator-style rank programs: the threaded engine drives them to
+    # completion inline, the coroutine engine single-steps them — one
+    # program text benchmarks both execution modes.
     def prog(ctx):
         for i in range(rounds):
             if ctx.rank == 0:
-                ctx.isend(1, i)
-                ctx.recv(source=1)
+                yield from ctx.isend_g(1, i)
+                yield from ctx.recv_g(source=1)
             else:
-                ctx.recv(source=0)
-                ctx.isend(0, i)
+                yield from ctx.recv_g(source=0)
+                yield from ctx.isend_g(0, i)
 
     return prog
 
@@ -52,8 +55,8 @@ def _ring(rounds: int) -> Callable:
         nxt = (ctx.rank + 1) % ctx.nprocs
         prv = (ctx.rank - 1) % ctx.nprocs
         for i in range(rounds):
-            ctx.isend(nxt, i, nbytes=64)
-            ctx.recv(source=prv)
+            yield from ctx.isend_g(nxt, i, nbytes=64)
+            yield from ctx.recv_g(source=prv)
 
     return prog
 
@@ -76,12 +79,12 @@ def _scatter(seed: int, rounds: int, fan: int) -> Callable:
             for d in dests[ctx.rank, k]:
                 d = int(d)
                 if d != ctx.rank:
-                    ctx.isend(d, k, nbytes=32)
+                    yield from ctx.isend_g(d, k, nbytes=32)
             expected = int(np.sum(dests[:, k, :] == ctx.rank)) - int(
                 np.sum(dests[ctx.rank, k, :] == ctx.rank)
             )
             for _ in range(expected):
-                ctx.recv()
+                yield from ctx.recv_g()
         return 0
 
     return prog
@@ -90,7 +93,7 @@ def _scatter(seed: int, rounds: int, fan: int) -> Callable:
 def _allreduce(rounds: int) -> Callable:
     def prog(ctx):
         for _ in range(rounds):
-            ctx.allreduce(ctx.rank)
+            yield from ctx.allreduce_g(ctx.rank)
 
     return prog
 
@@ -98,11 +101,11 @@ def _allreduce(rounds: int) -> Callable:
 def _neighbor(rounds: int) -> Callable:
     def prog(ctx):
         p = ctx.nprocs
-        topo = ctx.dist_graph_create_adjacent(
+        topo = yield from ctx.dist_graph_create_adjacent_g(
             sorted({(ctx.rank - 1) % p, (ctx.rank + 1) % p})
         )
         for _ in range(rounds):
-            topo.neighbor_alltoallv([[1, 2, 3]] * topo.degree)
+            yield from topo.neighbor_alltoallv_g([[1, 2, 3]] * topo.degree)
 
     return prog
 
@@ -261,6 +264,89 @@ def _bench_aggregation(quick: bool, repeats: int) -> dict[str, Any]:
     return entry
 
 
+def _bench_engine_modes(quick: bool, repeats: int) -> dict[str, Any]:
+    """Threaded vs coroutine execution engine, two measurements.
+
+    ``e2e``: one small matching run under both engines — proves the two
+    modes agree bit-for-bit (makespan and weight asserted) and gives the
+    end-to-end wall-time ratio at a P the threaded engine can still
+    handle comfortably.
+
+    ``switch_storm``: a nearest-neighbor ring at P in the thousands,
+    where every event parks the rank and the simulation is nothing but
+    scheduling decisions. The threaded engine pays an OS context switch
+    (futex wake + cold thread stack) per decision and its events/s
+    collapses as P grows; the coroutine engine resumes a generator in
+    the scheduler's own thread and holds its rate. The
+    ``events_per_sec_ratio`` here is the engine-scaling headline — the
+    reason P>=4096 weak-scaling runs are coroutine-only.
+    """
+    from repro.graph.generators import rmat_graph
+    from repro.matching import run_matching
+
+    scale = 10 if quick else 11
+    nprocs = 256
+    g = rmat_graph(scale, seed=1)
+    e2e: dict[str, Any] = {
+        "experiment": "rmat matching, ncl backend",
+        "scale": scale,
+        "nprocs": nprocs,
+    }
+    for mode in ("threaded", "coroutine"):
+        # The threaded run spawns one OS thread per rank; one repeat is
+        # plenty.
+        reps = 1 if mode == "threaded" else repeats
+        best = None
+        res = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            res = run_matching(g, nprocs, "ncl", config=RunConfig(engine=mode))
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        events = res.engine.total_ops or res.engine.scheduler_switches
+        e2e[mode] = {
+            "wall_s": best,
+            "makespan": res.makespan,
+            "weight": res.weight,
+            "events_per_sec": events / best if best > 0 else float("inf"),
+        }
+    if (e2e["threaded"]["makespan"], e2e["threaded"]["weight"]) != (
+        e2e["coroutine"]["makespan"],
+        e2e["coroutine"]["weight"],
+    ):
+        raise AssertionError("engine modes disagree on e2e outcome")
+    e2e["speedup"] = e2e["threaded"]["wall_s"] / e2e["coroutine"]["wall_s"]
+
+    storm_p = 8192
+    storm_rounds = 2 if quick else 6
+    storm: dict[str, Any] = {"nprocs": storm_p, "rounds": storm_rounds}
+    for mode in ("threaded", "coroutine"):
+        reps = 1 if mode == "threaded" else repeats
+        best = None
+        res = None
+        for _ in range(reps):
+            eng = Engine(storm_p, cori_aries(), engine=mode)
+            t0 = time.perf_counter()
+            res = eng.run(_ring(storm_rounds))
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        events = res.total_ops or res.scheduler_switches
+        storm[mode] = {
+            "wall_s": best,
+            "makespan": res.makespan,
+            "events_per_sec": events / best if best > 0 else float("inf"),
+        }
+    if storm["threaded"]["makespan"] != storm["coroutine"]["makespan"]:
+        raise AssertionError("engine modes disagree on switch-storm outcome")
+    storm["events_per_sec_ratio"] = (
+        storm["coroutine"]["events_per_sec"]
+        / storm["threaded"]["events_per_sec"]
+    )
+    return {"e2e": e2e, "switch_storm": storm}
+
+
 def run_bench(
     quick: bool = False, repeats: int = 3, out_path: str = "BENCH_engine.json"
 ) -> dict[str, Any]:
@@ -275,6 +361,7 @@ def run_bench(
         "micro": _bench_micro(quick, repeats),
         "e2e": _bench_e2e(quick, repeats),
         "aggregation": _bench_aggregation(quick, repeats),
+        "engine_modes": _bench_engine_modes(quick, repeats),
     }
     # ru_maxrss is KiB on Linux, bytes on macOS.
     rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -323,6 +410,21 @@ def render_report(report: dict[str, Any]) -> str:
         ]
     )
     lines = [t.render()]
+    em = report.get("engine_modes")
+    if em:
+        ee2 = em["e2e"]
+        st = em["switch_storm"]
+        lines.append(
+            f"engine modes e2e (rmat scale {ee2['scale']}, p={ee2['nprocs']}, "
+            f"ncl): coroutine {ee2['speedup']:.2f}x faster wall, identical "
+            f"simulation"
+        )
+        lines.append(
+            f"engine modes switch-storm (ring, p={st['nprocs']}): "
+            f"{st['coroutine']['events_per_sec']:,.0f} events/s (coroutine) vs "
+            f"{st['threaded']['events_per_sec']:,.0f} (threaded) = "
+            f"{st['events_per_sec_ratio']:.1f}x, identical simulation"
+        )
     ag = report.get("aggregation")
     if ag:
         lines.append(

@@ -31,6 +31,7 @@ from repro.util.tables import TextTable
 def _layout_rank_main(ctx, parts):
     lg = parts[ctx.rank]
     backend = RMABackend(ctx, lg)
+    backend.setup()  # run the deferred construction collectives now
     nbrs = list(backend.topo.neighbors)
     layout = {
         "neighbors": nbrs,

@@ -48,10 +48,20 @@ def run_one(
     options: MatchingOptions | None = None,
     faults: FaultPlan | None = None,
     keep_result: bool = False,
+    engine: str | None = None,
 ) -> RunRecord:
-    """Execute one matching run and package its measurements."""
+    """Execute one matching run and package its measurements.
+
+    ``engine`` picks the execution engine ("threaded"/"coroutine"); None
+    defers to RunConfig's default ($REPRO_ENGINE or threaded). Results
+    are bit-identical either way; coroutine is the one that scales to
+    thousands of ranks (use it for P >= 1024 sweeps).
+    """
     machine = machine or cori_aries()
-    res = run_matching(g, nprocs, model=model, config=RunConfig(machine=machine, options=options, faults=faults, compute_weight=True))
+    cfg = RunConfig(machine=machine, options=options, faults=faults, compute_weight=True)
+    if engine is not None:
+        cfg = cfg.evolve(engine=engine)
+    res = run_matching(g, nprocs, model=model, config=cfg)
     c = res.counters
     erep = energy_report(model.upper(), res.makespan, c, power)
     return RunRecord(

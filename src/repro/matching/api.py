@@ -176,6 +176,7 @@ def run_matching(
         checkpoint=config.checkpoint,
         kill_at=config.kill_at,
         restore=config.restore,
+        engine=config.engine,
     )
     result = engine.run(matching_rank_main, args=(parts, model, options))
 

@@ -16,7 +16,8 @@ results (the shim only repackages the values).
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.matching.driver import MatchingOptions
@@ -48,6 +49,12 @@ class RunConfig:
     compute_weight: bool = True  #: weigh the matching (skip for timing
     #: sweeps that only need the makespan)
     scheduler: str = "heap"  #: engine scheduler ("heap" or "reference")
+    engine: str = field(
+        default_factory=lambda: os.environ.get("REPRO_ENGINE", "threaded")
+    )  #: execution engine ("threaded" or "coroutine"); both are
+    #: bit-identical, coroutine scales to P>=4096 (docs/
+    #: engine_scheduling.md). Default comes from $REPRO_ENGINE so CI can
+    #: run the whole suite under either engine without code changes.
 
     # -- checkpoint/restart (docs/fault_model.md) ---------------------
     checkpoint: CheckpointConfig | None = None  #: take coordinated

@@ -88,12 +88,17 @@ def matching_rank_main(
     parts: list[LocalGraph],
     model: str,
     options: MatchingOptions | None = None,
-) -> dict:
+):
     """SPMD entry point: run half-approx matching on this rank's partition.
 
     Returns a per-rank result dict with the owned mate slice, algorithm
     statistics, and backend iteration counts; the harness assembles the
     global matching from these.
+
+    Written as a generator so the rank program runs unchanged under both
+    execution engines: the threaded engine drives it to completion inline
+    (parks block the rank thread and the generator never suspends), the
+    coroutine engine single-steps it from the scheduler loop.
     """
     options = options or MatchingOptions()
     lg = parts[ctx.rank]
@@ -114,7 +119,11 @@ def matching_rank_main(
     backend = make_backend(model, ctx, lg, options)
     state = MatchingState(
         lg,
-        push=backend.push,
+        # Prefer the generator form of Push when the backend has one
+        # (parking pushes must reach the scheduler via the yield protocol
+        # under the coroutine engine); non-parking pushes (ncl, incl)
+        # stay plain callables — MatchingState drives either.
+        push=getattr(backend, "push_g", backend.push),
         charge=ctx.compute,
         eager_reject=options.eager_reject,
         handle_scale=getattr(backend, "handle_scale", 1.0),
@@ -141,7 +150,7 @@ def matching_rank_main(
             lambda: {"state": state.snapshot(), "backend": snap_fn()}
         )
 
-    info = backend.run(state)
+    info = yield from backend.run_g(state)
     backend.finalize(state)
     ctx.free(state_bytes, "matching-state")
     if options.charge_graph_memory:

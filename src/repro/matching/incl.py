@@ -24,6 +24,7 @@ from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.engine import run_inline
 
 
 class INCLBackend:
@@ -35,10 +36,19 @@ class INCLBackend:
         self.options = options
         self.ctx = ctx
         self.lg = lg
-        self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
+        # Topology construction parks (it is a collective), so it is
+        # deferred to the first run() step; nothing in between touches
+        # the clock or the trace.
+        self.topo = None
+        self._staged_bytes = 0
+        self._needs_setup = True
+
+    def _setup_comm_g(self):
+        self._needs_setup = False
+        self.topo = yield from self.ctx.dist_graph_create_adjacent_g(
+            self.lg.neighbor_ranks)
         self.nbr_index = {q: k for k, q in enumerate(self.topo.neighbors)}
         self.send_bufs: list[list[int]] = [[] for _ in self.topo.neighbors]
-        self._staged_bytes = 0
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
@@ -48,13 +58,19 @@ class INCLBackend:
 
     # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
-        state.start()
+        return run_inline(self.run_g(state))
+
+    def run_g(self, state: MatchingState):
+        if self._needs_setup:
+            yield from self._setup_comm_g()
+        yield from state.start_g()
         iterations = 0
         while True:
             iterations += 1
             # Counts first (cheap, blocking — receivers must size buffers).
             counts = [len(b) // 3 for b in self.send_bufs]
-            recv_counts = self.topo.neighbor_alltoall(counts, nbytes_per_item=8)
+            recv_counts = yield from self.topo.neighbor_alltoall_g(
+                counts, nbytes_per_item=8)
             payloads = [np.array(b, dtype=np.int64) for b in self.send_bufs]
             nbytes_each = [c * TRIPLE_BYTES for c in counts]
             staged = self._staged_bytes
@@ -73,18 +89,20 @@ class INCLBackend:
             # previous round executes while the wire moves this round's
             # payload. (Blocking NCL drains immediately instead, leaving
             # nothing to hide transfers behind.)
-            state.drain_work()
+            yield from state.drain_work_g()
 
-            items, _ = req.wait()
+            items, _ = yield from req.wait_g()
             self.ctx.free(staged, "ncl-sendbuf")
             for arr in items:
                 for s in range(0, len(arr), 3):
-                    state.handle(Ctx(int(arr[s])), int(arr[s + 1]), int(arr[s + 2]))
+                    yield from state.handle_g(
+                        Ctx(int(arr[s])), int(arr[s + 1]), int(arr[s + 2]))
             self.ctx.free(recv_bytes_est, "ncl-recvbuf")
             # Matches found above stay queued; they are the next overlap
             # window's work. remaining() counts them, so termination is
             # not declared while work is deferred.
-            if self.ctx.allreduce(state.remaining()) == 0:
+            done = yield from self.ctx.allreduce_g(state.remaining())
+            if done == 0:
                 break
         return {"iterations": iterations}
 

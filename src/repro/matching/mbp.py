@@ -23,6 +23,7 @@ from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.engine import run_inline
 
 #: extra abstract work units per message event (queue churn in the old code)
 _MBP_EXTRA_WORK = 6.0
@@ -45,40 +46,49 @@ class MBPBackend:
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
-        self.ctx.compute(_MBP_EXTRA_WORK)
-        self.ctx.isend(target_rank, (x, y), tag=int(ctx_id), nbytes=TRIPLE_BYTES)
+        run_inline(self.push_g(ctx_id, target_rank, x, y))
 
-    def _drain_incoming(self, state: MatchingState) -> int:
+    def push_g(self, ctx_id: Ctx, target_rank: int, x: int, y: int):
+        self.ctx.compute(_MBP_EXTRA_WORK)
+        yield from self.ctx.isend_g(target_rank, (x, y), tag=int(ctx_id),
+                                    nbytes=TRIPLE_BYTES)
+
+    def _drain_incoming_g(self, state: MatchingState):
         ctx = self.ctx
         handled = 0
         while True:
-            hdr = ctx.iprobe()
+            hdr = yield from ctx.iprobe_g()
             if hdr is None:
                 return handled
             src, tag, _ = hdr
-            msg = ctx.recv(source=src, tag=tag)
+            msg = yield from ctx.recv_g(source=src, tag=tag)
             x, y = msg.payload
             ctx.compute(_MBP_EXTRA_WORK)
-            state.handle(Ctx(tag), x, y)
+            yield from state.handle_g(Ctx(tag), x, y)
             if tag == int(Ctx.REQUEST):
                 # Protocol acknowledgment: pure overhead traffic.
-                ctx.isend(src, (y, x), tag=int(Ctx.ACK), nbytes=TRIPLE_BYTES)
+                yield from ctx.isend_g(src, (y, x), tag=int(Ctx.ACK),
+                                       nbytes=TRIPLE_BYTES)
             handled += 1
 
     # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
+        return run_inline(self.run_g(state))
+
+    def run_g(self, state: MatchingState):
         """Globally synchronized rounds: drain, work, then a communicator-
         wide termination reduction every round (the old code's quiescence
         scheme). Every rank executes the same collective sequence, so the
         reductions stay aligned; leftover ACKs in flight at exit carry no
         algorithmic content."""
-        state.start()
+        yield from state.start_g()
         iterations = 0
         while True:
             iterations += 1
-            self._drain_incoming(state)
-            state.drain_work()
-            if self.ctx.allreduce(state.remaining()) == 0:
+            yield from self._drain_incoming_g(state)
+            yield from state.drain_work_g()
+            done = yield from self.ctx.allreduce_g(state.remaining())
+            if done == 0:
                 break
         return {"iterations": iterations}
 

@@ -34,6 +34,7 @@ from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.engine import run_inline
 from repro.mpisim.errors import RankCrashed
 from repro.mpisim.topology import DistGraphTopology
 
@@ -70,15 +71,23 @@ class NCLBackend:
             self.sent_mark: dict[int, int] = {q: 0 for q in self._all_nbrs}
             #: triples consumed from each sender (dedup on resend overlap)
             self.consumed: dict[int, int] = {q: 0 for q in self._all_nbrs}
-        elif ctx.resuming:
-            # Topology and send buffers come from the checkpoint
-            # (restore_checkpoint); re-running the setup collective would
-            # charge time the uninterrupted run never spent.
-            self.topo = None
         else:
-            self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
-            self.nbr_index = {q: k for k, q in enumerate(self.topo.neighbors)}
-            self.send_bufs: list[list[int]] = [[] for _ in self.topo.neighbors]
+            # Setup collective deferred to the first run() step (it parks,
+            # which must go through the yield protocol under the coroutine
+            # engine; nothing in between touches the clock or trace). On
+            # resume, topology and send buffers come from the checkpoint
+            # (restore_checkpoint) instead — re-running the setup
+            # collective would charge time the uninterrupted run never
+            # spent.
+            self.topo = None
+        self._needs_setup = not (self.fault_aware or ctx.resuming)
+
+    def _setup_comm_g(self):
+        self._needs_setup = False
+        self.topo = yield from self.ctx.dist_graph_create_adjacent_g(
+            self.lg.neighbor_ranks)
+        self.nbr_index = {q: k for k, q in enumerate(self.topo.neighbors)}
+        self.send_bufs: list[list[int]] = [[] for _ in self.topo.neighbors]
 
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
@@ -90,19 +99,20 @@ class NCLBackend:
         self.ctx.alloc(TRIPLE_BYTES, "ncl-sendbuf")
         self._staged_bytes += TRIPLE_BYTES
 
-    def _evoke_and_process(self, state: MatchingState) -> int:
+    def _evoke_and_process_g(self, state: MatchingState):
         """One aggregated exchange: counts alltoall, then payload alltoallv."""
         self.ctx.prof_stage("evoke")
         topo = self.topo
         counts = [len(b) // 3 for b in self.send_bufs]
-        recv_counts = topo.neighbor_alltoall(counts, nbytes_per_item=8)
+        recv_counts = yield from topo.neighbor_alltoall_g(counts, nbytes_per_item=8)
         payloads = [np.array(b, dtype=np.int64) for b in self.send_bufs]
         nbytes_each = [c * TRIPLE_BYTES for c in counts]
         # Receive buffers are sized from the counts exchange; account them
         # for the duration of processing.
         recv_bytes = sum(int(c) * TRIPLE_BYTES for c in recv_counts)
         self.ctx.alloc(recv_bytes, "ncl-recvbuf")
-        items, _ = topo.neighbor_alltoallv(payloads, nbytes_each=nbytes_each)
+        items, _ = yield from topo.neighbor_alltoallv_g(
+            payloads, nbytes_each=nbytes_each)
         # Send buffers are free once the blocking collective returns.
         self.ctx.free(self._staged_bytes, "ncl-sendbuf")
         self._staged_bytes = 0
@@ -112,7 +122,8 @@ class NCLBackend:
         handled = 0
         for arr in items:
             for s in range(0, len(arr), 3):
-                state.handle(Ctx(int(arr[s])), int(arr[s + 1]), int(arr[s + 2]))
+                yield from state.handle_g(
+                    Ctx(int(arr[s])), int(arr[s + 1]), int(arr[s + 2]))
                 handled += 1
         self.ctx.free(recv_bytes, "ncl-recvbuf")
         return handled
@@ -120,7 +131,7 @@ class NCLBackend:
     # ------------------------------------------------------------------
     # crash-survivable path
     # ------------------------------------------------------------------
-    def _exchange_logs(self, state: MatchingState) -> int:
+    def _exchange_logs_g(self, state: MatchingState):
         """One incremental exchange of cumulative-log chunks.
 
         Ships ``(start_triples, chunk)`` per surviving neighbor; the
@@ -140,7 +151,8 @@ class NCLBackend:
             items.append((start // 3, chunk))
         nbytes_each = [8 + int(arr.nbytes) for _, arr in items]
         recv_bytes = 0
-        recv, _ = topo.neighbor_alltoallv(items, nbytes_each=nbytes_each)
+        recv, _ = yield from topo.neighbor_alltoallv_g(
+            items, nbytes_each=nbytes_each)
         for q in nbrs:
             self.sent_mark[q] = len(self.sent_log[q])
         self.ctx.prof_stage("process")
@@ -156,7 +168,7 @@ class NCLBackend:
             fresh = arr[skip:]
             recv_bytes += int(fresh.nbytes)
             for s in range(0, len(fresh), 3):
-                state.handle(
+                yield from state.handle_g(
                     Ctx(int(fresh[s])), int(fresh[s + 1]), int(fresh[s + 2])
                 )
                 handled += 1
@@ -166,12 +178,13 @@ class NCLBackend:
             self.ctx.free(recv_bytes, "ncl-recvbuf")
         return handled
 
-    def _setup(self, state: MatchingState) -> None:
+    def _setup_g(self, state: MatchingState):
         """(Re)build the survivor topology and schedule a full resync."""
         self.ctx.prof_stage("recovery")
         self.epoch = tuple(sorted(state.dead_ranks))
         live = [q for q in self._all_nbrs if q not in state.dead_ranks]
-        self.topo = self.ctx.shrink_rebuild_topology(live, epoch=self.epoch)
+        self.topo = yield from self.ctx.shrink_rebuild_topology_g(
+            live, epoch=self.epoch)
         if self._recoveries:
             # A half-completed exchange may have advanced a peer's sent
             # mark past data we never received: resend everything, the
@@ -179,7 +192,7 @@ class NCLBackend:
             for q in live:
                 self.sent_mark[q] = 0
 
-    def _recover(self, state: MatchingState, blame: int) -> None:
+    def _recover_g(self, state: MatchingState, blame: int):
         ctx = self.ctx
         ctx.prof_stage("recovery")
         for r in sorted(ctx.failed_ranks()):
@@ -188,64 +201,72 @@ class NCLBackend:
                     # Detection is plan-driven: a partitioned-but-alive
                     # peer can never land here; the counter proves it.
                     ctx.counters().spurious_detections += 1
-                state.renounce_rank(r)
+                yield from state.renounce_rank_g(r)
         if self.topo is not None:
             ctx.revoke_topology(self.topo, blame)
         self.topo = None
         self._recoveries += 1
 
-    def _run_survivable(self, state: MatchingState) -> dict:
+    def _run_survivable_g(self, state: MatchingState):
         ctx = self.ctx
         if self._resumed:
             self._resumed = False
-            ctx.reissue_parked_wait()
+            yield from ctx.reissue_parked_wait_g()
         while True:
             try:
                 if self.topo is None:
-                    self._setup(state)
+                    yield from self._setup_g(state)
                 if not self._started:
-                    state.start()
+                    yield from state.start_g()
                     self._started = True
                 while True:
-                    ctx.checkpoint_tick()
+                    yield from ctx.checkpoint_tick_g()
                     self._iterations += 1
                     ctx.prof_iteration(self._iterations)
-                    self._exchange_logs(state)
+                    yield from self._exchange_logs_g(state)
                     ctx.prof_stage("push")
-                    state.drain_work()
+                    yield from state.drain_work_g()
                     ctx.prof_stage("terminate")
                     debt = state.remaining()
-                    if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
+                    agreed = yield from ctx.agree_g(
+                        debt, epoch=self.epoch, label="loop")
+                    if int(agreed) == 0:
                         return {
                             "iterations": self._iterations,
                             "recoveries": self._recoveries,
                         }
             except RankCrashed as e:
-                self._recover(state, e.rank)
+                yield from self._recover_g(state, e.rank)
 
     # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
+        return run_inline(self.run_g(state))
+
+    def run_g(self, state: MatchingState):
         if self.fault_aware:
-            return self._run_survivable(state)
+            return (yield from self._run_survivable_g(state))
         ctx = self.ctx
+        if self._needs_setup:
+            yield from self._setup_comm_g()
         if self._resumed:
             self._resumed = False
-            ctx.reissue_parked_wait()
+            yield from ctx.reissue_parked_wait_g()
         else:
-            state.start()
+            yield from state.start_g()
         while True:
             # Coordinated-checkpoint safepoint: parks here (charge-free)
             # when a cut is due; a resumed run re-enters at this exact
             # point and the tick no-ops (the next due time was advanced
             # before the snapshot was taken).
-            ctx.checkpoint_tick()
+            yield from ctx.checkpoint_tick_g()
             self._iterations += 1
             ctx.prof_iteration(self._iterations)
-            self._evoke_and_process(state)
+            yield from self._evoke_and_process_g(state)
             ctx.prof_stage("push")
-            state.drain_work()
+            yield from state.drain_work_g()
             ctx.prof_stage("terminate")
-            if ctx.allreduce(state.remaining()) == 0:
+            done = yield from ctx.allreduce_g(state.remaining())
+            if done == 0:
                 break
         return {"iterations": self._iterations}
 

@@ -28,6 +28,7 @@ from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.reliable import ReliableChannel
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.engine import run_inline
 
 
 class NSRBackend:
@@ -87,67 +88,75 @@ class NSRBackend:
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
         """Immediate nonblocking send; the context is the MPI tag."""
+        run_inline(self.push_g(ctx_id, target_rank, x, y))
+
+    def push_g(self, ctx_id: Ctx, target_rank: int, x: int, y: int):
         if self.channel is not None:
-            self.channel.send(target_rank, int(ctx_id), (x, y), TRIPLE_BYTES)
+            yield from self.channel.send_g(
+                target_rank, int(ctx_id), (x, y), TRIPLE_BYTES)
             return
         if self.fault_aware and self.ctx.is_failed(target_rank):
             # Detected-dead peer we have not renounced yet (detection can
             # land mid-iteration); the message would be blackholed anyway
             # and renounce_rank repairs the bookkeeping at the loop top.
             return
-        self.ctx.isend(target_rank, (x, y), tag=int(ctx_id), nbytes=TRIPLE_BYTES)
+        yield from self.ctx.isend_g(target_rank, (x, y), tag=int(ctx_id),
+                                    nbytes=TRIPLE_BYTES)
 
-    def _drain_incoming(self, state: MatchingState) -> int:
+    def _drain_incoming_g(self, state: MatchingState):
         """Probe-and-receive until the queue is (momentarily) empty."""
         ctx = self.ctx
         handled = 0
         while True:
-            hdr = ctx.iprobe()
+            hdr = yield from ctx.iprobe_g()
             if hdr is None:
                 return handled
             src, tag, _ = hdr
-            msg = ctx.recv(source=src, tag=tag)
+            msg = yield from ctx.recv_g(source=src, tag=tag)
             x, y = msg.payload
-            state.handle(Ctx(tag), x, y)
+            yield from state.handle_g(Ctx(tag), x, y)
             handled += 1
 
     # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
-        if self.channel is not None or self.fault_aware:
-            return self._run_hardened(state)
-        return self._run_plain(state)
+        return run_inline(self.run_g(state))
 
-    def _renounce(self, state: MatchingState, r: int) -> None:
+    def run_g(self, state: MatchingState):
+        if self.channel is not None or self.fault_aware:
+            return (yield from self._run_hardened_g(state))
+        return (yield from self._run_plain_g(state))
+
+    def _renounce_g(self, state: MatchingState, r: int):
         """ULFM-style recovery for detected-dead rank ``r``."""
         if self._plan is None or self._plan.crash_time(r) is None:
             # Detection is plan-driven, so this cannot happen for a merely
             # partitioned peer — the counter proves it stayed that way.
             self.ctx.counters().spurious_detections += 1
-        state.renounce_rank(r)
+        yield from state.renounce_rank_g(r)
         if self.channel is not None:
             self.channel.on_rank_failed(r)
 
-    def _run_plain(self, state: MatchingState) -> dict:
+    def _run_plain_g(self, state: MatchingState):
         """Algorithm 3's main loop, event-driven."""
         ctx = self.ctx
         if self._resumed:
             self._resumed = False
-            ctx.reissue_parked_wait()
+            yield from ctx.reissue_parked_wait_g()
         else:
-            state.start()
+            yield from state.start_g()
         while True:
             # Coordinated-checkpoint boundary: charge-free no-op until a
             # cut is due, then parks so the scheduler can assemble the
             # snapshot (ranks caught in a blocking probe are safepoints
             # already). A resumed run re-enters here and the tick no-ops.
-            ctx.checkpoint_tick()
+            yield from ctx.checkpoint_tick_g()
             self._iterations += 1
             ctx.prof_iteration(self._iterations)
             ctx.prof_stage("evoke")
-            progressed = self._drain_incoming(state) > 0
+            progressed = (yield from self._drain_incoming_g(state)) > 0
             if state.work:
                 ctx.prof_stage("push")
-                state.drain_work()
+                yield from state.drain_work_g()
                 progressed = True
             if state.locally_done():
                 break
@@ -155,50 +164,51 @@ class NSRBackend:
                 # Nothing local to do: the next change must arrive on the
                 # wire. Real codes spin on Iprobe; we model the blocking
                 # probe (fast-forwarding the clock) and account the wait.
-                self.ctx.probe()
+                yield from self.ctx.probe_g()
         return {"iterations": self._iterations}
 
-    def _run_hardened(self, state: MatchingState) -> dict:
+    def _run_hardened_g(self, state: MatchingState):
         """Event loop with reliable delivery and/or crash handling."""
         ctx = self.ctx
         chan = self.channel
         rc = ctx.counters()
         if self._resumed:
             self._resumed = False
-            ctx.reissue_parked_wait()
+            yield from ctx.reissue_parked_wait_g()
         else:
-            state.start()
+            yield from state.start_g()
 
-        def deliver(src: int, user_tag: int, payload) -> None:
+        def deliver(src: int, user_tag: int, payload):
             x, y = payload
-            state.handle(Ctx(user_tag), x, y)
+            yield from state.handle_g(Ctx(user_tag), x, y)
 
         while True:
-            ctx.checkpoint_tick()
+            yield from ctx.checkpoint_tick_g()
             self._iterations += 1
             ctx.prof_iteration(self._iterations)
             if self.fault_aware:
                 ctx.prof_stage("recovery")
                 for r in ctx.failed_ranks():
                     if r not in state.dead_ranks:
-                        self._renounce(state, r)
+                        yield from self._renounce_g(state, r)
             progressed = False
             ctx.prof_stage("evoke")
             if chan is not None:
                 acks_before = rc.acks_sent
-                if chan.poll(deliver) > 0:
+                if (yield from chan.poll_g(deliver)) > 0:
                     progressed = True
                 if rc.acks_sent > acks_before:
                     # Any receipt (dups included) restarts the linger
                     # clock: the sender clearly had not seen our ack yet.
                     self._quiet_until = None
-                chan.service(ctx.now, may_abandon=state.locally_done())
+                yield from chan.service_g(ctx.now,
+                                          may_abandon=state.locally_done())
             else:
-                if self._drain_incoming(state) > 0:
+                if (yield from self._drain_incoming_g(state)) > 0:
                     progressed = True
             if state.work:
                 ctx.prof_stage("push")
-                state.drain_work()
+                yield from state.drain_work_g()
                 progressed = True
 
             if state.locally_done() and (chan is None or chan.idle()):
@@ -215,13 +225,13 @@ class NSRBackend:
                     )
                 if ctx.now >= self._quiet_until:
                     break
-                ctx.probe(deadline=self._quiet_until)
+                yield from ctx.probe_g(deadline=self._quiet_until)
                 continue
             self._quiet_until = None
 
             if not progressed:
                 deadline = chan.next_deadline() if chan is not None else None
-                ctx.probe(deadline=deadline)
+                yield from ctx.probe_g(deadline=deadline)
         return {"iterations": self._iterations}
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.engine import run_inline
 
 #: lane auto-flush defaults: the byte threshold sits at the eager limit's
 #: order of magnitude so only pathologically hot lanes flush early; the
@@ -121,23 +122,32 @@ class NSRAggBackend:
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
         """Stage the triple in the target's coalescing lane."""
-        self.agg.append(target_rank, int(ctx_id), (x, y), TRIPLE_BYTES)
+        run_inline(self.push_g(ctx_id, target_rank, x, y))
+
+    def push_g(self, ctx_id: Ctx, target_rank: int, x: int, y: int):
+        yield from self.agg.append_g(
+            target_rank, int(ctx_id), (x, y), TRIPLE_BYTES)
         self.ctx.alloc(TRIPLE_BYTES, "agg-sendbuf")
         self._staged_bytes += TRIPLE_BYTES
 
-    def _deliver(self, src: int, user_tag: int, payload) -> None:
+    def _deliver(self, src: int, user_tag: int, payload):
+        # Generator handler: the aggregator's poll path drives it under
+        # either engine (plain poll run_inlines the same normalization).
         x, y = payload
-        self._state.handle(Ctx(user_tag), x, y)
+        yield from self._state.handle_g(Ctx(user_tag), x, y)
 
     # ------------------------------------------------------------------
-    def _flush_boundary(self) -> None:
+    def _flush_boundary_g(self):
         """Ship every lane; runs before any block or loop exit."""
-        self.agg.flush_all()
+        yield from self.agg.flush_all_g()
         if self._staged_bytes:
             self.ctx.free(self._staged_bytes, "agg-sendbuf")
             self._staged_bytes = 0
 
     def run(self, state: MatchingState) -> dict:
+        return run_inline(self.run_g(state))
+
+    def run_g(self, state: MatchingState):
         """NSR's event loop with batch transport and boundary flushes."""
         ctx = self.ctx
         agg = self.agg
@@ -145,11 +155,11 @@ class NSRAggBackend:
         self._state = state
         if self._resumed:
             self._resumed = False
-            ctx.reissue_parked_wait()
+            yield from ctx.reissue_parked_wait_g()
         else:
-            state.start()
+            yield from state.start_g()
         while True:
-            ctx.checkpoint_tick()
+            yield from ctx.checkpoint_tick_g()
             self._iterations += 1
             ctx.prof_iteration(self._iterations)
             if self.fault_aware:
@@ -160,19 +170,19 @@ class NSRAggBackend:
                             # Detection is plan-driven: a partitioned-but-
                             # alive peer can never land here; prove it.
                             rc.spurious_detections += 1
-                        state.renounce_rank(r)
+                        yield from state.renounce_rank_g(r)
                         agg.drop_rank(r)
             ctx.prof_stage("evoke")
             acks_before = rc.agg_acks_sent
-            progressed = agg.poll(self._deliver) > 0
+            progressed = (yield from agg.poll_g(self._deliver)) > 0
             if rc.agg_acks_sent > acks_before:
                 # Any batch receipt (dups included) restarts the linger
                 # clock: the sender clearly had not seen our ack yet.
                 self._quiet_until = None
-            agg.service(ctx.now, may_abandon=state.locally_done())
+            yield from agg.service_g(ctx.now, may_abandon=state.locally_done())
             if state.work:
                 ctx.prof_stage("push")
-                state.drain_work()
+                yield from state.drain_work_g()
                 progressed = True
             if progressed:
                 self._lingered = False
@@ -180,7 +190,7 @@ class NSRAggBackend:
             if state.locally_done():
                 # Final responses (REJECT/INVALID to peers still waiting
                 # on us) must go on the wire before this rank leaves.
-                self._flush_boundary()
+                yield from self._flush_boundary_g()
                 if not self.reliable:
                     break
                 if agg.idle():
@@ -194,12 +204,12 @@ class NSRAggBackend:
                         )
                     if ctx.now >= self._quiet_until:
                         break
-                    ctx.probe(deadline=self._quiet_until)
+                    yield from ctx.probe_g(deadline=self._quiet_until)
                     continue
                 # Unacked batches remain: wait for their acks or the
                 # retransmission timer, whichever first.
                 self._quiet_until = None
-                ctx.probe(deadline=agg.next_deadline())
+                yield from ctx.probe_g(deadline=agg.next_deadline())
                 continue
             self._quiet_until = None
             # Out of local work. If messages are staged, linger one timer
@@ -211,15 +221,15 @@ class NSRAggBackend:
                 and agg.pending_messages() > 0
             ):
                 self._lingered = True
-                ctx.probe(deadline=ctx.now + self.flush_delay)
+                yield from ctx.probe_g(deadline=ctx.now + self.flush_delay)
                 continue
             # Timer expired (or nothing staged): ship everything — nothing
             # may stay buffered while peers wait on us — then fast-forward
             # to the next arrival (bounded by the retransmission timer in
             # reliable mode; next_deadline() is None otherwise).
-            self._flush_boundary()
+            yield from self._flush_boundary_g()
             self._lingered = False
-            ctx.probe(deadline=agg.next_deadline())
+            yield from ctx.probe_g(deadline=agg.next_deadline())
         return {"iterations": self._iterations}
 
     # ------------------------------------------------------------------

@@ -30,9 +30,11 @@ forever would otherwise prevent quiescence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Any, Callable
 
 from repro.mpisim.context import RankContext
+from repro.mpisim.engine import run_inline
 from repro.mpisim.errors import RetryExhausted
 
 #: MPI tags used by the shim (application tags ride inside the payload;
@@ -109,6 +111,9 @@ class ReliableChannel:
     # ------------------------------------------------------------------
     def send(self, dst: int, user_tag: int, payload: Any, nbytes: int) -> None:
         """Reliably send ``payload`` to ``dst`` (returns immediately)."""
+        run_inline(self.send_g(dst, user_tag, payload, nbytes))
+
+    def send_g(self, dst: int, user_tag: int, payload: Any, nbytes: int):
         seq = self._next_seq.get(dst, 0)
         self._next_seq[dst] = seq + 1
         pend = _Pending(
@@ -120,12 +125,15 @@ class ReliableChannel:
             deadline=self.ctx.now + self.rto,
         )
         self._unacked[(dst, seq)] = pend
-        self._transmit(pend)
+        yield from self._transmit_g(pend)
 
     def _transmit(self, p: _Pending) -> None:
+        run_inline(self._transmit_g(p))
+
+    def _transmit_g(self, p: _Pending):
         if self.ctx.is_failed(p.dst):
             return  # dead peer; the entry is reaped by service/on_rank_failed
-        self.ctx.isend(
+        yield from self.ctx.isend_g(
             p.dst,
             (p.seq, p.user_tag, p.payload),
             tag=TAG_DATA,
@@ -140,6 +148,9 @@ class ReliableChannel:
         depends on confirmation — e.g. it is locally quiescent); without
         it, exhaustion raises :class:`RetryExhausted`.
         """
+        return run_inline(self.service_g(now, may_abandon=may_abandon))
+
+    def service_g(self, now: float, *, may_abandon: bool = False):
         fired = 0
         rc = self.ctx.counters()
         plan = self.ctx.fault_plan
@@ -175,7 +186,7 @@ class ReliableChannel:
             p.attempt += 1
             p.deadline = now + min(self.rto * (2.0 ** p.attempt), self.rto_max)
             rc.retransmits += 1
-            self._transmit(p)
+            yield from self._transmit_g(p)
             fired += 1
         return fired
 
@@ -226,15 +237,18 @@ class ReliableChannel:
         ACKs retire pending sends; DATA is acknowledged, deduplicated,
         and released to ``handler`` in per-source sequence order.
         """
+        return run_inline(self.poll_g(handler))
+
+    def poll_g(self, handler: Callable[[int, int, Any], None]):
         ctx = self.ctx
         rc = ctx.counters()
         delivered = 0
         while True:
-            hdr = ctx.iprobe()
+            hdr = yield from ctx.iprobe_g()
             if hdr is None:
                 return delivered
             src, tag, _ = hdr
-            msg = ctx.recv(source=src, tag=tag)
+            msg = yield from ctx.recv_g(source=src, tag=tag)
             if tag == TAG_ACK:
                 self._unacked.pop((src, msg.payload), None)
                 continue
@@ -244,7 +258,7 @@ class ReliableChannel:
             # Always ack, even duplicates: the original ack may be the
             # thing the network ate.
             if not ctx.is_failed(src):
-                ctx.isend(src, seq, tag=TAG_ACK, nbytes=ACK_BYTES)
+                yield from ctx.isend_g(src, seq, tag=TAG_ACK, nbytes=ACK_BYTES)
                 rc.acks_sent += 1
             peer = self._peers.setdefault(src, _PeerState())
             if seq < peer.next_expected or seq in peer.held:
@@ -254,5 +268,8 @@ class ReliableChannel:
             while peer.next_expected in peer.held:
                 ut, pl = peer.held.pop(peer.next_expected)
                 peer.next_expected += 1
-                handler(src, ut, pl)
+                # Generator-style handlers (coroutine engine) may park.
+                res = handler(src, ut, pl)
+                if isinstance(res, GeneratorType):
+                    yield from res
                 delivered += 1

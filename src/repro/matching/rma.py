@@ -49,6 +49,7 @@ from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import TRIPLE_BYTES, Ctx
 from repro.matching.state import MatchingState
 from repro.mpisim.context import RankContext
+from repro.mpisim.engine import run_inline
 from repro.mpisim.errors import RankCrashed
 from repro.mpisim.topology import DistGraphTopology
 from repro.mpisim.window import Window
@@ -110,33 +111,47 @@ class RMABackend:
         self._started = False
         self._resumed = False
 
-        if self.fault_aware or ctx.resuming:
-            # Setup collectives move into run(): they must be
-            # survivor-safe, which plain scope-0 collectives are not.
-            # On resume, window and topology come from the checkpoint
-            # instead (restore_checkpoint) — re-running the setup
-            # collectives would charge time the uninterrupted run never
-            # spent.
-            self.topo = None
-            self.win = None
-            self.remote_base: dict[int, int] = {}
-        else:
-            self.topo = ctx.dist_graph_create_adjacent(lg.neighbor_ranks)
-            self.win = ctx.win_allocate(
-                self._total_slots * self._slot, dtype=np.int64, fill=0
-            )
-            mine = [int(self.region_start[q]) for q in self.topo.neighbors]
-            bases = self.topo.neighbor_alltoall(mine, nbytes_per_item=8)
-            self.remote_base = {
-                q: int(b) for q, b in zip(self.topo.neighbors, bases)
-            }
+        # Setup collectives are deferred to the first run() step: they
+        # park, which must happen through the yield protocol under the
+        # coroutine engine (nothing between here and run() touches the
+        # clock or trace, so the deferral is bit-invisible). The fault-
+        # aware path builds survivor-safe topology inside run() instead;
+        # on resume, window and topology come from the checkpoint
+        # (restore_checkpoint) — re-running the setup collectives would
+        # charge time the uninterrupted run never spent.
+        self.topo = None
+        self.win = None
+        self.remote_base: dict[int, int] = {}
+        self._needs_setup = not (self.fault_aware or ctx.resuming)
         if not ctx.resuming:
             # origin-side bookkeeping buffers (cursors + offsets), memory
             # model; a resume's restored counters already carry this.
             ctx.alloc(8 * 4 * max(1, len(self._all_nbrs)), "rma-bookkeeping")
 
+    def setup(self) -> None:
+        """Run the deferred setup collectives now (threaded engine only;
+        run() performs this automatically on its first step)."""
+        run_inline(self._setup_comm_g())
+
+    def _setup_comm_g(self):
+        ctx = self.ctx
+        self._needs_setup = False
+        self.topo = yield from ctx.dist_graph_create_adjacent_g(
+            self.lg.neighbor_ranks)
+        self.win = yield from ctx.win_allocate_g(
+            self._total_slots * self._slot, dtype=np.int64, fill=0
+        )
+        mine = [int(self.region_start[q]) for q in self.topo.neighbors]
+        bases = yield from self.topo.neighbor_alltoall_g(mine, nbytes_per_item=8)
+        self.remote_base = {
+            q: int(b) for q, b in zip(self.topo.neighbors, bases)
+        }
+
     # ------------------------------------------------------------------
     def push(self, ctx_id: Ctx, target_rank: int, x: int, y: int) -> None:
+        run_inline(self.push_g(ctx_id, target_rank, x, y))
+
+    def push_g(self, ctx_id: Ctx, target_rank: int, x: int, y: int):
         if self.write_cursor[target_rank] >= self.region_cap[target_rank]:
             raise RuntimeError(
                 f"RMA region overflow towards rank {target_rank}: "
@@ -150,13 +165,14 @@ class RMABackend:
             self.sent_log[target_rank].append((int(ctx_id), x, y))
         else:
             words = [int(ctx_id), x, y]
-        self.win.put(target_rank, np.array(words, dtype=np.int64), offset)
+        yield from self.win.put_g(target_rank, np.array(words, dtype=np.int64),
+                                  offset)
         self.write_cursor[target_rank] = cur + 1
 
     # ------------------------------------------------------------------
-    def _exchange_counts(self):
+    def _exchange_counts_g(self):
         """Flush, then trade cumulative counts (+ bad-slot reports)."""
-        self.win.flush_all()
+        yield from self.win.flush_all_g()
         nbrs = self.topo.neighbors
         if self.put_verify:
             items = [
@@ -164,16 +180,17 @@ class RMABackend:
                 for q in nbrs
             ]
             nbytes_each = [8 + 8 * len(b) for _, b in items]
-            recv, _ = self.topo.neighbor_alltoallv(items, nbytes_each=nbytes_each)
+            recv, _ = yield from self.topo.neighbor_alltoallv_g(
+                items, nbytes_each=nbytes_each)
             counts = {q: int(c) for q, (c, _) in zip(nbrs, recv)}
             reported = {q: b for q, (_, b) in zip(nbrs, recv) if b}
             return counts, reported
-        recv = self.topo.neighbor_alltoall(
+        recv = yield from self.topo.neighbor_alltoall_g(
             [int(self.write_cursor[q]) for q in nbrs], nbytes_per_item=8
         )
         return {q: int(c) for q, c in zip(nbrs, recv)}, {}
 
-    def _scan_region(self, state: MatchingState, buf, q: int, avail: int) -> int:
+    def _scan_region_g(self, state: MatchingState, buf, q: int, avail: int):
         """Consume newly advertised slots from sender ``q`` in order.
 
         Under put-fate verification, consumption stalls at the first slot
@@ -194,7 +211,7 @@ class RMABackend:
                 if chk != slot_checksum(ctx_id, x, y):
                     bad.append(cur)
                     break
-                state.handle(Ctx(ctx_id), x, y)
+                yield from state.handle_g(Ctx(ctx_id), x, y)
                 cur += 1
                 handled += 1
             self.read_cursor[q] = cur
@@ -213,38 +230,39 @@ class RMABackend:
         else:
             while cur < avail:
                 s = base + cur * slot
-                state.handle(Ctx(int(buf[s])), int(buf[s + 1]), int(buf[s + 2]))
+                yield from state.handle_g(
+                    Ctx(int(buf[s])), int(buf[s + 1]), int(buf[s + 2]))
                 cur += 1
                 handled += 1
             self.read_cursor[q] = cur
         return handled
 
-    def _repair_slots(self, reported: dict[int, tuple[int, ...]]) -> None:
+    def _repair_slots_g(self, reported: dict[int, tuple[int, ...]]):
         """Re-put slots a neighbor reported bad (fresh fate per retry)."""
         rc = self.ctx.counters()
         for q, bads in reported.items():
             for sidx in bads:
                 ctx_id, x, y = self.sent_log[q][sidx]
                 words = [slot_checksum(ctx_id, x, y), ctx_id, x, y]
-                self.win.put(
+                yield from self.win.put_g(
                     q,
                     np.array(words, dtype=np.int64),
                     self.remote_base[q] + sidx * self._slot,
                 )
                 rc.put_retries += 1
 
-    def _evoke_and_process(self, state: MatchingState) -> int:
+    def _evoke_and_process_g(self, state: MatchingState):
         """flush -> counts exchange -> read new window slots."""
         self.ctx.prof_stage("evoke")
-        counts, reported = self._exchange_counts()
-        self.win.sync_local()
+        counts, reported = yield from self._exchange_counts_g()
+        yield from self.win.sync_local_g()
         buf = self.win.local
         self.ctx.prof_stage("process")
         handled = 0
         for q in self.topo.neighbors:
-            handled += self._scan_region(state, buf, q, counts[q])
+            handled += yield from self._scan_region_g(state, buf, q, counts[q])
         if reported:
-            self._repair_slots(reported)
+            yield from self._repair_slots_g(reported)
         return handled
 
     def _verify_debt(self) -> int:
@@ -253,35 +271,42 @@ class RMABackend:
 
     # ------------------------------------------------------------------
     def run(self, state: MatchingState) -> dict:
-        if not self.fault_aware:
-            return self._run_plain(state)
-        return self._run_survivable(state)
+        return run_inline(self.run_g(state))
 
-    def _run_plain(self, state: MatchingState) -> dict:
+    def run_g(self, state: MatchingState):
+        if not self.fault_aware:
+            return (yield from self._run_plain_g(state))
+        return (yield from self._run_survivable_g(state))
+
+    def _run_plain_g(self, state: MatchingState):
         ctx = self.ctx
+        if self._needs_setup:
+            yield from self._setup_comm_g()
         if self._resumed:
             self._resumed = False
-            ctx.reissue_parked_wait()
+            yield from ctx.reissue_parked_wait_g()
         else:
-            state.start()
+            yield from state.start_g()
         while True:
             # Coordinated-checkpoint safepoint: parks here (charge-free)
             # when a cut is due; a resumed run re-enters at this exact
             # point and the tick no-ops (the next due time was advanced
             # before the snapshot was taken).
-            ctx.checkpoint_tick()
+            yield from ctx.checkpoint_tick_g()
             self._iterations += 1
             ctx.prof_iteration(self._iterations)
-            self._evoke_and_process(state)
+            yield from self._evoke_and_process_g(state)
             ctx.prof_stage("push")
-            state.drain_work()
+            yield from state.drain_work_g()
             ctx.prof_stage("terminate")
-            if ctx.allreduce(state.remaining() + self._verify_debt()) == 0:
+            done = yield from ctx.allreduce_g(
+                state.remaining() + self._verify_debt())
+            if done == 0:
                 break
         return {"iterations": self._iterations}
 
     # -- crash-survivable path -----------------------------------------
-    def _setup(self, state: MatchingState) -> None:
+    def _setup_g(self, state: MatchingState):
         """(Re)build survivor topology, window, and region bases.
 
         SPMD-symmetric and idempotent per failure epoch: every survivor
@@ -293,8 +318,9 @@ class RMABackend:
         ctx.prof_stage("recovery")
         self.epoch = tuple(sorted(state.dead_ranks))
         live = [q for q in self._all_nbrs if q not in state.dead_ranks]
-        self.topo = ctx.shrink_rebuild_topology(live, epoch=self.epoch)
-        self.win = ctx.win_allocate_survivor(
+        self.topo = yield from ctx.shrink_rebuild_topology_g(
+            live, epoch=self.epoch)
+        self.win = yield from ctx.win_allocate_survivor_g(
             self._total_slots * self._slot,
             dtype=np.int64,
             fill=0,
@@ -304,10 +330,10 @@ class RMABackend:
         )
         self._win_charged = True
         mine = [int(self.region_start[q]) for q in self.topo.neighbors]
-        bases = self.topo.neighbor_alltoall(mine, nbytes_per_item=8)
+        bases = yield from self.topo.neighbor_alltoall_g(mine, nbytes_per_item=8)
         self.remote_base = {q: int(b) for q, b in zip(self.topo.neighbors, bases)}
 
-    def _recover(self, state: MatchingState, blame: int) -> None:
+    def _recover_g(self, state: MatchingState, blame: int):
         """Renounce newly detected failures and schedule a rebuild."""
         ctx = self.ctx
         ctx.prof_stage("recovery")
@@ -317,7 +343,7 @@ class RMABackend:
                     # Detection is plan-driven: a partitioned-but-alive
                     # peer can never land here; the counter proves it.
                     ctx.counters().spurious_detections += 1
-                state.renounce_rank(r)
+                yield from state.renounce_rank_g(r)
         if self.topo is not None:
             # Strand-proof the abandoned scope: survivors still blocked in
             # its collectives raise instead of waiting for us.
@@ -327,34 +353,36 @@ class RMABackend:
             self._my_bad.pop(r, None)
         self._recoveries += 1
 
-    def _run_survivable(self, state: MatchingState) -> dict:
+    def _run_survivable_g(self, state: MatchingState):
         ctx = self.ctx
         if self._resumed:
             self._resumed = False
-            ctx.reissue_parked_wait()
+            yield from ctx.reissue_parked_wait_g()
         while True:
             try:
                 if self.topo is None:
-                    self._setup(state)
+                    yield from self._setup_g(state)
                 if not self._started:
-                    state.start()
+                    yield from state.start_g()
                     self._started = True
                 while True:
-                    ctx.checkpoint_tick()
+                    yield from ctx.checkpoint_tick_g()
                     self._iterations += 1
                     ctx.prof_iteration(self._iterations)
-                    self._evoke_and_process(state)
+                    yield from self._evoke_and_process_g(state)
                     ctx.prof_stage("push")
-                    state.drain_work()
+                    yield from state.drain_work_g()
                     ctx.prof_stage("terminate")
                     debt = state.remaining() + self._verify_debt()
-                    if int(ctx.agree(debt, epoch=self.epoch, label="loop")) == 0:
+                    agreed = yield from ctx.agree_g(
+                        debt, epoch=self.epoch, label="loop")
+                    if int(agreed) == 0:
                         return {
                             "iterations": self._iterations,
                             "recoveries": self._recoveries,
                         }
             except RankCrashed as e:
-                self._recover(state, e.rank)
+                yield from self._recover_g(state, e.rank)
 
     # ------------------------------------------------------------------
     # checkpoint capture/restore

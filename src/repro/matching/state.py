@@ -33,12 +33,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Callable
 
 import numpy as np
 
 from repro.graph.distribution import LocalGraph
 from repro.matching.contexts import Ctx
+from repro.mpisim.engine import run_inline
 from repro.util.hashing import edge_hash_array
 
 NO_MATE = -1
@@ -150,9 +152,16 @@ class MatchingState:
 
     def _push(self, ctx_id: Ctx, y: int, x_payload: int, y_payload: int) -> None:
         """Send (ctx, x, y) to owner(y)."""
+        run_inline(self._push_g(ctx_id, y, x_payload, y_payload))
+
+    def _push_g(self, ctx_id: Ctx, y: int, x_payload: int, y_payload: int):
         self.charge(COST_PUSH)
         self.stats.sent[ctx_id.name] += 1
-        self.push_fn(ctx_id, self.lg.dist.owner(y), x_payload, y_payload)
+        # Backends hand in either a plain callable (threaded engine) or a
+        # generator function (coroutine engine) — drive whichever we got.
+        res = self.push_fn(ctx_id, self.lg.dist.owner(y), x_payload, y_payload)
+        if isinstance(res, GeneratorType):
+            yield from res
 
     def _deactivate(self, i: int, y: int) -> bool:
         """Deactivate cross pair (local i, ghost y); True if it was active."""
@@ -168,6 +177,9 @@ class MatchingState:
     # ------------------------------------------------------------------
     def find_mate(self, v: int) -> None:
         """Point owned vertex ``v`` at its best available neighbor."""
+        run_inline(self.find_mate_g(v))
+
+    def find_mate_g(self, v: int):
         lg = self.lg
         i = self._li(v)
         if self.status[i] != FREE:
@@ -191,7 +203,7 @@ class MatchingState:
         self.charge(COST_SCAN * max(1, scanned))
 
         if y == NO_MATE:
-            self._invalidate(v)
+            yield from self._invalidate_g(v)
             return
 
         self.pointer[i] = y
@@ -209,21 +221,24 @@ class MatchingState:
             if y in self.pending[i]:
                 # y proposed first: mutual pointing, match immediately;
                 # the REQUEST we send lets y's owner detect the same.
-                self._push(Ctx.REQUEST, y, y, v)
+                yield from self._push_g(Ctx.REQUEST, y, y, v)
                 self._match_remote(v, y)
             else:
-                self._push(Ctx.REQUEST, y, y, v)
+                yield from self._push_g(Ctx.REQUEST, y, y, v)
                 self.awaiting += 1
 
     def _invalidate(self, v: int) -> None:
         """No candidate remains for ``v``: broadcast INVALID (case #5)."""
+        run_inline(self._invalidate_g(v))
+
+    def _invalidate_g(self, v: int):
         i = self._li(v)
         assert not self.pending[i], "dead vertex cannot hold proposals"
         self.status[i] = DEAD
         self.pointer[i] = NO_MATE
         for y in self.ghosts_of[i]:
             if self._deactivate(i, y):
-                self._push(Ctx.INVALID, y, y, v)
+                yield from self._push_g(Ctx.INVALID, y, y, v)
 
     # ------------------------------------------------------------------
     # matches
@@ -252,6 +267,9 @@ class MatchingState:
     # ------------------------------------------------------------------
     def process_neighbors(self, i: int) -> None:
         """Resolve the neighborhood of newly matched owned vertex (idx i)."""
+        run_inline(self.process_neighbors_g(i))
+
+    def process_neighbors_g(self, i: int):
         if self.processed[i]:
             return
         self.processed[i] = True
@@ -267,16 +285,19 @@ class MatchingState:
             if lg.owns(u):
                 j = self._li(u)
                 if self.status[j] == FREE and self.pointer[j] == v:
-                    self.find_mate(u)
+                    yield from self.find_mate_g(u)
             else:
                 if self._deactivate(i, u):
-                    self._push(Ctx.REJECT, u, u, v)
+                    yield from self._push_g(Ctx.REJECT, u, u, v)
 
     def drain_work(self) -> int:
         """Run PROCESSNEIGHBORS for every queued matched vertex."""
+        return run_inline(self.drain_work_g())
+
+    def drain_work_g(self):
         done = 0
         while self.work:
-            self.process_neighbors(self.work.popleft())
+            yield from self.process_neighbors_g(self.work.popleft())
             done += 1
         return done
 
@@ -285,6 +306,9 @@ class MatchingState:
     # ------------------------------------------------------------------
     def handle(self, ctx_id: Ctx, x: int, y: int) -> None:
         """Process one incoming (ctx, x, y): x is ours, y is the sender's."""
+        run_inline(self.handle_g(ctx_id, x, y))
+
+    def handle_g(self, ctx_id: Ctx, x: int, y: int):
         self.charge(COST_MSG * self.handle_scale)
         self.stats.received[Ctx(ctx_id).name] += 1
         lg = self.lg
@@ -310,7 +334,7 @@ class MatchingState:
                     # not match the current pointer, even while unmatched.
                     if self._deactivate(i, y):
                         self.evicted[i].add(y)
-                        self._push(Ctx.REJECT, y, y, x)
+                        yield from self._push_g(Ctx.REJECT, y, y, x)
                 else:
                     self.pending[i].add(y)  # deferred proposal
             else:
@@ -318,17 +342,20 @@ class MatchingState:
                 # pair was already deactivated (our REJECT/INVALID is in
                 # flight to the proposer).
                 if self._deactivate(i, y):
-                    self._push(Ctx.REJECT, y, y, x)
+                    yield from self._push_g(Ctx.REJECT, y, y, x)
         elif ctx_id == Ctx.REJECT:
-            self._resolution(i, x, y)
+            yield from self._resolution_g(i, x, y)
         elif ctx_id == Ctx.INVALID:
-            self._resolution(i, x, y)
+            yield from self._resolution_g(i, x, y)
         elif ctx_id == Ctx.ACK:
             pass  # MBP baseline chatter; no algorithmic content
         else:  # pragma: no cover
             raise ValueError(f"unknown context {ctx_id}")
 
     def _resolution(self, i: int, x: int, y: int) -> None:
+        run_inline(self._resolution_g(i, x, y))
+
+    def _resolution_g(self, i: int, x: int, y: int):
         """Shared REJECT/INVALID handling.
 
         Exactly one of three cases:
@@ -344,7 +371,7 @@ class MatchingState:
             # pointer[i] == y (a ghost) implies an outstanding request.
             self.awaiting -= 1
             self.pointer[i] = NO_MATE
-            self.find_mate(x)
+            yield from self.find_mate_g(x)
         elif self._deactivate(i, y):
             self.evicted[i].add(y)
 
@@ -369,6 +396,9 @@ class MatchingState:
 
         Idempotent per rank; returns the number of affected pairs/vertices.
         """
+        return run_inline(self.renounce_rank_g(dead))
+
+    def renounce_rank_g(self, dead: int):
         lg = self.lg
         if dead in self.dead_ranks:
             return 0
@@ -402,7 +432,7 @@ class MatchingState:
                     self.mate[i] = NO_MATE
                     self.stats.widowed += 1
         for v in retarget:
-            self.find_mate(v)
+            yield from self.find_mate_g(v)
         return len(doomed) + len(retarget)
 
     # ------------------------------------------------------------------
@@ -450,8 +480,11 @@ class MatchingState:
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Phase 1: initial FINDMATE sweep over owned vertices."""
+        run_inline(self.start_g())
+
+    def start_g(self):
         for v in range(self.lg.lo, self.lg.hi):
-            self.find_mate(v)
+            yield from self.find_mate_g(v)
 
     def remaining(self) -> int:
         """Local progress debt; globally zero means the algorithm is done."""

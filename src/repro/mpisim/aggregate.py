@@ -43,8 +43,10 @@ like everything else in the simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import GeneratorType
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.mpisim.engine import run_inline
 from repro.mpisim.errors import RetryExhausted
 from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
 
@@ -81,7 +83,10 @@ class PersistentSendRequest:
 
     def start(self, payload: Any, nbytes: int | None = None) -> float:
         """Start the request with ``payload``; returns the arrival time."""
-        arrival = self.ctx._post_send(
+        return run_inline(self.start_g(payload, nbytes))
+
+    def start_g(self, payload: Any, nbytes: int | None = None):
+        arrival = yield from self.ctx._post_send_g(
             self.dest, payload, self.tag, nbytes, persistent=True
         )
         self.starts += 1
@@ -90,6 +95,10 @@ class PersistentSendRequest:
 
     def wait(self) -> float:
         """Eager-protocol completion: already done; returns last arrival."""
+        return self.last_arrival
+
+    def wait_g(self):
+        yield from ()
         return self.last_arrival
 
 
@@ -116,15 +125,21 @@ class RecvRequest:
 
     def test(self) -> Message | None:
         """Nonblocking completion attempt (``MPI_Test``)."""
+        return run_inline(self.test_g())
+
+    def test_g(self):
         if self._msg is None:
-            if self.ctx.iprobe(self.source, self.tag) is not None:
-                self._msg = self.ctx.recv(self.source, self.tag)
+            if (yield from self.ctx.iprobe_g(self.source, self.tag)) is not None:
+                self._msg = yield from self.ctx.recv_g(self.source, self.tag)
         return self._msg
 
     def wait(self) -> Message:
         """Blocking completion (``MPI_Wait``)."""
+        return run_inline(self.wait_g())
+
+    def wait_g(self):
         if self._msg is None:
-            self._msg = self.ctx.recv(self.source, self.tag)
+            self._msg = yield from self.ctx.recv_g(self.source, self.tag)
         return self._msg
 
 
@@ -135,7 +150,14 @@ def waitall(requests: Iterable[PersistentSendRequest | RecvRequest]) -> list:
     delivered :class:`Message` — the uniform completion call the MPI-style
     API promises (also available as ``ctx.waitall``).
     """
-    return [r.wait() for r in requests]
+    return run_inline(waitall_g(requests))
+
+
+def waitall_g(requests: Iterable[PersistentSendRequest | RecvRequest]):
+    results = []
+    for r in requests:
+        results.append((yield from r.wait_g()))
+    return results
 
 
 class _Lane:
@@ -239,6 +261,9 @@ class MessageAggregator:
     # ------------------------------------------------------------------
     def append(self, dest: int, tag: int, payload: Any, nbytes: int) -> None:
         """Buffer one small message for ``dest``; may auto-flush the lane."""
+        run_inline(self.append_g(dest, tag, payload, nbytes))
+
+    def append_g(self, dest: int, tag: int, payload: Any, nbytes: int):
         if self.ctx.is_failed(dest):
             rc = self.ctx.counters()
             rc.agg_dropped_dead += 1
@@ -253,7 +278,7 @@ class MessageAggregator:
         ) or (
             self.flush_bytes is not None and lane.payload_bytes >= self.flush_bytes
         ):
-            self.flush(dest)
+            yield from self.flush_g(dest)
 
     def flush(self, dest: int) -> int:
         """Ship ``dest``'s buffered messages as one batch.
@@ -263,6 +288,9 @@ class MessageAggregator:
         destination's failure has been detected by now, the buffer is
         dropped and reported instead.
         """
+        return run_inline(self.flush_g(dest))
+
+    def flush_g(self, dest: int):
         lane = self._lanes.get(dest)
         if lane is None or not lane.entries:
             return 0
@@ -299,10 +327,10 @@ class MessageAggregator:
                             phase="pack")
         if self.use_persistent:
             if lane.request is None:
-                lane.request = ctx.send_init(dest, tag=self.tag)
-            lane.request.start(body, nbytes=wire)
+                lane.request = yield from ctx.send_init_g(dest, tag=self.tag)
+            yield from lane.request.start_g(body, nbytes=wire)
         else:
-            ctx.isend(dest, body, tag=self.tag, nbytes=wire)
+            yield from ctx.isend_g(dest, body, tag=self.tag, nbytes=wire)
         rc.agg_msgs_coalesced += k
         rc.agg_batches += 1
         rc.agg_batch_bytes += wire
@@ -316,9 +344,12 @@ class MessageAggregator:
 
     def flush_all(self) -> int:
         """Explicit iteration-boundary flush of every lane (sorted order)."""
+        return run_inline(self.flush_all_g())
+
+    def flush_all_g(self):
         shipped = 0
         for dest in sorted(self._lanes):
-            shipped += self.flush(dest)
+            shipped += yield from self.flush_g(dest)
         return shipped
 
     def drop_rank(self, rank: int) -> int:
@@ -352,6 +383,9 @@ class MessageAggregator:
         protocol no longer depends on delivery); otherwise exhaustion
         raises :class:`RetryExhausted`. No-op when ``reliable`` is off.
         """
+        return run_inline(self.service_g(now, may_abandon=may_abandon))
+
+    def service_g(self, now: float, *, may_abandon: bool = False):
         if not self.reliable:
             return 0
         fired = 0
@@ -386,7 +420,8 @@ class MessageAggregator:
             rc.agg_batch_retries += 1
             # Retransmissions are exceptional: pay the full (non-persistent)
             # send path instead of threading them through the lane request.
-            ctx.isend(p.dest, (p.seq, p.entries), tag=self.tag, nbytes=p.nbytes)
+            yield from ctx.isend_g(p.dest, (p.seq, p.entries), tag=self.tag,
+                                   nbytes=p.nbytes)
             fired += 1
         return fired
 
@@ -481,30 +516,36 @@ class MessageAggregator:
         underlying ``recv``) plus the per-byte unpack cost — this is the
         software saving aggregation exists for.
         """
+        return run_inline(self.poll_g(handler))
+
+    def poll_g(self, handler: Callable[[int, int, Any], None]):
         ctx = self.ctx
         rc = ctx.counters()
         delivered = 0
         while True:
             if self.reliable:
-                ahdr = ctx.iprobe(tag=self.ack_tag)
+                ahdr = yield from ctx.iprobe_g(tag=self.ack_tag)
                 if ahdr is not None:
                     asrc, _, _ = ahdr
-                    amsg = ctx.recv(source=asrc, tag=self.ack_tag)
+                    amsg = yield from ctx.recv_g(source=asrc, tag=self.ack_tag)
                     self._unacked.pop((asrc, amsg.payload), None)
                     continue
-            hdr = ctx.iprobe(tag=self.tag)
+            hdr = yield from ctx.iprobe_g(tag=self.tag)
             if hdr is None:
                 return delivered
             src, _, _ = hdr
-            msg = ctx.recv(source=src, tag=self.tag)
+            msg = yield from ctx.recv_g(source=src, tag=self.tag)
             if not self.reliable:
-                delivered += self._deliver(src, msg.payload, msg.nbytes, handler)
+                delivered += yield from self._deliver_g(
+                    src, msg.payload, msg.nbytes, handler
+                )
                 continue
             seq, entries = msg.payload
             # Always ack, even duplicates: the original ack may be the
             # thing the network ate.
             if not ctx.is_failed(src):
-                ctx.isend(src, seq, tag=self.ack_tag, nbytes=AGG_ACK_BYTES)
+                yield from ctx.isend_g(src, seq, tag=self.ack_tag,
+                                       nbytes=AGG_ACK_BYTES)
                 rc.agg_acks_sent += 1
             peer = self._peers.setdefault(src, _BatchPeer())
             if seq < peer.next_expected or seq in peer.held:
@@ -514,7 +555,7 @@ class MessageAggregator:
             while peer.next_expected in peer.held:
                 ent, nb = peer.held.pop(peer.next_expected)
                 peer.next_expected += 1
-                delivered += self._deliver(
+                delivered += yield from self._deliver_g(
                     src, ent, nb - AGG_SEQ_HEADER_BYTES, handler
                 )
 
@@ -527,6 +568,15 @@ class MessageAggregator:
     ) -> int:
         """Unpack one batch (``nbytes`` = payloads + framing, seq header
         already stripped) and hand each coalesced message up."""
+        return run_inline(self._deliver_g(src, entries, nbytes, handler))
+
+    def _deliver_g(
+        self,
+        src: int,
+        entries: Sequence[tuple[int, Any]],
+        nbytes: int,
+        handler: Callable[[int, int, Any], None],
+    ):
         ctx = self.ctx
         eng = ctx._engine
         rc = ctx.counters()
@@ -538,5 +588,9 @@ class MessageAggregator:
         rc.agg_batches_received += 1
         rc.agg_msgs_delivered += len(entries)
         for user_tag, payload in entries:
-            handler(src, user_tag, payload)
+            # A generator-style handler (coroutine engine) may itself park
+            # — e.g. when handling triggers a reply send; drive it inline.
+            res = handler(src, user_tag, payload)
+            if isinstance(res, GeneratorType):
+                yield from res
         return len(entries)

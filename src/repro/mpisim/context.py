@@ -5,6 +5,15 @@ runtime: point-to-point (``isend`` / ``iprobe`` / ``recv``), classic
 collectives, distributed graph topologies with neighborhood collectives,
 and RMA window allocation. Method names follow mpi4py's lower-case
 conventions where a direct analogue exists.
+
+Every operation that can block exists in two spellings: the canonical
+generator form (``recv_g``, ``barrier_g``, ...) whose park points
+suspend under the coroutine engine, and a plain wrapper (``recv``,
+``barrier``, ...) that drives the generator inline — exact under the
+threaded engine, where parks block the calling thread and the generator
+never yields. Generator-style rank programs (``yield from
+ctx.recv_g(...)``) therefore run bit-identically under both engines;
+plain-style programs are threaded-only.
 """
 
 from __future__ import annotations
@@ -19,7 +28,9 @@ from repro.mpisim.aggregate import (
     PersistentSendRequest,
     RecvRequest,
     waitall as _waitall,
+    waitall_g as _waitall_g,
 )
+from repro.mpisim.engine import run_inline
 from repro.mpisim.collectives import get_or_create_agreement, get_or_create_full
 from repro.mpisim.errors import RankCrashed
 from repro.mpisim.message import ANY_SOURCE, ANY_TAG, Message
@@ -129,6 +140,10 @@ class RankContext:
     # coordinated checkpoint/restart
     # ------------------------------------------------------------------
     def checkpoint_tick(self) -> None:
+        """Plain wrapper for :meth:`checkpoint_tick_g` (threaded engine)."""
+        run_inline(self.checkpoint_tick_g())
+
+    def checkpoint_tick_g(self):
         """Mark a checkpoint boundary (collective-style backend loop top).
 
         A no-op unless checkpointing is on and a cut is due, in which
@@ -145,7 +160,7 @@ class RankContext:
             # already sit past the *next* due point under clock skew).
             self._skip_tick = False
             return
-        self._engine.checkpoint_tick(self.rank)
+        yield from self._engine.checkpoint_tick_g(self.rank)
 
     def register_checkpoint_provider(self, fn) -> None:
         """Register this rank's application-state capture hook.
@@ -166,6 +181,10 @@ class RankContext:
         return self._resume["app"] if self._resume is not None else None
 
     def reissue_parked_wait(self) -> None:
+        """Plain wrapper for :meth:`reissue_parked_wait_g` (threaded)."""
+        run_inline(self.reissue_parked_wait_g())
+
+    def reissue_parked_wait_g(self):
         """Re-enter the wait this rank was parked in at the checkpoint.
 
         Bit-identity argument: safepoint parks charge nothing before
@@ -197,7 +216,7 @@ class RankContext:
             # reaches its candidate time, as the original run's did.
             _, source, tag, deadline = wait
             self._reissue_force = True
-            self.probe(source, tag, deadline=deadline)
+            yield from self.probe_g(source, tag, deadline=deadline)
             return
         raise ValueError(f"unknown checkpoint wait spec {wait!r}")
 
@@ -213,6 +232,20 @@ class RankContext:
         *,
         persistent: bool = False,
     ) -> float:
+        """Plain wrapper for :meth:`_post_send_g` (threaded engine)."""
+        return run_inline(
+            self._post_send_g(dest, payload, tag, nbytes, persistent=persistent)
+        )
+
+    def _post_send_g(
+        self,
+        dest: int,
+        payload: Any,
+        tag: int,
+        nbytes: int | None,
+        *,
+        persistent: bool = False,
+    ):
         """Shared send path for :meth:`isend` and persistent ``start``.
 
         The charging sequence (yield → origin overhead → wire posting →
@@ -227,7 +260,7 @@ class RankContext:
             # ULFM semantics: the library refuses communication with a
             # peer it already knows to be dead (MPI_ERR_PROC_FAILED).
             raise RankCrashed(dest)
-        eng.yield_ready(self.rank)
+        yield from eng.yield_ready_g(self.rank)
         if persistent:
             cost = self.machine.persistent_start_cost(nbytes)
         else:
@@ -259,7 +292,17 @@ class RankContext:
         """
         return self._post_send(dest, payload, tag, nbytes)
 
+    def isend_g(
+        self, dest: int, payload: Any, *, tag: int = 0, nbytes: int | None = None
+    ):
+        """Generator form of :meth:`isend` (coroutine-safe)."""
+        return (yield from self._post_send_g(dest, payload, tag, nbytes))
+
     def send_init(self, dest: int, *, tag: int = 0) -> PersistentSendRequest:
+        """Plain wrapper for :meth:`send_init_g` (threaded engine)."""
+        return run_inline(self.send_init_g(dest, tag=tag))
+
+    def send_init_g(self, dest: int, *, tag: int = 0):
         """Build a persistent send request (``MPI_Send_init``).
 
         Pays the envelope-construction overhead (``machine.o_send_init``)
@@ -269,7 +312,7 @@ class RankContext:
         partners (which is exactly what a matching rank's neighbor set is).
         """
         eng = self._engine
-        eng.yield_ready(self.rank)
+        yield from eng.yield_ready_g(self.rank)
         eng.charge_comm(self.rank, self.machine.o_send_init, phase="send")
         eng.trace_event(self.rank, "send-init", dest=dest, tag=tag)
         return PersistentSendRequest(self, dest, tag)
@@ -294,6 +337,10 @@ class RankContext:
         send requests, the delivered :class:`Message` for receives.
         """
         return _waitall(requests)
+
+    def waitall_g(self, requests: Sequence[PersistentSendRequest | RecvRequest]):
+        """Generator form of :meth:`waitall` (coroutine-safe)."""
+        return (yield from _waitall_g(requests))
 
     def aggregator(
         self,
@@ -331,10 +378,14 @@ class RankContext:
     def iprobe(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> tuple[int, int, int] | None:
+        """Plain wrapper for :meth:`iprobe_g` (threaded engine)."""
+        return run_inline(self.iprobe_g(source, tag))
+
+    def iprobe_g(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Nonblocking probe: ``(src, tag, nbytes)`` if a matching message
         has physically arrived, else ``None``."""
         eng = self._engine
-        eng.yield_ready(self.rank)
+        yield from eng.yield_ready_g(self.rank)
         eng.charge_comm(self.rank, self.machine.o_probe, phase="probe")
         eng.rank_counters(self.rank).probes += 1
         q = eng.queue_of(self.rank)
@@ -345,6 +396,10 @@ class RankContext:
         return (m.src, m.tag, m.nbytes)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        """Plain wrapper for :meth:`recv_g` (threaded engine)."""
+        return run_inline(self.recv_g(source, tag))
+
+    def recv_g(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         """Blocking receive of the earliest matching message.
 
         Under a fault plan with rank crashes, a *directed* receive raises
@@ -364,8 +419,9 @@ class RankContext:
             return tf if t is None else min(t, tf)
 
         while True:
-            eng.block_on(self.rank, potential, f"recv(src={source},tag={tag})",
-                         wait_phase="recv-wait")
+            yield from eng.block_on_g(
+                self.rank, potential, f"recv(src={source},tag={tag})",
+                wait_phase="recv-wait")
             idx = q.match_index(source, tag, before=eng.clock_of(self.rank))
             if idx is not None:
                 break
@@ -399,6 +455,16 @@ class RankContext:
         *,
         deadline: float | None = None,
     ) -> None:
+        """Plain wrapper for :meth:`probe_g` (threaded engine)."""
+        run_inline(self.probe_g(source, tag, deadline=deadline))
+
+    def probe_g(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        *,
+        deadline: float | None = None,
+    ):
         """Block until a matching message is available (MPI_Probe).
 
         Rank programs use this instead of spinning on :meth:`iprobe` when
@@ -427,10 +493,11 @@ class RankContext:
 
         force = self._reissue_force
         self._reissue_force = False
-        eng.block_on(self.rank, potential, f"probe(src={source},tag={tag})",
-                     wait_phase="recv-wait",
-                     safepoint=("probe", source, tag, deadline),
-                     force_park=force)
+        yield from eng.block_on_g(
+            self.rank, potential, f"probe(src={source},tag={tag})",
+            wait_phase="recv-wait",
+            safepoint=("probe", source, tag, deadline),
+            force_park=force)
         if eng.profiler is not None:
             m = q.earliest_match(source, tag)
             if m is not None and m.arrival <= eng.clock_of(self.rank):
@@ -466,21 +533,43 @@ class RankContext:
     def barrier(self) -> None:
         self._full_collective("barrier", None, 0, {})
 
+    def barrier_g(self):
+        yield from self._full_collective_g("barrier", None, 0, {})
+
     def allreduce(self, value: Any, op: str = "sum") -> Any:
         nbytes = payload_nbytes(value)
         return self._full_collective("allreduce", value, nbytes, {"op": op})
+
+    def allreduce_g(self, value: Any, op: str = "sum"):
+        nbytes = payload_nbytes(value)
+        return (yield from self._full_collective_g(
+            "allreduce", value, nbytes, {"op": op}))
 
     def bcast(self, value: Any, root: int = 0) -> Any:
         nbytes = payload_nbytes(value)
         return self._full_collective("bcast", value, nbytes, {"root": root})
 
+    def bcast_g(self, value: Any, root: int = 0):
+        nbytes = payload_nbytes(value)
+        return (yield from self._full_collective_g(
+            "bcast", value, nbytes, {"root": root}))
+
     def gather(self, value: Any, root: int = 0) -> list[Any] | None:
         nbytes = payload_nbytes(value)
         return self._full_collective("gather", value, nbytes, {"root": root})
 
+    def gather_g(self, value: Any, root: int = 0):
+        nbytes = payload_nbytes(value)
+        return (yield from self._full_collective_g(
+            "gather", value, nbytes, {"root": root}))
+
     def allgather(self, value: Any) -> list[Any]:
         nbytes = payload_nbytes(value)
         return self._full_collective("allgather", value, nbytes, {})
+
+    def allgather_g(self, value: Any):
+        nbytes = payload_nbytes(value)
+        return (yield from self._full_collective_g("allgather", value, nbytes, {}))
 
     def alltoall(self, items: Sequence[Any], nbytes_per_pair: int | None = None) -> list[Any]:
         if len(items) != self.nprocs:
@@ -491,7 +580,20 @@ class RankContext:
             "alltoall", list(items), int(nbytes_per_pair), {"nbytes_per_pair": nbytes_per_pair}
         )
 
+    def alltoall_g(self, items: Sequence[Any], nbytes_per_pair: int | None = None):
+        if len(items) != self.nprocs:
+            raise ValueError(f"alltoall needs {self.nprocs} items, got {len(items)}")
+        if nbytes_per_pair is None:
+            nbytes_per_pair = max((payload_nbytes(x) for x in items), default=8)
+        return (yield from self._full_collective_g(
+            "alltoall", list(items), int(nbytes_per_pair),
+            {"nbytes_per_pair": nbytes_per_pair}))
+
     def _full_collective(self, kind: str, data: Any, nbytes: int, params: dict) -> Any:
+        """Plain wrapper for :meth:`_full_collective_g` (threaded engine)."""
+        return run_inline(self._full_collective_g(kind, data, nbytes, params))
+
+    def _full_collective_g(self, kind: str, data: Any, nbytes: int, params: dict):
         eng = self._engine
         rank = self.rank
         key = eng.next_coll_key(0, rank)
@@ -503,10 +605,11 @@ class RankContext:
             # the heap scheduler (no-op under the reference scheduler).
             eng.notify_ranks(op.entries.keys())
         if eng.faults is not None and eng.faults.has_crashes():
-            self._block_crash_aware(op, f"{kind}#{key[1]}")
+            yield from self._block_crash_aware_g(op, f"{kind}#{key[1]}")
         else:
-            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}",
-                         wait_phase="collective-wait")
+            yield from eng.block_on_g(
+                rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}",
+                wait_phase="collective-wait")
         if eng.profiler is not None:
             sq, st = op.straggler()
             if sq != rank:
@@ -540,6 +643,10 @@ class RankContext:
         return result
 
     def _block_crash_aware(self, op, label: str) -> None:
+        """Plain wrapper for :meth:`_block_crash_aware_g` (threaded engine)."""
+        run_inline(self._block_crash_aware_g(op, label))
+
+    def _block_crash_aware_g(self, op, label: str):
         """Wait on a full collective under a crash plan.
 
         Wakes on completion *or* on the next unseen failure notification.
@@ -558,7 +665,8 @@ class RankContext:
             return eng.failure_wake_potential(rank)
 
         while True:
-            eng.block_on(rank, potential, label, wait_phase="collective-wait")
+            yield from eng.block_on_g(rank, potential, label,
+                                      wait_phase="collective-wait")
             if op.wake_potential(rank) is not None:
                 return
             failed = self.failed_ranks()
@@ -572,6 +680,12 @@ class RankContext:
     # ------------------------------------------------------------------
     def agree(self, value: Any, op: str = "sum", *, epoch: Sequence[int] = (),
               kind: str = "agree", label: str = "") -> Any:
+        """Plain wrapper for :meth:`agree_g` (threaded engine)."""
+        return run_inline(self.agree_g(value, op, epoch=epoch, kind=kind,
+                                       label=label))
+
+    def agree_g(self, value: Any, op: str = "sum", *, epoch: Sequence[int] = (),
+                kind: str = "agree", label: str = ""):
         """Deterministic survivor agreement (``MPIX_Comm_agree`` analogue).
 
         A full collective that completes over the *non-failed* ranks: a
@@ -610,8 +724,8 @@ class RankContext:
             return eng.failure_wake_potential(rank)
 
         while True:
-            eng.block_on(rank, potential, f"{kind}#{key[1]}@{epoch}",
-                         wait_phase="recovery-wait")
+            yield from eng.block_on_g(rank, potential, f"{kind}#{key[1]}@{epoch}",
+                                      wait_phase="recovery-wait")
             stale = sorted(q for q in self.failed_ranks() if q not in epoch)
             if stale:
                 # Uniform failure reporting (the ULFM agree guarantee):
@@ -646,6 +760,11 @@ class RankContext:
         """Survivor agreement that gathers ``{rank: value}`` over entrants."""
         return self.agree(value, epoch=epoch, kind="agree_gather", label=label)
 
+    def agree_gather_g(self, value: Any, *, epoch: Sequence[int] = (),
+                       label: str = ""):
+        return (yield from self.agree_g(value, epoch=epoch,
+                                        kind="agree_gather", label=label))
+
     def shrink_rebuild_topology(
         self, neighbors: Sequence[int], *, epoch: Sequence[int] = ()
     ) -> DistGraphTopology:
@@ -659,9 +778,14 @@ class RankContext:
         :class:`RankCrashed` if a rank the agreement skipped is not yet in
         ``epoch`` — the caller must renounce it and retry.
         """
+        return run_inline(self.shrink_rebuild_topology_g(neighbors, epoch=epoch))
+
+    def shrink_rebuild_topology_g(
+        self, neighbors: Sequence[int], *, epoch: Sequence[int] = ()
+    ):
         epoch = tuple(sorted(int(r) for r in epoch))
         my = sorted(set(int(q) for q in neighbors) - set(epoch))
-        gathered = self.agree_gather(my, epoch=epoch, label="topo")
+        gathered = yield from self.agree_gather_g(my, epoch=epoch, label="topo")
         silent = [r for r in range(self.nprocs) if r not in gathered and r not in epoch]
         if silent:
             # Crashed after the caller built its epoch; every entrant sees
@@ -694,9 +818,19 @@ class RankContext:
         larger failure epoch adopts the same store instead of allocating
         a divergent one.
         """
+        return run_inline(self.win_allocate_survivor_g(
+            count, dtype, fill, epoch=epoch, tag=tag,
+            charge_memory=charge_memory))
+
+    def win_allocate_survivor_g(
+        self, count: int, dtype=np.int64, fill: int = 0,
+        *, epoch: Sequence[int] = (), tag: str = "win",
+        charge_memory: bool = True,
+    ):
         dtype = np.dtype(dtype)
         epoch = tuple(sorted(int(r) for r in epoch))
-        sizes = self.agree_gather(int(count), epoch=epoch, label=f"win:{tag}")
+        sizes = yield from self.agree_gather_g(int(count), epoch=epoch,
+                                               label=f"win:{tag}")
         eng = self._engine
 
         def build() -> _WindowStore:
@@ -726,19 +860,25 @@ class RankContext:
         with. Mirrors ``MPI_Dist_graph_create_adjacent`` with
         ``sources == destinations``.
         """
+        return run_inline(self.dist_graph_create_adjacent_g(neighbors))
+
+    def dist_graph_create_adjacent_g(self, neighbors: Sequence[int]):
         my = sorted(set(int(q) for q in neighbors))
-        gathered = self.allgather(my)
+        gathered = yield from self.allgather_g(my)
         DistGraphTopology.validate_symmetric(gathered)
         # All ranks must agree on the scope id for subsequent neighborhood
         # ops: derive it through a bcast of rank 0's reservation.
         sid = self._engine.new_scope_id() if self.rank == 0 else None
-        sid = self.bcast(sid, root=0)
+        sid = yield from self.bcast_g(sid, root=0)
         return DistGraphTopology(self, sid, gathered)
 
     def win_allocate(self, count: int, dtype=np.int64, fill: int = 0) -> Window:
         """Collectively allocate an RMA window of ``count`` local elements."""
+        return run_inline(self.win_allocate_g(count, dtype, fill))
+
+    def win_allocate_g(self, count: int, dtype=np.int64, fill: int = 0):
         dtype = np.dtype(dtype)
-        sizes = self.allgather(int(count))
+        sizes = yield from self.allgather_g(int(count))
         # Rank 0 builds the shared store and broadcasts it (object identity
         # is shared across rank threads: this is simulator-internal state,
         # not modelled traffic).
@@ -749,7 +889,7 @@ class RankContext:
                 dtype=dtype,
                 buffers=[np.full(s, fill, dtype=dtype) for s in sizes],
             )
-        store = self.bcast(store, root=0)
+        store = yield from self.bcast_g(store, root=0)
         self._engine.rank_counters(self.rank).alloc(
             int(sizes[self.rank]) * dtype.itemsize, "rma-window"
         )

@@ -1,10 +1,23 @@
 """Deterministic discrete-event engine executing SPMD rank programs.
 
-Each simulated rank runs its target function on a real Python thread, but
-threads never run concurrently: a sequential scheduler hands a single
-execution token to the rank with the smallest virtual clock, so the whole
-simulation is a conservative discrete-event simulation and is bit-for-bit
-deterministic for a given (program, machine model, seed).
+Each simulated rank runs its target under one of two execution engines —
+``engine="threaded"`` (one real Python thread per rank, parked on an
+``Event``) or ``engine="coroutine"`` (one generator per rank, stepped
+directly by the scheduler) — but ranks never run concurrently either
+way: a sequential scheduler hands a single execution token to the rank
+with the smallest virtual clock, so the whole simulation is a
+conservative discrete-event simulation and is bit-for-bit deterministic
+for a given (program, machine model, seed).
+
+The coroutine engine exists for scale: a thread switch costs
+microseconds and the OS caps usable thread counts in the low thousands,
+while resuming a generator costs well under a microsecond and P=16384
+generators are cheap — the weak-scaling regime of the source paper
+(Fig. 4) is only reachable on the coroutine path. Both engines share
+every scheduling, tracing, fault, and checkpoint decision; only the park
+mechanism differs (block the thread vs ``yield`` a park marker up the
+generator chain), which the engine-differential test matrix proves
+bit-identical.
 
 Safety argument (why probing local queues is exact): the scheduler only
 resumes the rank whose candidate time ``(t, rank_id)`` is minimal over all
@@ -35,12 +48,21 @@ Rank programs interact with the engine only through
 :class:`repro.mpisim.context.RankContext`; every communication call yields
 to the scheduler *before* evaluating, which re-establishes the invariant
 even after arbitrarily long local compute bursts.
+
+Under the coroutine engine a rank program is a *generator*: wherever it
+would block it delegates (``yield from``) into the context's ``*_g``
+methods, whose park points yield a private marker that bubbles up the
+``yield from`` chain to the scheduler. The same generator-style program
+runs unchanged under the threaded engine, where the park points block
+the thread instead of yielding (``_thread_main`` detects a generator
+result and drives it inline). See docs/engine_scheduling.md.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from types import GeneratorType
 from heapq import heappop, heappush
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
@@ -76,6 +98,37 @@ _CRASHED = "crashed"  # killed by the fault plan at its scheduled time
 _INF = float("inf")
 
 SCHEDULERS = ("heap", "reference")
+ENGINES = ("threaded", "coroutine")
+
+#: Sentinel yielded by the engine's park points under the coroutine
+#: engine. The generator driver rejects anything else surfacing from a
+#: rank program — a stray ``yield`` in user code would otherwise be
+#: silently treated as a park with whatever wake state was left behind.
+_PARK = object()
+
+
+def run_inline(gen):
+    """Drive a simulator-call generator to completion without a scheduler.
+
+    The plain (non-``_g``) wrappers across ``mpisim`` use this: under the
+    threaded engine a generator's park points block the calling thread
+    and never yield, so one ``next`` runs it to ``StopIteration`` and the
+    return value is exact. Under the coroutine engine a park *does*
+    yield — reaching one through a plain wrapper means non-generator code
+    tried to block, which cannot be suspended; fail loudly instead of
+    corrupting the schedule.
+    """
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    gen.close()
+    raise RuntimeError(
+        "blocking simulator call reached a park point through a plain "
+        "(non-generator) wrapper under engine='coroutine'; convert the "
+        "calling code to generator style ('yield from ctx.<op>_g(...)') "
+        "or run with engine='threaded'"
+    )
 
 
 def _never_wake() -> float | None:
@@ -90,6 +143,8 @@ class _RankState:
     clock: float = 0.0
     state: str = _NEW
     thread: threading.Thread | None = None
+    # coroutine engine: this rank's program generator (None once finished)
+    gen: Any = None
     event: threading.Event = field(default_factory=threading.Event)
     queue: ReceiveQueue = field(default_factory=ReceiveQueue)
     # blocked-state wait condition:
@@ -161,6 +216,14 @@ class Engine:
         ``"heap"`` (default, indexed candidate heap with lazy
         invalidation) or ``"reference"`` (the original linear scan, kept
         as the executable specification for differential tests).
+    engine:
+        ``"threaded"`` (default, one OS thread per rank) or
+        ``"coroutine"`` (one generator per rank, stepped directly by the
+        scheduler — required for P in the thousands). Both engines make
+        identical scheduling decisions and produce bit-identical traces,
+        clocks, counters, and checkpoints; the coroutine engine needs
+        generator-style rank programs (``yield from ctx.<op>_g(...)``),
+        which also run unchanged under the threaded engine.
     audit:
         Heap mode only: cross-check every scheduling decision against a
         fresh reference scan (slow; used by the property test suite to
@@ -178,6 +241,7 @@ class Engine:
         profile: bool = False,
         faults: FaultPlan | None = None,
         scheduler: str = "heap",
+        engine: str = "threaded",
         audit: bool = False,
         checkpoint: CheckpointConfig | None = None,
         kill_at: float | None = None,
@@ -189,6 +253,8 @@ class Engine:
             raise ValueError("machine.alpha must be strictly positive (DES safety)")
         if scheduler not in SCHEDULERS:
             raise ValueError(f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}")
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; pick from {ENGINES}")
         if faults is not None:
             if faults.is_null():
                 faults = None  # a null plan is behaviourally absent
@@ -203,6 +269,11 @@ class Engine:
         self.faults = faults
         self.scheduler = scheduler
         self._use_heap = scheduler == "heap"
+        self.engine = engine
+        # The mode switch every park point branches on. Deliberately NOT
+        # part of checkpoint snapshots: a cut taken under one engine must
+        # restore (and hash) identically under the other.
+        self._threaded = engine == "threaded"
         self._audit = audit
         self._heap: list[tuple[float, int, int]] = []
         # Blocked ranks whose wake potential may have changed since their
@@ -339,14 +410,18 @@ class Engine:
                 rs.rma_outstanding = rsnap["rma_outstanding"]
                 rs.failures_seen = rsnap["failures_seen"]
                 ctx._resume = rsnap
-            rs.thread = threading.Thread(
-                target=self._thread_main,
-                args=(rs, ctx, target, tuple(args) + extra),
-                name=f"simrank-{rs.rank}",
-                daemon=True,
-            )
-            rs.state = _READY
-            rs.thread.start()
+            if self._threaded:
+                rs.thread = threading.Thread(
+                    target=self._thread_main,
+                    args=(rs, ctx, target, tuple(args) + extra),
+                    name=f"simrank-{rs.rank}",
+                    daemon=True,
+                )
+                rs.state = _READY
+                rs.thread.start()
+            else:
+                rs.gen = self._gen_main(rs, ctx, target, tuple(args) + extra)
+                rs.state = _READY
 
         if restore is not None:
             # Ranks recorded at a safepoint wait (e.g. a probe) were
@@ -404,7 +479,7 @@ class Engine:
         )
 
     # ------------------------------------------------------------------
-    # thread bodies
+    # rank bodies (threaded: one per thread; coroutine: one generator)
     # ------------------------------------------------------------------
     def _thread_main(self, rs: _RankState, ctx, target, args) -> None:
         # Wait for the scheduler to hand us the token the first time.
@@ -415,7 +490,13 @@ class Engine:
             self._sched_event.set()
             return
         try:
-            rs.result = target(ctx, *args)
+            res = target(ctx, *args)
+            if isinstance(res, GeneratorType):
+                # Generator-style program under the threaded engine: its
+                # park points block this thread inside the generator's own
+                # frame, so driving it here never observes a yield.
+                res = run_inline(res)
+            rs.result = res
             rs.state = _DONE
         except SimAbort:
             if rs.state not in (_FAILED, _CRASHED):
@@ -426,8 +507,48 @@ class Engine:
         finally:
             self._sched_event.set()
 
+    def _gen_main(self, rs: _RankState, ctx, target, args):
+        """Coroutine-mode rank body: :meth:`_thread_main`'s exception
+        envelope as a generator. Park markers from the program's
+        ``yield from`` chain pass straight through to the driver."""
+        try:
+            res = target(ctx, *args)
+            if isinstance(res, GeneratorType):
+                res = yield from res
+            rs.result = res
+            rs.state = _DONE
+        except SimAbort:
+            if rs.state not in (_FAILED, _CRASHED):
+                rs.state = _DONE
+        except GeneratorExit:
+            # close() during teardown/GC; shutdown proper throws SimAbort.
+            if rs.state not in (_DONE, _FAILED, _CRASHED):
+                rs.state = _DONE
+            raise
+        except BaseException as exc:  # noqa: BLE001 - report any rank failure
+            rs.error = exc
+            rs.state = _FAILED
+
     def _shutdown_threads(self) -> None:
         self._abort = True
+        if not self._threaded:
+            # Unwind every still-suspended rank generator exactly as the
+            # threaded engine unwinds parked threads: SimAbort at the park
+            # point, absorbed by the _gen_main envelope.
+            for rs in self._ranks:
+                gen, rs.gen = rs.gen, None
+                if gen is None:
+                    continue
+                try:
+                    gen.throw(SimAbort)
+                except StopIteration:
+                    pass
+                except SimAbort:
+                    # Never-started generator: the throw propagates without
+                    # running the envelope; mirror _thread_main's abort path.
+                    if rs.state not in (_FAILED, _CRASHED):
+                        rs.state = _DONE
+            return
         for rs in self._ranks:
             if rs.thread and rs.thread.is_alive():
                 rs.event.set()
@@ -620,9 +741,29 @@ class Engine:
         self._switches += 1
         rs.state = _RUNNING
         rs.wake_potential = None
-        self._sched_event.clear()
-        rs.event.set()
-        self._sched_event.wait()
+        if self._threaded:
+            self._sched_event.clear()
+            rs.event.set()
+            self._sched_event.wait()
+            return
+        # Coroutine engine: step the rank's generator until its next park
+        # (it yields the park marker) or its completion (the _gen_main
+        # envelope has already recorded result/error and final state).
+        gen = rs.gen
+        try:
+            yielded = next(gen)
+        except StopIteration:
+            rs.gen = None
+            return
+        if yielded is not _PARK:
+            rs.gen = None
+            gen.close()
+            raise RuntimeError(
+                f"rank {rs.rank} yielded {yielded!r} to the scheduler; "
+                "rank programs may only suspend through the simulator's "
+                "park points (did the program 'yield' a value instead of "
+                "'yield from' a ctx call?)"
+            )
 
     # ------------------------------------------------------------------
     # coordinated checkpointing (scheduler side)
@@ -787,6 +928,10 @@ class Engine:
         self._ckpt_providers[rank] = fn
 
     def checkpoint_tick(self, rank: int) -> None:
+        """Plain wrapper for :meth:`checkpoint_tick_g` (threaded engine)."""
+        run_inline(self.checkpoint_tick_g(rank))
+
+    def checkpoint_tick_g(self, rank: int):
         """Rank-side checkpoint boundary for collective-style backends.
 
         A no-op until this rank's clock reaches the next due cut; then
@@ -810,7 +955,7 @@ class Engine:
             # Invalidate any stale heap entry for this rank: a tick park
             # must only be released by the checkpoint assembly itself.
             rs.heap_ver += 1
-        self._park(rs)
+        yield from self._park_g(rs)
         rs.state = _RUNNING
         rs.ckpt_tick = False
         rs.describe = ""
@@ -1013,25 +1158,46 @@ class Engine:
         return out
 
     # ------------------------------------------------------------------
-    # rank-side yield primitives (called from rank threads)
+    # rank-side yield primitives (called from rank threads / generators)
     # ------------------------------------------------------------------
     def _park(self, rs: _RankState) -> None:
-        """Give the token back to the scheduler; return when resumed."""
+        """Threaded park: give the token back to the scheduler; return
+        when resumed."""
         self._sched_event.set()
         rs.event.wait()
         rs.event.clear()
         if self._abort:
             raise SimAbort()
 
+    def _park_g(self, rs: _RankState):
+        """Mode-branched park, written once for both engines.
+
+        Threaded: block the rank's thread (never yields, so the whole
+        surrounding generator chain can be exhausted inline). Coroutine:
+        yield the park marker, which bubbles up the ``yield from`` chain
+        to the scheduler's generator driver; resuming the generator is
+        the token hand-back. Every parking primitive routes through here,
+        so both engines park and resume under identical conditions.
+        """
+        if self._threaded:
+            self._park(rs)
+            return
+        yield _PARK
+        if self._abort:
+            raise SimAbort()
+
     def yield_ready(self, rank: int) -> None:
+        """Plain wrapper for :meth:`yield_ready_g` (threaded engine)."""
+        run_inline(self.yield_ready_g(rank))
+
+    def yield_ready_g(self, rank: int):
         """Yield the token; resume when this rank is next in clock order.
 
         Fast path: if this rank is already guaranteed minimal, keep
-        running without a thread switch — this removes ~70-90% of
-        switches. The heap scheduler decides minimality with one O(1)
-        peek at the valid heap top (every other wakeable rank is
-        indexed); the reference scheduler scans all ranks' clock lower
-        bounds.
+        running without a switch — this removes ~70-90% of switches. The
+        heap scheduler decides minimality with one O(1) peek at the
+        valid heap top (every other wakeable rank is indexed); the
+        reference scheduler scans all ranks' clock lower bounds.
         """
         if self.faults is not None:
             self._check_self_crash(rank)
@@ -1059,7 +1225,7 @@ class Engine:
         rs.state = _READY
         if self._use_heap:
             self._push_candidate(rs)
-        self._park(rs)
+        yield from self._park_g(rs)
         rs.state = _RUNNING
 
     def block_on(
@@ -1071,6 +1237,21 @@ class Engine:
         safepoint: tuple | None = None,
         force_park: bool = False,
     ) -> None:
+        """Plain wrapper for :meth:`block_on_g` (threaded engine)."""
+        run_inline(
+            self.block_on_g(rank, wake_potential, describe, wait_phase,
+                            safepoint, force_park)
+        )
+
+    def block_on_g(
+        self,
+        rank: int,
+        wake_potential: Callable[[], float | None],
+        describe: str,
+        wait_phase: str = "wait",
+        safepoint: tuple | None = None,
+        force_park: bool = False,
+    ):
         """Park until ``wake_potential()`` yields a time and we are minimal.
 
         On return the rank's clock has been advanced to the wake time (the
@@ -1098,14 +1279,14 @@ class Engine:
         if not force_park:
             t = wake_potential()
             if t is not None and t <= rs.clock:
-                self.yield_ready(rank)
+                yield from self.yield_ready_g(rank)
                 return
         rs.state = _BLOCKED
         rs.wake_potential = wake_potential
         rs.safepoint = safepoint
         if self._use_heap:
             self._push_candidate(rs)
-        self._park(rs)
+        yield from self._park_g(rs)
         rs.state = _RUNNING
         rs.safepoint = None
         rs.describe = ""

@@ -10,10 +10,16 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.mpisim.collectives import get_or_create_neighborhood
+from repro.mpisim.engine import run_inline
 from repro.mpisim.errors import CommMismatchError, RankCrashed
 
 
 def _block_neighborhood(eng, ctx, op, scope_id, epoch_set, label: str) -> None:
+    """Plain wrapper for :func:`_block_neighborhood_g` (threaded engine)."""
+    run_inline(_block_neighborhood_g(eng, ctx, op, scope_id, epoch_set, label))
+
+
+def _block_neighborhood_g(eng, ctx, op, scope_id, epoch_set, label: str):
     """Crash-aware wait for a neighborhood rendezvous.
 
     Completion wins when available; otherwise the wait also wakes on a
@@ -35,7 +41,8 @@ def _block_neighborhood(eng, ctx, op, scope_id, epoch_set, label: str) -> None:
         return eng.failure_wake_potential(rank)
 
     while True:
-        eng.block_on(rank, potential, label, wait_phase="collective-wait")
+        yield from eng.block_on_g(rank, potential, label,
+                                  wait_phase="collective-wait")
         if op.wake_potential(rank) is not None:
             return
         rev = eng.scope_revocation(scope_id)
@@ -131,6 +138,18 @@ class DistGraphTopology:
             nbytes_per_item = max((payload_nbytes(x) for x in items), default=8)
         return self._exchange("neighbor_alltoall", list(items), int(nbytes_per_item))
 
+    def neighbor_alltoall_g(
+        self, items: Sequence[Any], nbytes_per_item: int | None = None
+    ):
+        if len(items) != self.degree:
+            raise ValueError(
+                f"neighbor_alltoall: {len(items)} items for degree {self.degree}"
+            )
+        if nbytes_per_item is None:
+            nbytes_per_item = max((payload_nbytes(x) for x in items), default=8)
+        return (yield from self._exchange_g(
+            "neighbor_alltoall", list(items), int(nbytes_per_item)))
+
     def neighbor_alltoallv(
         self,
         items: Sequence[Any],
@@ -149,6 +168,23 @@ class DistGraphTopology:
             nbytes_each = [payload_nbytes(x) for x in items]
         payload = [(x, int(n)) for x, n in zip(items, nbytes_each)]
         received = self._exchange("neighbor_alltoallv", payload, None)
+        recv_items = [x for x, _ in received]
+        recv_bytes = [n for _, n in received]
+        return recv_items, recv_bytes
+
+    def neighbor_alltoallv_g(
+        self,
+        items: Sequence[Any],
+        nbytes_each: Sequence[int] | None = None,
+    ):
+        if len(items) != self.degree:
+            raise ValueError(
+                f"neighbor_alltoallv: {len(items)} items for degree {self.degree}"
+            )
+        if nbytes_each is None:
+            nbytes_each = [payload_nbytes(x) for x in items]
+        payload = [(x, int(n)) for x, n in zip(items, nbytes_each)]
+        received = yield from self._exchange_g("neighbor_alltoallv", payload, None)
         recv_items = [x for x, _ in received]
         recv_bytes = [n for _, n in received]
         return recv_items, recv_bytes
@@ -199,6 +235,9 @@ class DistGraphTopology:
 
     # ------------------------------------------------------------------
     def _exchange(self, kind: str, data: list[Any], nbytes_per_item: int | None):
+        return run_inline(self._exchange_g(kind, data, nbytes_per_item))
+
+    def _exchange_g(self, kind: str, data: list[Any], nbytes_per_item: int | None):
         ctx = self._ctx
         eng = ctx._engine
         rank = self.rank
@@ -215,12 +254,13 @@ class DistGraphTopology:
         eng.notify_ranks(self.neighbors)
         eng.set_describe(rank, f"{kind}#{key[1]}")
         if crash_aware:
-            _block_neighborhood(
+            yield from _block_neighborhood_g(
                 eng, ctx, op, self.scope_id, self._epoch_set, f"{kind}#{key[1]}"
             )
         else:
-            eng.block_on(rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}",
-                         wait_phase="collective-wait")
+            yield from eng.block_on_g(
+                rank, lambda: op.wake_potential(rank), f"{kind}#{key[1]}",
+                wait_phase="collective-wait")
         if eng.profiler is not None:
             sq, st = op.straggler_for(rank)
             if sq != rank:
@@ -274,6 +314,9 @@ class PendingNeighborExchange:
 
     def wait(self) -> tuple[list[Any], list[int]]:
         """Complete the exchange; returns (items, nbytes) per neighbor."""
+        return run_inline(self.wait_g())
+
+    def wait_g(self):
         if self._done:
             raise RuntimeError("PendingNeighborExchange.wait() called twice")
         self._done = True
@@ -283,12 +326,12 @@ class PendingNeighborExchange:
         rank = topo.rank
         op = self._op
         if topo._crash_aware(eng):
-            _block_neighborhood(
+            yield from _block_neighborhood_g(
                 eng, ctx, op, topo.scope_id, topo._epoch_set,
                 f"ineighbor_wait#{self._key[1]}",
             )
         else:
-            eng.block_on(
+            yield from eng.block_on_g(
                 rank, lambda: op.wake_potential(rank), f"ineighbor_wait#{self._key[1]}",
                 wait_phase="collective-wait",
             )

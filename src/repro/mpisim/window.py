@@ -26,6 +26,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.mpisim.engine import run_inline
+
 
 @dataclass(slots=True)
 class _PendingUpdate:
@@ -75,13 +77,24 @@ class Window:
         """One-sided write of ``data`` into ``target``'s window region."""
         self._issue(target, data, target_offset, accumulate=False)
 
+    def put_g(self, target: int, data: np.ndarray, target_offset: int):
+        yield from self._issue_g(target, data, target_offset, accumulate=False)
+
     def accumulate(self, target: int, data: np.ndarray, target_offset: int) -> None:
         """One-sided element-wise sum into the target region (MPI_SUM)."""
         self._issue(target, data, target_offset, accumulate=True)
 
+    def accumulate_g(self, target: int, data: np.ndarray, target_offset: int):
+        yield from self._issue_g(target, data, target_offset, accumulate=True)
+
     def _issue(
         self, target: int, data: np.ndarray, target_offset: int, accumulate: bool
     ) -> None:
+        run_inline(self._issue_g(target, data, target_offset, accumulate))
+
+    def _issue_g(
+        self, target: int, data: np.ndarray, target_offset: int, accumulate: bool
+    ):
         ctx = self._ctx
         eng = ctx._engine
         store = self._store
@@ -91,7 +104,7 @@ class Window:
                 f"put outside window: offset {target_offset}+{data.size} "
                 f"> size {store.buffers[target].size} (target {target})"
             )
-        eng.yield_ready(self.rank)
+        yield from eng.yield_ready_g(self.rank)
         m = eng.machine
         nbytes = int(data.nbytes)
         eng.charge_comm(self.rank, m.put_origin_cost(nbytes), phase="put")
@@ -141,9 +154,12 @@ class Window:
     # ------------------------------------------------------------------
     def flush_all(self) -> None:
         """Complete all outstanding one-sided operations from this origin."""
+        run_inline(self.flush_all_g())
+
+    def flush_all_g(self):
         ctx = self._ctx
         eng = ctx._engine
-        eng.yield_ready(self.rank)
+        yield from eng.yield_ready_g(self.rank)
         rc = eng.rank_counters(self.rank)
         latest = eng.flush_window(self.rank, self.win_id)
         now = eng.clock_of(self.rank)
@@ -163,9 +179,12 @@ class Window:
         (arrival, issue-seq) order so overlapping writes resolve exactly as
         the network delivered them.
         """
+        return run_inline(self.sync_local_g())
+
+    def sync_local_g(self):
         ctx = self._ctx
         eng = ctx._engine
-        eng.yield_ready(self.rank)
+        yield from eng.yield_ready_g(self.rank)
         eng.charge_comm(self.rank, eng.machine.o_win_sync, phase="sync")
         now = eng.clock_of(self.rank)
         pend = self._store.pending[self.rank]
@@ -193,9 +212,12 @@ class Window:
         (without consuming) pending transfers that have arrived by then.
         Concurrent target-local stores are a data race, exactly as in MPI.
         """
+        return run_inline(self.get_g(target, target_offset, count))
+
+    def get_g(self, target: int, target_offset: int, count: int):
         ctx = self._ctx
         eng = ctx._engine
-        eng.yield_ready(self.rank)
+        yield from eng.yield_ready_g(self.rank)
         m = eng.machine
         store = self._store
         if target_offset < 0 or target_offset + count > store.buffers[target].size:

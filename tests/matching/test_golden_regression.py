@@ -14,6 +14,8 @@ and Python versions. If a test fails after an *intentional* semantic
 change, re-record the constants and say so in the commit message.
 """
 
+import time
+
 import pytest
 
 from repro.graph.generators import rmat_graph
@@ -35,11 +37,18 @@ def graph():
     return rmat_graph(7, seed=3)
 
 
+@pytest.mark.parametrize("engine", ["threaded", "coroutine"])
 @pytest.mark.parametrize("model", sorted(GOLDEN))
 @pytest.mark.parametrize("scheduler", ["heap", "reference"])
-def test_golden_pins(graph, model, scheduler):
+def test_golden_pins(graph, model, scheduler, engine):
+    # The coroutine engine must hit the very same pins the threaded
+    # engine recorded: the constants are engine-independent by contract.
     makespan, weight, edges, iters = GOLDEN[model]
-    res = run_matching(graph, 4, model, config=RunConfig(machine=cori_aries(), scheduler=scheduler))
+    res = run_matching(
+        graph, 4, model,
+        config=RunConfig(machine=cori_aries(), scheduler=scheduler,
+                         engine=engine),
+    )
     assert res.makespan == makespan
     assert res.weight == weight
     assert res.num_matched_edges == edges
@@ -51,3 +60,42 @@ def test_all_backends_agree_on_weight(graph):
     # a cross-backend consistency pin on top of the per-backend ones.
     weights = {GOLDEN[m][1] for m in GOLDEN}
     assert len(weights) == 1
+
+
+# ----------------------------------------------------------------------
+# weak-scaling pins: P=1024 and P=4096, coroutine engine only
+# ----------------------------------------------------------------------
+# Weak scaling in the Fig. 4 sense: the per-rank problem is held fixed
+# (R-MAT scale 13 over 1024 ranks, scale 14 over 4096 — eight vertices
+# per rank) while P quadruples. These run ONLY under engine="coroutine";
+# the threaded engine would need one OS thread per rank and minutes of
+# pure context-switch overhead, which is exactly the wall the coroutine
+# engine removes. Deselected by default via the `scale` marker — CI's
+# scale-smoke job and `pytest -m scale` opt in.
+#
+# nprocs -> (rmat scale, makespan, weight, matched edges, iterations,
+#            wall-clock smoke budget in seconds)
+SCALE_GOLDEN = {
+    1024: (13, 0.007511103000000276, 1402.7828826796542, 1743, 319, 180.0),
+    4096: (14, 0.0112379500000005, 2568.706089974792, 3178, 328, 420.0),
+}
+
+
+@pytest.mark.scale
+@pytest.mark.parametrize("nprocs", sorted(SCALE_GOLDEN))
+def test_weak_scaling_pins_coroutine(nprocs):
+    scale, makespan, weight, edges, iters, budget = SCALE_GOLDEN[nprocs]
+    g = rmat_graph(scale, seed=3)
+    t0 = time.perf_counter()
+    res = run_matching(
+        g, nprocs, "nsr",
+        config=RunConfig(machine=cori_aries(), engine="coroutine"),
+    )
+    wall = time.perf_counter() - t0
+    assert res.makespan == makespan
+    assert res.weight == weight
+    assert res.num_matched_edges == edges
+    assert res.iterations == iters
+    # Smoke budget: generous vs the ~10s/~30s these take on a laptop,
+    # tight enough that an accidental O(P^2) in the engine core blows it.
+    assert wall < budget, f"P={nprocs} took {wall:.1f}s (budget {budget}s)"

@@ -105,6 +105,67 @@ def test_max_vtime_limit():
         Engine(2, zero_latency(), max_vtime=1.0).run(prog)
 
 
+# ----------------------------------------------------------------------
+# diagnostic parity: both engines fail the same way with the same dump
+# ----------------------------------------------------------------------
+class TestEngineFailureParity:
+    """Deadlock dumps and budget aborts must be engine-independent: the
+    coroutine engine reports exactly the stall info the threaded one does."""
+
+    @staticmethod
+    def _deadlock_dump(engine):
+        def prog(ctx):  # two-rank recv/recv: classic head-to-head deadlock
+            yield from ctx.recv_g(source=(ctx.rank + 1) % 2, tag=9)
+
+        eng = Engine(2, zero_latency(), trace=True, engine=engine)
+        with pytest.raises(DeadlockError) as ei:
+            eng.run(prog)
+        return ei.value
+
+    def test_recv_recv_deadlock_dump_identical(self):
+        a = self._deadlock_dump("threaded")
+        b = self._deadlock_dump("coroutine")
+        assert a.rank_states == b.rank_states
+        assert a.details == b.details
+        assert a.collectives == b.collectives
+        assert str(a) == str(b)
+        assert set(a.rank_states) == {0, 1}  # both ranks reported stuck
+
+    def test_partial_collective_dump_identical(self):
+        def prog(ctx):
+            yield from ()
+            if ctx.rank != 2:
+                yield from ctx.barrier_g()
+
+        dumps = {}
+        for mode in ("threaded", "coroutine"):
+            with pytest.raises(DeadlockError) as ei:
+                Engine(3, zero_latency(), trace=True, engine=mode).run(prog)
+            dumps[mode] = ei.value
+        a, b = dumps["threaded"], dumps["coroutine"]
+        assert a.collectives == b.collectives
+        assert a.collectives and a.collectives[0]["missing"] == [2]
+        assert str(a) == str(b)
+
+    @pytest.mark.parametrize(
+        "limits", [dict(max_ops=500), dict(max_vtime=1e-4)],
+        ids=["max_ops", "max_vtime"],
+    )
+    def test_budget_abort_identical(self, limits):
+        def prog(ctx):  # unbounded ping-pong: trips any budget eventually
+            peer = (ctx.rank + 1) % 2
+            while True:
+                yield from ctx.isend_g(peer, 0)
+                yield from ctx.recv_g()
+
+        msgs = {}
+        for mode in ("threaded", "coroutine"):
+            with pytest.raises(SimLimitExceeded) as ei:
+                Engine(2, cori_aries(), engine=mode, **limits).run(prog)
+            msgs[mode] = str(ei.value)
+        assert msgs["threaded"] == msgs["coroutine"]
+
+
 def test_engine_single_use():
     eng = Engine(2, zero_latency())
     eng.run(lambda ctx: None)

@@ -7,14 +7,26 @@ terminate) must satisfy:
 * bit-identical determinism across runs;
 * conservation: messages received == messages sent (after drain);
 * virtual-time sanity: makespan bounded below by any rank's serial work
-  and nondecreasing in the latency parameter.
+  and nondecreasing in the latency parameter;
+* engine equivalence: the threaded and coroutine engines produce the
+  same full fingerprint (clocks, results, counters, switch count,
+  trace) for random programs under random fault plans
+  (drop/dup/delay/partition/crash);
+* coroutine checkpoint/kill/resume: a run killed mid-flight and resumed
+  from its last snapshot under ``engine="coroutine"`` finishes
+  bit-identically to the uninterrupted run.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.mpisim import Engine, cori_aries
+from repro.mpisim import Engine, FaultPlan, cori_aries, trace_to_csv
+from repro.mpisim.counters import CommMatrix
+from repro.mpisim.errors import RankCrashed, SimKilled
+from repro.mpisim.faults import PartitionWindow
+from repro.mpisim.tracing import time_ordered
 from repro.util.rng import make_rng
 
 SLOWISH = settings(
@@ -114,3 +126,204 @@ def test_time_split_accounts_everything(seed, nprocs):
     for rc in res.counters.ranks:
         assert rc.total_time <= res.makespan + 1e-12
     assert compute >= 0 and comm >= 0 and idle >= 0
+
+
+# ----------------------------------------------------------------------
+# engine equivalence: threaded vs coroutine under random fault plans
+# ----------------------------------------------------------------------
+def _fingerprint(res, trace):
+    """Every observable of a run, flattened to comparable values."""
+    counters = []
+    for rc in res.counters.ranks:
+        counters.append(
+            {
+                k: ((v.counts.tobytes(), v.bytes.tobytes())
+                    if isinstance(v, CommMatrix) else v)
+                for k, v in vars(rc).items()
+            }
+        )
+    matrices = tuple(
+        (m.counts.tobytes(), m.bytes.tobytes())
+        for m in (res.counters.p2p, res.counters.rma, res.counters.ncl)
+    )
+    return (
+        res.makespan,
+        tuple(res.final_clocks),
+        tuple(repr(r) for r in res.rank_results),
+        res.total_ops,
+        res.scheduler_switches,
+        tuple(sorted(res.crashed_ranks)),
+        counters,
+        matrices,
+        trace_to_csv(time_ordered(trace)),
+    )
+
+
+def faulty_ring_program(rounds: int):
+    """Ring chatter that tolerates drops, dups, delays, partitions, and
+    peer crashes: send best-effort, then drain whatever arrived."""
+
+    def prog(ctx):
+        nxt = (ctx.rank + 1) % ctx.nprocs
+        sent = 0
+        for i in range(rounds):
+            try:
+                yield from ctx.isend_g(nxt, (ctx.rank, i), tag=2, nbytes=24)
+                sent += 1
+            except RankCrashed:
+                pass  # peer already reported dead; keep going
+            ctx.compute(seconds=3e-5)
+        n = 0
+        while (yield from ctx.iprobe_g()) is not None:
+            yield from ctx.recv_g(tag=2)
+            n += 1
+        return (sent, n, sorted(ctx.failed_ranks()))
+
+    return prog
+
+
+@st.composite
+def fault_plans(draw, nprocs):
+    """A random FaultPlan mixing message faults, a partition, and a crash."""
+    plan = dict(
+        seed=draw(st.integers(0, 2**31)),
+        drop_rate=draw(st.sampled_from([0.0, 0.1, 0.3])),
+        dup_rate=draw(st.sampled_from([0.0, 0.1, 0.25])),
+        delay_rate=draw(st.sampled_from([0.0, 0.2, 0.5])),
+    )
+    if nprocs >= 3 and draw(st.booleans()):
+        cut = draw(st.integers(1, nprocs - 1))
+        t0 = draw(st.sampled_from([0.0, 5e-5, 2e-4]))
+        plan["partitions"] = (
+            PartitionWindow(
+                t_start=t0,
+                t_end=t0 + draw(st.sampled_from([5e-5, 3e-4])),
+                groups=(tuple(range(cut)), tuple(range(cut, nprocs))),
+            ),
+        )
+    if draw(st.booleans()):
+        plan["crashes"] = {
+            draw(st.integers(0, nprocs - 1)):
+                draw(st.sampled_from([2e-5, 1e-4, 4e-4]))
+        }
+    return FaultPlan(**plan)
+
+
+@st.composite
+def faulty_cases(draw):
+    nprocs = draw(st.integers(2, 5))
+    return nprocs, draw(fault_plans(nprocs)), draw(st.integers(1, 6))
+
+
+@SLOWISH
+@given(case=faulty_cases())
+def test_engines_bit_identical_under_random_faults(case):
+    """The coroutine engine replays the threaded engine's every decision:
+    identical fingerprints for random programs under random fault plans."""
+    nprocs, plan, rounds = case
+    prog = faulty_ring_program(rounds)
+    fps = {}
+    for mode in ("threaded", "coroutine"):
+        eng = Engine(nprocs, cori_aries(), trace=True, faults=plan, engine=mode)
+        fps[mode] = _fingerprint(eng.run(prog), eng.trace)
+    assert fps["threaded"] == fps["coroutine"]
+
+
+@SLOWISH
+@given(
+    seed=st.integers(0, 2**31),
+    nprocs=st.integers(2, 5),
+    rounds=st.integers(1, 6),
+)
+def test_engines_bit_identical_fault_free(seed, nprocs, rounds):
+    prog = scripted_program_g(seed, rounds)
+    fps = {}
+    for mode in ("threaded", "coroutine"):
+        eng = Engine(nprocs, cori_aries(), trace=True, engine=mode)
+        fps[mode] = _fingerprint(eng.run(prog), eng.trace)
+    assert fps["threaded"] == fps["coroutine"]
+
+
+def scripted_program_g(seed: int, rounds: int):
+    """Generator-style twin of scripted_program (collectives + exact recvs)."""
+
+    def prog(ctx):
+        rng = make_rng(seed, "script", ctx.rank)
+        shared = make_rng(seed, "script-shared")
+        dests = shared.integers(0, ctx.nprocs, size=(ctx.nprocs, rounds))
+        received = 0
+        sent = 0
+        for k in range(rounds):
+            ctx.compute(units=float(rng.integers(0, 50)))
+            d = int(dests[ctx.rank, k])
+            if d != ctx.rank:
+                yield from ctx.isend_g(d, (ctx.rank, k))
+                sent += 1
+            expected = int(np.sum(dests[:, k] == ctx.rank)) - int(
+                dests[ctx.rank, k] == ctx.rank
+            )
+            for _ in range(expected):
+                yield from ctx.recv_g()
+                received += 1
+            yield from ctx.allreduce_g(1)
+        return (sent, received)
+
+    return prog
+
+
+# ----------------------------------------------------------------------
+# coroutine checkpoint / kill / resume round-trip
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kill_frac", [0.35, 0.8])
+def test_coroutine_checkpoint_kill_resume_roundtrip(kill_frac):
+    """Under engine="coroutine": checkpoint, kill mid-run, resume from the
+    last surviving snapshot — the finished run is bit-identical to the
+    uninterrupted one (and to the threaded engine's)."""
+    from repro.graph.generators import rmat_graph
+    from repro.matching import RunConfig, run_matching
+    from repro.mpisim.checkpoint import CheckpointConfig, CheckpointStore
+
+    g = rmat_graph(7, seed=3)
+    interval = 8e-5
+
+    def cfg(**kw):
+        return RunConfig(
+            engine="coroutine", trace=True,
+            checkpoint=CheckpointConfig(interval=interval,
+                                        store=kw.pop("store")),
+            **kw,
+        )
+
+    ref_store = CheckpointStore()
+    ref = run_matching(g, 4, "ncl", config=cfg(store=ref_store))
+    assert len(ref_store) > 0
+
+    kill_t = kill_frac * ref.makespan
+    kstore = CheckpointStore()
+    with pytest.raises(SimKilled) as exc:
+        run_matching(g, 4, "ncl", config=cfg(store=kstore, kill_at=kill_t))
+    assert exc.value.t >= kill_t
+    snap = kstore.latest_before(kill_t)
+    assert snap is not None, "kill point must lie past the first cut"
+    # the killed run's snapshots are the reference run's, bit for bit
+    assert snap.sha256 == ref_store.at_epoch(snap.epoch).sha256
+
+    res = run_matching(
+        g, 4, "ncl", config=cfg(store=CheckpointStore(), restore=snap),
+    )
+    assert np.array_equal(res.mate, ref.mate)
+    assert res.weight == ref.weight
+    assert res.makespan == ref.makespan
+    assert res.engine.final_clocks == ref.engine.final_clocks
+
+    # and the whole exercise matches the threaded engine's result
+    threaded = run_matching(
+        g, 4, "ncl",
+        config=RunConfig(
+            engine="threaded", trace=True,
+            checkpoint=CheckpointConfig(interval=interval,
+                                        store=CheckpointStore()),
+        ),
+    )
+    assert np.array_equal(threaded.mate, ref.mate)
+    assert threaded.makespan == ref.makespan

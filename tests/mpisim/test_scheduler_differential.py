@@ -1,10 +1,13 @@
-"""Differential tests: the heap scheduler is bit-identical to the reference.
+"""Differential tests: schedulers AND execution engines are bit-identical.
 
 The engine ships two scheduler implementations (``scheduler="heap"``, the
 indexed candidate-time heap, and ``scheduler="reference"``, the original
-O(P)-scan executable specification — see docs/engine_scheduling.md). This
-suite runs a matrix of (program x machine x seed x fault plan) under both
-and asserts that every *virtual* observable agrees exactly:
+O(P)-scan executable specification) and two execution engines
+(``engine="threaded"``, one OS thread per rank, and ``engine="coroutine"``,
+generator ranks stepped by the scheduler) — see docs/engine_scheduling.md.
+This suite runs a matrix of (program x machine x seed x fault plan) under
+both schedulers, parametrized over both engines, and asserts that every
+*virtual* observable agrees exactly:
 
 * the canonically ordered event trace, byte-for-byte as CSV;
 * per-rank final clocks and the makespan;
@@ -13,10 +16,17 @@ and asserts that every *virtual* observable agrees exactly:
 * the communication matrices;
 * rank results and crashed-rank sets.
 
-``scheduler_switches`` is deliberately excluded: the two implementations
-take different keep-running shortcuts in ``yield_ready``, which changes
-how often the token physically moves but nothing a rank program can
-observe in virtual time.
+``scheduler_switches`` is deliberately excluded from the cross-scheduler
+comparison: the two implementations take different keep-running shortcuts
+in ``yield_ready``, which changes how often the token physically moves but
+nothing a rank program can observe in virtual time. Across *engines* with
+the scheduler held fixed, however, the switch count IS asserted: the
+coroutine engine must make exactly the scheduling decisions the threaded
+engine makes.
+
+Rank programs are written in generator style (``yield from ctx.<op>_g``),
+which both engines accept: the threaded engine drives the generator to
+completion inline, the coroutine engine single-steps it.
 """
 
 import dataclasses
@@ -41,13 +51,24 @@ def _counters_dict(rc) -> dict:
     return dataclasses.asdict(rc)
 
 
-def assert_equivalent(a, ta, b, tb) -> None:
-    """Assert two (EngineResult, trace) pairs agree on every virtual fact."""
+def assert_equivalent(a, ta, b, tb, check_switches=False,
+                      check_rank_results=True) -> None:
+    """Assert two (EngineResult, trace) pairs agree on every virtual fact.
+
+    ``check_switches=True`` additionally asserts the physical scheduling
+    decision count — valid when the scheduler is held fixed and only the
+    execution engine varies. ``check_rank_results=False`` skips the raw
+    rank-result comparison for payloads ``==`` can't handle (numpy arrays
+    inside dicts); callers then compare the assembled results themselves.
+    """
     assert a.makespan == b.makespan
     assert a.final_clocks == b.final_clocks
-    assert a.rank_results == b.rank_results
+    if check_rank_results:
+        assert a.rank_results == b.rank_results
     assert a.total_ops == b.total_ops
     assert a.crashed_ranks == b.crashed_ranks
+    if check_switches:
+        assert a.scheduler_switches == b.scheduler_switches
     # Canonical order: (time, rank) with a stable sort, so each rank's
     # same-time events keep program order. Physical append order may
     # differ (the schedulers park at different moments), virtual order
@@ -62,15 +83,36 @@ def assert_equivalent(a, ta, b, tb) -> None:
         np.testing.assert_array_equal(ma.bytes, mb.bytes)
 
 
-def run_both(prog, nprocs, machine, faults=None, expect_crashes=False):
+ENGINES = ["threaded", "coroutine"]
+
+
+def run_both(prog, nprocs, machine, faults=None, expect_crashes=False,
+             engine="threaded"):
+    """Run under both schedulers with the given engine; assert equivalence.
+
+    When ``engine="coroutine"`` a third run (heap scheduler, threaded
+    engine) closes the cross-engine leg of the differential: same
+    scheduler, different engine must agree on everything *including*
+    the switch count.
+    """
     out = {}
     for sched in ("reference", "heap"):
-        eng = Engine(nprocs, machine, trace=True, faults=faults, scheduler=sched)
+        eng = Engine(
+            nprocs, machine, trace=True, faults=faults, scheduler=sched,
+            engine=engine,
+        )
         out[sched] = (eng.run(prog), eng.trace)
     (a, ta), (b, tb) = out["reference"], out["heap"]
     if expect_crashes:
         assert a.crashed_ranks  # the plan must actually bite
     assert_equivalent(a, ta, b, tb)
+    if engine == "coroutine":
+        eng = Engine(
+            nprocs, machine, trace=True, faults=faults, scheduler="heap",
+            engine="threaded",
+        )
+        c, tc = eng.run(prog), eng.trace
+        assert_equivalent(b, tb, c, tc, check_switches=True)
     return out["heap"][0]
 
 
@@ -88,12 +130,16 @@ def scripted(seed: int, rounds: int):
             ctx.compute(units=float(rng.integers(0, 40)))
             d = int(dests[ctx.rank, k])
             if d != ctx.rank:
-                ctx.isend(d, (ctx.rank, k), nbytes=48)
+                yield from ctx.isend_g(d, (ctx.rank, k), nbytes=48)
             expected = int(np.sum(dests[:, k] == ctx.rank)) - int(
                 dests[ctx.rank, k] == ctx.rank
             )
-            got = sorted(ctx.recv().payload for _ in range(expected))
-            total = ctx.allreduce(len(got))
+            got = []
+            for _ in range(expected):
+                msg = yield from ctx.recv_g()
+                got.append(msg.payload)
+            got.sort()
+            total = yield from ctx.allreduce_g(len(got))
             assert total == int(np.sum(dests[:, k] != np.arange(ctx.nprocs)))
         return ctx.rank
 
@@ -106,11 +152,11 @@ def tolerant_ring(rounds: int):
     def prog(ctx):
         nxt = (ctx.rank + 1) % ctx.nprocs
         for i in range(rounds):
-            ctx.isend(nxt, i, tag=1, nbytes=24)
+            yield from ctx.isend_g(nxt, i, tag=1, nbytes=24)
         ctx.compute(seconds=1e-3)
         n = 0
-        while ctx.iprobe() is not None:
-            ctx.recv(tag=1)
+        while (yield from ctx.iprobe_g()) is not None:
+            yield from ctx.recv_g(tag=1)
             n += 1
         return n
 
@@ -120,27 +166,29 @@ def tolerant_ring(rounds: int):
 def rma_mix(ctx):
     """Puts, accumulates, sync_local polling, get, and a flush fence."""
     p = ctx.nprocs
-    win = ctx.win_allocate(p)
-    win.put((ctx.rank + 1) % p, np.array([ctx.rank + 1]), ctx.rank)
-    win.accumulate((ctx.rank + 2) % p, np.array([10]), ctx.rank)
-    win.flush_all()
-    ctx.barrier()
-    applied = win.sync_local()
+    win = yield from ctx.win_allocate_g(p)
+    yield from win.put_g((ctx.rank + 1) % p, np.array([ctx.rank + 1]), ctx.rank)
+    yield from win.accumulate_g((ctx.rank + 2) % p, np.array([10]), ctx.rank)
+    yield from win.flush_all_g()
+    yield from ctx.barrier_g()
+    applied = yield from win.sync_local_g()
     snapshot = win.local.tolist()
-    remote = win.get((ctx.rank + 1) % p, 0, p).tolist()
-    ctx.barrier()
+    remote = (yield from win.get_g((ctx.rank + 1) % p, 0, p)).tolist()
+    yield from ctx.barrier_g()
     return (applied, snapshot, remote)
 
 
 def neighbor_ring(rounds: int):
     def prog(ctx):
         p = ctx.nprocs
-        topo = ctx.dist_graph_create_adjacent(
+        topo = yield from ctx.dist_graph_create_adjacent_g(
             sorted({(ctx.rank - 1) % p, (ctx.rank + 1) % p})
         )
         acc = 0
         for k in range(rounds):
-            got, _ = topo.neighbor_alltoallv([[ctx.rank, k]] * topo.degree)
+            got, _ = yield from topo.neighbor_alltoallv_g(
+                [[ctx.rank, k]] * topo.degree
+            )
             acc += sum(x[0] for x in got)
             ctx.compute(units=3.0)
         return acc
@@ -156,14 +204,14 @@ def crash_survivor(ctx):
     sent = 0
     for i in range(6):
         try:
-            ctx.isend(nxt, i, tag=5, nbytes=16)
+            yield from ctx.isend_g(nxt, i, tag=5, nbytes=16)
             sent += 1
         except RankCrashed:
             pass  # peer detected dead; keep going
         ctx.compute(seconds=2e-5)
     n = 0
-    while ctx.iprobe() is not None:
-        ctx.recv(tag=5)
+    while (yield from ctx.iprobe_g()) is not None:
+        yield from ctx.recv_g(tag=5)
         n += 1
     return (sent, n, sorted(ctx.failed_ranks()))
 
@@ -171,38 +219,43 @@ def crash_survivor(ctx):
 # ----------------------------------------------------------------------
 # fault-free matrix
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("machine", MACHINES)
 @pytest.mark.parametrize("seed", [0, 7, 123])
 @pytest.mark.parametrize("nprocs", [2, 5, 9])
-def test_scripted_matrix(machine, seed, nprocs):
-    run_both(scripted(seed, rounds=4), nprocs, get_machine(machine))
+def test_scripted_matrix(machine, seed, nprocs, engine):
+    run_both(scripted(seed, rounds=4), nprocs, get_machine(machine), engine=engine)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("machine", MACHINES)
-def test_rma_mix(machine):
-    res = run_both(rma_mix, 4, get_machine(machine))
+def test_rma_mix(machine, engine):
+    res = run_both(rma_mix, 4, get_machine(machine), engine=engine)
     # sanity: every rank saw both incoming one-sided ops after the barrier
     for applied, _, _ in res.rank_results:
         assert applied == 2
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("nprocs", [3, 8])
-def test_neighborhood_collectives(nprocs):
-    run_both(neighbor_ring(5), nprocs, cori_aries())
+def test_neighborhood_collectives(nprocs, engine):
+    run_both(neighbor_ring(5), nprocs, cori_aries(), engine=engine)
 
 
-def test_single_rank_degenerate():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_single_rank_degenerate(engine):
     def prog(ctx):
         ctx.compute(units=10.0)
-        ctx.barrier()
-        return ctx.allreduce(ctx.rank)
+        yield from ctx.barrier_g()
+        return (yield from ctx.allreduce_g(ctx.rank))
 
-    run_both(prog, 1, cori_aries())
+    run_both(prog, 1, cori_aries(), engine=engine)
 
 
 # ----------------------------------------------------------------------
 # faulty matrix
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("fault_seed", [3, 19])
 @pytest.mark.parametrize(
     "rates",
@@ -214,37 +267,46 @@ def test_single_rank_degenerate():
     ],
     ids=["drop", "dup", "delay", "mixed"],
 )
-def test_message_fault_plans(fault_seed, rates):
+def test_message_fault_plans(fault_seed, rates, engine):
     plan = FaultPlan(seed=fault_seed, **rates)
-    run_both(tolerant_ring(10), 4, cori_aries(), faults=plan)
+    run_both(tolerant_ring(10), 4, cori_aries(), faults=plan, engine=engine)
 
 
-def test_nic_degradation_plan():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_nic_degradation_plan(engine):
     from repro.mpisim.faults import NicDegradation
 
     plan = FaultPlan(
         degradations=(NicDegradation(rank=1, t_start=0.0, t_end=1e-3, factor=8.0),)
     )
-    run_both(tolerant_ring(8), 4, cori_aries(), faults=plan)
+    run_both(tolerant_ring(8), 4, cori_aries(), faults=plan, engine=engine)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("crash_rank,crash_t", [(1, 5e-5), (0, 1e-4)])
-def test_crash_plans(crash_rank, crash_t):
+def test_crash_plans(crash_rank, crash_t, engine):
     plan = FaultPlan(crashes={crash_rank: crash_t})
-    run_both(crash_survivor, 4, cori_aries(), faults=plan, expect_crashes=True)
+    run_both(
+        crash_survivor, 4, cori_aries(), faults=plan, expect_crashes=True,
+        engine=engine,
+    )
 
 
 # ----------------------------------------------------------------------
 # end-to-end: the matching application under every backend
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("model", ["nsr", "rma", "ncl", "mbp", "incl"])
-def test_matching_backends_bit_identical(model):
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("model", ["nsr", "rma", "ncl", "mbp", "incl", "nsr-agg"])
+def test_matching_backends_bit_identical(model, engine):
     from repro.graph.generators import rmat_graph
     from repro.matching import run_matching
 
     g = rmat_graph(7, seed=2)
     runs = {
-        sched: run_matching(g, 4, model, config=RunConfig(scheduler=sched, trace=True))
+        sched: run_matching(
+            g, 4, model,
+            config=RunConfig(scheduler=sched, trace=True, engine=engine),
+        )
         for sched in ("reference", "heap")
     }
     a, b = runs["reference"], runs["heap"]
@@ -258,22 +320,44 @@ def test_matching_backends_bit_identical(model):
     )
     for rca, rcb in zip(a.counters.ranks, b.counters.ranks):
         assert _counters_dict(rca) == _counters_dict(rcb)
+    if engine == "coroutine":
+        # cross-engine leg: heap/coroutine vs heap/threaded, full fingerprint
+        c = run_matching(
+            g, 4, model,
+            config=RunConfig(scheduler="heap", trace=True, engine="threaded"),
+        )
+        assert_equivalent(b.engine, b.engine.trace, c.engine, c.engine.trace,
+                          check_switches=True, check_rank_results=False)
+        np.testing.assert_array_equal(b.mate, c.mate)
+        assert b.weight == c.weight
 
 
-def test_matching_under_faults_bit_identical():
+@pytest.mark.parametrize("engine", ENGINES)
+def test_matching_under_faults_bit_identical(engine):
     from repro.graph.generators import rmat_graph
     from repro.matching import run_matching
 
     g = rmat_graph(7, seed=2)
     plan = FaultPlan(seed=5, drop_rate=0.05, dup_rate=0.05)
     runs = {
-        sched: run_matching(g, 4, "nsr", config=RunConfig(faults=plan, scheduler=sched))
+        sched: run_matching(
+            g, 4, "nsr",
+            config=RunConfig(faults=plan, scheduler=sched, engine=engine),
+        )
         for sched in ("reference", "heap")
     }
     a, b = runs["reference"], runs["heap"]
     assert (a.makespan, a.weight) == (b.makespan, b.weight)
     assert a.fault_totals() == b.fault_totals()
     np.testing.assert_array_equal(a.mate, b.mate)
+    if engine == "coroutine":
+        c = run_matching(
+            g, 4, "nsr",
+            config=RunConfig(faults=plan, scheduler="heap", engine="threaded"),
+        )
+        assert (b.makespan, b.weight) == (c.makespan, c.weight)
+        assert b.fault_totals() == c.fault_totals()
+        np.testing.assert_array_equal(b.mate, c.mate)
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +366,26 @@ def test_matching_under_faults_bit_identical():
 def test_unknown_scheduler_rejected():
     with pytest.raises(ValueError, match="unknown scheduler"):
         Engine(2, cori_aries(), scheduler="banana")
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        Engine(2, cori_aries(), engine="fibers")
+
+
+def test_plain_blocking_call_rejected_under_coroutine():
+    # A rank program that parks through a plain (non-generator) wrapper
+    # cannot be suspended by the coroutine engine; the failure must be a
+    # clear diagnostic, not a hang.
+    def prog(ctx):
+        yield from ()
+        ctx.barrier()  # plain wrapper -> run_inline -> park -> error
+
+    from repro.mpisim.errors import RankFailure
+
+    eng = Engine(2, cori_aries(), engine="coroutine")
+    with pytest.raises(RankFailure, match="park point"):
+        eng.run(prog)
 
 
 def test_machines_importable():
