@@ -239,8 +239,8 @@ def _cmd_match(args) -> int:
         CheckpointStore,
         load_checkpoint,
     )
-    from repro.mpisim.errors import SimKilled
-    from repro.mpisim.faults import FaultPlan
+    from repro.mpisim.errors import RecoveryFailed, SimKilled
+    from repro.mpisim.faults import ChurnPlan, FaultPlan
     from repro.mpisim.machine import get_machine
     from repro.util.tables import format_seconds
 
@@ -248,10 +248,37 @@ def _cmd_match(args) -> int:
     crashes = _parse_crashes(args.crash)
     degradations = _parse_degradations(args.degrade)
     partitions = _parse_partitions(args.partition)
+    churn_plan = None
+    if args.churn_mtbf:
+        if not args.churn_horizon:
+            raise SystemExit(
+                "--churn-mtbf needs --churn-horizon (virtual time past "
+                "which no more churn events fire)"
+            )
+        churn_plan = ChurnPlan(
+            mtbf=args.churn_mtbf, horizon=args.churn_horizon,
+            seed=args.fault_seed,
+        )
+        if not args.spares:
+            raise SystemExit(
+                "churn streams crashes through the whole run and needs "
+                "rollback-recovery: pass --spares N (and --replicas K)"
+            )
+    if args.spares and not args.checkpoint_interval:
+        if churn_plan is not None:
+            # A pasted `repro chaos --churn` repro line carries no
+            # interval; default to a cadence dense enough to outpace the
+            # requested MTBF.
+            args.checkpoint_interval = args.churn_mtbf / 8.0
+        else:
+            raise SystemExit(
+                "--spares turns on rollback-recovery, which needs "
+                "coordinated cuts to roll back to: pass --checkpoint-interval"
+            )
     if (
         args.drop_rate or args.dup_rate or args.delay_rate
         or args.rma_drop_rate or args.rma_corrupt_rate
-        or crashes or degradations or partitions
+        or crashes or degradations or partitions or churn_plan is not None
     ):
         bad = [r for r in crashes if not 0 <= r < args.nprocs]
         if bad:
@@ -268,6 +295,7 @@ def _cmd_match(args) -> int:
                 detect_latency=args.detect_latency,
                 rma_drop_rate=args.rma_drop_rate,
                 rma_corrupt_rate=args.rma_corrupt_rate,
+                churn_plan=churn_plan,
             )
         except ValueError as e:
             raise SystemExit(str(e)) from None
@@ -324,10 +352,17 @@ def _cmd_match(args) -> int:
                 checkpoint=checkpoint,
                 kill_at=args.kill_at,
                 restore=restore,
+                spares=args.spares,
+                replicas=args.replicas,
                 # None → RunConfig's default ($REPRO_ENGINE or threaded)
                 **({"engine": args.engine} if args.engine else {}),
             ),
         )
+    except RecoveryFailed as e:
+        print(f"recovery failed: {e.reason} (rank {e.rank} died at "
+              f"t={e.t:.6e})")
+        print(e.report)
+        return 1
     except SimKilled as e:
         print(f"run killed at virtual time {e.t:.6e} (--kill-at)")
         if checkpoint is not None:
@@ -356,7 +391,24 @@ def _cmd_match(args) -> int:
         print(f"fault counters: {ft or 'none'}")
     if checkpoint is not None:
         where = f" in {checkpoint.dir}" if checkpoint.dir is not None else ""
-        print(f"checkpoints: {len(checkpoint.store)} coordinated cuts{where}")
+        # Under recovery the engine replicates cuts into its own store;
+        # the caller-visible one stays empty, so read the report's count.
+        held = (
+            res.recovery["cuts_held"] if res.recovery is not None
+            else len(checkpoint.store)
+        )
+        print(f"checkpoints: {held} coordinated cuts{where}")
+    if res.recovery is not None:
+        r = res.recovery
+        print(
+            f"recovery: {r['recoveries']} rollbacks, "
+            f"{r['spares_used']} spares used ({r['spares_left']} left), "
+            f"rollback vtime {r['rollback_vtime']:.3e}, "
+            f"cuts lost {r['cuts_lost']}, "
+            f"mean latency {r['mean_recovery_latency']:.3e}, "
+            f"replica traffic {r['replica_msgs']} msgs / "
+            f"{r['replica_bytes']} bytes"
+        )
     return 0
 
 
@@ -397,6 +449,7 @@ def _cmd_profile(args) -> int:
 
 def _cmd_chaos(args) -> int:
     from repro.harness.chaos import (
+        churn_matching_runner,
         matching_runner,
         restart_matching_runner,
         run_chaos,
@@ -404,6 +457,8 @@ def _cmd_chaos(args) -> int:
     from repro.harness.spec import get_graph
     from repro.matching import run_matching
 
+    if args.restart and args.churn:
+        raise SystemExit("--restart and --churn are separate chaos modes")
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
     for b in backends:
         if b not in ("nsr", "nsr-agg", "rma", "ncl"):
@@ -418,6 +473,11 @@ def _cmd_chaos(args) -> int:
         runner = restart_matching_runner(
             g, args.nprocs, t_scales, max_ops=args.max_ops
         )
+    elif args.churn:
+        runner = churn_matching_runner(
+            g, args.nprocs, t_scales, max_ops=args.max_ops,
+            spares=args.spares, replicas=args.replicas,
+        )
     else:
         runner = matching_runner(g, args.nprocs, max_ops=args.max_ops)
     report = run_chaos(
@@ -429,9 +489,19 @@ def _cmd_chaos(args) -> int:
         t_scales=t_scales,
         dataset=args.dataset,
         do_shrink=not args.no_shrink,
+        churn=args.churn,
+        churn_mtbf=args.mtbf,
         progress=lambda line: print(line, file=sys.stderr),
     )
     print(report.render())
+    if args.csv:
+        csv_text = report.to_csv()
+        if args.csv == "-":
+            print(csv_text, end="")
+        else:
+            with open(args.csv, "w") as f:
+                f.write(csv_text)
+            print(f"wrote {args.csv}", file=sys.stderr)
     return 1 if report.failures else 0
 
 
@@ -564,6 +634,37 @@ def main(argv: list[str] | None = None) -> int:
         "0,1|2,3 cannot reach each other until the heal (repeatable)",
     )
     p_match.add_argument(
+        "--churn-mtbf",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="stream Poisson crash churn through the run: per-rank mean "
+        "time between failures in virtual seconds (needs --churn-horizon "
+        "and --spares; seeded by --fault-seed)",
+    )
+    p_match.add_argument(
+        "--churn-horizon",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="virtual time past which no more churn events fire",
+    )
+    p_match.add_argument(
+        "--spares",
+        type=int,
+        default=0,
+        help="warm-standby rank budget: > 0 turns on automatic "
+        "rollback-recovery (each healed crash consumes one spare; needs "
+        "--checkpoint-interval, defaulted to mtbf/8 for churn runs)",
+    )
+    p_match.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="buddy-replication degree k for the diskless replicated "
+        "checkpoint store (used with --spares)",
+    )
+    p_match.add_argument(
         "--checkpoint-interval",
         type=float,
         default=0.0,
@@ -636,6 +737,42 @@ def main(argv: list[str] | None = None) -> int:
         help="checkpoint/restart mode: kill each run at sampled points, "
         "resume from the latest checkpoint, and require bit-identical "
         "completion (reports rollback/retry/spurious-detection costs)",
+    )
+    p_chaos.add_argument(
+        "--churn",
+        action="store_true",
+        help="crash-churn mode: stream Poisson crashes through whole runs "
+        "under automatic rollback-recovery; surviving runs must match the "
+        "fault-free mate/weight bit-identically, given-up runs must fail "
+        "deterministically with a classified report (reports spares used, "
+        "cuts lost to buddy death, mean recovery latency)",
+    )
+    p_chaos.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="churn mode: pin the per-rank MTBF to FACTOR x the backend's "
+        "fault-free makespan instead of sampling the factor from [0.6, 3)",
+    )
+    p_chaos.add_argument(
+        "--spares",
+        type=int,
+        default=16,
+        help="churn mode: warm-standby rank budget per run",
+    )
+    p_chaos.add_argument(
+        "--replicas",
+        type=int,
+        default=2,
+        help="churn mode: buddy-replication degree for checkpoint slices",
+    )
+    p_chaos.add_argument(
+        "--csv",
+        default="",
+        metavar="FILE",
+        help="also write the per-plan verdicts + recovery-cost columns "
+        "as CSV ('-' for stdout)",
     )
     p_chaos.add_argument(
         "--config", default="", metavar="FILE.toml",

@@ -29,22 +29,40 @@ every plan additionally runs a checkpointed reference, gets killed at
 sampled virtual times, resumes from the latest saved checkpoint, and
 must complete bit-identically — with recovery costs (rollback virtual
 time, retries, spurious detections) reported per plan.
+
+``repro chaos --churn`` swaps in :func:`churn_matching_runner`: every
+plan streams Poisson crash churn through a whole run under automatic
+rollback-recovery (buddy-replicated checkpoints + spare substitution)
+and must either complete with mate/weight bit-identical to the
+fault-free run, or fail **deterministically** with a classified
+``RecoveryFailed`` report ("no complete cut survives" and why). The
+latter is the ``unrecoverable`` verdict — an accepted outcome (the
+sampled churn outpaced the replication degree), not a property
+violation; only hangs, unclassified crashes, wrong matchings, and
+nondeterminism count as failures.
 """
 
 from __future__ import annotations
 
+import csv
 import hashlib
+import io
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
-from repro.mpisim.faults import FaultPlan, NicDegradation, PartitionWindow
+from repro.mpisim.faults import ChurnPlan, FaultPlan, NicDegradation, PartitionWindow
 from repro.util.rng import derive_seed
 from repro.matching.config import RunConfig
 
 _U63 = float(1 << 63)
 
-#: failure classes, from most to least severe (sort key for reporting)
-STATUSES = ("hang", "crash", "invalid", "nondet", "ok")
+#: verdict classes, from most to least severe (sort key for reporting);
+#: ``unrecoverable`` (churn outpaced replication, reported and proved
+#: deterministic) is accepted — everything before it is a failure
+STATUSES = ("hang", "crash", "invalid", "nondet", "unrecoverable", "ok")
+
+#: verdicts that do NOT count as property violations
+_ACCEPTED = ("unrecoverable", "ok")
 
 Runner = Callable[[str, FaultPlan], tuple[str, str]]
 
@@ -57,7 +75,8 @@ def _unit(seed: int, *stream) -> float:
 # plan sampling
 # ----------------------------------------------------------------------
 def sample_plan(
-    seed: int, index: int, nprocs: int, backend: str, t_scale: float
+    seed: int, index: int, nprocs: int, backend: str, t_scale: float,
+    churn: bool = False, churn_mtbf: float | None = None,
 ) -> FaultPlan:
     """Deterministically sample the ``index``-th fault plan.
 
@@ -66,10 +85,29 @@ def sample_plan(
     the algorithm is actually running. Message-fault rates are only
     drawn for NSR (the backend with the reliable-delivery shim); RMA
     put fates only for the one-sided backend.
+
+    ``churn=True`` samples a pure crash-churn plan instead (per-rank
+    Poisson crashes with an MTBF anchored to ``t_scale``, no message or
+    window faults): churn runs exercise the rollback-recovery subsystem,
+    which masks crashes entirely, so mixing in transport faults would
+    only retest what the default mode already covers. ``churn_mtbf``
+    pins the MTBF to a fixed multiple of ``t_scale`` (``repro chaos
+    --churn --mtbf``) instead of sampling the multiplier from
+    ``[0.6, 3.0)``; per-rank event times still vary with the plan seed.
     """
 
     def u(*tag) -> float:
         return _unit(seed, "chaos", index, *tag)
+
+    if churn:
+        plan_seed = derive_seed(seed, "plan-seed", index) & 0x7FFFFFFF
+        factor = churn_mtbf if churn_mtbf is not None else 0.6 + 2.4 * u("mtbf")
+        return FaultPlan.churn(
+            mtbf=factor * t_scale,
+            horizon=4.0 * t_scale,
+            seed=plan_seed,
+            detect_latency=(0.01 + 0.04 * u("detect")) * t_scale,
+        )
 
     # crash set: 0..3 distinct ranks, weighted towards 1-2
     w = u("ncrash")
@@ -294,6 +332,145 @@ def restart_matching_runner(
     return run
 
 
+def churn_matching_runner(
+    g,
+    nprocs: int,
+    t_scales: dict[str, float],
+    max_ops: int | None = None,
+    spares: int = 16,
+    replicas: int = 2,
+) -> Runner:
+    """Build the ``--churn`` runner: self-healing runs under crash churn.
+
+    Each plan's churn stream runs through a whole matching run with
+    automatic rollback-recovery on (diskless buddy-replicated
+    checkpoints, spare-rank substitution). A surviving run must produce
+    mate/weight bit-identical to the fault-free run and replay
+    bit-identically (fingerprint, makespan, and the full recovery
+    report). A run the recovery subsystem gives up on must fail the
+    same classified way twice (same ``RecoveryFailed`` reason) — that is
+    the ``unrecoverable`` verdict, accepted and reported, because
+    whether a cut survives is a property of the sampled churn vs the
+    replication degree, not of the code under test.
+
+    The returned recovery dict reuses the ``--restart`` columns (kills,
+    rollback_vtime, spurious_detections) and adds the churn-specific
+    costs: spares consumed, cuts lost to buddy death, and mean recovery
+    latency (detection + survivor agreement + slice fetch).
+    """
+    from repro.matching.api import run_matching
+    from repro.matching.verify import check_matching_valid
+    from repro.mpisim.checkpoint import CheckpointConfig
+    from repro.mpisim.errors import (
+        DeadlockError,
+        RankFailure,
+        RecoveryFailed,
+        SimError,
+        SimLimitExceeded,
+    )
+
+    clean_cache: dict[str, tuple] = {}
+
+    def clean_fp(backend: str) -> tuple:
+        if backend not in clean_cache:
+            res = run_matching(
+                g, nprocs=nprocs, model=backend,
+                config=RunConfig(max_ops=max_ops),
+            )
+            clean_cache[backend] = _fingerprint(res)
+        return clean_cache[backend]
+
+    def one(backend: str, plan: FaultPlan):
+        t_scale = t_scales.get(backend, 1e-3)
+        return run_matching(
+            g, nprocs=nprocs, model=backend,
+            config=RunConfig(
+                faults=None if plan.is_null() else plan,
+                max_ops=max_ops,
+                checkpoint=CheckpointConfig(interval=t_scale / 8.0),
+                spares=spares,
+                replicas=replicas,
+            ),
+        )
+
+    def run(backend: str, plan: FaultPlan):
+        recovery = {
+            "kills": 0,
+            "rollback_vtime": 0.0,
+            "spares_used": 0,
+            "cuts_lost": 0,
+            "mean_recovery_latency": 0.0,
+            "spurious_detections": 0,
+        }
+        try:
+            res = one(backend, plan)
+        except (DeadlockError, SimLimitExceeded) as e:
+            return "hang", str(e).splitlines()[0], recovery
+        except RecoveryFailed as e:
+            # Accepted verdict iff deterministic: the rerun must give up
+            # for the same reason after the same crash.
+            try:
+                one(backend, plan)
+            except RecoveryFailed as e2:
+                if (e2.reason, e2.rank, e2.t) == (e.reason, e.rank, e.t):
+                    return "unrecoverable", e.reason, recovery
+                return (
+                    "nondet",
+                    f"recovery failed differently on rerun: "
+                    f"{(e.reason, e.rank, e.t)} != {(e2.reason, e2.rank, e2.t)}",
+                    recovery,
+                )
+            except SimError as e2:  # pragma: no cover - first run gave up
+                return "nondet", f"rerun failed differently: {e2!r}", recovery
+            return "nondet", "unrecoverable run succeeded on rerun", recovery
+        except (RankFailure, SimError) as e:
+            return "crash", repr(e), recovery
+        rep = res.recovery or {}
+        recovery.update(
+            kills=rep.get("recoveries", 0),
+            rollback_vtime=rep.get("rollback_vtime", 0.0),
+            spares_used=rep.get("spares_used", 0),
+            cuts_lost=rep.get("cuts_lost", 0),
+            mean_recovery_latency=rep.get("mean_recovery_latency", 0.0),
+            spurious_detections=res.fault_totals()["spurious_detections"],
+        )
+        try:
+            check_matching_valid(g, res.mate)
+        except AssertionError as e:
+            return "invalid", str(e), recovery
+        fp = _fingerprint(res)
+        ref = clean_fp(backend)
+        # Replication and recovery charge real virtual time, so only the
+        # outcome (weight + mate) must match the fault-free run.
+        if fp[1:] != ref[1:]:
+            return (
+                "invalid",
+                f"healed run diverged from fault-free: {fp[1:]} != {ref[1:]}",
+                recovery,
+            )
+        if recovery["spurious_detections"] != 0:
+            return (
+                "invalid",
+                f"{recovery['spurious_detections']} spurious detections in "
+                "a recovery run (healed ranks must never look dead)",
+                recovery,
+            )
+        try:
+            res2 = one(backend, plan)
+        except (SimError, AssertionError) as e:  # pragma: no cover
+            return "nondet", f"second run failed: {e!r}", recovery
+        if _fingerprint(res2) != fp or res2.recovery != res.recovery:
+            return (
+                "nondet",
+                f"({fp}, {res.recovery}) != ({_fingerprint(res2)}, "
+                f"{res2.recovery})",
+                recovery,
+            )
+        return "ok", "", recovery
+
+    return run
+
+
 # ----------------------------------------------------------------------
 # shrinking
 # ----------------------------------------------------------------------
@@ -306,18 +483,38 @@ def plan_size(plan: FaultPlan) -> tuple:
     deg_span = sum(d.t_end - d.t_start for d in plan.degradations)
     part_span = sum(w.t_end - w.t_start for w in plan.partitions)
     part_ranks = sum(len(g) for w in plan.partitions for g in w.groups)
+    cp = plan.churn_plan
+    # expected churn events per rank; halving the horizon or doubling
+    # the MTBF both strictly shrink it
+    churn_load = 0.0 if cp is None else cp.horizon / cp.mtbf
     return (
         len(plan.crashes) + len(plan.degradations) + len(plan.partitions)
-        + sum(r > 0 for r in rates),
+        + sum(r > 0 for r in rates) + (cp is not None),
         sum(rates),
         deg_span,
         part_span,
         part_ranks,
+        churn_load,
     )
 
 
 def _shrink_candidates(plan: FaultPlan):
     """Strictly smaller plans to try, most aggressive first."""
+    # drop the churn stream entirely, then thin it (double the MTBF /
+    # halve the horizon — either halves the expected event count)
+    cp = plan.churn_plan
+    if cp is not None:
+        yield replace(plan, churn_plan=None)
+        yield replace(
+            plan,
+            churn_plan=ChurnPlan(mtbf=cp.mtbf * 2.0, horizon=cp.horizon,
+                                 seed=cp.seed),
+        )
+        yield replace(
+            plan,
+            churn_plan=ChurnPlan(mtbf=cp.mtbf, horizon=cp.horizon / 2.0,
+                                 seed=cp.seed),
+        )
     crash_items = sorted(plan.crashes.items())
     # bisect the crash set
     if len(crash_items) > 1:
@@ -434,6 +631,12 @@ def render_cli(
         parts.append(f"--crash {r}:{t:.9g}")
     if plan.crashes:
         parts.append(f"--detect-latency {plan.detect_latency:.9g}")
+    cp = plan.churn_plan
+    if cp is not None:
+        parts.append(f"--churn-mtbf {cp.mtbf:.9g}")
+        parts.append(f"--churn-horizon {cp.horizon:.9g}")
+        parts.append(f"--detect-latency {plan.detect_latency:.9g}")
+        parts.append("--spares 16 --replicas 2")
     for nm, flag in (
         ("drop_rate", "--drop-rate"), ("dup_rate", "--dup-rate"),
         ("delay_rate", "--delay-rate"), ("rma_drop_rate", "--rma-drop-rate"),
@@ -463,9 +666,11 @@ class ChaosOutcome:
     detail: str = ""
     shrunk: FaultPlan | None = None
     shrink_attempts: int = 0
-    #: restart-mode recovery costs (None outside ``--restart``): kills
+    #: recovery costs (None outside ``--restart``/``--churn``): kills
     #: taken, virtual time lost to rollback, from-scratch restarts,
-    #: transport retries, and spurious failure detections (must be 0)
+    #: transport retries, spurious failure detections (must be 0), and —
+    #: churn mode — spares consumed, cuts lost to buddy death, mean
+    #: recovery latency
     recovery: dict | None = None
 
 
@@ -478,15 +683,20 @@ class ChaosReport:
 
     @property
     def failures(self) -> list[ChaosOutcome]:
-        return [o for o in self.outcomes if o.status != "ok"]
+        """Property violations — ``unrecoverable`` is an accepted verdict."""
+        return [o for o in self.outcomes if o.status not in _ACCEPTED]
 
     def render(self) -> str:
-        lines = [
+        unrec = sum(1 for o in self.outcomes if o.status == "unrecoverable")
+        head = (
             f"chaos: {len(self.outcomes)} plans, seed={self.seed}, "
             f"dataset={self.dataset}, p={self.nprocs}: "
-            f"{len(self.outcomes) - len(self.failures)} ok, "
-            f"{len(self.failures)} failing"
-        ]
+            f"{len(self.outcomes) - len(self.failures) - unrec} ok, "
+        )
+        if unrec:
+            head += f"{unrec} unrecoverable, "
+        head += f"{len(self.failures)} failing"
+        lines = [head]
         for o in self.outcomes:
             summary = (
                 f"crashes={sorted(o.plan.crashes)} "
@@ -496,15 +706,26 @@ class ChaosReport:
                 f"deg={len(o.plan.degradations)} "
                 f"part={len(o.plan.partitions)}"
             )
+            if o.plan.churn_plan is not None:
+                cp = o.plan.churn_plan
+                summary += f" churn=(mtbf={cp.mtbf:.3e},horizon={cp.horizon:.3e})"
             if o.recovery is not None:
                 r = o.recovery
                 summary += (
                     f" | kills={r['kills']}"
                     f" rollback={r['rollback_vtime']:.3e}"
-                    f" scratch={r['from_scratch']}"
-                    f" retries={r['retries']}"
-                    f" spurious={r['spurious_detections']}"
                 )
+                if "from_scratch" in r:
+                    summary += (
+                        f" scratch={r['from_scratch']} retries={r['retries']}"
+                    )
+                if "spares_used" in r:
+                    summary += (
+                        f" spares={r['spares_used']}"
+                        f" cuts_lost={r['cuts_lost']}"
+                        f" latency={r['mean_recovery_latency']:.3e}"
+                    )
+                summary += f" spurious={r['spurious_detections']}"
             lines.append(f"  [{o.index:3d}] {o.backend:4s} {o.status:7s} {summary}")
             if o.status != "ok":
                 lines.append(f"        {o.detail}")
@@ -515,6 +736,51 @@ class ChaosReport:
                     + render_cli(self.dataset, self.nprocs, o.backend, target)
                 )
         return "\n".join(lines)
+
+    #: CSV column order (stable across releases; extend at the end only)
+    CSV_FIELDS = (
+        "index", "backend", "status", "detail",
+        "crashes", "churn_mtbf", "churn_horizon",
+        "kills", "rollback_vtime", "from_scratch", "retries",
+        "spares_used", "cuts_lost", "mean_recovery_latency",
+        "spurious_detections",
+    )
+
+    def to_csv(self) -> str:
+        """The per-plan verdicts + recovery-cost columns as CSV text.
+
+        One row per outcome; recovery columns are blank for runs that
+        did not use that subsystem (plain mode has no kills, restart
+        mode has no spares, churn mode has no from-scratch restarts).
+        """
+        buf = io.StringIO()
+        w = csv.DictWriter(buf, fieldnames=self.CSV_FIELDS,
+                           lineterminator="\n")
+        w.writeheader()
+        for o in self.outcomes:
+            cp = o.plan.churn_plan
+            row = {
+                "index": o.index,
+                "backend": o.backend,
+                "status": o.status,
+                "detail": o.detail,
+                "crashes": ";".join(
+                    f"{r}:{t:.9g}" for r, t in sorted(o.plan.crashes.items())
+                ),
+                "churn_mtbf": f"{cp.mtbf:.9g}" if cp is not None else "",
+                "churn_horizon": f"{cp.horizon:.9g}" if cp is not None else "",
+            }
+            for key in (
+                "kills", "rollback_vtime", "from_scratch", "retries",
+                "spares_used", "cuts_lost", "mean_recovery_latency",
+                "spurious_detections",
+            ):
+                if o.recovery is not None and key in o.recovery:
+                    row[key] = o.recovery[key]
+                else:
+                    row[key] = ""
+            w.writerow(row)
+        return buf.getvalue()
 
 
 def run_chaos(
@@ -527,16 +793,23 @@ def run_chaos(
     t_scales: dict[str, float] | None = None,
     dataset: str = "?",
     do_shrink: bool = True,
+    churn: bool = False,
+    churn_mtbf: float | None = None,
     progress: Callable[[str], None] | None = None,
 ) -> ChaosReport:
     """Sample ``plans`` fault plans round-robin over ``backends``, run
     each through ``runner``, shrink failures. Fully deterministic given
-    ``seed`` (the runner must be, too)."""
+    ``seed`` (the runner must be, too). ``churn=True`` samples pure
+    crash-churn plans (pair with :func:`churn_matching_runner`);
+    ``unrecoverable`` verdicts are reported but neither count as
+    failures nor get shrunk — they are the sampled churn outpacing the
+    replication degree, working as designed."""
     report = ChaosReport(seed=seed, nprocs=nprocs, dataset=dataset)
     for i in range(plans):
         backend = backends[i % len(backends)]
         t_scale = (t_scales or {}).get(backend, 1e-3)
-        plan = sample_plan(seed, i, nprocs, backend, t_scale)
+        plan = sample_plan(seed, i, nprocs, backend, t_scale, churn=churn,
+                           churn_mtbf=churn_mtbf)
         out = runner(backend, plan)
         status, detail = out[0], out[1]
         recovery = out[2] if len(out) > 2 else None
@@ -544,7 +817,7 @@ def run_chaos(
             index=i, backend=backend, plan=plan, status=status, detail=detail,
             recovery=recovery,
         )
-        if status != "ok" and do_shrink:
+        if status not in _ACCEPTED and do_shrink:
             shrunk, attempts = shrink_plan(runner, backend, plan, status)
             outcome.shrink_attempts = attempts
             if plan_size(shrunk) < plan_size(plan):

@@ -23,6 +23,7 @@ from repro.mpisim.counters import RunCounters
 from repro.mpisim.engine import Engine, EngineResult
 from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel, cori_aries
+from repro.mpisim.recovery import RecoveryConfig
 
 
 @dataclass
@@ -41,6 +42,9 @@ class MatchingRunResult:
     crashed_ranks: tuple[int, ...] = ()
     dead_ranges: list[tuple[int, int]] = field(default_factory=list)
     #: [lo, hi) vertex ranges owned by crashed ranks
+    recovery: dict | None = None  #: rollback-recovery report when the run
+    #: had ``spares > 0`` (recoveries, spares used, rollback vtime, cuts
+    #: lost to buddy death, mean recovery latency, replica traffic)
 
     @property
     def num_matched_edges(self) -> int:
@@ -163,6 +167,15 @@ def run_matching(
 
     machine = config.machine or cori_aries()
     options = config.options or MatchingOptions()
+    recovery = None
+    if config.spares > 0:
+        if config.checkpoint is None:
+            raise ValueError(
+                "RunConfig(spares=...) turns on rollback-recovery, which "
+                "needs coordinated checkpoints to roll back to; also set "
+                "checkpoint=CheckpointConfig(interval=...)"
+            )
+        recovery = RecoveryConfig(spares=config.spares, replicas=config.replicas)
     parts = partition_graph(g, nprocs, dist=config.dist)
     engine = Engine(
         nprocs,
@@ -177,6 +190,7 @@ def run_matching(
         kill_at=config.kill_at,
         restore=config.restore,
         engine=config.engine,
+        recovery=recovery,
     )
     result = engine.run(matching_rank_main, args=(parts, model, options))
 
@@ -202,4 +216,5 @@ def run_matching(
         rank_results=survivors,
         crashed_ranks=crashed,
         dead_ranges=dead_ranges,
+        recovery=result.recovery,
     )

@@ -65,6 +65,14 @@ class RunConfig:
     restore: EngineSnapshot | None = None  #: resume from this snapshot
     #: instead of starting at virtual time 0 (bit-identical completion)
 
+    # -- automatic rollback-recovery (docs/fault_model.md, "Recovery") -
+    spares: int = 0  #: warm-standby rank budget; > 0 turns on automatic
+    #: rollback-recovery (requires ``checkpoint``): each crash consumes
+    #: one spare, which is substituted into the dead slot so P and the
+    #: topology stay constant across recovery epochs
+    replicas: int = 2  #: buddy-replication degree k for the diskless
+    #: replicated checkpoint store (only meaningful with ``spares > 0``)
+
     def evolve(self, **changes) -> "RunConfig":
         """A copy with ``changes`` applied (frozen-dataclass ``replace``)."""
         return dataclasses.replace(self, **changes)

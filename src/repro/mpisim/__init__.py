@@ -37,8 +37,12 @@ from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
 from repro.mpisim.engine import Engine, EngineResult
 from repro.mpisim.checkpoint import (
     CheckpointConfig,
+    CheckpointCorrupt,
+    CheckpointPruned,
     CheckpointStore,
     EngineSnapshot,
+    ReplicatedCheckpointStore,
+    buddy_ranks,
     load_checkpoint,
     save_checkpoint,
 )
@@ -47,17 +51,20 @@ from repro.mpisim.errors import (
     DeadlockError,
     RankCrashed,
     RankFailure,
+    RecoveryFailed,
     RetryExhausted,
     SimError,
     SimKilled,
     SimLimitExceeded,
 )
 from repro.mpisim.faults import (
+    ChurnPlan,
     FaultPlan,
     MessageFate,
     NicDegradation,
     PartitionWindow,
 )
+from repro.mpisim.recovery import RecoveryConfig
 from repro.mpisim.machine import (
     MachineModel,
     commodity_cluster,
@@ -133,8 +140,15 @@ __all__ = [
     "NicDegradation",
     "PartitionWindow",
     "SimKilled",
+    "RecoveryFailed",
+    "RecoveryConfig",
+    "ChurnPlan",
     "CheckpointConfig",
+    "CheckpointCorrupt",
+    "CheckpointPruned",
     "CheckpointStore",
+    "ReplicatedCheckpointStore",
+    "buddy_ranks",
     "EngineSnapshot",
     "save_checkpoint",
     "load_checkpoint",

@@ -42,8 +42,52 @@ _VERSION = 1
 PICKLE_PROTOCOL = 4
 
 
+class CheckpointCorrupt(ValueError):
+    """A ``.ckpt`` envelope failed validation.
+
+    ``field`` names the offending part of the envelope: ``"magic"``,
+    ``"version"``, ``"truncated"`` (the file is shorter than its own
+    framing claims) or ``"hash"`` (payload bytes do not match the stored
+    SHA-256). Subclasses :class:`ValueError` so existing
+    ``except (OSError, ValueError)`` resume paths keep working.
+    """
+
+    def __init__(self, field: str, message: str):
+        super().__init__(message)
+        self.field = field
+
+
+class CheckpointPruned(LookupError):
+    """The requested snapshot existed but was dropped by ``keep=N``.
+
+    Distinct from a plain ``None`` return, which means the snapshot was
+    *never taken* — an operator resuming from epoch 3 should learn that
+    epoch 3 was pruned, not silently fall back to "no such epoch".
+    """
+
+
 def _sha256(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+def buddy_ranks(rank: int, nprocs: int, replicas: int) -> tuple[int, ...]:
+    """Buddy placement for diskless checkpoint replication.
+
+    Rank ``r``'s slice of every coordinated cut is copied to the next
+    ``replicas`` ranks on the ring, ``(r+1 .. r+k) mod P`` — the classic
+    buddy scheme: placement is a pure function of the rank id, so no
+    agreement round is needed to locate a surviving copy, and a single
+    crash can never take out both a slice and all of its copies (for
+    ``replicas >= 1``). Clamped to ``nprocs - 1`` distinct buddies.
+    """
+    if nprocs < 1:
+        raise ValueError(f"buddy_ranks: nprocs must be >= 1, got {nprocs}")
+    if not 0 <= rank < nprocs:
+        raise ValueError(f"buddy_ranks: rank {rank} out of range for P={nprocs}")
+    if replicas < 0:
+        raise ValueError(f"buddy_ranks: replicas must be >= 0, got {replicas}")
+    k = min(replicas, nprocs - 1)
+    return tuple((rank + i) % nprocs for i in range(1, k + 1))
 
 
 @dataclass(frozen=True)
@@ -104,28 +148,60 @@ class CheckpointStore:
             raise ValueError(f"CheckpointStore.keep must be >= 1, got {keep}")
         self.keep = keep
         self._snapshots: list[EngineSnapshot] = []
+        # What pruning dropped: epoch ids plus the vtime range covered,
+        # so lookups can tell "pruned" apart from "never existed".
+        self._pruned_epochs: set[int] = set()
+        self._pruned_vtime_min: float | None = None
 
     def add(self, snap: EngineSnapshot) -> None:
         self._snapshots.append(snap)
         if self.keep is not None:
-            del self._snapshots[: max(0, len(self._snapshots) - self.keep)]
+            cut = max(0, len(self._snapshots) - self.keep)
+            if cut:
+                for s in self._snapshots[:cut]:
+                    self._pruned_epochs.add(s.epoch)
+                    if (self._pruned_vtime_min is None
+                            or s.vtime < self._pruned_vtime_min):
+                        self._pruned_vtime_min = s.vtime
+                del self._snapshots[:cut]
+                self._on_pruned()
+
+    def _on_pruned(self) -> None:
+        """Subclass hook: retained snapshot set just shrank."""
 
     def latest(self) -> EngineSnapshot | None:
         return self._snapshots[-1] if self._snapshots else None
 
     def latest_before(self, vtime: float) -> EngineSnapshot | None:
         """The most recent snapshot with ``vtime <= vtime`` (for restart
-        after a kill at ``vtime``)."""
+        after a kill at ``vtime``).
+
+        Returns ``None`` when no snapshot was ever taken at or before
+        ``vtime``; raises :class:`CheckpointPruned` when one *was* taken
+        but ``keep=N`` has since dropped every candidate.
+        """
         best = None
         for s in self._snapshots:
             if s.vtime <= vtime:
                 best = s
+        if best is None and (self._pruned_vtime_min is not None
+                             and self._pruned_vtime_min <= vtime):
+            raise CheckpointPruned(
+                f"every snapshot with vtime <= {vtime:.9g} was pruned "
+                f"(keep={self.keep})"
+            )
         return best
 
     def at_epoch(self, epoch: int) -> EngineSnapshot | None:
+        """Snapshot for ``epoch``; ``None`` if that epoch was never taken,
+        :class:`CheckpointPruned` if it was taken and then dropped."""
         for s in self._snapshots:
             if s.epoch == epoch:
                 return s
+        if epoch in self._pruned_epochs:
+            raise CheckpointPruned(
+                f"snapshot for epoch {epoch} was pruned (keep={self.keep})"
+            )
         return None
 
     def __len__(self) -> int:
@@ -136,6 +212,140 @@ class CheckpointStore:
 
     def __getitem__(self, i: int) -> EngineSnapshot:
         return self._snapshots[i]
+
+
+@dataclass
+class _ReplicaRecord:
+    """Replication bookkeeping for one coordinated cut.
+
+    ``slice_nbytes`` maps each live rank at the cut to the pickled size
+    of its slice; ``lost`` accumulates ranks whose in-memory copies died
+    with them (a holder crash wipes both its own slice and every buddy
+    copy it was storing — loss marks are permanent: recovery does not
+    re-replicate old cuts, only new cuts get fresh copies).
+    """
+
+    vtime: float
+    nprocs: int
+    slice_nbytes: dict[int, int]
+    lost: set[int] = field(default_factory=set)
+
+
+class ReplicatedCheckpointStore(CheckpointStore):
+    """Diskless buddy-replicated checkpoint store.
+
+    Each rank's slice of every :class:`EngineSnapshot` cut is (logically)
+    copied to its :func:`buddy_ranks` — the engine charges those copies
+    to the machine model as real sends at cut time. Copies live in the
+    holders' memory only: when a rank crashes, its own slice *and* every
+    buddy copy it held die with it. A cut is **complete** (recoverable)
+    iff for every slice at least one holder — the owner or one of its
+    ``replicas`` buddies — is still intact.
+
+    ``replicas=0`` degenerates to "no copies": any crash makes every
+    stored cut incomplete, which is the deterministic way to exercise the
+    "no complete cut survives" failure report.
+    """
+
+    def __init__(self, replicas: int = 2, keep: int | None = None):
+        super().__init__(keep=keep)
+        if replicas < 0:
+            raise ValueError(
+                f"ReplicatedCheckpointStore.replicas must be >= 0, got {replicas}"
+            )
+        self.replicas = replicas
+        self._records: dict[int, _ReplicaRecord] = {}
+
+    # -- engine-side bookkeeping ---------------------------------------
+    def record_replication(
+        self, snap: EngineSnapshot, slice_nbytes: dict[int, int]
+    ) -> None:
+        """Register the per-rank slice sizes of a freshly taken cut."""
+        self._records[snap.epoch] = _ReplicaRecord(
+            vtime=snap.vtime,
+            nprocs=snap.nprocs,
+            slice_nbytes=dict(slice_nbytes),
+        )
+
+    def _on_pruned(self) -> None:
+        retained = {s.epoch for s in self._snapshots}
+        for e in [e for e in self._records if e not in retained]:
+            del self._records[e]
+
+    def mark_rank_lost(self, rank: int) -> None:
+        """A holder died: every copy it stored (for every cut) is gone."""
+        for rec in self._records.values():
+            rec.lost.add(rank)
+
+    def slice_size(self, epoch: int, rank: int) -> int:
+        """Pickled size of ``rank``'s slice of cut ``epoch`` (0 if unknown)."""
+        rec = self._records.get(epoch)
+        return 0 if rec is None else rec.slice_nbytes.get(rank, 0)
+
+    def discard_after(self, epoch: int) -> int:
+        """Drop cuts newer than ``epoch`` (the abandoned timeline after a
+        rollback). Returns how many were discarded."""
+        doomed = [s for s in self._snapshots if s.epoch > epoch]
+        if doomed:
+            self._snapshots = [s for s in self._snapshots if s.epoch <= epoch]
+            for s in doomed:
+                self._records.pop(s.epoch, None)
+        return len(doomed)
+
+    # -- completeness --------------------------------------------------
+    def _missing_slices(self, epoch: int) -> list[int]:
+        """Ranks whose slice of ``epoch`` has no surviving holder."""
+        rec = self._records[epoch]
+        missing = []
+        for r in sorted(rec.slice_nbytes):
+            holders = {r, *buddy_ranks(r, rec.nprocs, self.replicas)}
+            if holders <= rec.lost:
+                missing.append(r)
+        return missing
+
+    def is_complete(self, epoch: int) -> bool:
+        return epoch in self._records and not self._missing_slices(epoch)
+
+    def latest_complete(self) -> tuple[EngineSnapshot | None, int]:
+        """Newest cut with a surviving copy of every slice.
+
+        Returns ``(snapshot, cuts_lost)`` where ``cuts_lost`` counts the
+        newer cuts that had to be skipped because buddy death left some
+        slice with no surviving holder. ``(None, cuts_lost)`` when no
+        stored cut is complete.
+        """
+        lost = 0
+        for s in reversed(self._snapshots):
+            if s.epoch in self._records and not self._missing_slices(s.epoch):
+                return s, lost
+            lost += 1
+        return None, lost
+
+    def explain(self) -> str:
+        """Deterministic per-cut report of why recovery is (im)possible."""
+        if not self._snapshots:
+            return "no checkpoint cut had been taken yet"
+        lines = []
+        for s in reversed(self._snapshots):
+            if s.epoch not in self._records:
+                lines.append(f"epoch {s.epoch} @ {s.vtime:.9g}: unreplicated")
+                continue
+            missing = self._missing_slices(s.epoch)
+            if not missing:
+                lines.append(f"epoch {s.epoch} @ {s.vtime:.9g}: complete")
+            else:
+                rec = self._records[s.epoch]
+                parts = []
+                for r in missing:
+                    holders = sorted(
+                        {r, *buddy_ranks(r, rec.nprocs, self.replicas)})
+                    parts.append(
+                        f"slice {r} lost (holders {holders} all dead)")
+                lines.append(
+                    f"epoch {s.epoch} @ {s.vtime:.9g}: incomplete — "
+                    + "; ".join(parts)
+                )
+        return "\n".join(lines)
 
 
 @dataclass
@@ -178,18 +388,36 @@ def save_checkpoint(snap: EngineSnapshot, path: str | Path) -> Path:
 
 def load_checkpoint(path: str | Path) -> EngineSnapshot:
     """Read a ``.ckpt`` envelope back, verifying magic, version, length,
-    and payload hash."""
+    and payload hash.
+
+    Every way the envelope can be malformed — wrong magic, unsupported
+    version, a file shorter than its own framing, payload bytes that do
+    not hash to the stored SHA-256 — raises :class:`CheckpointCorrupt`
+    naming the offending field, never a bare ``struct``/pickle traceback.
+    """
     path = Path(path)
     data = path.read_bytes()
     if not data.startswith(_MAGIC):
-        raise ValueError(f"{path}: not a repro checkpoint (bad magic)")
+        raise CheckpointCorrupt(
+            "magic", f"{path}: not a repro checkpoint (bad magic)"
+        )
     off = len(_MAGIC)
-    version, nprocs, epoch, vtime = struct.unpack_from("<IIQd", data, off)
-    off += struct.calcsize("<IIQd")
+    header_fmt = "<IIQd"
+    if len(data) < off + struct.calcsize(header_fmt):
+        raise CheckpointCorrupt(
+            "truncated", f"{path}: truncated checkpoint header"
+        )
+    version, nprocs, epoch, vtime = struct.unpack_from(header_fmt, data, off)
+    off += struct.calcsize(header_fmt)
     if version != _VERSION:
-        raise ValueError(
+        raise CheckpointCorrupt(
+            "version",
             f"{path}: unsupported checkpoint format version {version} "
-            f"(this build reads version {_VERSION})"
+            f"(this build reads version {_VERSION})",
+        )
+    if len(data) < off + 32 + struct.calcsize("<Q"):
+        raise CheckpointCorrupt(
+            "truncated", f"{path}: truncated checkpoint hash/length fields"
         )
     sha = data[off : off + 32].hex()
     off += 32
@@ -197,9 +425,13 @@ def load_checkpoint(path: str | Path) -> EngineSnapshot:
     off += struct.calcsize("<Q")
     payload = data[off : off + plen]
     if len(payload) != plen:
-        raise ValueError(f"{path}: truncated checkpoint payload")
+        raise CheckpointCorrupt(
+            "truncated", f"{path}: truncated checkpoint payload"
+        )
     if _sha256(payload) != sha:
-        raise ValueError(f"{path}: checkpoint payload hash mismatch (corrupt file)")
+        raise CheckpointCorrupt(
+            "hash", f"{path}: checkpoint payload hash mismatch (corrupt file)"
+        )
     return EngineSnapshot(
         epoch=epoch, vtime=vtime, nprocs=nprocs, payload=payload, sha256=sha
     )

@@ -133,6 +133,11 @@ class RankContext:
         plan = self._engine.faults
         if plan is None:
             return False
+        if self._engine._recovery is not None:
+            # Recovery heals every crash before any survivor can observe
+            # it (the dead slot is refilled by a spare under the same
+            # rank id), so peers never appear failed.
+            return False
         tc = plan.crash_time(rank)
         return tc is not None and self.now >= tc + plan.detect_latency
 

@@ -60,6 +60,7 @@ result and drives it inline). See docs/engine_scheduling.md.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from dataclasses import dataclass, field
 from types import GeneratorType
@@ -68,8 +69,10 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.mpisim.checkpoint import (
+    PICKLE_PROTOCOL,
     CheckpointConfig,
     EngineSnapshot,
+    ReplicatedCheckpointStore,
     make_snapshot,
     save_checkpoint,
 )
@@ -77,6 +80,7 @@ from repro.mpisim.counters import CommMatrix, RankCounters, RunCounters
 from repro.mpisim.errors import (
     DeadlockError,
     RankFailure,
+    RecoveryFailed,
     SimAbort,
     SimKilled,
     SimLimitExceeded,
@@ -84,6 +88,7 @@ from repro.mpisim.errors import (
 from repro.mpisim.faults import FaultPlan
 from repro.mpisim.machine import MachineModel
 from repro.mpisim.message import Message, ReceiveQueue
+from repro.mpisim.recovery import RecoveryConfig
 from repro.mpisim.tracing import RunProfile, SpanRecorder
 
 # rank run states
@@ -187,6 +192,10 @@ class EngineResult:
     final_clocks: tuple[float, ...] = ()  #: per-rank final virtual clocks
     trace: list | None = None  #: TraceEvent list when tracing was enabled
     profile: RunProfile | None = None  #: span profile when profiling was enabled
+    #: rollback-recovery report (recoveries, spares used, rollback vtime,
+    #: cuts lost to buddy death, replication traffic, mean recovery
+    #: latency) when the run had a RecoveryConfig; None otherwise
+    recovery: dict | None = None
 
     def max_clock(self) -> float:
         return self.makespan
@@ -246,6 +255,7 @@ class Engine:
         checkpoint: CheckpointConfig | None = None,
         kill_at: float | None = None,
         restore: EngineSnapshot | None = None,
+        recovery: RecoveryConfig | None = None,
     ):
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
@@ -262,6 +272,35 @@ class Engine:
                 bad = [r for r in faults.crashes if not 0 <= r < nprocs]
                 if bad:
                     raise ValueError(f"fault plan crashes unknown ranks {bad}")
+        if faults is not None and faults.has_churn() and recovery is None:
+            raise ValueError(
+                "a churn fault plan streams crashes through the whole run "
+                "and requires recovery=RecoveryConfig(...) (spares + buddy "
+                "replication) to be survivable"
+            )
+        if recovery is not None:
+            if checkpoint is None:
+                raise ValueError(
+                    "recovery= requires checkpoint=CheckpointConfig(...): "
+                    "rollback needs coordinated cuts to roll back to"
+                )
+            if profile:
+                raise ValueError(
+                    "profile=True cannot be combined with recovery= (the "
+                    "span profiler cannot unwind rolled-back spans)"
+                )
+            if not isinstance(checkpoint.store, ReplicatedCheckpointStore):
+                # Adopt the caller's cadence/dir but replicate the cuts:
+                # diskless recovery is only possible from buddy copies.
+                checkpoint = CheckpointConfig(
+                    interval=checkpoint.interval,
+                    store=ReplicatedCheckpointStore(
+                        replicas=recovery.replicas,
+                        keep=checkpoint.store.keep,
+                    ),
+                    dir=checkpoint.dir,
+                    prefix=checkpoint.prefix,
+                )
         self.nprocs = nprocs
         self.machine = machine
         self.max_ops = max_ops
@@ -316,6 +355,29 @@ class Engine:
         # store adopted by ranks arriving from different failure epochs):
         # first caller's factory wins, later callers get the same object.
         self._shared_objects: dict[Any, Any] = {}
+
+        # ---- automatic rollback-recovery ----
+        self._recovery = recovery
+        self._spares_left = recovery.spares if recovery is not None else 0
+        # Crash events that already fired (and were healed): a clock
+        # rewind must never refire them. Deliberately NOT part of
+        # snapshots — fault history belongs to the engine, not the cut.
+        self._fired_crashes: set[int] = set()
+        self._churn_fired: dict[int, int] = {}  # rank -> consumed events
+        self._recovery_due: tuple[int, float] | None = None
+        self._relaunch: tuple | None = None
+        self._recovery_stats: dict | None = None
+        if recovery is not None:
+            self._recovery_stats = {
+                "recoveries": 0,
+                "spares_used": 0,
+                "rollback_vtime": 0.0,
+                "cuts_lost": 0,
+                "replica_msgs": 0,
+                "replica_bytes": 0,
+                "recovery_latency": [],
+                "crashes_survived": [],
+            }
 
         # ---- coordinated checkpoint/restart ----
         self.kill_at = kill_at
@@ -381,64 +443,11 @@ class Engine:
             raise RuntimeError("an Engine instance can only run once")
         self._started = True
 
-        from repro.mpisim.context import RankContext  # cycle-free at runtime
-
+        self._relaunch = (target, tuple(args), per_rank_args)
         restore = self._restore_state
         if restore is not None:
             self._apply_restore_globals(restore)
-        for rs in self._ranks:
-            rsnap = restore["ranks"][rs.rank] if restore is not None else None
-            if rsnap is not None and rsnap["status"] != "live":
-                # Finished and crashed ranks need no thread: their final
-                # state is already part of the snapshot.
-                rs.clock = rsnap["clock"]
-                rs.nic_out_free = rsnap.get("nic_out_free", 0.0)
-                rs.nic_in_free = rsnap.get("nic_in_free", 0.0)
-                if rsnap["status"] == "done":
-                    rs.state = _DONE
-                    rs.result = rsnap["result"]
-                else:
-                    rs.state = _CRASHED
-                continue
-            extra = tuple(per_rank_args[rs.rank]) if per_rank_args else ()
-            ctx = RankContext(self, rs.rank)
-            if rsnap is not None:
-                rs.clock = rsnap["clock"]
-                rs.queue = rsnap["queue"]
-                rs.nic_out_free = rsnap["nic_out_free"]
-                rs.nic_in_free = rsnap["nic_in_free"]
-                rs.rma_outstanding = rsnap["rma_outstanding"]
-                rs.failures_seen = rsnap["failures_seen"]
-                ctx._resume = rsnap
-            if self._threaded:
-                rs.thread = threading.Thread(
-                    target=self._thread_main,
-                    args=(rs, ctx, target, tuple(args) + extra),
-                    name=f"simrank-{rs.rank}",
-                    daemon=True,
-                )
-                rs.state = _READY
-                rs.thread.start()
-            else:
-                rs.gen = self._gen_main(rs, ctx, target, tuple(args) + extra)
-                rs.state = _READY
-
-        if restore is not None:
-            # Ranks recorded at a safepoint wait (e.g. a probe) were
-            # already parked when the cut was assembled, so they must be
-            # back in that park before any scheduling decision: the next
-            # cut can be due before their candidate time, and the
-            # uninterrupted run assembles it while they sit blocked. The
-            # path from thread start to the re-issued park charges no
-            # virtual time and emits no trace, so running it eagerly (in
-            # rank order) is invisible to the replayed schedule.
-            for rs in self._ranks:
-                rsnap = restore["ranks"][rs.rank]
-                if rs.state != _READY or rsnap["status"] != "live":
-                    continue
-                wait = rsnap.get("wait")
-                if wait is not None and wait[0] != "tick":
-                    self._switch_to(rs)
+        self._launch_ranks(restore)
 
         try:
             if self._use_heap:
@@ -476,7 +485,92 @@ class Engine:
             final_clocks=tuple(rs.clock for rs in self._ranks),
             trace=self.trace,
             profile=profile,
+            recovery=self.recovery_report(),
         )
+
+    def recovery_report(self) -> dict | None:
+        """Summarize rollback-recovery activity, or None when disabled."""
+        s = self._recovery_stats
+        if s is None:
+            return None
+        lat = s["recovery_latency"]
+        return {
+            "recoveries": s["recoveries"],
+            "spares_used": s["spares_used"],
+            "spares_left": self._spares_left,
+            "rollback_vtime": s["rollback_vtime"],
+            "cuts_lost": s["cuts_lost"],
+            "replica_msgs": s["replica_msgs"],
+            "replica_bytes": s["replica_bytes"],
+            "mean_recovery_latency": (sum(lat) / len(lat)) if lat else 0.0,
+            "crashes_survived": tuple(s["crashes_survived"]),
+            # The effective (replicated) store is internal — the caller's
+            # CheckpointConfig.store stays untouched — so the cut count
+            # must travel in the report.
+            "cuts_held": len(self._ckpt.store),
+        }
+
+    def _launch_ranks(self, restore: dict | None) -> None:
+        """(Re)launch every rank body, optionally from a snapshot's
+        per-rank records. Shared by :meth:`run` (process start) and the
+        recovery controller (mid-run rollback, where the dead slot's
+        record is adopted by a spare under the same rank id)."""
+        from repro.mpisim.context import RankContext  # cycle-free at runtime
+
+        target, args, per_rank_args = self._relaunch
+        for rs in self._ranks:
+            rsnap = restore["ranks"][rs.rank] if restore is not None else None
+            if rsnap is not None and rsnap["status"] != "live":
+                # Finished and crashed ranks need no thread: their final
+                # state is already part of the snapshot.
+                rs.clock = rsnap["clock"]
+                rs.nic_out_free = rsnap.get("nic_out_free", 0.0)
+                rs.nic_in_free = rsnap.get("nic_in_free", 0.0)
+                if rsnap["status"] == "done":
+                    rs.state = _DONE
+                    rs.result = rsnap["result"]
+                else:
+                    rs.state = _CRASHED
+                continue
+            extra = tuple(per_rank_args[rs.rank]) if per_rank_args else ()
+            ctx = RankContext(self, rs.rank)
+            if rsnap is not None:
+                rs.clock = rsnap["clock"]
+                rs.queue = rsnap["queue"]
+                rs.nic_out_free = rsnap["nic_out_free"]
+                rs.nic_in_free = rsnap["nic_in_free"]
+                rs.rma_outstanding = rsnap["rma_outstanding"]
+                rs.failures_seen = rsnap["failures_seen"]
+                ctx._resume = rsnap
+            if self._threaded:
+                rs.thread = threading.Thread(
+                    target=self._thread_main,
+                    args=(rs, ctx, target, args + extra),
+                    name=f"simrank-{rs.rank}",
+                    daemon=True,
+                )
+                rs.state = _READY
+                rs.thread.start()
+            else:
+                rs.gen = self._gen_main(rs, ctx, target, args + extra)
+                rs.state = _READY
+
+        if restore is not None:
+            # Ranks recorded at a safepoint wait (e.g. a probe) were
+            # already parked when the cut was assembled, so they must be
+            # back in that park before any scheduling decision: the next
+            # cut can be due before their candidate time, and the
+            # uninterrupted run assembles it while they sit blocked. The
+            # path from thread start to the re-issued park charges no
+            # virtual time and emits no trace, so running it eagerly (in
+            # rank order) is invisible to the replayed schedule.
+            for rs in self._ranks:
+                rsnap = restore["ranks"][rs.rank]
+                if rs.state != _READY or rsnap["status"] != "live":
+                    continue
+                wait = rsnap.get("wait")
+                if wait is not None and wait[0] != "tick":
+                    self._switch_to(rs)
 
     # ------------------------------------------------------------------
     # rank bodies (threaded: one per thread; coroutine: one generator)
@@ -573,6 +667,9 @@ class Engine:
 
     def _scheduler_loop(self) -> None:
         while True:
+            if self._recovery_due is not None:
+                self._perform_recovery()
+                continue
             best: tuple[float, int] | None = None
             all_done = True
             for rs in self._ranks:
@@ -679,9 +776,12 @@ class Engine:
         return None
 
     def _scheduler_loop_heap(self) -> None:
-        ranks = self._ranks
         faults = self.faults
         while True:
+            if self._recovery_due is not None:
+                self._perform_recovery()
+                continue
+            ranks = self._ranks
             self._drain_stale()
             best = self._heap_min()
             if self._ckpt is not None and self._ckpt_poll(best):
@@ -882,11 +982,51 @@ class Engine:
         snap = make_snapshot(self._ckpt_epoch, due, self.nprocs, state)
         self._ckpt_epoch += 1
         self._ckpt.store.add(snap)
+        if self._recovery is not None:
+            self._charge_replication(snap, ranks_state)
         if self._ckpt.dir is not None:
             ckdir = Path(self._ckpt.dir)
             ckdir.mkdir(parents=True, exist_ok=True)
             save_checkpoint(
                 snap, ckdir / f"{self._ckpt.prefix}-epoch{snap.epoch}.ckpt"
+            )
+
+    def _charge_replication(self, snap: EngineSnapshot, ranks_state: list) -> None:
+        """Push every live rank's slice of a fresh cut to its buddies.
+
+        Diskless checkpointing is not free: each owner is charged the
+        machine-model cost of ``k`` real sends of its pickled slice
+        (origin CPU + wire + injection) at the instant the cut is
+        assembled. The copies live only in the buddies' memory — no disk
+        — which is exactly why a later holder death can erase them. Runs
+        without a RecoveryConfig never reach this path, so plain
+        checkpointing stays pure instrumentation.
+        """
+        store: ReplicatedCheckpointStore = self._ckpt.store
+        sizes: dict[int, int] = {}
+        for rs in self._ranks:
+            if rs.state in (_DONE, _CRASHED):
+                continue
+            sizes[rs.rank] = len(
+                pickle.dumps(ranks_state[rs.rank], protocol=PICKLE_PROTOCOL)
+            )
+        store.record_replication(snap, sizes)
+        k = min(store.replicas, self.nprocs - 1)
+        if k == 0:
+            return
+        m = self.machine
+        stats = self._recovery_stats
+        for r in sorted(sizes):
+            nb = sizes[r]
+            cost = k * (m.send_origin_cost(nb) + m.transit_time(nb)
+                        + m.injection_time(nb))
+            self._ranks[r].clock += cost
+            stats["replica_msgs"] += k
+            stats["replica_bytes"] += k * nb
+        if self._use_heap:
+            # Parked owners' candidate times moved with their clocks.
+            self._stale.update(
+                r for r in sizes if self._ranks[r].state == _BLOCKED
             )
 
     def _apply_restore_globals(self, st: dict) -> None:
@@ -917,6 +1057,115 @@ class Engine:
         for op in self._coll_ops.values():
             if isinstance(op, AgreementCollective):
                 op.crashed_at = self._crashed
+
+    # ------------------------------------------------------------------
+    # automatic rollback-recovery (scheduler side)
+    # ------------------------------------------------------------------
+    def _perform_recovery(self) -> None:
+        """Heal the crash recorded in ``_recovery_due``.
+
+        ULFM-style sequence, compressed into one deterministic scheduler
+        action: survivors agree on the newest *complete* buddy-replicated
+        cut (every slice still has a living holder), every live rank
+        rolls back to it through the same restore machinery used by
+        ``Engine(restore=...)``, and a warm spare adopts the dead rank's
+        slot — same rank id, its slice fetched from the first surviving
+        buddy — so P and the process topology are unchanged. The cost
+        (detection latency + agreement + slice fetch) is charged to every
+        surviving clock; determinism of the matching result under the
+        shifted schedule is exactly the confluence property the restart
+        suite already pins.
+
+        Raises :class:`RecoveryFailed` (classified, with the store's
+        per-cut report) when no complete cut survives, no cut was ever
+        taken, or the spare budget is exhausted.
+        """
+        dead, tc = self._recovery_due
+        self._recovery_due = None
+        store: ReplicatedCheckpointStore = self._ckpt.store
+        stats = self._recovery_stats
+        stats["crashes_survived"].append((dead, tc))
+        # The holder died: its own slice and every buddy copy it stored
+        # (for every cut still in the store) die with it — permanently.
+        store.mark_rank_lost(dead)
+        snap, _ = store.latest_complete()
+        if snap is None:
+            reason = "no-cut-taken" if len(store) == 0 else "no-complete-cut"
+            raise RecoveryFailed(reason, dead, tc, store.explain())
+        if self._spares_left <= 0:
+            raise RecoveryFailed("spares-exhausted", dead, tc, store.explain())
+        self._spares_left -= 1
+
+        # Unwind every still-live rank body, then restore the engine and
+        # all rank slots from the chosen cut (the spare adopts the dead
+        # slot's record). Cuts newer than the chosen one belong to the
+        # abandoned timeline; count them as lost to buddy death.
+        self._unwind_ranks()
+        st = snap.state()
+        self._apply_restore_globals(st)
+        if self.trace is not None:
+            del self.trace[st["trace_len"]:]
+        ck = st["ckpt"]
+        self._ckpt_next_due = ck["next_due"]
+        self._ckpt_epoch = ck["epoch"]
+        self._ckpt_providers.clear()
+        stats["cuts_lost"] += store.discard_after(snap.epoch)
+        self._ranks = [_RankState(r) for r in range(self.nprocs)]
+        self._heap.clear()
+        self._stale.clear()
+        self._launch_ranks(st)
+
+        # Recovery cost, charged uniformly to every live clock: failure
+        # detection, the survivor agreement on the rollback target (one
+        # 8-byte allreduce), and the revived slot's slice fetch from its
+        # buddy (everyone waits for the straggler before the new epoch).
+        delta = self.faults.detect_latency + self.machine.allreduce_cost(
+            self.nprocs, 8
+        )
+        nb = store.slice_size(snap.epoch, dead)
+        if nb:
+            m = self.machine
+            delta += (m.send_origin_cost(nb) + m.transit_time(nb)
+                      + m.injection_time(nb))
+        for rs in self._ranks:
+            if rs.state not in (_DONE, _CRASHED):
+                rs.clock += delta
+        if self._use_heap:
+            for rs in self._ranks:
+                self._push_candidate(rs)
+
+        stats["recoveries"] += 1
+        stats["spares_used"] += 1
+        stats["rollback_vtime"] += tc - snap.vtime
+        stats["recovery_latency"].append(delta)
+
+    def _unwind_ranks(self) -> None:
+        """Unwind every still-suspended rank body (threads or generators)
+        so the slots can be relaunched from a restored cut. Unlike
+        :meth:`_shutdown_threads` this leaves the engine runnable: the
+        abort flag is reset and the scheduler event cleared."""
+        if self._threaded:
+            self._abort = True
+            for rs in self._ranks:
+                if rs.thread and rs.thread.is_alive():
+                    rs.event.set()
+            for rs in self._ranks:
+                if rs.thread:
+                    rs.thread.join(timeout=5.0)
+                    rs.thread = None
+            self._abort = False
+            self._sched_event.clear()
+        else:
+            for rs in self._ranks:
+                gen, rs.gen = rs.gen, None
+                if gen is None:
+                    continue
+                try:
+                    gen.throw(SimAbort)
+                except StopIteration:
+                    pass
+                except SimAbort:
+                    pass
 
     def register_checkpoint_provider(self, rank: int, fn: Callable[[], Any]) -> None:
         """Register the application-state capture hook for ``rank``.
@@ -964,10 +1213,43 @@ class Engine:
     # fault-plan crash machinery
     # ------------------------------------------------------------------
     def _scheduled_crash(self, rank: int) -> float | None:
-        """Pending crash time for ``rank``, or None (already dead counts)."""
+        """Pending crash time for ``rank``, or None (already dead counts).
+
+        Under recovery, events that already fired and were healed are
+        excluded (``_fired_crashes`` / the per-rank churn cursor): a
+        rollback rewinds clocks but never refires a survived crash. A
+        churn event targets a *slot*, so after a spare substitution the
+        next event on the same slot kills the substitute.
+        """
         if self.faults is None or rank in self._crashed:
             return None
-        return self.faults.crash_time(rank)
+        cand = None
+        if rank not in self._fired_crashes:
+            cand = self.faults.crash_time(rank)
+        cp = self.faults.churn_plan
+        if cp is not None:
+            events = cp.events_for(rank)
+            i = self._churn_fired.get(rank, 0)
+            if i < len(events) and (cand is None or events[i] < cand):
+                cand = events[i]
+        return cand
+
+    def _mark_crash_fired(self, rank: int, tc: float) -> None:
+        """Consume the crash event(s) behind a kill at ``tc`` and, when
+        recovery is armed, schedule the rollback (scheduler side)."""
+        if self._recovery is None:
+            return
+        static = self.faults.crash_time(rank)
+        if static is not None and static <= tc:
+            self._fired_crashes.add(rank)
+        cp = self.faults.churn_plan
+        if cp is not None:
+            events = cp.events_for(rank)
+            i = self._churn_fired.get(rank, 0)
+            while i < len(events) and events[i] <= tc:
+                i += 1
+            self._churn_fired[rank] = i
+        self._recovery_due = (rank, tc)
 
     def _crash_rank(self, rs: _RankState, tc: float) -> None:
         """Kill ``rs`` at virtual time ``tc`` (scheduler side).
@@ -986,6 +1268,7 @@ class Engine:
         rs.wake_potential = None
         self._crashed[rs.rank] = tc
         self._trace_event_at(rs.rank, stamp, "fault", kind="crash", t=tc)
+        self._mark_crash_fired(rs.rank, tc)
         # A kill is an event, not a plan-derived time: wake predicates
         # that consult the confirmed-dead set (survivor agreements) must
         # be re-evaluated, so conservatively re-index every parked rank.
@@ -1008,6 +1291,7 @@ class Engine:
             rs.state = _CRASHED
             self._crashed[rank] = tc
             self._trace_event_at(rank, stamp, "fault", kind="crash", t=tc)
+            self._mark_crash_fired(rank, tc)
             raise SimAbort()
 
     def _crash_next_pending(self) -> bool:
@@ -1028,6 +1312,12 @@ class Engine:
         """Earliest failure notification this rank has not yet woken for."""
         if self.faults is None or not self.faults.has_crashes():
             return None
+        if self._recovery is not None:
+            # Recovery heals crashes before survivors can observe them:
+            # the failure detector stays silent, so rank programs run
+            # exactly as in a fault-free schedule (spurious_detections
+            # is zero by construction).
+            return None
         return self.faults.next_notification(self._ranks[rank].failures_seen)
 
     def consume_failure_notifications(self, rank: int) -> frozenset[int]:
@@ -1036,7 +1326,7 @@ class Engine:
         Marks them consumed for wake bookkeeping so a blocked rank is not
         re-woken forever by the same notification.
         """
-        if self.faults is None:
+        if self.faults is None or self._recovery is not None:
             return frozenset()
         rs = self._ranks[rank]
         notified = self.faults.notified_failures(rs.clock)
@@ -1439,7 +1729,11 @@ class Engine:
             if fate.copies > 1:
                 src_rc.msgs_duplicated += 1
                 self.trace_event(src, "fault", kind="dup", dst=dst, tag=tag)
-            dead_at = plan.crash_time(dst)
+            # Under recovery a crash is healed before anyone can observe
+            # it (the dead slot is re-occupied by a spare at the same
+            # rank id), so messages are never blackholed on a planned
+            # crash time — the destination will be alive to receive them.
+            dead_at = None if self._recovery is not None else plan.crash_time(dst)
             delivered = False
             for c in range(fate.copies):
                 extra = fate.delays[c]

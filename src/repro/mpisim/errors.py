@@ -104,5 +104,28 @@ class RetryExhausted(SimError):
     """A reliable-delivery channel gave up on a message after max retries."""
 
 
+class RecoveryFailed(SimError):
+    """Automatic rollback-recovery could not heal the run.
+
+    Raised by the engine's recovery controller when a crash cannot be
+    survived: no stored cut is complete (every copy of some rank's slice
+    died with its holders), no cut had been taken yet, or the spare-rank
+    budget is exhausted. ``reason`` is a stable machine-readable tag
+    (``"no-complete-cut"`` / ``"no-cut-taken"`` / ``"spares-exhausted"``)
+    and ``report`` the deterministic per-cut explanation from
+    :meth:`~repro.mpisim.checkpoint.ReplicatedCheckpointStore.explain`.
+    """
+
+    def __init__(self, reason: str, rank: int, t: float, report: str):
+        super().__init__(
+            f"recovery failed after crash of rank {rank} at t={t:.9g}: "
+            f"{reason}\n{report}"
+        )
+        self.reason = reason
+        self.rank = rank
+        self.t = t
+        self.report = report
+
+
 class CommMismatchError(SimError):
     """Ranks disagreed about a collective operation (wrong sequence/size)."""

@@ -31,6 +31,7 @@ renouncing edges to dead ranks) lives with the rank programs — see
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.util.rng import derive_seed
@@ -140,6 +141,59 @@ class PartitionWindow:
 
 
 @dataclass(frozen=True)
+class ChurnPlan:
+    """Continuous Poisson crash churn over a whole run.
+
+    Every rank draws an independent stream of crash events with
+    exponential inter-arrival times of mean ``mtbf`` (virtual seconds),
+    up to ``horizon``. Events are a pure function of ``(seed, rank,
+    event index)`` via the same counter-based splitmix64 stream as the
+    rest of the plan, so two runs see bit-identical churn.
+
+    Churn only makes sense with automatic rollback-recovery enabled
+    (spares + a replicated checkpoint store): a churn event kills
+    whichever live rank occupies the slot at that time, recovery rolls
+    the run back to the newest complete cut and substitutes a spare —
+    the engine rejects churn plans without a recovery config.
+    """
+
+    mtbf: float
+    horizon: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.mtbf > 0.0:
+            raise ValueError(f"ChurnPlan.mtbf must be > 0, got {self.mtbf}")
+        if not self.horizon > 0.0:
+            raise ValueError(
+                f"ChurnPlan.horizon must be > 0, got {self.horizon}"
+            )
+        object.__setattr__(self, "_events", {})
+
+    def events_for(self, rank: int) -> tuple[float, ...]:
+        """Time-sorted churn crash times for ``rank`` (cached)."""
+        cached = self._events.get(rank)
+        if cached is None:
+            out: list[float] = []
+            t = 0.0
+            idx = 0
+            while True:
+                u = _unit(self.seed, "churn", rank, idx)
+                t += -self.mtbf * math.log(1.0 - u)
+                if t >= self.horizon:
+                    break
+                out.append(t)
+                idx += 1
+            cached = tuple(out)
+            self._events[rank] = cached
+        return cached
+
+    def expected_events(self, nprocs: int) -> float:
+        """Expected total crash count (used by chaos plan sizing)."""
+        return nprocs * self.horizon / self.mtbf
+
+
+@dataclass(frozen=True)
 class MessageFate:
     """What the network does to one posted message."""
 
@@ -173,6 +227,33 @@ class FaultPlan:
     rma_drop_rate: float = 0.0
     #: P(a one-sided put lands bit-flipped in the target window)
     rma_corrupt_rate: float = 0.0
+    #: continuous Poisson crash churn (see :class:`ChurnPlan`); requires
+    #: the engine's rollback-recovery subsystem
+    churn_plan: ChurnPlan | None = None
+
+    @classmethod
+    def churn(
+        cls,
+        *,
+        mtbf: float,
+        horizon: float,
+        seed: int = 0,
+        detect_latency: float = 1e-5,
+        **kwargs,
+    ) -> "FaultPlan":
+        """Build a plan that streams Poisson crashes through a run.
+
+        ``mtbf`` is the per-rank mean time between failures and
+        ``horizon`` the virtual time past which no more churn events
+        fire; extra ``kwargs`` forward to :class:`FaultPlan` so churn can
+        be combined with degradations, partitions, etc.
+        """
+        return cls(
+            seed=seed,
+            detect_latency=detect_latency,
+            churn_plan=ChurnPlan(mtbf=mtbf, horizon=horizon, seed=seed),
+            **kwargs,
+        )
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "dup_rate", "delay_rate",
@@ -246,6 +327,9 @@ class FaultPlan:
     def has_crashes(self) -> bool:
         return bool(self.crashes)
 
+    def has_churn(self) -> bool:
+        return self.churn_plan is not None
+
     def has_degradations(self) -> bool:
         return bool(self.degradations)
 
@@ -258,6 +342,7 @@ class FaultPlan:
             self.has_message_faults()
             or self.has_rma_faults()
             or self.has_crashes()
+            or self.has_churn()
             or self.has_degradations()
             or self.has_partitions()
         )

@@ -1,0 +1,43 @@
+"""Automatic rollback-recovery configuration for the simulated runtime.
+
+Pairs with the engine's recovery controller: a run built with
+``Engine(..., recovery=RecoveryConfig(...))`` and a replicated checkpoint
+store (:class:`~repro.mpisim.checkpoint.ReplicatedCheckpointStore`) heals
+itself when ranks crash — survivors agree on the newest complete buddy-
+replicated cut, every live rank rolls back to it (the same restore-phase
+machinery used by ``Engine(restore=...)``, triggered mid-run instead of
+at process start), and a warm **spare** is substituted into the dead
+rank's slot so P and the process topology stay constant across recovery
+epochs. See docs/fault_model.md ("Recovery").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Turn on automatic rollback-recovery for an engine run.
+
+    ``spares`` is the warm-standby budget: each healed crash consumes one
+    spare (the substitute adopts the dead rank's slot, so rank ids and
+    the topology never change). Spares are outside the communicator and
+    cost nothing while idle. ``replicas`` is the buddy-replication degree
+    ``k`` used when the engine wraps a plain store; when the caller
+    supplies a :class:`~repro.mpisim.checkpoint.ReplicatedCheckpointStore`
+    directly, the store's own degree wins.
+    """
+
+    spares: int = 1
+    replicas: int = 2
+
+    def __post_init__(self) -> None:
+        if self.spares < 0:
+            raise ValueError(
+                f"RecoveryConfig.spares must be >= 0, got {self.spares}"
+            )
+        if self.replicas < 0:
+            raise ValueError(
+                f"RecoveryConfig.replicas must be >= 0, got {self.replicas}"
+            )

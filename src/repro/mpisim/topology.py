@@ -13,6 +13,11 @@ from repro.mpisim.collectives import get_or_create_neighborhood
 from repro.mpisim.engine import run_inline
 from repro.mpisim.errors import CommMismatchError, RankCrashed
 
+# Buddy placement for diskless checkpoint replication is a topology
+# property (a ring overlay on the process graph); the function lives in
+# ``checkpoint`` to avoid an import cycle and is re-exported here.
+from repro.mpisim.checkpoint import buddy_ranks  # noqa: F401
+
 
 def _block_neighborhood(eng, ctx, op, scope_id, epoch_set, label: str) -> None:
     """Plain wrapper for :func:`_block_neighborhood_g` (threaded engine)."""

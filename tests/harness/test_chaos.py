@@ -270,3 +270,194 @@ class TestRestartRunner:
         assert status == "ok"
         assert recovery["retries"] > 0
         assert recovery["spurious_detections"] == 0
+
+
+class TestChurnSampling:
+    def test_churn_plans_deterministic(self):
+        a = [sample_plan(5, i, 8, "nsr", 1e-3, churn=True) for i in range(8)]
+        b = [sample_plan(5, i, 8, "nsr", 1e-3, churn=True) for i in range(8)]
+        assert a == b
+
+    def test_churn_plans_are_pure_churn(self):
+        for i in range(20):
+            p = sample_plan(5, i, 8, "nsr", 1e-3, churn=True)
+            cp = p.churn_plan
+            assert cp is not None
+            assert p.has_churn() and not p.has_crashes()
+            assert not p.has_message_faults() and not p.has_partitions()
+            assert not p.has_degradations()
+            # MTBF anchored to the backend's fault-free makespan.
+            assert 0.6e-3 <= cp.mtbf < 3.0e-3
+            assert cp.horizon == 4.0e-3
+            assert cp.seed == p.seed  # --fault-seed reproduces the stream
+
+    def test_mtbf_override_pins_the_multiplier(self):
+        for i in range(8):
+            p = sample_plan(5, i, 8, "ncl", 2e-4, churn=True, churn_mtbf=1.5)
+            assert p.churn_plan.mtbf == 1.5 * 2e-4
+            # Event times still vary with the per-plan seed.
+        seeds = {
+            sample_plan(5, i, 8, "ncl", 2e-4, churn=True, churn_mtbf=1.5).seed
+            for i in range(8)
+        }
+        assert len(seeds) > 1
+
+
+class TestChurnShrinking:
+    def test_churn_moves_shrink_strictly(self):
+        from repro.harness.chaos import _shrink_candidates
+
+        plan = FaultPlan.churn(mtbf=1e-4, horizon=1e-3, seed=3)
+        cands = list(_shrink_candidates(plan))
+        assert any(c.churn_plan is None for c in cands)
+        assert any(
+            c.churn_plan is not None and c.churn_plan.mtbf == 2e-4
+            for c in cands
+        )
+        assert any(
+            c.churn_plan is not None and c.churn_plan.horizon == 5e-4
+            for c in cands
+        )
+        for c in cands:
+            assert plan_size(c) < plan_size(plan)
+
+    def test_churn_failure_shrinks_to_thinned_stream(self):
+        def classify(backend, plan):
+            cp = plan.churn_plan
+            if cp is not None and cp.horizon / cp.mtbf > 4.0:
+                return "hang", "too much churn"
+            return "ok", ""
+
+        plan = FaultPlan.churn(mtbf=1e-4, horizon=3.2e-3, seed=3)
+        shrunk, _ = shrink_plan(classify, "nsr", plan, "hang")
+        cp = shrunk.churn_plan
+        assert cp is not None
+        assert 4.0 < cp.horizon / cp.mtbf <= 8.0  # just above the threshold
+        assert plan_size(shrunk) < plan_size(plan)
+
+
+class TestUnrecoverableVerdict:
+    def _toy(self, backend, plan):
+        rec = {
+            "kills": 1, "rollback_vtime": 2e-4, "spares_used": 1,
+            "cuts_lost": 0, "mean_recovery_latency": 3e-5,
+            "spurious_detections": 0,
+        }
+        cp = plan.churn_plan
+        if cp is not None and cp.mtbf < 1.2e-3:
+            return "unrecoverable", "no-cut-taken", rec
+        return "ok", "", rec
+
+    def test_accepted_not_failed_not_shrunk(self):
+        rep = run_chaos(
+            self._toy, seed=9, plans=12, nprocs=6, dataset="toy", churn=True
+        )
+        unrec = [o for o in rep.outcomes if o.status == "unrecoverable"]
+        assert unrec, "seeded space should include a fast-churn plan"
+        assert rep.failures == []  # unrecoverable + ok are both accepted
+        for o in unrec:
+            assert o.shrunk is None and o.shrink_attempts == 0
+            assert o.detail == "no-cut-taken"
+
+    def test_render_counts_unrecoverable_separately(self):
+        rep = run_chaos(
+            self._toy, seed=9, plans=12, nprocs=6, dataset="toy", churn=True
+        )
+        text = rep.render()
+        n = sum(1 for o in rep.outcomes if o.status == "unrecoverable")
+        assert f"{n} unrecoverable, 0 failing" in text
+        assert "churn=(mtbf=" in text
+        assert "spares=1 cuts_lost=0" in text
+        assert "spurious=0" in text
+
+
+class TestCsvExport:
+    def _toy(self, backend, plan):
+        rec = {
+            "kills": 2, "rollback_vtime": 1.5e-4, "spares_used": 2,
+            "cuts_lost": 1, "mean_recovery_latency": 2.5e-5,
+            "spurious_detections": 0,
+        }
+        return "ok", "", rec
+
+    def test_csv_round_trips(self):
+        import csv as csvmod
+        import io as iomod
+
+        from repro.harness.chaos import ChaosReport
+
+        rep = run_chaos(
+            self._toy, seed=9, plans=6, nprocs=4, dataset="toy", churn=True,
+            churn_mtbf=1.0,
+        )
+        text = rep.to_csv()
+        rows = list(csvmod.reader(iomod.StringIO(text)))
+        assert tuple(rows[0]) == ChaosReport.CSV_FIELDS
+        assert len(rows) == 1 + len(rep.outcomes)
+        by_name = [dict(zip(rows[0], r)) for r in rows[1:]]
+        for row, o in zip(by_name, rep.outcomes):
+            assert int(row["index"]) == o.index
+            assert row["backend"] == o.backend
+            assert row["status"] == o.status
+            cp = o.plan.churn_plan
+            assert float(row["churn_mtbf"]) == pytest.approx(cp.mtbf)
+            assert float(row["churn_horizon"]) == pytest.approx(cp.horizon)
+            assert int(row["spares_used"]) == 2
+            assert int(row["cuts_lost"]) == 1
+            assert float(row["mean_recovery_latency"]) == 2.5e-5
+            assert int(row["spurious_detections"]) == 0
+            # Restart-only columns stay blank in churn mode.
+            assert row["from_scratch"] == "" and row["retries"] == ""
+
+    def test_plain_mode_leaves_recovery_columns_blank(self):
+        rep = run_chaos(
+            lambda b, p: ("ok", ""), seed=9, plans=4, nprocs=4, dataset="toy"
+        )
+        import csv as csvmod
+        import io as iomod
+
+        rows = list(csvmod.reader(iomod.StringIO(rep.to_csv())))
+        for row in rows[1:]:
+            named = dict(zip(rows[0], row))
+            for key in ("kills", "spares_used", "from_scratch",
+                        "spurious_detections"):
+                assert named[key] == ""
+
+
+class TestRenderCliChurn:
+    def test_churn_flags_rendered(self):
+        plan = FaultPlan.churn(
+            mtbf=2.5e-4, horizon=1e-3, seed=41, detect_latency=3e-6
+        )
+        line = render_cli("rgg-8k", 8, "nsr", plan)
+        assert "--churn-mtbf 0.00025" in line
+        assert "--churn-horizon 0.001" in line
+        assert "--detect-latency 3e-06" in line
+        assert "--spares 16 --replicas 2" in line
+        assert "--fault-seed 41" in line
+
+
+class TestChurnMatchingRunner:
+    def test_classification_paths(self):
+        from repro.graph.generators import rmat_graph
+        from repro.harness.chaos import churn_matching_runner
+        from repro.matching import run_matching
+
+        g = rmat_graph(6, seed=2)
+        t_scales = {"ncl": run_matching(g, 2, "ncl").makespan}
+        runner = churn_matching_runner(g, 2, t_scales, spares=8, replicas=1)
+
+        # Null plan: completes clean, zero recovery costs.
+        status, detail, rec = runner("ncl", FaultPlan(seed=1))
+        assert (status, detail) == ("ok", "")
+        assert rec["kills"] == 0 and rec["spares_used"] == 0
+        assert rec["spurious_detections"] == 0
+
+        # An absurdly fast churn stream beats the first cut: recovery
+        # gives up the same way twice -> accepted unrecoverable verdict.
+        ts = t_scales["ncl"]
+        fast = FaultPlan.churn(mtbf=ts / 200.0, horizon=ts, seed=1)
+        status, detail, rec = runner("ncl", fast)
+        assert status == "unrecoverable"
+        assert detail in ("no-cut-taken", "no-complete-cut",
+                          "spares-exhausted")

@@ -62,3 +62,63 @@ def test_report_generation(tmp_path, monkeypatch):
     assert "table2" in out and "table3" in out
     assert (tmp_path / "EXP.md").exists()
     assert "Paper:" in out and "Measured:" in out
+
+
+def test_cli_match_help_lists_recovery_flags(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["match", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--churn-mtbf", "--churn-horizon", "--spares",
+                 "--replicas", "--checkpoint-interval", "--crash"):
+        assert flag in out, f"match --help lost {flag}"
+
+
+def test_cli_chaos_help_lists_churn_mode(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["chaos", "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--restart", "--churn", "--mtbf", "--spares",
+                 "--replicas", "--csv"):
+        assert flag in out, f"chaos --help lost {flag}"
+
+
+def test_cli_match_churn_needs_horizon_and_spares():
+    base = ["match", "rmat-s10", "-p", "4", "-m", "ncl"]
+    with pytest.raises(SystemExit, match="churn-horizon"):
+        main(base + ["--churn-mtbf", "1e-4"])
+    with pytest.raises(SystemExit, match="spares"):
+        main(base + ["--churn-mtbf", "1e-4", "--churn-horizon", "4e-4"])
+
+
+def test_cli_match_spares_need_checkpoint():
+    with pytest.raises(SystemExit, match="rollback-recovery"):
+        main(["match", "rmat-s10", "-p", "4", "-m", "ncl", "--spares", "2"])
+
+
+def test_cli_match_recovery_run_prints_summary(capsys):
+    rc = main([
+        "match", "rmat-s10", "-p", "4", "-m", "ncl",
+        "--crash", "1:4e-4", "--spares", "2",
+        "--checkpoint-interval", "1.15e-4",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "recovery: 1 rollbacks" in out
+    assert "spares used" in out
+    assert "matching:" in out
+
+
+def test_cli_match_unrecoverable_run_reports_reason(capsys):
+    # replicas=0 makes any crash unsurvivable: the CLI must exit 1 with
+    # the classified reason + per-cut report, not a traceback.
+    rc = main([
+        "match", "rmat-s10", "-p", "4", "-m", "ncl",
+        "--crash", "1:4e-4", "--spares", "2", "--replicas", "0",
+        "--checkpoint-interval", "1.15e-4",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "recovery failed: no-complete-cut" in out
+    assert "slice 1 lost" in out

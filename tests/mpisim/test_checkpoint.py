@@ -15,8 +15,12 @@ from repro.graph.generators import rmat_graph
 from repro.matching import RunConfig, run_matching
 from repro.mpisim.checkpoint import (
     CheckpointConfig,
+    CheckpointCorrupt,
+    CheckpointPruned,
     CheckpointStore,
     EngineSnapshot,
+    ReplicatedCheckpointStore,
+    buddy_ranks,
     load_checkpoint,
     make_snapshot,
     save_checkpoint,
@@ -74,6 +78,185 @@ class TestStore:
         with pytest.raises(ValueError, match="keep"):
             CheckpointStore(keep=0)
 
+    def test_pruned_epoch_is_distinct_from_never_taken(self):
+        store = CheckpointStore(keep=2)
+        for e in range(5):
+            store.add(snap(epoch=e, vtime=(e + 1) * 1e-4))
+        # Retained epochs resolve; never-taken epochs are None; pruned
+        # epochs raise — an operator must not mistake "dropped by keep=2"
+        # for "that checkpoint never happened".
+        assert store.at_epoch(4).epoch == 4
+        assert store.at_epoch(9) is None
+        with pytest.raises(CheckpointPruned, match="epoch 1 was pruned"):
+            store.at_epoch(1)
+        with pytest.raises(CheckpointPruned, match="keep=2"):
+            store.at_epoch(0)
+
+    def test_latest_before_reports_pruned(self):
+        store = CheckpointStore(keep=1)
+        for e in range(5):
+            store.add(snap(epoch=e, vtime=(e + 1) * 1e-4))
+        # Only epoch 4 @ 5e-4 is retained.
+        assert store.latest_before(5e-4).epoch == 4
+        # Before the first-ever cut: genuinely never existed.
+        assert store.latest_before(0.5e-4) is None
+        # In the pruned range: a restart point existed and was dropped.
+        with pytest.raises(CheckpointPruned, match="pruned"):
+            store.latest_before(2.5e-4)
+
+    def test_unbounded_store_never_reports_pruned(self):
+        store = CheckpointStore()
+        for e in range(5):
+            store.add(snap(epoch=e, vtime=(e + 1) * 1e-4))
+        assert store.latest_before(0.5e-4) is None
+        assert store.at_epoch(9) is None
+
+
+class TestBuddyRanks:
+    def test_ring_placement(self):
+        assert buddy_ranks(2, 8, 2) == (3, 4)
+        assert buddy_ranks(0, 8, 3) == (1, 2, 3)
+
+    def test_wraps_around_the_ring(self):
+        assert buddy_ranks(7, 8, 2) == (0, 1)
+        assert buddy_ranks(6, 8, 3) == (7, 0, 1)
+
+    def test_clamped_to_distinct_buddies(self):
+        assert buddy_ranks(0, 4, 7) == (1, 2, 3)
+        assert buddy_ranks(0, 1, 2) == ()
+
+    def test_zero_replicas(self):
+        assert buddy_ranks(3, 8, 0) == ()
+
+    def test_never_includes_self(self):
+        for p in (1, 2, 3, 5, 8):
+            for r in range(p):
+                for k in range(0, p + 2):
+                    buddies = buddy_ranks(r, p, k)
+                    assert r not in buddies
+                    assert len(buddies) == len(set(buddies)) == min(k, p - 1)
+
+    @pytest.mark.parametrize(
+        "rank,nprocs,replicas",
+        [(0, 0, 1), (4, 4, 1), (-1, 4, 1), (0, 4, -1)],
+    )
+    def test_validation(self, rank, nprocs, replicas):
+        with pytest.raises(ValueError, match="buddy_ranks"):
+            buddy_ranks(rank, nprocs, replicas)
+
+
+class TestReplicatedStore:
+    def make(self, replicas=1, nprocs=4, epochs=1, keep=None):
+        store = ReplicatedCheckpointStore(replicas=replicas, keep=keep)
+        for e in range(epochs):
+            s = snap(epoch=e, vtime=(e + 1) * 1e-4, nprocs=nprocs)
+            store.add(s)
+            store.record_replication(
+                s, {r: 10 * (r + 1) for r in range(nprocs)}
+            )
+        return store
+
+    def test_replicas_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="replicas"):
+            ReplicatedCheckpointStore(replicas=-1)
+
+    def test_fresh_cut_is_complete(self):
+        store = self.make()
+        assert store.is_complete(0)
+        s, lost = store.latest_complete()
+        assert s.epoch == 0 and lost == 0
+
+    def test_slice_survives_while_any_holder_lives(self):
+        # k=1: slice r lives on r and (r+1) % 4.
+        store = self.make(replicas=1)
+        store.mark_rank_lost(1)
+        assert store.is_complete(0)  # slice 1's copy on rank 2 survives
+        store.mark_rank_lost(2)
+        # Now both holders of slice 1 ({1, 2}) are dead.
+        assert not store.is_complete(0)
+        s, lost = store.latest_complete()
+        assert s is None and lost == 1
+
+    def test_latest_complete_skips_to_older_complete_cut(self):
+        # Selection logic: the newest cut lost every holder of one of
+        # its slices, an older cut (with a different slice set) did not
+        # — recovery must skip back and count one cut lost to buddy
+        # death. k=1, P=4: slice r's holders are {r, (r+1) % 4}.
+        store = ReplicatedCheckpointStore(replicas=1)
+        s0 = snap(epoch=0, vtime=1e-4)
+        store.add(s0)
+        store.record_replication(s0, {0: 8, 3: 8})  # holders {0,1},{3,0}
+        s1 = snap(epoch=1, vtime=2e-4)
+        store.add(s1)
+        store.record_replication(s1, {1: 8, 3: 8})  # holders {1,2},{3,0}
+        store.mark_rank_lost(1)
+        store.mark_rank_lost(2)
+        assert not store.is_complete(1)  # slice 1: both holders dead
+        assert store.is_complete(0)  # slices 0 and 3 each kept a holder
+        s, lost = store.latest_complete()
+        assert s.epoch == 0 and lost == 1
+
+    def test_loss_marks_do_not_poison_new_cuts(self):
+        # Recovery never re-replicates old cuts; new cuts get fresh
+        # copies and must come up complete even after earlier losses.
+        store = self.make(replicas=1, epochs=1)
+        store.mark_rank_lost(1)
+        store.mark_rank_lost(2)
+        assert store.latest_complete()[0] is None
+        s1 = snap(epoch=1, vtime=2e-4)
+        store.add(s1)
+        store.record_replication(s1, {r: 8 for r in range(4)})
+        s, lost = store.latest_complete()
+        assert s.epoch == 1 and lost == 0
+
+    def test_zero_replicas_degenerates_to_no_copies(self):
+        store = self.make(replicas=0)
+        assert store.is_complete(0)
+        store.mark_rank_lost(3)
+        assert not store.is_complete(0)
+        assert "slice 3 lost" in store.explain()
+
+    def test_discard_after_drops_abandoned_timeline(self):
+        store = self.make(epochs=4)
+        assert store.discard_after(1) == 2
+        assert [s.epoch for s in store] == [0, 1]
+        assert store.slice_size(3, 0) == 0
+        assert not store.is_complete(3)
+        assert store.discard_after(5) == 0
+
+    def test_slice_size(self):
+        store = self.make()
+        assert store.slice_size(0, 2) == 30
+        assert store.slice_size(0, 99) == 0
+        assert store.slice_size(7, 0) == 0  # unknown epoch
+
+    def test_explain_reports_per_cut_status(self):
+        empty = ReplicatedCheckpointStore(replicas=1)
+        assert "no checkpoint cut" in empty.explain()
+        store = self.make(replicas=1, epochs=2)
+        report = store.explain()
+        assert "epoch 1" in report and "complete" in report
+        store.mark_rank_lost(0)
+        store.mark_rank_lost(1)
+        report = store.explain()
+        assert "incomplete" in report
+        assert "slice 0 lost (holders [0, 1] all dead)" in report
+
+    def test_explain_flags_unreplicated_cuts(self):
+        store = ReplicatedCheckpointStore(replicas=1)
+        store.add(snap(epoch=0, vtime=1e-4))  # no record_replication
+        assert "unreplicated" in store.explain()
+        assert not store.is_complete(0)
+        assert store.latest_complete() == (None, 1)
+
+    def test_pruning_drops_replication_records(self):
+        store = self.make(keep=1, epochs=3)
+        assert [s.epoch for s in store] == [2]
+        assert store.slice_size(0, 0) == 0
+        assert not store.is_complete(0)
+        with pytest.raises(CheckpointPruned):
+            store.at_epoch(0)
+
 
 class TestConfig:
     @pytest.mark.parametrize("interval", [0.0, -1e-4, float("nan")])
@@ -123,6 +306,72 @@ class TestEnvelope:
         p.write_bytes(p.read_bytes()[:-10])
         with pytest.raises(ValueError, match="truncated"):
             load_checkpoint(p)
+
+    def test_corruption_errors_are_typed(self, tmp_path):
+        """Every malformation raises CheckpointCorrupt naming the field."""
+        p = tmp_path / "x.ckpt"
+        save_checkpoint(snap(), p)
+        good = p.read_bytes()
+
+        def corrupt(mutate):
+            data = bytearray(good)
+            mutate(data)
+            p.write_bytes(bytes(data))
+            with pytest.raises(CheckpointCorrupt) as exc:
+                load_checkpoint(p)
+            return exc.value
+
+        def set_version(d):
+            struct.pack_into("<I", d, 8, 99)
+
+        def flip_payload(d):
+            d[-1] ^= 0xFF
+
+        assert corrupt(lambda d: d.__setitem__(slice(0, 4), b"NOPE")).field == "magic"
+        assert corrupt(set_version).field == "version"
+        assert corrupt(flip_payload).field == "hash"
+
+    @pytest.mark.parametrize("keep_bytes", [0, 4, 8, 12, 20, 30, 50, 63])
+    def test_every_truncation_point_is_typed(self, tmp_path, keep_bytes):
+        """Prefixes of a valid envelope never leak struct/pickle errors."""
+        p = tmp_path / "x.ckpt"
+        save_checkpoint(snap(), p)
+        data = p.read_bytes()
+        assert keep_bytes < len(data)
+        p.write_bytes(data[:keep_bytes])
+        with pytest.raises(CheckpointCorrupt) as exc:
+            load_checkpoint(p)
+        assert exc.value.field in ("magic", "truncated")
+
+    def test_single_byte_flips_never_leak_raw_tracebacks(self, tmp_path):
+        """Flip each byte of a valid .ckpt in turn: load_checkpoint must
+        either still produce an EngineSnapshot (flips in unguarded
+        metadata like nprocs) or raise a typed CheckpointCorrupt — never
+        a bare struct.error / unpickling traceback."""
+        p = tmp_path / "x.ckpt"
+        save_checkpoint(snap(), p)
+        good = p.read_bytes()
+        fields = set()
+        for i in range(len(good)):
+            data = bytearray(good)
+            data[i] ^= 0xFF
+            p.write_bytes(bytes(data))
+            try:
+                got = load_checkpoint(p)
+            except CheckpointCorrupt as e:
+                fields.add(e.field)
+                assert e.field in ("magic", "version", "truncated", "hash")
+            else:
+                assert isinstance(got, EngineSnapshot)
+        # The sweep must have hit at least the three guarded regions.
+        assert {"magic", "hash"} <= fields
+
+    def test_corrupt_is_a_value_error(self):
+        """Pre-typed resume paths catch ValueError; stay compatible."""
+        assert issubclass(CheckpointCorrupt, ValueError)
+        err = CheckpointCorrupt("hash", "boom")
+        assert err.field == "hash"
+        assert issubclass(CheckpointPruned, LookupError)
 
 
 class TestOnDiskIntegration:
