@@ -559,9 +559,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_match.add_argument("--machine", default="cori-aries")
     p_match.add_argument(
-        "--engine", default=None, choices=["threaded", "coroutine"],
+        "--engine", default=None, choices=["threaded", "coroutine", "vector"],
         help="execution engine (bit-identical results; coroutine scales "
-        "to thousands of ranks). Default: $REPRO_ENGINE or threaded",
+        "to thousands of ranks, vector to tens of thousands). "
+        "Default: $REPRO_ENGINE or threaded",
     )
     p_match.add_argument(
         "--config", default="", metavar="FILE.toml",

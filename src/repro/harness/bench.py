@@ -5,11 +5,16 @@ time) on a fixed set of engine microbenchmarks plus one small
 fig04-style end-to-end matching run, under both the optimized heap
 scheduler and the reference linear-scan scheduler, and persists the
 results to ``BENCH_engine.json`` so the perf trajectory of the engine is
-recorded run over run.
+recorded run over run. The file is a time series
+(``{"schema": "bench-series/1", "runs": [...]}``): each invocation
+appends its snapshot instead of overwriting history, and a legacy
+single-snapshot file is migrated into the series on first append.
 
 Every entry carries the simulated makespan as a determinism fingerprint:
-the two schedulers must agree bit-for-bit (this is asserted), so a perf
-number can never silently come from a behaviorally different engine.
+the two schedulers — and, for the engine-mode entries, the three
+execution engines — must agree bit-for-bit (this is asserted), so a
+perf number can never silently come from a behaviorally different
+engine.
 """
 
 from __future__ import annotations
@@ -86,6 +91,75 @@ def _scatter(seed: int, rounds: int, fan: int) -> Callable:
             for _ in range(expected):
                 yield from ctx.recv_g()
         return 0
+
+    return prog
+
+
+def _drain_storm(rounds: int, fan: int, stagger: float) -> Callable:
+    """Bursty pairwise traffic engineered for long token retention.
+
+    Ranks pair up (``rank ^ 1``). An initial per-rank stagger spreads
+    the clocks into a ladder with spacing ``stagger``; each round a rank
+    sends ``fan`` messages to its partner, drains ``fan`` from it, then
+    charges ``nprocs * stagger`` of compute — jumping from the bottom of
+    the ladder back to the top. The whole send+drain burst therefore
+    happens while the rank is provably minimal with a ``stagger``-wide
+    margin, which is exactly the regime the vector engine's
+    token-retention guard and burst primitives fuse: one scheduler
+    decision per ~2*fan operations instead of one per operation. This
+    is the bursty drain-after-compute pattern of the paper's Send-Recv
+    matching backend, distilled.
+
+    The program text is engine-agnostic: the burst/fused calls decline
+    on the scalar engines (and whenever the guard cannot prove
+    minimality) and the generator fallbacks replay the identical
+    charging sequence, so all three engines must produce bit-identical
+    simulations (asserted by the caller).
+    """
+    from repro.mpisim.context import FUSED_FALLBACK
+    from repro.mpisim.message import Message
+
+    def prog(ctx):
+        peer = ctx.rank ^ 1
+        big = ctx.nprocs * stagger
+        ctx.compute(seconds=(ctx.rank + 1) * stagger)
+
+        def send_all(k):
+            payloads = [(k, j) for j in range(fan)]
+            i = 0
+            while i < fan:
+                i += ctx.isend_burst(peer, payloads[i:], nbytes=64)
+                if i >= fan:
+                    break
+                p = payloads[i]
+                if ctx.isend_fast(peer, p, nbytes=64) is FUSED_FALLBACK:
+                    yield from ctx.isend_g(peer, p, nbytes=64)
+                i += 1
+
+        def drain(n):
+            while n:
+                n -= len(ctx.recv_burst(source=peer, limit=n))
+                if not n:
+                    break
+                out = ctx.try_probe_recv(source=peer)
+                if isinstance(out, Message):
+                    n -= 1
+                elif out is FUSED_FALLBACK:
+                    hdr = yield from ctx.iprobe_g(source=peer)
+                    if hdr is not None:
+                        yield from ctx.recv_g(source=peer)
+                        n -= 1
+                elif out is not None:
+                    _, src, tag = out
+                    yield from ctx.recv_g(source=src, tag=tag)
+                    n -= 1
+
+        for k in range(rounds):
+            yield from send_all(k)
+            if k:
+                yield from drain(fan)
+            ctx.compute(seconds=big)
+        yield from drain(fan)
 
     return prog
 
@@ -264,12 +338,15 @@ def _bench_aggregation(quick: bool, repeats: int) -> dict[str, Any]:
     return entry
 
 
-def _bench_engine_modes(quick: bool, repeats: int) -> dict[str, Any]:
-    """Threaded vs coroutine execution engine, two measurements.
+ENGINE_MODES = ("threaded", "coroutine", "vector")
 
-    ``e2e``: one small matching run under both engines — proves the two
+
+def _bench_engine_modes(quick: bool, repeats: int) -> dict[str, Any]:
+    """Threaded vs coroutine vs vector execution engine, three measurements.
+
+    ``e2e``: one small matching run under all three engines — proves the
     modes agree bit-for-bit (makespan and weight asserted) and gives the
-    end-to-end wall-time ratio at a P the threaded engine can still
+    end-to-end wall-time ratios at a P the threaded engine can still
     handle comfortably.
 
     ``switch_storm``: a nearest-neighbor ring at P in the thousands,
@@ -279,7 +356,17 @@ def _bench_engine_modes(quick: bool, repeats: int) -> dict[str, Any]:
     collapses as P grows; the coroutine engine resumes a generator in
     the scheduler's own thread and holds its rate. The
     ``events_per_sec_ratio`` here is the engine-scaling headline — the
-    reason P>=4096 weak-scaling runs are coroutine-only.
+    reason P>=4096 weak-scaling runs are coroutine-only. The vector
+    engine degenerates to the coroutine engine in this regime (every
+    event genuinely parks), which is asserted by the shared fingerprint
+    and visible as events/s parity.
+
+    ``drain_storm``: the opposite regime — bursty send/drain phases
+    separated by compute, so one rank stays provably minimal for whole
+    bursts. This is where the vector engine's token-retention guard and
+    burst primitives collapse per-event cost; its
+    ``events_per_sec_ratio_vector_vs_coroutine`` is the vectorized
+    core's per-event cost-reduction headline (target >= 5x).
     """
     from repro.graph.generators import rmat_graph
     from repro.matching import run_matching
@@ -292,7 +379,7 @@ def _bench_engine_modes(quick: bool, repeats: int) -> dict[str, Any]:
         "scale": scale,
         "nprocs": nprocs,
     }
-    for mode in ("threaded", "coroutine"):
+    for mode in ENGINE_MODES:
         # The threaded run spawns one OS thread per rank; one repeat is
         # plenty.
         reps = 1 if mode == "threaded" else repeats
@@ -311,17 +398,14 @@ def _bench_engine_modes(quick: bool, repeats: int) -> dict[str, Any]:
             "weight": res.weight,
             "events_per_sec": events / best if best > 0 else float("inf"),
         }
-    if (e2e["threaded"]["makespan"], e2e["threaded"]["weight"]) != (
-        e2e["coroutine"]["makespan"],
-        e2e["coroutine"]["weight"],
-    ):
+    if len({(e2e[m]["makespan"], e2e[m]["weight"]) for m in ENGINE_MODES}) != 1:
         raise AssertionError("engine modes disagree on e2e outcome")
     e2e["speedup"] = e2e["threaded"]["wall_s"] / e2e["coroutine"]["wall_s"]
 
     storm_p = 8192
     storm_rounds = 2 if quick else 6
     storm: dict[str, Any] = {"nprocs": storm_p, "rounds": storm_rounds}
-    for mode in ("threaded", "coroutine"):
+    for mode in ENGINE_MODES:
         reps = 1 if mode == "threaded" else repeats
         best = None
         res = None
@@ -338,19 +422,99 @@ def _bench_engine_modes(quick: bool, repeats: int) -> dict[str, Any]:
             "makespan": res.makespan,
             "events_per_sec": events / best if best > 0 else float("inf"),
         }
-    if storm["threaded"]["makespan"] != storm["coroutine"]["makespan"]:
+    if len({storm[m]["makespan"] for m in ENGINE_MODES}) != 1:
         raise AssertionError("engine modes disagree on switch-storm outcome")
     storm["events_per_sec_ratio"] = (
         storm["coroutine"]["events_per_sec"]
         / storm["threaded"]["events_per_sec"]
     )
-    return {"e2e": e2e, "switch_storm": storm}
+
+    dp, rounds, fan, stagger = (
+        (128, 3, 64, 4e-4) if quick else (256, 4, 128, 8e-4)
+    )
+    drain: dict[str, Any] = {
+        "nprocs": dp, "rounds": rounds, "fan": fan, "stagger_s": stagger,
+    }
+    fingerprints = {}
+    for mode in ENGINE_MODES:
+        reps = 1 if mode == "threaded" else repeats
+        best = None
+        res = None
+        for _ in range(reps):
+            eng = Engine(dp, cori_aries(), engine=mode)
+            t0 = time.perf_counter()
+            res = eng.run(_drain_storm(rounds, fan, stagger))
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        fingerprints[mode] = (
+            res.makespan, res.total_ops, res.scheduler_switches
+        )
+        drain[mode] = {
+            "wall_s": best,
+            "makespan": res.makespan,
+            "ops": res.total_ops,
+            "switches": res.scheduler_switches,
+            "events_per_sec": (
+                res.total_ops / best if best > 0 else float("inf")
+            ),
+        }
+    if len(set(fingerprints.values())) != 1:
+        raise AssertionError(
+            f"engine modes disagree on drain-storm outcome: {fingerprints}"
+        )
+    drain["ops_per_switch"] = (
+        drain["vector"]["ops"] / drain["vector"]["switches"]
+    )
+    drain["events_per_sec_ratio_vector_vs_coroutine"] = (
+        drain["vector"]["events_per_sec"]
+        / drain["coroutine"]["events_per_sec"]
+    )
+    drain["events_per_sec_ratio_vector_vs_threaded"] = (
+        drain["vector"]["events_per_sec"]
+        / drain["threaded"]["events_per_sec"]
+    )
+    return {"e2e": e2e, "switch_storm": storm, "drain_storm": drain}
+
+
+SERIES_SCHEMA = "bench-series/1"
+
+
+def _append_series(out_path: str, report: dict[str, Any]) -> None:
+    """Append ``report`` to the bench time series at ``out_path``.
+
+    The file holds ``{"schema": "bench-series/1", "runs": [oldest ...
+    newest]}``. A pre-series file (one bare report dict) is migrated
+    into the series as its first run; a corrupt file starts a fresh
+    series rather than killing the bench run that produced ``report``.
+    """
+    runs: list[dict[str, Any]] = []
+    try:
+        with open(out_path) as fh:
+            prev = json.load(fh)
+        if isinstance(prev, dict) and prev.get("schema") == SERIES_SCHEMA:
+            runs = [r for r in prev.get("runs", []) if isinstance(r, dict)]
+        elif isinstance(prev, dict) and "suite" in prev:
+            runs = [prev]  # legacy single-snapshot file
+    except (OSError, ValueError):
+        pass
+    runs.append(report)
+    with open(out_path, "w") as fh:
+        json.dump(
+            {"schema": SERIES_SCHEMA, "runs": runs},
+            fh, indent=2, sort_keys=True,
+        )
 
 
 def run_bench(
     quick: bool = False, repeats: int = 3, out_path: str = "BENCH_engine.json"
 ) -> dict[str, Any]:
-    """Run the full engine benchmark suite; write and return the report."""
+    """Run the full engine benchmark suite; persist and return the report.
+
+    Returns the snapshot for *this* run (what ``render_report`` shows);
+    on disk the snapshot is appended to the ``bench-series/1`` time
+    series so the perf trajectory is recorded run over run.
+    """
     report: dict[str, Any] = {
         "suite": "engine",
         "quick": quick,
@@ -373,8 +537,7 @@ def run_bench(
         e["speedup"] for e in report["micro"].values()
     )
     if out_path:
-        with open(out_path, "w") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
+        _append_series(out_path, report)
     return report
 
 
@@ -425,6 +588,18 @@ def render_report(report: dict[str, Any]) -> str:
             f"{st['threaded']['events_per_sec']:,.0f} (threaded) = "
             f"{st['events_per_sec_ratio']:.1f}x, identical simulation"
         )
+        ds = em.get("drain_storm")
+        if ds:
+            lines.append(
+                f"engine modes drain-storm (pairwise bursts, p={ds['nprocs']}, "
+                f"fan={ds['fan']}, {ds['ops_per_switch']:.0f} ops/switch): "
+                f"{ds['vector']['events_per_sec']:,.0f} events/s (vector) vs "
+                f"{ds['coroutine']['events_per_sec']:,.0f} (coroutine) = "
+                f"{ds['events_per_sec_ratio_vector_vs_coroutine']:.1f}x "
+                f"per-event cost reduction "
+                f"({ds['events_per_sec_ratio_vector_vs_threaded']:.1f}x vs "
+                f"threaded), identical simulation"
+            )
     ag = report.get("aggregation")
     if ag:
         lines.append(

@@ -52,10 +52,11 @@ def run_one(
 ) -> RunRecord:
     """Execute one matching run and package its measurements.
 
-    ``engine`` picks the execution engine ("threaded"/"coroutine"); None
-    defers to RunConfig's default ($REPRO_ENGINE or threaded). Results
-    are bit-identical either way; coroutine is the one that scales to
-    thousands of ranks (use it for P >= 1024 sweeps).
+    ``engine`` picks the execution engine ("threaded"/"coroutine"/
+    "vector"); None defers to RunConfig's default ($REPRO_ENGINE or
+    threaded). Results are bit-identical regardless; coroutine scales to
+    thousands of ranks, vector to tens of thousands (use it for
+    P >= 1024 sweeps).
     """
     machine = machine or cori_aries()
     cfg = RunConfig(machine=machine, options=options, faults=faults, compute_weight=True)

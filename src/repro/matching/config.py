@@ -51,10 +51,11 @@ class RunConfig:
     scheduler: str = "heap"  #: engine scheduler ("heap" or "reference")
     engine: str = field(
         default_factory=lambda: os.environ.get("REPRO_ENGINE", "threaded")
-    )  #: execution engine ("threaded" or "coroutine"); both are
-    #: bit-identical, coroutine scales to P>=4096 (docs/
+    )  #: execution engine ("threaded", "coroutine", or "vector"); all
+    #: bit-identical, coroutine scales to P>=4096 and vector (coroutine
+    #: plus fused guard-checked fast paths) to P>=16384 (docs/
     #: engine_scheduling.md). Default comes from $REPRO_ENGINE so CI can
-    #: run the whole suite under either engine without code changes.
+    #: run the whole suite under any engine without code changes.
 
     # -- checkpoint/restart (docs/fault_model.md) ---------------------
     checkpoint: CheckpointConfig | None = None  #: take coordinated

@@ -85,9 +85,14 @@ class MatchingState:
         eager_reject: bool = False,
         handle_scale: float = 1.0,
         tie_break: str = "hash",
+        push_fast: Callable[[Ctx, int, int, int], bool] | None = None,
     ):
         self.lg = lg
         self.push_fn = push
+        # Vector-engine fused push: a plain callable returning True when
+        # it sent (bit-identically to push_fn), False when the caller
+        # must drive push_fn instead. None on backends without one.
+        self.push_fast = push_fast
         self.charge = charge
         self.eager_reject = eager_reject
         # Per-message application-side dispatch cost multiplier. Backends
@@ -113,28 +118,48 @@ class MatchingState:
         # ``tie_break="id"`` reproduces the naive vertex-id scheme whose
         # pathological serialization on uniform-weight paths/grids the
         # paper warns about (§III); it exists for the ablation study only.
+        src_local = np.repeat(
+            np.arange(n_local, dtype=np.int64), np.diff(lg.xadj)
+        )
         if tie_break == "hash":
-            src = np.repeat(
-                np.arange(lg.lo, lg.hi, dtype=np.int64), np.diff(lg.xadj)
-            )
-            keys = edge_hash_array(src, lg.adjncy)
+            keys = edge_hash_array(src_local + lg.lo, lg.adjncy)
         elif tie_break == "id":
             keys = lg.adjncy.astype(np.uint64)
         else:
             raise ValueError(f"unknown tie_break {tie_break!r}")
-        self.cand: list[np.ndarray] = []
-        for i in range(n_local):
-            s, e = int(lg.xadj[i]), int(lg.xadj[i + 1])
-            order = np.lexsort((keys[s:e], lg.weights[s:e]))[::-1]
-            self.cand.append(lg.adjncy[s:e][order])
+        # One global lexsort instead of a per-vertex sort loop. The
+        # per-vertex order was lexsort((keys, w))[::-1]: descending
+        # (weight, key), full ties in descending slot order (the reversal
+        # of a stable ascending sort). Globally: primary src ascending
+        # keeps each CSR segment contiguous; -w / ~keys ascending are w /
+        # keys descending exactly (float negation and uint64 bitwise NOT
+        # are order-reversing bijections); -arange ascending is slot
+        # descending for full ties.
+        n_slots = len(lg.adjncy)
+        if n_slots:
+            perm = np.lexsort((
+                -np.arange(n_slots), np.invert(keys), -lg.weights, src_local,
+            ))
+            sorted_adj = lg.adjncy[perm]
+        else:
+            sorted_adj = lg.adjncy
+        xadj = lg.xadj
+        self.cand: list[np.ndarray] = [
+            sorted_adj[int(xadj[i]):int(xadj[i + 1])] for i in range(n_local)
+        ]
 
         # Cross-pair activity: (local_idx, ghost_global) -> active?
+        # The ownership test is vectorized, but the adds stay one by one
+        # in candidate order: later code iterates this set (and builds
+        # ghosts_of from it), and CPython set iteration order depends on
+        # the exact insertion history, which the differential fingerprint
+        # tests pin across engines.
+        ghost_idx = np.nonzero((sorted_adj < lg.lo) | (sorted_adj >= lg.hi))[0]
         self.active_pairs: set[tuple[int, int]] = set()
-        for i in range(n_local):
-            for y in self.cand[i]:
-                y = int(y)
-                if not lg.owns(y):
-                    self.active_pairs.add((i, y))
+        _add_pair = self.active_pairs.add
+        for i, y in zip(src_local[ghost_idx].tolist(),
+                        sorted_adj[ghost_idx].tolist()):
+            _add_pair((i, y))
         self.nghosts = len(self.active_pairs)
         self.awaiting = 0
         self.dead_ranks: set[int] = set()  # crashed peers we have renounced
@@ -157,6 +182,10 @@ class MatchingState:
     def _push_g(self, ctx_id: Ctx, y: int, x_payload: int, y_payload: int):
         self.charge(COST_PUSH)
         self.stats.sent[ctx_id.name] += 1
+        pf = self.push_fast
+        if pf is not None and pf(ctx_id, self.lg.dist.owner(y),
+                                 x_payload, y_payload):
+            return
         # Backends hand in either a plain callable (threaded engine) or a
         # generator function (coroutine engine) — drive whichever we got.
         res = self.push_fn(ctx_id, self.lg.dist.owner(y), x_payload, y_payload)

@@ -4,9 +4,18 @@ over vertices).
 Same algorithm and same unique result as
 :func:`repro.matching.serial.locally_dominant_matching`, but each pointer
 round is a whole-graph numpy computation: per-vertex argmax over available
-neighbors via ``np.maximum.reduceat`` on a packed (weight, tie-hash) key,
-mutual-pointer detection, and vectorized deactivation. Rounds repeat until
-no pointer changes produce new matches.
+neighbors via ``np.maximum.reduceat`` over the CSR segments, mutual-pointer
+detection, and vectorized deactivation. Rounds repeat until no pointer
+changes produce new matches.
+
+The argmax is an *exact* (weight, hash) lexicographic reduction done in
+two reduceat stages: first the per-segment weight maximum, then the hash
+maximum restricted to the slots that attain it. This matches the
+loop-based reference's ``(float(w), int(hash))`` tuple comparison bit for
+bit, including on adversarial all-equal-weight inputs where a single
+float key would collapse the tie-break (for weights >~1e4 a 1e-12
+perturbation falls below one ulp and distinct edges compare equal,
+breaking the total order the algorithm's termination proof needs).
 
 Used as the fast oracle for large instances (the loop-based reference is
 kept for readability and as an independent implementation to test
@@ -22,20 +31,28 @@ from repro.matching.serial import NO_MATE, MatchingResult
 from repro.util.hashing import edge_hash_array
 
 
-def _composite_keys(g: CSRGraph) -> np.ndarray:
-    """Strictly ordered float keys per CSR slot: weight + tiny hash tie-break.
-
-    The hash component is scaled far below the weight jitter that the
-    generators inject, so ordering by this single float array equals
-    ordering by the (weight, hash) tuple for all practically occurring
-    weights; exact correctness for adversarial ties is covered by the
-    loop-based reference implementation.
-    """
+def _slot_hashes(g: CSRGraph) -> np.ndarray:
+    """Tie-break hash per directed CSR slot (same value for both ends)."""
     n = g.num_vertices
     src = np.repeat(np.arange(n, dtype=np.int64), np.diff(g.xadj))
-    h = edge_hash_array(src, g.adjncy).astype(np.float64)
-    # weights are > 1e-3 in our generators; hash perturbation ~1e-15 scale
-    return g.weights + (h / 2**64) * 1e-12
+    return edge_hash_array(src, g.adjncy)
+
+
+def _segment_max(values: np.ndarray, starts: np.ndarray, nonempty: np.ndarray,
+                 n: int, fill) -> np.ndarray:
+    """Per-CSR-segment maximum with explicit empty-segment handling.
+
+    ``np.maximum.reduceat`` is only called on the starts of *nonempty*
+    segments: for an empty segment ``indices[i] == indices[i+1]`` and
+    reduceat returns ``values[indices[i]]`` — the first slot of the next
+    segment — and a trailing empty segment's start index is
+    ``len(values)``, out of bounds. Empty segments (and the no-edges /
+    single-vertex cases, where ``starts`` itself is empty) get ``fill``.
+    """
+    out = np.full(n, fill, dtype=values.dtype)
+    if starts.size:
+        out[nonempty] = np.maximum.reduceat(values, starts)
+    return out
 
 
 def locally_dominant_matching_vec(g: CSRGraph) -> MatchingResult:
@@ -45,17 +62,17 @@ def locally_dominant_matching_vec(g: CSRGraph) -> MatchingResult:
         return MatchingResult(mate=np.empty(0, dtype=np.int64), weight=0.0)
     xadj = g.xadj
     adj = g.adjncy
-    keys = _composite_keys(g)
+    hashes = _slot_hashes(g)
     degrees = np.diff(xadj)
     nonempty = degrees > 0
+    ne_starts = xadj[:-1][nonempty]
 
     mate = np.full(n, NO_MATE, dtype=np.int64)
     available = np.ones(n, dtype=bool)  # unmatched and not dead
     available[~nonempty] = False  # isolated vertices can never match
     slot_alive = np.ones(len(adj), dtype=bool)
 
-    # reduceat needs nonempty segments; guard via masking below.
-    starts = xadj[:-1].copy()
+    src = np.repeat(np.arange(n, dtype=np.int64), degrees)
     rounds = 0
     weight = 0.0
     neg_inf = -np.inf
@@ -67,27 +84,27 @@ def locally_dominant_matching_vec(g: CSRGraph) -> MatchingResult:
             break
         # Mask dead slots (neighbors that are matched or dead).
         slot_alive &= available[adj]
-        masked = np.where(slot_alive, keys, neg_inf)
-        # Per-vertex max over its CSR segment.
-        seg_max = np.full(n, neg_inf)
-        seg_max[nonempty] = np.maximum.reduceat(masked, starts[nonempty])[
-            : int(nonempty.sum())
-        ]
+        masked_w = np.where(slot_alive, g.weights, neg_inf)
+        # Stage 1: per-vertex weight max over its CSR segment.
+        seg_max_w = _segment_max(masked_w, ne_starts, nonempty, n, neg_inf)
         # A vertex with all-dead neighborhood becomes dead.
-        newly_dead = active & (seg_max == neg_inf)
+        newly_dead = active & (seg_max_w == neg_inf)
         if np.any(newly_dead):
             available[newly_dead] = False
 
-        active = available & nonempty & (seg_max > neg_inf)
+        active = available & nonempty & (seg_max_w > neg_inf)
         if not np.any(active):
             break
-        # Pointer = position of the segment max (first occurrence).
-        # Find it by comparing slot keys to the per-source max.
-        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
-        is_max = masked == seg_max[src]
-        # first max slot per vertex:
+        # Stage 2: among the live slots attaining the weight max, the
+        # hash max — together an exact (weight, hash) lexicographic
+        # argmax, identical to the reference's tuple comparison.
+        is_wmax = slot_alive & (masked_w == seg_max_w[src])
+        masked_h = np.where(is_wmax, hashes, 0)
+        seg_max_h = _segment_max(masked_h, ne_starts, nonempty, n, 0)
+        is_max = is_wmax & (masked_h == seg_max_h[src])
+        # First max slot per vertex: descending fancy-index assignment so
+        # the lowest slot (first occurrence) wins, as in the reference.
         slot_idx = np.full(n, -1, dtype=np.int64)
-        # reversed fill so the first occurrence wins
         order = np.arange(len(adj) - 1, -1, -1)
         cand_slots = order[is_max[order]]
         slot_idx[src[cand_slots]] = cand_slots

@@ -37,12 +37,13 @@ def graph():
     return rmat_graph(7, seed=3)
 
 
-@pytest.mark.parametrize("engine", ["threaded", "coroutine"])
+@pytest.mark.parametrize("engine", ["threaded", "coroutine", "vector"])
 @pytest.mark.parametrize("model", sorted(GOLDEN))
 @pytest.mark.parametrize("scheduler", ["heap", "reference"])
 def test_golden_pins(graph, model, scheduler, engine):
-    # The coroutine engine must hit the very same pins the threaded
-    # engine recorded: the constants are engine-independent by contract.
+    # The coroutine and vector engines must hit the very same pins the
+    # threaded engine recorded: the constants are engine-independent by
+    # contract (the vector engine's batching is scheduling-invisible).
     makespan, weight, edges, iters = GOLDEN[model]
     res = run_matching(
         graph, 4, model,
@@ -63,39 +64,53 @@ def test_all_backends_agree_on_weight(graph):
 
 
 # ----------------------------------------------------------------------
-# weak-scaling pins: P=1024 and P=4096, coroutine engine only
+# weak-scaling pins: P=1024..16384, generator engines only
 # ----------------------------------------------------------------------
 # Weak scaling in the Fig. 4 sense: the per-rank problem is held fixed
-# (R-MAT scale 13 over 1024 ranks, scale 14 over 4096 — eight vertices
-# per rank) while P quadruples. These run ONLY under engine="coroutine";
-# the threaded engine would need one OS thread per rank and minutes of
-# pure context-switch overhead, which is exactly the wall the coroutine
-# engine removes. Deselected by default via the `scale` marker — CI's
-# scale-smoke job and `pytest -m scale` opt in.
+# (R-MAT scale 13 over 1024 ranks, 14 over 4096, 15 over 16384 — eight
+# vertices per rank) while P quadruples. These run ONLY under the
+# generator engines; the threaded engine would need one OS thread per
+# rank and minutes of pure context-switch overhead, which is exactly the
+# wall those engines remove. The vector engine must reproduce the
+# coroutine engine's pins exactly (its batching is scheduling-invisible);
+# P=16384 is vector-only — the scalar coroutine engine takes tens of
+# minutes there, the vector engine a few. Deselected by default via the
+# `scale` marker — CI's scale-smoke job and `pytest -m scale` opt in.
 #
 # nprocs -> (rmat scale, makespan, weight, matched edges, iterations,
 #            wall-clock smoke budget in seconds)
 SCALE_GOLDEN = {
     1024: (13, 0.007511103000000276, 1402.7828826796542, 1743, 319, 180.0),
     4096: (14, 0.0112379500000005, 2568.706089974792, 3178, 328, 420.0),
+    16384: (15, 0.018549557000002454, 4837.256738620221, 6030, 389, 600.0),
 }
 
 
-@pytest.mark.scale
-@pytest.mark.parametrize("nprocs", sorted(SCALE_GOLDEN))
-def test_weak_scaling_pins_coroutine(nprocs):
+def _check_scale_pin(nprocs, engine):
     scale, makespan, weight, edges, iters, budget = SCALE_GOLDEN[nprocs]
     g = rmat_graph(scale, seed=3)
     t0 = time.perf_counter()
     res = run_matching(
         g, nprocs, "nsr",
-        config=RunConfig(machine=cori_aries(), engine="coroutine"),
+        config=RunConfig(machine=cori_aries(), engine=engine),
     )
     wall = time.perf_counter() - t0
     assert res.makespan == makespan
     assert res.weight == weight
     assert res.num_matched_edges == edges
     assert res.iterations == iters
-    # Smoke budget: generous vs the ~10s/~30s these take on a laptop,
-    # tight enough that an accidental O(P^2) in the engine core blows it.
+    # Smoke budget: generous vs what these take on a laptop, tight enough
+    # that an accidental O(P^2) in the engine core blows it.
     assert wall < budget, f"P={nprocs} took {wall:.1f}s (budget {budget}s)"
+
+
+@pytest.mark.scale
+@pytest.mark.parametrize("nprocs", [1024, 4096])
+def test_weak_scaling_pins_coroutine(nprocs):
+    _check_scale_pin(nprocs, "coroutine")
+
+
+@pytest.mark.scale
+@pytest.mark.parametrize("nprocs", sorted(SCALE_GOLDEN))
+def test_weak_scaling_pins_vector(nprocs):
+    _check_scale_pin(nprocs, "vector")

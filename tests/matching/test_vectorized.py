@@ -18,6 +18,7 @@ from repro.graph.generators import (
     star_graph,
 )
 from repro.matching import check_matching_maximal, check_matching_valid, greedy_matching
+from repro.matching.serial import locally_dominant_matching
 from repro.matching.vectorized import locally_dominant_matching_vec
 
 FAMILIES = [
@@ -83,3 +84,137 @@ def test_vectorized_equals_greedy_property(n, m, seed):
     a = greedy_matching(g)
     b = locally_dominant_matching_vec(g)
     assert np.array_equal(a.mate, b.mate)
+
+
+# ----------------------------------------------------------------------
+# adversarial tie-breaking: equal weights large enough that a float
+# perturbation of the key is absorbed by rounding (regression for the
+# old single-float composite key, which collapsed these ties and could
+# even leave matchable vertices unmatched)
+# ----------------------------------------------------------------------
+
+def _clique(n, w):
+    from repro.graph.csr import from_edges
+
+    u, v = [], []
+    for a in range(n):
+        for b in range(a + 1, n):
+            u.append(a)
+            v.append(b)
+    return from_edges(
+        n, np.asarray(u, dtype=np.int64), np.asarray(v, dtype=np.int64),
+        w=np.full(len(u), float(w)),
+    )
+
+
+@pytest.mark.parametrize("n", [5, 9, 10, 11])
+@pytest.mark.parametrize("w", [1.0, 1e4, 1e9, 1e12])
+def test_adversarial_tie_clique_matches_reference(n, w):
+    # All edges weigh exactly the same: the outcome is decided purely by
+    # the hash tie-break, so any lossy key folding diverges from the
+    # loop-based reference (and can break maximality).
+    g = _clique(n, w)
+    ref = locally_dominant_matching(g)
+    vec = locally_dominant_matching_vec(g)
+    assert np.array_equal(vec.mate, ref.mate)
+    assert vec.weight == ref.weight
+    check_matching_valid(g, vec.mate)
+    check_matching_maximal(g, vec.mate)
+
+
+def test_adversarial_tie_mixed_large_weights():
+    # Equal-weight classes at 1e8 with isolated vertices mixed in — a
+    # case the old float-key path got wrong (found by fuzzing).
+    from repro.graph.csr import from_edges
+
+    u = np.array([0, 1, 0, 1, 4, 2, 4, 2, 1], dtype=np.int64)
+    v = np.array([7, 2, 4, 8, 6, 9, 5, 5, 3], dtype=np.int64)
+    w = np.array([1, 2, 3, 2, 2, 1, 3, 1, 1], dtype=float) * 1e8
+    g = from_edges(10, u, v, w=w)
+    ref = locally_dominant_matching(g)
+    vec = locally_dominant_matching_vec(g)
+    assert np.array_equal(vec.mate, ref.mate)
+    assert vec.weight == ref.weight
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n=st.integers(2, 16),
+    m=st.integers(0, 24),
+    scale=st.sampled_from([1.0, 1e5, 1e8, 1e13]),
+    seed=st.integers(0, 2**31),
+)
+def test_vectorized_exact_ties_property(n, m, scale, seed):
+    # Integer weight classes scaled into the regime where <1-ulp float
+    # perturbations vanish; only the exact (weight, hash) reduction
+    # agrees with the loop-based reference here.
+    from repro.graph.csr import from_edges
+    from repro.util.rng import make_rng
+
+    rng = make_rng(seed, "vec-tie-test")
+    u = rng.integers(0, n, size=m)
+    v = rng.integers(0, n, size=m)
+    keep = u != v
+    pairs = sorted(set(zip(np.minimum(u, v)[keep].tolist(),
+                           np.maximum(u, v)[keep].tolist())))
+    u = np.array([p[0] for p in pairs], dtype=np.int64)
+    v = np.array([p[1] for p in pairs], dtype=np.int64)
+    w = rng.integers(1, 4, size=len(u)).astype(float) * scale
+    g = from_edges(n, u, v, w=w)
+    ref = locally_dominant_matching(g)
+    vec = locally_dominant_matching_vec(g)
+    assert np.array_equal(vec.mate, ref.mate)
+    assert vec.weight == ref.weight
+
+
+# ----------------------------------------------------------------------
+# reduceat empty-segment edge cases: empty segments must never read the
+# next segment's first slot (reduceat's behavior for equal consecutive
+# indices) or index out of bounds (a trailing empty segment's start is
+# len(values)); these pin the guarded _segment_max path
+# ----------------------------------------------------------------------
+
+def test_single_vertex_no_edges():
+    from repro.graph.csr import from_edges
+
+    g = from_edges(1, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    res = locally_dominant_matching_vec(g)
+    assert res.mate.tolist() == [-1]
+    assert res.weight == 0.0
+
+
+def test_all_vertices_isolated():
+    from repro.graph.csr import from_edges
+
+    g = from_edges(4, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+    res = locally_dominant_matching_vec(g)
+    assert np.all(res.mate == -1)
+    assert res.weight == 0.0
+
+
+def test_trailing_isolated_run_does_not_leak_neighbor_keys():
+    # One real edge followed by a run of trailing isolated vertices: the
+    # empty trailing segments must stay -inf/unmatched, not pick up the
+    # previous segment's key.
+    from repro.graph.csr import from_edges
+
+    g = from_edges(8, np.array([0], dtype=np.int64), np.array([1], dtype=np.int64))
+    res = locally_dominant_matching_vec(g)
+    ref = locally_dominant_matching(g)
+    assert np.array_equal(res.mate, ref.mate)
+    assert res.mate.tolist() == [1, 0] + [-1] * 6
+
+
+def test_interior_isolated_vertices_match_reference():
+    # Isolated vertices interleaved between real segments: consecutive
+    # nonempty starts must still bracket exactly one segment each.
+    from repro.graph.csr import from_edges
+
+    u = np.array([0, 4], dtype=np.int64)
+    v = np.array([2, 6], dtype=np.int64)
+    g = from_edges(7, u, v)  # 1, 3, 5 isolated, interior
+    res = locally_dominant_matching_vec(g)
+    ref = locally_dominant_matching(g)
+    assert np.array_equal(res.mate, ref.mate)
+    assert res.mate[1] == -1 and res.mate[3] == -1 and res.mate[5] == -1

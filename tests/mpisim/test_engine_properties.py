@@ -223,10 +223,10 @@ def test_engines_bit_identical_under_random_faults(case):
     nprocs, plan, rounds = case
     prog = faulty_ring_program(rounds)
     fps = {}
-    for mode in ("threaded", "coroutine"):
+    for mode in ("threaded", "coroutine", "vector"):
         eng = Engine(nprocs, cori_aries(), trace=True, faults=plan, engine=mode)
         fps[mode] = _fingerprint(eng.run(prog), eng.trace)
-    assert fps["threaded"] == fps["coroutine"]
+    assert fps["threaded"] == fps["coroutine"] == fps["vector"]
 
 
 @SLOWISH
@@ -238,10 +238,10 @@ def test_engines_bit_identical_under_random_faults(case):
 def test_engines_bit_identical_fault_free(seed, nprocs, rounds):
     prog = scripted_program_g(seed, rounds)
     fps = {}
-    for mode in ("threaded", "coroutine"):
+    for mode in ("threaded", "coroutine", "vector"):
         eng = Engine(nprocs, cori_aries(), trace=True, engine=mode)
         fps[mode] = _fingerprint(eng.run(prog), eng.trace)
-    assert fps["threaded"] == fps["coroutine"]
+    assert fps["threaded"] == fps["coroutine"] == fps["vector"]
 
 
 def scripted_program_g(seed: int, rounds: int):
@@ -274,11 +274,14 @@ def scripted_program_g(seed: int, rounds: int):
 # ----------------------------------------------------------------------
 # coroutine checkpoint / kill / resume round-trip
 # ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ["coroutine", "vector"])
 @pytest.mark.parametrize("kill_frac", [0.35, 0.8])
-def test_coroutine_checkpoint_kill_resume_roundtrip(kill_frac):
-    """Under engine="coroutine": checkpoint, kill mid-run, resume from the
-    last surviving snapshot — the finished run is bit-identical to the
-    uninterrupted one (and to the threaded engine's)."""
+def test_coroutine_checkpoint_kill_resume_roundtrip(kill_frac, engine):
+    """Under the generator engines: checkpoint, kill mid-run, resume from
+    the last surviving snapshot — the finished run is bit-identical to the
+    uninterrupted one (and to the threaded engine's). The vector engine
+    degenerates to scalar stepping while checkpointing yet must produce
+    the same snapshot hashes."""
     from repro.graph.generators import rmat_graph
     from repro.matching import RunConfig, run_matching
     from repro.mpisim.checkpoint import CheckpointConfig, CheckpointStore
@@ -288,7 +291,7 @@ def test_coroutine_checkpoint_kill_resume_roundtrip(kill_frac):
 
     def cfg(**kw):
         return RunConfig(
-            engine="coroutine", trace=True,
+            engine=engine, trace=True,
             checkpoint=CheckpointConfig(interval=interval,
                                         store=kw.pop("store")),
             **kw,

@@ -83,16 +83,17 @@ def assert_equivalent(a, ta, b, tb, check_switches=False,
         np.testing.assert_array_equal(ma.bytes, mb.bytes)
 
 
-ENGINES = ["threaded", "coroutine"]
+ENGINES = ["threaded", "coroutine", "vector"]
 
 
 def run_both(prog, nprocs, machine, faults=None, expect_crashes=False,
              engine="threaded"):
     """Run under both schedulers with the given engine; assert equivalence.
 
-    When ``engine="coroutine"`` a third run (heap scheduler, threaded
-    engine) closes the cross-engine leg of the differential: same
-    scheduler, different engine must agree on everything *including*
+    When ``engine="coroutine"`` (or ``"vector"``, which only engages its
+    fast paths under the heap scheduler) a third run (heap scheduler,
+    threaded engine) closes the cross-engine leg of the differential:
+    same scheduler, different engine must agree on everything *including*
     the switch count.
     """
     out = {}
@@ -106,7 +107,7 @@ def run_both(prog, nprocs, machine, faults=None, expect_crashes=False,
     if expect_crashes:
         assert a.crashed_ranks  # the plan must actually bite
     assert_equivalent(a, ta, b, tb)
-    if engine == "coroutine":
+    if engine in ("coroutine", "vector"):
         eng = Engine(
             nprocs, machine, trace=True, faults=faults, scheduler="heap",
             engine="threaded",
