@@ -4,6 +4,8 @@ Models for Graph Applications Using Graph Matching as a Case Study"
 
 Subpackages
 -----------
+- :mod:`repro.api`      — the library facade every run flows through
+  (``run`` / ``sweep`` / ``profile`` / ``chaos``);
 - :mod:`repro.mpisim`   — simulated MPI runtime (engine, cost model, RMA,
   neighborhood collectives, energy/memory model);
 - :mod:`repro.graph`    — CSR graphs, generators for every paper input
@@ -12,7 +14,11 @@ Subpackages
   matching over four communication backends (the paper's contribution);
 - :mod:`repro.bfs`      — Graph500-style BFS (communication contrast);
 - :mod:`repro.harness`  — experiments regenerating every paper table and
-  figure.
+  figure;
+- :mod:`repro.service`  — matching-as-a-service job server: deterministic
+  results cached by content address, request batching, artifact store
+  (docs/service.md);
+- :mod:`repro.client`   — stdlib HTTP client for the service.
 
 Quickstart::
 

@@ -24,7 +24,16 @@ win). See ``examples/profiles/`` and docs/api.md.
 - ``profile [dataset] [-p N] [-b BACKEND] [--out DIR]`` — one span-
   profiled run: per-rank phase breakdown, critical-path analysis, and
   (with ``--out``) the full artifact bundle including a Perfetto-
-  loadable Chrome trace (see docs/profiling.md).
+  loadable Chrome trace (see docs/profiling.md);
+- ``serve [--port N] [--store DIR] [--workers N]`` — the
+  matching-as-a-service job server: content-addressed result cache,
+  request batching, artifact store (docs/service.md);
+- ``submit <dataset> [-p N] [-m MODEL] [--url URL]`` — submit one job to
+  a running server and print the (possibly cached) result.
+
+Every subcommand is a thin client of the library facade
+:mod:`repro.api`; the server executes through the same facade, so CLI,
+experiments, and HTTP produce bit-identical results.
 """
 
 from __future__ import annotations
@@ -115,23 +124,16 @@ def _cmd_bench(args) -> int:
 
 
 def _load_toml(path: str) -> dict:
+    # One TOML decode path for the whole system: the service wire schema
+    # module owns it (shared with request bodies and `repro submit`).
+    from repro.service.schema import SchemaError, load_toml_file
+
     try:
-        import tomllib
-    except ModuleNotFoundError:  # Python < 3.11
-        try:
-            import tomli as tomllib  # type: ignore[no-redef]
-        except ModuleNotFoundError:
-            raise SystemExit(
-                "--config requires Python 3.11+ (tomllib) or the tomli "
-                "package; neither is available"
-            ) from None
-    try:
-        with open(path, "rb") as f:
-            return tomllib.load(f)
+        return load_toml_file(path)
     except OSError as e:
         raise SystemExit(f"cannot read config file {path}: {e}") from None
-    except tomllib.TOMLDecodeError as e:
-        raise SystemExit(f"bad TOML in {path}: {e}") from None
+    except SchemaError as e:
+        raise SystemExit(f"{path}: {e}") from None
 
 
 def _apply_config_file(args, parser) -> None:
@@ -413,86 +415,62 @@ def _cmd_match(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from repro.harness.profiler import (
-        critical_path,
-        phase_table,
-        write_profile_bundle,
-    )
+    from repro import api
     from repro.harness.spec import get_graph
-    from repro.matching import RunConfig, run_matching
     from repro.mpisim.machine import get_machine
     from repro.util.tables import format_seconds
 
     g = get_graph(args.dataset)
-    res = run_matching(
+    pr = api.profile(
         g,
-        nprocs=args.nprocs,
-        model=args.backend,
-        config=RunConfig(machine=get_machine(args.machine), profile=True),
+        args.nprocs,
+        args.backend,
+        machine=get_machine(args.machine),
+        out=args.out or None,
     )
-    prof = res.profile
+    res = pr.result
     print(f"graph: {args.dataset} |V|={g.num_vertices} |E|={g.num_edges}")
     print(f"model: {res.model} on {res.nprocs} simulated ranks")
     print(f"simulated time: {format_seconds(res.makespan)}")
     print()
-    print(phase_table(prof, title=f"{res.model}: time per phase (s)").render())
+    print(pr.phase_table)
     print()
-    print(critical_path(prof).render())
+    print(pr.critical_path)
     if args.out:
-        files = write_profile_bundle(args.out, res, res.model)
         print()
-        print(f"wrote {len(files)} artifacts to {args.out}/:")
-        for f in files:
+        print(f"wrote {len(pr.artifacts)} artifacts to {args.out}/:")
+        for f in pr.artifacts:
             print(f"  {f}")
     return 0
 
 
 def _cmd_chaos(args) -> int:
-    from repro.harness.chaos import (
-        churn_matching_runner,
-        matching_runner,
-        restart_matching_runner,
-        run_chaos,
-    )
+    from repro import api
     from repro.harness.spec import get_graph
-    from repro.matching import run_matching
 
     if args.restart and args.churn:
         raise SystemExit("--restart and --churn are separate chaos modes")
     backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
-    for b in backends:
-        if b not in ("nsr", "nsr-agg", "rma", "ncl"):
-            raise SystemExit(f"chaos supports nsr/nsr-agg/rma/ncl, got {b!r}")
     g = get_graph(args.dataset)
-    # Anchor crash times / degradation windows to each backend's actual
-    # fault-free makespan so sampled faults land mid-algorithm.
-    t_scales = {
-        b: run_matching(g, nprocs=args.nprocs, model=b).makespan for b in backends
-    }
-    if args.restart:
-        runner = restart_matching_runner(
-            g, args.nprocs, t_scales, max_ops=args.max_ops
+    mode = "restart" if args.restart else "churn" if args.churn else "faults"
+    try:
+        report = api.chaos(
+            g,
+            args.nprocs,
+            backends=backends,
+            plans=args.plans,
+            seed=args.seed,
+            mode=mode,
+            max_ops=args.max_ops,
+            spares=args.spares,
+            replicas=args.replicas,
+            mtbf=args.mtbf,
+            dataset=args.dataset,
+            do_shrink=not args.no_shrink,
+            progress=lambda line: print(line, file=sys.stderr),
         )
-    elif args.churn:
-        runner = churn_matching_runner(
-            g, args.nprocs, t_scales, max_ops=args.max_ops,
-            spares=args.spares, replicas=args.replicas,
-        )
-    else:
-        runner = matching_runner(g, args.nprocs, max_ops=args.max_ops)
-    report = run_chaos(
-        runner,
-        seed=args.seed,
-        plans=args.plans,
-        nprocs=args.nprocs,
-        backends=backends,
-        t_scales=t_scales,
-        dataset=args.dataset,
-        do_shrink=not args.no_shrink,
-        churn=args.churn,
-        churn_mtbf=args.mtbf,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    except ValueError as e:
+        raise SystemExit(str(e)) from None
     print(report.render())
     if args.csv:
         csv_text = report.to_csv()
@@ -503,6 +481,97 @@ def _cmd_chaos(args) -> int:
                 f.write(csv_text)
             print(f"wrote {args.csv}", file=sys.stderr)
     return 1 if report.failures else 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, serve
+
+    service = serve(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            store_dir=args.store,
+            workers=args.workers,
+            mp_context=args.mp_context,
+            linger=args.linger,
+        )
+    )
+    print(f"matching-as-a-service on {service.url}")
+    print(f"store: {args.store}  workers: {args.workers}  "
+          f"code version: {service.code_version}")
+    print("endpoints: POST /v1/jobs, GET /v1/jobs/<id>, GET /v1/results/<key>,")
+    print("           GET /v1/artifacts/<key>/<name>, GET /v1/stats, "
+          "GET /v1/healthz, POST /v1/shutdown")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        service.shutdown()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.client import ServiceClient, ServiceError
+    from repro.service.schema import (
+        GraphRef,
+        JobRequest,
+        SchemaError,
+        WireConfig,
+        load_toml_file,
+    )
+    from repro.util.tables import format_seconds
+
+    try:
+        if args.request:
+            request = JobRequest.from_dict(load_toml_file(args.request))
+        else:
+            if not args.dataset:
+                raise SystemExit("submit needs a DATASET (or --request FILE.toml)")
+            request = JobRequest(
+                graph=GraphRef(args.dataset, seed=args.seed),
+                nprocs=args.nprocs,
+                model=args.model,
+                config=WireConfig(
+                    machine=args.machine,
+                    engine=args.engine,
+                    profile=args.profile,
+                ),
+            )
+            request.validate()
+    except (OSError, SchemaError) as e:
+        raise SystemExit(str(e)) from None
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        env = client.submit(request, wait=not args.no_wait)
+    except ServiceError as e:
+        raise SystemExit(str(e)) from None
+    except OSError as e:
+        raise SystemExit(f"cannot reach service at {args.url}: {e}") from None
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(env, indent=1, sort_keys=True))
+        return 0 if env.get("state") in ("done", "queued", "running") else 1
+    print(f"job {env['job_id']}: {env['state']} (cache {env['cache']})")
+    print(f"key: {env['key']}")
+    result = env.get("result")
+    if result is None:
+        print("still running; poll with: GET /v1/jobs/" + env["job_id"])
+        return 0
+    if result["status"] != "ok":
+        print(f"error: {result['error']}")
+        return 1
+    rec = result["record"]
+    print(f"graph: {rec['graph']}  model: {rec['model']}  p: {rec['nprocs']}")
+    print(f"simulated time: {format_seconds(rec['makespan'])}")
+    print(f"matching weight: {rec['weight']:.6g}  "
+          f"iterations: {rec['iterations']}  messages: {rec['messages']}")
+    if result["artifacts"]:
+        print(f"artifacts ({len(result['artifacts'])}): "
+              + ", ".join(result["artifacts"]))
+        print(f"fetch: GET /v1/artifacts/{env['key']}/<name>")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -780,6 +849,66 @@ def main(argv: list[str] | None = None) -> int:
         help="run profile; fills in flags left at their defaults",
     )
     p_chaos.set_defaults(fn=_cmd_chaos, _parser=p_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the matching-as-a-service job server (docs/service.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8123, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--store", default="service-store",
+        help="content-addressed result/artifact store directory",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes (0 = run jobs inline, single-process)",
+    )
+    p_serve.add_argument(
+        "--mp-context", default="spawn", choices=["spawn", "fork"],
+        help="multiprocessing start method for the worker pool",
+    )
+    p_serve.add_argument(
+        "--linger", type=float, default=0.05,
+        help="seconds to collect overlapping requests into one batch",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to a running `repro serve` instance"
+    )
+    p_submit.add_argument("dataset", nargs="?", default="")
+    p_submit.add_argument("-p", "--nprocs", type=int, default=16)
+    p_submit.add_argument(
+        "-m", "--model", default="ncl",
+        choices=["nsr", "rma", "ncl", "mbp", "incl", "nsr-agg"],
+    )
+    p_submit.add_argument("--machine", default="cori-aries")
+    p_submit.add_argument(
+        "--engine", default=None, choices=["threaded", "coroutine", "vector"],
+        help="execution engine (cache-neutral: results are bit-identical)",
+    )
+    p_submit.add_argument("--seed", type=int, default=None,
+                          help="graph generator seed (default: registry seed)")
+    p_submit.add_argument(
+        "--profile", action="store_true",
+        help="span-profiled run; artifacts land in the service store",
+    )
+    p_submit.add_argument(
+        "--request", default="", metavar="FILE.toml",
+        help="submit this TOML JobRequest instead of building one from flags",
+    )
+    p_submit.add_argument("--url", default="http://127.0.0.1:8123")
+    p_submit.add_argument(
+        "--no-wait", action="store_true",
+        help="return the job id immediately instead of waiting for the result",
+    )
+    p_submit.add_argument("--timeout", type=float, default=630.0)
+    p_submit.add_argument(
+        "--json", action="store_true", help="print the raw response envelope"
+    )
+    p_submit.set_defaults(fn=_cmd_submit)
 
     args = parser.parse_args(argv)
     if getattr(args, "config", ""):

@@ -1,0 +1,119 @@
+"""`repro.client` — thin stdlib HTTP client for the matching service.
+
+>>> from repro.client import ServiceClient
+>>> from repro.service import GraphRef, JobRequest
+>>> c = ServiceClient("http://127.0.0.1:8123")            # doctest: +SKIP
+>>> env = c.submit(JobRequest(GraphRef("rmat-s10"), 8))   # doctest: +SKIP
+>>> env["cache"], env["result"]["record"]["makespan"]     # doctest: +SKIP
+
+Everything speaks the versioned wire schema in
+:mod:`repro.service.schema`; no third-party HTTP stack is involved
+(``urllib.request`` only), so any environment that can import ``repro``
+can be a client.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.service.schema import JobRequest, JobResult, SchemaError
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error (HTTP status + body message)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://host:8123")``."""
+
+    def __init__(self, url: str, *, timeout: float = 630.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> tuple[int, bytes, str]:
+        req = urllib.request.Request(
+            f"{self.url}{path}", data=body, method=method
+        )
+        if body is not None:
+            req.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return (
+                    resp.status,
+                    resp.read(),
+                    resp.headers.get("Content-Type", ""),
+                )
+        except urllib.error.HTTPError as e:
+            detail = e.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise ServiceError(e.code, detail) from None
+
+    def _json(self, method: str, path: str, body: bytes | None = None,
+              content_type: str = "application/json") -> dict:
+        status, blob, _ = self._request(method, path, body, content_type)
+        payload = json.loads(blob)
+        if isinstance(payload, dict) and "result" in payload and payload["result"]:
+            # parse through the schema so version/unknown-field checks run
+            payload["result"] = JobResult.from_dict(payload["result"]).to_dict()
+        return payload
+
+    # -- API ----------------------------------------------------------
+    def health(self) -> dict:
+        return self._json("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/stats")
+
+    def submit(
+        self,
+        request: JobRequest,
+        *,
+        wait: bool = True,
+        toml_body: str | None = None,
+    ) -> dict:
+        """Submit one job; returns the response envelope.
+
+        Envelope keys: ``job_id``, ``state``, ``cache`` ("hit" / "miss" /
+        "coalesced"), and — once done — ``result`` (the cache-stable
+        :class:`JobResult` payload, bit-identical across hit and miss).
+        ``toml_body`` sends raw TOML instead of the request's JSON (the
+        server decodes both through the same schema path).
+        """
+        path = "/v1/jobs" if wait else "/v1/jobs?wait=0"
+        if toml_body is not None:
+            return self._json(
+                "POST", path, toml_body.encode(), "application/toml"
+            )
+        return self._json("POST", path, request.to_json().encode())
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, key: str) -> JobResult:
+        env = self._json("GET", f"/v1/results/{key}")
+        if not env.get("result"):
+            raise SchemaError(f"service returned no result for key {key}")
+        return JobResult.from_dict(env["result"])
+
+    def artifact(self, key: str, name: str) -> bytes:
+        _, blob, _ = self._request("GET", f"/v1/artifacts/{key}/{name}")
+        return blob
+
+    def shutdown(self) -> dict:
+        return self._json("POST", "/v1/shutdown", b"")

@@ -10,14 +10,14 @@
 
 from __future__ import annotations
 
+from repro.api import sweep
 from repro.graph.generators import rgg_graph, rmat_graph, sbm_hilo_graph
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.spec import DEFAULT_SEED
-from repro.harness.sweep import scaling_sweep
 
 
 def _series(points, title):
-    fig, records = scaling_sweep(points, title=title)
+    fig, records = sweep(points, title=title)
     return fig, records
 
 

@@ -8,9 +8,9 @@ straddle many ranks and neighborhood collectives start to hurt.
 
 from __future__ import annotations
 
+from repro.api import sweep
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.spec import get_graph
-from repro.harness.sweep import scaling_sweep
 
 PRESETS = ("V2a", "U1a", "P1a", "V1r")
 
@@ -26,7 +26,7 @@ def run(fast: bool = True) -> ExperimentOutput:
     for preset in PRESETS:
         g = get_graph(f"kmer-{preset}")
         points = [(f"kmer-{preset}", g, p) for p in procs]
-        fig, records = scaling_sweep(
+        fig, records = sweep(
             points, title=f"Fig 5: strong scaling, k-mer {preset} (|E|={g.num_edges})"
         )
         texts.append(fig.render())

@@ -9,10 +9,10 @@ monotonically as p grows.
 
 from __future__ import annotations
 
+from repro.api import sweep
 from repro.graph.generators import friendster_proxy, orkut_proxy
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.spec import DEFAULT_SEED
-from repro.harness.sweep import scaling_sweep
 
 
 @experiment("fig6")
@@ -25,7 +25,7 @@ def run(fast: bool = True) -> ExperimentOutput:
     texts, data, findings = [], {}, []
     for label, g in inputs:
         points = [(label, g, p) for p in procs]
-        fig, records = scaling_sweep(
+        fig, records = sweep(
             points, title=f"Fig 6: strong scaling, {label} (|E|={g.num_edges})"
         )
         texts.append(fig.render())

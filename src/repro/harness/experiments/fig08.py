@@ -10,9 +10,9 @@ Paper findings on Cage15/HV15R:
 
 from __future__ import annotations
 
+from repro import api
 from repro.graph.reorder import rcm_reorder
 from repro.harness.experiments.base import ExperimentOutput, experiment
-from repro.harness.runner import run_one
 from repro.harness.spec import get_graph
 from repro.util.tables import TextTable
 
@@ -35,8 +35,8 @@ def run(fast: bool = True) -> ExperimentOutput:
             times = {}
             times_r = {}
             for m in MODELS:
-                times[m] = run_one(g, p, m, label=name).makespan
-                times_r[m] = run_one(gr, p, m, label=f"{name}-rcm").makespan
+                times[m] = api.run(g, p, m, label=name).makespan
+                times_r[m] = api.run(gr, p, m, label=f"{name}-rcm").makespan
             table.add_row([name] + [f"{times[m] * 1e3:.3f}" for m in MODELS])
             table.add_row([f"{name}(RCM)"] + [f"{times_r[m] * 1e3:.3f}" for m in MODELS])
             data[f"{name}_p{p}"] = times

@@ -8,9 +8,9 @@ spanning every graph family, including the SBM points where NSR wins.
 
 from __future__ import annotations
 
+from repro import api
 from repro.harness.experiments.base import ExperimentOutput, experiment
 from repro.harness.perfprofile import performance_profile
-from repro.harness.runner import run_one
 from repro.harness.spec import get_graph
 from repro.util.tables import TextTable
 
@@ -45,7 +45,7 @@ def run(fast: bool = True) -> ExperimentOutput:
     for name, p in problems:
         g = get_graph(name)
         times[f"{name}@p{p}"] = {
-            m: run_one(g, p, m, label=name).makespan for m in ("nsr", "rma", "ncl")
+            m: api.run(g, p, m, label=name).makespan for m in ("nsr", "rma", "ncl")
         }
     prof = performance_profile(times)
 

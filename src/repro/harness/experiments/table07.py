@@ -10,8 +10,8 @@ R-MAT/social).
 
 from __future__ import annotations
 
+from repro.api import run_models
 from repro.harness.experiments.base import ExperimentOutput, experiment
-from repro.harness.runner import run_models
 from repro.harness.spec import all_specs
 from repro.util.tables import TextTable
 

@@ -15,9 +15,9 @@ on 1K processes (32 nodes). Claims we check:
 
 from __future__ import annotations
 
+from repro import api
 from repro.graph.generators import friendster_proxy, sbm_hilo_graph
 from repro.harness.experiments.base import ExperimentOutput, experiment
-from repro.harness.runner import run_one
 from repro.harness.spec import DEFAULT_SEED, get_graph
 from repro.mpisim.power import PowerModel, energy_table
 
@@ -36,7 +36,7 @@ def run(fast: bool = True) -> ExperimentOutput:
     texts, data, findings = [], {}, []
     for label, g in inputs:
         recs = {
-            m: run_one(g, p, m, label=label, power=power) for m in MODELS
+            m: api.run(g, p, m, label=label, power=power) for m in MODELS
         }
         texts.append(
             energy_table(

@@ -1,92 +1,38 @@
-"""Single-run executor: one (graph, nprocs, model) -> one RunRecord.
+"""Deprecated single-run entry points — thin shims over :mod:`repro.api`.
 
-The RunRecord is the harness's universal currency: every figure and table
-module consumes lists of them.
+Run orchestration moved to the library facade (`repro.api.run` /
+`repro.api.run_models`) so the CLI, the experiment harness, and the job
+server (`repro.service`) all flow through one call. ``run_one`` and
+``run_models`` delegate there bit-identically but emit a
+``DeprecationWarning``; :class:`RunRecord` still imports from here
+unchanged. See docs/api.md for the migration table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.graph.csr import CSRGraph
-from repro.matching.api import MatchingRunResult, run_matching
-from repro.matching.config import RunConfig
-from repro.matching.driver import MatchingOptions
-from repro.mpisim.faults import FaultPlan
-from repro.mpisim.machine import MachineModel, cori_aries
-from repro.mpisim.power import EnergyReport, PowerModel, energy_report
+from repro.api import RunRecord, run, run_models as _api_run_models
+
+__all__ = ["RunRecord", "run_one", "run_models"]
 
 
-@dataclass
-class RunRecord:
-    """One experiment data point."""
-
-    graph: str
-    nprocs: int
-    model: str
-    makespan: float  #: simulated seconds (the paper's "execution time")
-    weight: float
-    iterations: int
-    messages: int
-    bytes_moved: int
-    mem_per_rank_mb: float
-    energy: EnergyReport
-    result: MatchingRunResult | None = None  #: full payload (optional)
-
-    def speedup_over(self, baseline: "RunRecord") -> float:
-        return baseline.makespan / self.makespan if self.makespan > 0 else float("inf")
-
-
-def run_one(
-    g: CSRGraph,
-    nprocs: int,
-    model: str,
-    *,
-    label: str = "?",
-    machine: MachineModel | None = None,
-    power: PowerModel | None = None,
-    options: MatchingOptions | None = None,
-    faults: FaultPlan | None = None,
-    keep_result: bool = False,
-    engine: str | None = None,
-) -> RunRecord:
-    """Execute one matching run and package its measurements.
-
-    ``engine`` picks the execution engine ("threaded"/"coroutine"/
-    "vector"); None defers to RunConfig's default ($REPRO_ENGINE or
-    threaded). Results are bit-identical regardless; coroutine scales to
-    thousands of ranks, vector to tens of thousands (use it for
-    P >= 1024 sweeps).
-    """
-    machine = machine or cori_aries()
-    cfg = RunConfig(machine=machine, options=options, faults=faults, compute_weight=True)
-    if engine is not None:
-        cfg = cfg.evolve(engine=engine)
-    res = run_matching(g, nprocs, model=model, config=cfg)
-    c = res.counters
-    erep = energy_report(model.upper(), res.makespan, c, power)
-    return RunRecord(
-        graph=label,
-        nprocs=nprocs,
-        model=model,
-        makespan=res.makespan,
-        weight=res.weight,
-        iterations=res.iterations,
-        messages=res.total_messages(),
-        bytes_moved=(
-            c.p2p.total_bytes() + c.rma.total_bytes() + c.ncl.total_bytes()
-        ),
-        mem_per_rank_mb=c.avg_peak_memory() / (1024 * 1024),
-        energy=erep,
-        result=res if keep_result else None,
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.harness.runner.{old} is deprecated; call repro.api.{new} "
+        "instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
-def run_models(
-    g: CSRGraph,
-    nprocs: int,
-    models: tuple[str, ...] = ("nsr", "rma", "ncl"),
-    **kwargs,
-) -> dict[str, RunRecord]:
-    """Run several communication models on the same (graph, p)."""
-    return {m: run_one(g, nprocs, m, **kwargs) for m in models}
+def run_one(g, nprocs, model, **kwargs) -> RunRecord:
+    """Deprecated alias for :func:`repro.api.run` (same signature)."""
+    _warn("run_one", "run")
+    return run(g, nprocs, model, **kwargs)
+
+
+def run_models(g, nprocs, models=("nsr", "rma", "ncl"), **kwargs):
+    """Deprecated alias for :func:`repro.api.run_models`."""
+    _warn("run_models", "run_models")
+    return _api_run_models(g, nprocs, models, **kwargs)

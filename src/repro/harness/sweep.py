@@ -1,63 +1,38 @@
-"""Scaling-sweep drivers shared by the figure experiments."""
+"""Deprecated sweep entry points — thin shims over :mod:`repro.api`.
+
+``scaling_sweep`` and ``best_speedup_over_baseline`` moved to the
+library facade (`repro.api.sweep` / `repro.api.best_speedup_over_baseline`)
+so every run flows through one module. These shims delegate
+bit-identically but emit a ``DeprecationWarning``. See docs/api.md.
+"""
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import warnings
 
-from repro.graph.csr import CSRGraph
-from repro.harness.figures import FigureData
-from repro.harness.runner import RunRecord, run_one
-from repro.mpisim.machine import MachineModel
+from repro import api
 
-MODELS = ("nsr", "rma", "ncl")
+MODELS = api.MODELS
 
-
-def scaling_sweep(
-    points: Sequence[tuple[str, CSRGraph, int]],
-    models: Sequence[str] = MODELS,
-    *,
-    title: str,
-    xlabel: str = "processes",
-    machine: MachineModel | None = None,
-) -> tuple[FigureData, list[RunRecord]]:
-    """Run ``models`` over a list of (label, graph, nprocs) points.
-
-    Weak scaling passes a different graph per point; strong scaling passes
-    the same graph with growing ``nprocs``. Returns the paper-style
-    execution-time figure plus the raw records.
-    """
-    records: list[RunRecord] = []
-    fig = FigureData(title=title, xlabel=xlabel, ylabel="execution time (s)")
-    for model in models:
-        xs: list[float] = []
-        ys: list[float] = []
-        for label, g, p in points:
-            rec = run_one(g, p, model, label=label, machine=machine)
-            records.append(rec)
-            xs.append(p)
-            ys.append(rec.makespan)
-        fig.add(model.upper(), xs, ys)
-    return fig, records
+__all__ = ["MODELS", "scaling_sweep", "best_speedup_over_baseline"]
 
 
-def best_speedup_over_baseline(
-    records: list[RunRecord], baseline: str = "nsr"
-) -> dict[tuple[str, int], tuple[float, str]]:
-    """Per (graph, p): best speedup over the baseline and which model won."""
-    by_point: dict[tuple[str, int], dict[str, RunRecord]] = {}
-    for r in records:
-        by_point.setdefault((r.graph, r.nprocs), {})[r.model] = r
-    out: dict[tuple[str, int], tuple[float, str]] = {}
-    for point, models in by_point.items():
-        if baseline not in models:
-            continue
-        base = models[baseline]
-        best_model, best_speedup = baseline, 1.0
-        for name, rec in models.items():
-            if name == baseline:
-                continue
-            s = rec.speedup_over(base)
-            if s > best_speedup:
-                best_model, best_speedup = name, s
-        out[point] = (best_speedup, best_model)
-    return out
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.harness.sweep.{old} is deprecated; call repro.api.{new} "
+        "instead (see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def scaling_sweep(points, models=MODELS, **kwargs):
+    """Deprecated alias for :func:`repro.api.sweep` (same signature)."""
+    _warn("scaling_sweep", "sweep")
+    return api.sweep(points, models, **kwargs)
+
+
+def best_speedup_over_baseline(records, baseline: str = "nsr"):
+    """Deprecated alias for :func:`repro.api.best_speedup_over_baseline`."""
+    _warn("best_speedup_over_baseline", "best_speedup_over_baseline")
+    return api.best_speedup_over_baseline(records, baseline)

@@ -1,0 +1,50 @@
+"""`repro.service` — matching-as-a-service (docs/service.md).
+
+A long-running job server over the deterministic simulation: run
+requests (graph recipe + config) are validated against the versioned
+wire schema, deduplicated against a content-addressed result cache
+keyed on ``hash(graph_spec, config, code_version)``, coalesced into
+shared sweep batches, and executed on a ``multiprocessing`` worker pool
+through the :mod:`repro.api` facade. Determinism is the superpower:
+repeated and overlapping requests are cache hits with bit-identical
+payloads.
+
+Modules: :mod:`~repro.service.schema` (wire types),
+:mod:`~repro.service.codever` (content-hash code version),
+:mod:`~repro.service.store` (CAS), :mod:`~repro.service.pool`
+(worker protocol), :mod:`~repro.service.orchestrator` (queue/batching),
+:mod:`~repro.service.server` (HTTP front end). The stdlib HTTP client
+lives in :mod:`repro.client`.
+"""
+
+from repro.service.codever import cached_code_version, code_version
+from repro.service.orchestrator import Job, Orchestrator
+from repro.service.schema import (
+    SCHEMA_VERSION,
+    GraphRef,
+    JobRequest,
+    JobResult,
+    SchemaError,
+    WireConfig,
+    parse_request,
+)
+from repro.service.server import MatchingService, ServiceConfig, serve
+from repro.service.store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "GraphRef",
+    "JobRequest",
+    "JobResult",
+    "SchemaError",
+    "WireConfig",
+    "parse_request",
+    "code_version",
+    "cached_code_version",
+    "Job",
+    "Orchestrator",
+    "ResultStore",
+    "MatchingService",
+    "ServiceConfig",
+    "serve",
+]

@@ -1,0 +1,55 @@
+"""Code-version fingerprint for the result cache.
+
+The cache key is ``hash(graph_spec, config, code_version)`` — determinism
+makes results reusable *only* for the code that produced them, so the
+version component must change whenever any simulation-relevant source
+changes. We hash the **file contents** of the installed ``repro`` package
+rather than shelling out to ``git describe``: sdist/pip installs have no
+``.git`` directory, and a content hash also distinguishes dirty working
+trees, which a tag-based version would silently conflate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+
+def code_version(root: str | Path | None = None) -> str:
+    """12-hex-digit digest of every ``*.py`` file under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory. The
+    digest covers relative paths *and* contents in sorted order, so
+    renames, additions, deletions, and edits all change it; bytecode
+    caches are ignored. Pure function of the tree — no git, no mtimes.
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+    root = Path(root)
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if "__pycache__" in rel:
+            continue
+        h.update(rel.encode())
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest()[:12]
+
+
+_cached: str | None = None
+
+
+def cached_code_version() -> str:
+    """:func:`code_version` of the running package, computed once.
+
+    The source tree does not change under a running server; job
+    submission is hot, hashing ~100 files is not free.
+    """
+    global _cached
+    if _cached is None:
+        _cached = code_version()
+    return _cached

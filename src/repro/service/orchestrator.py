@@ -1,0 +1,257 @@
+"""Job orchestrator: dedup, coalesce, batch, dispatch, fan out.
+
+Request lifecycle::
+
+    submit ──► cache probe ──hit──► done ("hit", zero simulations)
+                 │miss
+                 ├─ identical request already queued/running?
+                 │      yes ──► follower of that primary ("coalesced")
+                 │      no  ──► primary job, enqueued ("miss")
+                 ▼
+    dispatcher thread: linger briefly, drain the queue, group primaries
+    by batch key (same graph recipe → one worker dispatch, one graph
+    build), submit each batch to the worker pool
+                 ▼
+    completion: publish JobResult + artifacts to the content-addressed
+    store, then fan the *same* result out to the primary and every
+    follower (all waiters wake with identical payloads)
+
+Every structure is guarded by one lock; jobs expose a ``threading.Event``
+so HTTP handler threads (or library callers) can block for completion.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.pool import execute_batch
+from repro.service.schema import JobRequest, JobResult
+from repro.service.store import ResultStore
+
+_ACTIVE = ("queued", "running")
+
+
+@dataclass
+class Job:
+    """One submitted request and its progress through the service."""
+
+    id: str
+    request: JobRequest
+    key: str  #: content address (cache key)
+    cache: str  #: "hit" | "miss" | "coalesced"
+    state: str = "queued"  #: queued → running → done | failed
+    result: JobResult | None = None
+    followers: list["Job"] = field(default_factory=list)
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self.done.wait(timeout)
+
+    def describe(self) -> dict:
+        return {
+            "job_id": self.id,
+            "key": self.key,
+            "state": self.state,
+            "cache": self.cache,
+        }
+
+
+class Orchestrator:
+    """Owns the queue, the in-flight index, and the dispatcher thread."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        executor,
+        code_version: str,
+        *,
+        linger: float = 0.05,
+    ):
+        self.store = store
+        self.executor = executor
+        self.code_version = code_version
+        #: seconds the dispatcher waits after a submission before cutting
+        #: a batch — the window in which overlapping sweep requests land
+        #: together (0 disables lingering; batches are then whatever has
+        #: already queued when the dispatcher wakes)
+        self.linger = linger
+        self._lock = threading.Lock()
+        self._wakeup = threading.Event()
+        self._queue: list[Job] = []
+        self._inflight: dict[str, Job] = {}  # key -> primary job
+        self._jobs: dict[str, Job] = {}  # job id -> job (incl. finished)
+        self._ids = itertools.count(1)
+        self._stop = False
+        # -- counters (see /v1/stats) ---------------------------------
+        self.jobs_submitted = 0
+        self.jobs_coalesced = 0
+        self.sims_executed = 0
+        self.sims_failed = 0
+        self.batches_dispatched = 0
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatcher", daemon=True
+        )
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------
+    def start(self) -> "Orchestrator":
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            self._stop = True
+        self._wakeup.set()
+        if self._started and wait:
+            self._thread.join(timeout=10)
+        self.executor.shutdown(wait=wait)
+
+    # -- submission ---------------------------------------------------
+    def submit(self, request: JobRequest) -> Job:
+        """Register a request; returns a Job that is possibly already done.
+
+        Never blocks on simulation: cache hits complete inline, misses
+        and coalesced duplicates complete via the dispatcher. Callers
+        block on ``job.wait()`` if and when they want the result.
+        """
+        request.validate()
+        key = request.cache_key(self.code_version)
+        with self._lock:
+            self.jobs_submitted += 1
+            job_id = f"job-{next(self._ids)}"
+            primary = self._inflight.get(key)
+            if primary is not None:
+                # identical request already queued/running: ride along
+                job = Job(id=job_id, request=request, key=key, cache="coalesced")
+                primary.followers.append(job)
+                self._jobs[job_id] = job
+                self.jobs_coalesced += 1
+                return job
+            cached = self.store.lookup(key)  # counts the hit or miss
+            if cached is not None:
+                job = Job(
+                    id=job_id, request=request, key=key, cache="hit",
+                    state="done" if cached.status == "ok" else "failed",
+                    result=cached,
+                )
+                job.done.set()
+                self._jobs[job_id] = job
+                return job
+            job = Job(id=job_id, request=request, key=key, cache="miss")
+            self._jobs[job_id] = job
+            self._inflight[key] = job
+            self._queue.append(job)
+        self._wakeup.set()
+        return job
+
+    def job(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # -- dispatch -----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._wakeup.wait()
+            with self._lock:
+                if self._stop:
+                    return
+            if self.linger > 0:
+                # collect overlapping requests into the same cut
+                time.sleep(self.linger)
+            with self._lock:
+                if self._stop:
+                    return
+                batchable, self._queue = self._queue, []
+                self._wakeup.clear()
+            if not batchable:
+                continue
+            for batch in self._group(batchable):
+                payload = [
+                    {"key": j.key, "request": j.request.to_dict()} for j in batch
+                ]
+                for j in batch:
+                    j.state = "running"
+                with self._lock:
+                    self.batches_dispatched += 1
+                fut = self.executor.submit(execute_batch, payload)
+                fut.add_done_callback(
+                    lambda f, jobs=batch: self._complete(jobs, f)
+                )
+
+    @staticmethod
+    def _group(jobs: list[Job]) -> list[list[Job]]:
+        """Group pending primaries into shared sweep batches by graph."""
+        groups: dict[str, list[Job]] = {}
+        for j in jobs:
+            groups.setdefault(j.request.batch_key(), []).append(j)
+        return list(groups.values())
+
+    # -- completion ---------------------------------------------------
+    def _complete(self, jobs: list[Job], fut) -> None:
+        try:
+            outcomes = {o["key"]: o for o in fut.result()}
+        except Exception as e:  # worker process died, pool broke, ...
+            outcomes = {
+                j.key: {"key": j.key, "ok": False,
+                        "error": f"worker failure: {type(e).__name__}: {e}"}
+                for j in jobs
+            }
+        for job in jobs:
+            out = outcomes.get(
+                job.key,
+                {"ok": False, "error": "worker returned no outcome for key"},
+            )
+            if out.get("ok"):
+                result = JobResult(
+                    key=job.key,
+                    status="ok",
+                    record=out["record"],
+                    artifacts=tuple(sorted(out.get("artifacts", {}))),
+                    code_version=self.code_version,
+                )
+            else:
+                result = JobResult(
+                    key=job.key,
+                    status="error",
+                    error=out.get("error", "unknown worker error"),
+                    code_version=self.code_version,
+                )
+            try:
+                self.store.put(result, artifacts=out.get("artifacts") or {})
+            except Exception as e:  # keep serving from memory regardless
+                result = JobResult(
+                    key=job.key, status="error",
+                    error=f"store write failed: {e}",
+                    code_version=self.code_version,
+                )
+            with self._lock:
+                self.sims_executed += 1
+                if result.status != "ok":
+                    self.sims_failed += 1
+                self._inflight.pop(job.key, None)
+                waiters = [job, *job.followers]
+            for w in waiters:
+                w.result = result
+                w.state = "done" if result.status == "ok" else "failed"
+                w.done.set()
+
+    # -- accounting ---------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            d = {
+                "jobs_submitted": self.jobs_submitted,
+                "jobs_coalesced": self.jobs_coalesced,
+                "sims_executed": self.sims_executed,
+                "sims_failed": self.sims_failed,
+                "batches_dispatched": self.batches_dispatched,
+                "queued": len(self._queue),
+                "inflight": len(self._inflight),
+                "code_version": self.code_version,
+            }
+        d.update(self.store.stats())
+        return d

@@ -1,0 +1,218 @@
+"""Matching-as-a-service HTTP front end (stdlib ``http.server``).
+
+Endpoints (all under ``/v1``, JSON unless noted — see docs/service.md):
+
+=======  ==============================  =====================================
+method   path                            meaning
+=======  ==============================  =====================================
+POST     /v1/jobs[?wait=0]               submit a JobRequest (JSON or TOML
+                                         body); waits for the result by
+                                         default, ``wait=0`` returns the job
+                                         id immediately
+GET      /v1/jobs/<id>                   job status (+ result when done)
+GET      /v1/results/<key>               cached JobResult by content key
+GET      /v1/artifacts/<key>/<name>      one artifact file (trace JSON, CSV…)
+GET      /v1/stats                       cache/batch/worker counters
+GET      /v1/healthz                     liveness + code_version
+POST     /v1/shutdown                    clean shutdown
+=======  ==============================  =====================================
+
+The response envelope for job submission separates what is per-request
+(``job_id``, ``cache``, ``state``) from the cache-stable ``result``
+payload, which is **bit-identical** between the run that computed it and
+every later cache hit.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.codever import cached_code_version
+from repro.service.orchestrator import Orchestrator
+from repro.service.pool import make_executor, warm_executor
+from repro.service.schema import SCHEMA_VERSION, SchemaError, parse_request
+from repro.service.store import ResultStore, write_store_meta
+
+#: default cap on how long one synchronous submit may hold a connection
+WAIT_TIMEOUT = 600.0
+
+
+@dataclass
+class ServiceConfig:
+    """Everything `repro serve` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 → ephemeral (the bound port is reported back)
+    store_dir: str = "service-store"
+    workers: int = 2  #: worker processes; 0 = inline (tests/sandboxes)
+    mp_context: str = "spawn"  #: "spawn" | "fork" (see pool.py)
+    linger: float = 0.05  #: batch-coalescing window (seconds)
+    wait_timeout: float = WAIT_TIMEOUT
+
+
+class MatchingService:
+    """The assembled service: store + pool + orchestrator + HTTP server."""
+
+    def __init__(self, config: ServiceConfig | None = None):
+        self.config = config or ServiceConfig()
+        self.code_version = cached_code_version()
+        self.store = ResultStore(self.config.store_dir)
+        write_store_meta(self.config.store_dir, self.code_version)
+        executor = make_executor(self.config.workers, self.config.mp_context)
+        warm_executor(executor, self.config.workers)
+        self.orchestrator = Orchestrator(
+            self.store,
+            executor,
+            self.code_version,
+            linger=self.config.linger,
+        ).start()
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self.httpd.daemon_threads = True
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.orchestrator.shutdown()
+
+    def start_background(self) -> threading.Thread:
+        """Serve on a daemon thread (tests and embedded use)."""
+        t = threading.Thread(
+            target=self.httpd.serve_forever, name="repro-httpd", daemon=True
+        )
+        t.start()
+        return t
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.orchestrator.shutdown()
+
+
+def _make_handler(service: MatchingService):
+    orch = service.orchestrator
+    store = service.store
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-matchd/1"
+
+        # -- plumbing -------------------------------------------------
+        def log_message(self, format, *args):  # quiet by default
+            pass
+
+        def _send(self, code: int, payload: dict | bytes,
+                  content_type: str = "application/json") -> None:
+            body = (
+                payload if isinstance(payload, bytes)
+                else (json.dumps(payload, sort_keys=True) + "\n").encode()
+            )
+            self.send_response(code)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _error(self, code: int, message: str) -> None:
+            self._send(code, {"error": message})
+
+        def _body(self) -> bytes:
+            length = int(self.headers.get("Content-Length") or 0)
+            return self.rfile.read(length) if length else b""
+
+        def _envelope(self, job) -> dict:
+            env = job.describe()
+            if job.result is not None:
+                env["result"] = job.result.to_dict()
+            return env
+
+        # -- routes ---------------------------------------------------
+        def do_POST(self):
+            url = urlparse(self.path)
+            if url.path == "/v1/jobs":
+                return self._post_job(url)
+            if url.path == "/v1/shutdown":
+                self._send(200, {"ok": True, "message": "shutting down"})
+                threading.Thread(target=service.shutdown, daemon=True).start()
+                return
+            self._error(404, f"no such endpoint: POST {url.path}")
+
+        def _post_job(self, url) -> None:
+            try:
+                request = parse_request(
+                    self._body(), self.headers.get("Content-Type", "")
+                )
+            except SchemaError as e:
+                return self._error(400, str(e))
+            try:
+                from repro.harness.spec import get_spec
+
+                get_spec(request.graph.name)  # reject before queueing
+                job = orch.submit(request)
+            except (KeyError, SchemaError) as e:
+                return self._error(400, str(e))
+            params = parse_qs(url.query)
+            wait = params.get("wait", ["1"])[0] not in ("0", "false", "no")
+            if wait:
+                if not job.wait(timeout=service.config.wait_timeout):
+                    return self._send(202, self._envelope(job))
+            self._send(200, self._envelope(job))
+
+        def do_GET(self):
+            url = urlparse(self.path)
+            parts = [p for p in url.path.split("/") if p]
+            if url.path == "/v1/healthz":
+                return self._send(200, {
+                    "ok": True,
+                    "schema_version": SCHEMA_VERSION,
+                    "code_version": service.code_version,
+                })
+            if url.path == "/v1/stats":
+                return self._send(200, orch.stats())
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                job = orch.job(parts[2])
+                if job is None:
+                    return self._error(404, f"no such job {parts[2]!r}")
+                return self._send(200, self._envelope(job))
+            if len(parts) == 3 and parts[:2] == ["v1", "results"]:
+                result = store.peek(parts[2])
+                if result is None:
+                    return self._error(404, f"no cached result for {parts[2]!r}")
+                return self._send(200, {"result": result.to_dict()})
+            if len(parts) == 4 and parts[:2] == ["v1", "artifacts"]:
+                path = store.artifact_path(parts[2], parts[3])
+                if path is None:
+                    return self._error(
+                        404, f"no artifact {parts[3]!r} under {parts[2]!r}"
+                    )
+                blob = path.read_bytes()
+                ctype = (
+                    "application/json" if path.suffix == ".json"
+                    else "text/csv" if path.suffix == ".csv"
+                    else "text/plain"
+                )
+                return self._send(200, blob, content_type=ctype)
+            self._error(404, f"no such endpoint: GET {url.path}")
+
+    return Handler
+
+
+def serve(config: ServiceConfig | None = None) -> MatchingService:
+    """Build a service; callers pick ``serve_forever`` or background mode."""
+    return MatchingService(config)

@@ -1,0 +1,151 @@
+"""Content-addressed result + artifact store.
+
+Layout (under the store root)::
+
+    objects/<key>/result.json        # JobResult payload (stable bytes)
+    objects/<key>/<artifact files>   # trace JSON, phase CSVs, comm
+                                     # matrices, checkpoints, ...
+    tmp/                             # staging for atomic publication
+
+``<key>`` is :meth:`JobRequest.cache_key` — sha256 of (graph spec,
+config, code_version) — so a key's bytes are immutable once written:
+publication stages the whole object directory under ``tmp/`` and
+``os.replace``-renames it into place, making concurrent writers of the
+same key idempotent and readers never see partial results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+import uuid
+from pathlib import Path
+
+from repro.service.schema import JobResult, SchemaError
+
+_KEY_HEX = set("0123456789abcdef")
+
+
+def _check_key(key: str) -> str:
+    if not key or set(key) - _KEY_HEX:
+        raise ValueError(f"malformed content key {key!r}")
+    return key
+
+
+class ResultStore:
+    """Filesystem CAS with hit/miss accounting."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.tmp = self.root / "tmp"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self.tmp.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # -- lookup -------------------------------------------------------
+    def _dir(self, key: str) -> Path:
+        return self.objects / _check_key(key)
+
+    def contains(self, key: str) -> bool:
+        return (self._dir(key) / "result.json").is_file()
+
+    def lookup(self, key: str) -> JobResult | None:
+        """Fetch a cached result, counting the probe as a hit or miss."""
+        path = self._dir(key) / "result.json"
+        try:
+            text = path.read_text()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return JobResult.from_json(text)
+
+    def peek(self, key: str) -> JobResult | None:
+        """Fetch without touching the hit/miss counters (GET /v1/results)."""
+        path = self._dir(key) / "result.json"
+        try:
+            return JobResult.from_json(path.read_text())
+        except OSError:
+            return None
+
+    # -- publication --------------------------------------------------
+    def put(self, result: JobResult, artifacts: dict[str, bytes] | None = None) -> None:
+        """Publish a result (and its artifact files) atomically.
+
+        Losing a same-key race is fine — the winner's bytes are identical
+        by construction (determinism is the whole point of the key).
+        """
+        key = _check_key(result.key)
+        stage = self.tmp / f"{key}-{uuid.uuid4().hex}"
+        stage.mkdir(parents=True)
+        try:
+            for name, blob in (artifacts or {}).items():
+                if "/" in name or "\\" in name or name.startswith("."):
+                    raise ValueError(f"malformed artifact name {name!r}")
+                (stage / name).write_bytes(blob)
+            # result.json written last inside the stage; the rename below
+            # publishes everything in one shot anyway.
+            (stage / "result.json").write_text(result.to_json())
+            target = self._dir(key)
+            try:
+                os.replace(stage, target)
+            except OSError:
+                if self.contains(key):  # lost a same-key race: drop ours
+                    shutil.rmtree(stage, ignore_errors=True)
+                else:
+                    raise
+        except Exception:
+            shutil.rmtree(stage, ignore_errors=True)
+            raise
+
+    # -- artifacts ----------------------------------------------------
+    def artifact_path(self, key: str, name: str) -> Path | None:
+        """Resolve an artifact file, refusing path escapes."""
+        base = self._dir(key)
+        if "/" in name or "\\" in name or name.startswith(".") or not name:
+            return None
+        path = base / name
+        if path.is_file() and name != "result.json":
+            return path
+        return None
+
+    def artifact_names(self, key: str) -> list[str]:
+        base = self._dir(key)
+        if not base.is_dir():
+            return []
+        return sorted(
+            p.name for p in base.iterdir()
+            if p.is_file() and p.name != "result.json"
+        )
+
+    # -- accounting ---------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.objects.iterdir())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "objects": len(self),
+                "cache_hits": self.hits,
+                "cache_misses": self.misses,
+            }
+
+
+def write_store_meta(root: str | Path, code_version: str) -> None:
+    """Record the code version the store was filled under (diagnostics)."""
+    meta = Path(root) / "META.json"
+    meta.write_text(json.dumps({"code_version": code_version}, indent=1))
+
+
+def read_store_meta(root: str | Path) -> dict:
+    try:
+        return json.loads((Path(root) / "META.json").read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        raise SchemaError(f"unreadable store META.json: {e}") from None

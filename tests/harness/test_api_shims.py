@@ -1,0 +1,72 @@
+"""Deprecated harness entry points delegate bit-identically to repro.api."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.harness import get_graph
+from repro.harness.runner import RunRecord, run_models, run_one
+from repro.harness.sweep import best_speedup_over_baseline, scaling_sweep
+from repro.mpisim import zero_latency
+
+FAST = zero_latency()
+
+
+def test_runrecord_is_the_api_class():
+    assert RunRecord is api.RunRecord
+
+
+def test_run_one_warns_and_delegates():
+    g = get_graph("rmat-s10")
+    with pytest.warns(DeprecationWarning, match="repro.api.run"):
+        old = run_one(g, 4, "ncl", label="rmat-s10", machine=FAST)
+    new = api.run(g, 4, "ncl", label="rmat-s10", machine=FAST)
+    assert old == new  # bit-identical delegation, not a reimplementation
+
+
+def test_run_models_warns_and_delegates():
+    g = get_graph("rmat-s10")
+    with pytest.warns(DeprecationWarning, match="repro.api.run_models"):
+        old = run_models(g, 2, ("nsr", "ncl"), machine=FAST)
+    new = api.run_models(g, 2, ("nsr", "ncl"), machine=FAST)
+    assert old == new
+
+
+def test_scaling_sweep_warns_and_delegates():
+    g = get_graph("rmat-s10")
+    points = [("rmat", g, 2), ("rmat", g, 4)]
+    with pytest.warns(DeprecationWarning, match="repro.api.sweep"):
+        old_fig, old_recs = scaling_sweep(
+            points, models=("nsr",), title="t", machine=FAST
+        )
+    new_fig, new_recs = api.sweep(points, models=("nsr",), title="t", machine=FAST)
+    assert old_recs == new_recs
+    assert old_fig.as_csv() == new_fig.as_csv()
+
+
+def test_best_speedup_warns_and_delegates():
+    g = get_graph("rmat-s10")
+    recs = [api.run(g, 4, m, label="rmat", machine=FAST) for m in ("nsr", "ncl")]
+    with pytest.warns(DeprecationWarning, match="best_speedup_over_baseline"):
+        old = best_speedup_over_baseline(recs)
+    assert old == api.best_speedup_over_baseline(recs)
+
+
+def test_importing_shims_does_not_warn():
+    """CI runs with -W error::DeprecationWarning; only *calls* may warn."""
+    import importlib
+
+    import repro.harness.runner
+    import repro.harness.sweep
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        importlib.reload(repro.harness.runner)
+        importlib.reload(repro.harness.sweep)
+
+
+def test_api_run_rejects_mixed_config_styles():
+    g = get_graph("rmat-s10")
+    with pytest.raises(TypeError, match="cannot mix config="):
+        api.run(g, 2, "nsr", config=api.RunConfig(), machine=FAST)

@@ -3,17 +3,15 @@
 import numpy as np
 import pytest
 
+from repro.api import best_speedup_over_baseline, run, sweep
 from repro.harness import (
     DEFAULT_SEED,
     FigureData,
     all_experiment_ids,
     all_specs,
-    best_speedup_over_baseline,
     get_graph,
     get_spec,
     performance_profile,
-    run_one,
-    scaling_sweep,
 )
 from repro.mpisim import zero_latency
 
@@ -49,11 +47,11 @@ def test_specs_have_paper_identifiers():
         assert s.default_procs
 
 
-# -- runner ---------------------------------------------------------------
+# -- runner (repro.api facade) --------------------------------------------
 
 def test_run_one_record_fields():
     g = get_graph("rmat-s10")
-    rec = run_one(g, 4, "ncl", label="rmat-s10", machine=FAST)
+    rec = run(g, 4, "ncl", label="rmat-s10", machine=FAST)
     assert rec.graph == "rmat-s10"
     assert rec.model == "ncl"
     assert rec.makespan > 0
@@ -66,15 +64,15 @@ def test_run_one_record_fields():
 
 def test_run_one_keep_result():
     g = get_graph("rmat-s10")
-    rec = run_one(g, 2, "nsr", machine=FAST, keep_result=True)
+    rec = run(g, 2, "nsr", machine=FAST, keep_result=True)
     assert rec.result is not None
     assert rec.result.nprocs == 2
 
 
 def test_speedup_over():
     g = get_graph("rmat-s10")
-    a = run_one(g, 4, "nsr", machine=FAST)
-    b = run_one(g, 4, "ncl", machine=FAST)
+    a = run(g, 4, "nsr", machine=FAST)
+    b = run(g, 4, "ncl", machine=FAST)
     assert a.speedup_over(a) == pytest.approx(1.0)
     assert b.speedup_over(a) == pytest.approx(a.makespan / b.makespan)
 
@@ -142,7 +140,7 @@ def test_empty_figure_renders():
 
 def test_scaling_sweep_and_best_speedup():
     g = get_graph("rmat-s10")
-    fig, records = scaling_sweep(
+    fig, records = sweep(
         [("rmat", g, 2), ("rmat", g, 4)],
         models=("nsr", "ncl"),
         title="t",

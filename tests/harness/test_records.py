@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.harness import get_graph, run_one
+from repro import api
+from repro.harness import get_graph
 from repro.harness.records import (
     load_records,
     merge_record_files,
@@ -17,7 +18,7 @@ from repro.mpisim import zero_latency
 def sample_records():
     g = get_graph("rmat-s10")
     return [
-        run_one(g, 4, m, label="rmat-s10", machine=zero_latency())
+        api.run(g, 4, m, label="rmat-s10", machine=zero_latency())
         for m in ("nsr", "ncl")
     ]
 

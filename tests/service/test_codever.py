@@ -1,0 +1,71 @@
+"""code_version: a pure content hash of the source tree, not git state."""
+
+from repro.service.codever import cached_code_version, code_version
+
+
+def make_tree(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, text in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    return root
+
+
+BASE = {"__init__.py": "x = 1\n", "sub/mod.py": "def f():\n    return 2\n"}
+
+
+def test_deterministic(tmp_path):
+    root = make_tree(tmp_path, BASE)
+    assert code_version(root) == code_version(root)
+    assert len(code_version(root)) == 12
+    assert set(code_version(root)) <= set("0123456789abcdef")
+
+
+def test_same_contents_same_version(tmp_path):
+    a = make_tree(tmp_path / "a", BASE)
+    b = make_tree(tmp_path / "b", BASE)
+    assert code_version(a) == code_version(b)  # path-independent
+
+
+def test_edit_changes_version(tmp_path):
+    root = make_tree(tmp_path, BASE)
+    before = code_version(root)
+    (root / "sub" / "mod.py").write_text("def f():\n    return 3\n")
+    assert code_version(root) != before
+
+
+def test_rename_changes_version(tmp_path):
+    root = make_tree(tmp_path, BASE)
+    before = code_version(root)
+    (root / "sub" / "mod.py").rename(root / "sub" / "mod2.py")
+    assert code_version(root) != before
+
+
+def test_new_file_changes_version(tmp_path):
+    root = make_tree(tmp_path, BASE)
+    before = code_version(root)
+    (root / "extra.py").write_text("")
+    assert code_version(root) != before
+
+
+def test_pycache_and_non_python_ignored(tmp_path):
+    root = make_tree(tmp_path, BASE)
+    before = code_version(root)
+    cache = root / "sub" / "__pycache__"
+    cache.mkdir()
+    (cache / "mod.cpython-312.py").write_text("compiled junk")
+    (root / "notes.txt").write_text("not source")
+    assert code_version(root) == before
+
+
+def test_default_root_is_the_installed_package():
+    import repro
+    from pathlib import Path
+
+    assert code_version() == code_version(Path(repro.__file__).parent)
+
+
+def test_cached_code_version_stable():
+    assert cached_code_version() == cached_code_version()
+    assert cached_code_version() == code_version()

@@ -1,0 +1,104 @@
+"""Content-addressed result store: atomicity, counters, path hygiene."""
+
+import json
+
+import pytest
+
+from repro.service.schema import JobResult
+from repro.service.store import ResultStore, read_store_meta, write_store_meta
+
+KEY = "ab" * 32
+OTHER = "cd" * 32
+
+
+def make_result(key=KEY, **over):
+    kwargs = dict(key=key, status="ok", record={"makespan": 2.0},
+                  code_version="deadbeef0123")
+    kwargs.update(over)
+    return JobResult(**kwargs)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def test_lookup_counts_miss_then_hit(store):
+    assert store.lookup(KEY) is None
+    store.put(make_result())
+    assert store.lookup(KEY) == make_result()
+    assert store.stats() == {"objects": 1, "cache_hits": 1, "cache_misses": 1}
+
+
+def test_peek_does_not_touch_counters(store):
+    assert store.peek(KEY) is None
+    store.put(make_result())
+    assert store.peek(KEY) == make_result()
+    assert store.stats()["cache_hits"] == 0
+    assert store.stats()["cache_misses"] == 0
+
+
+def test_contains_and_len(store):
+    assert not store.contains(KEY)
+    store.put(make_result())
+    store.put(make_result(key=OTHER))
+    assert store.contains(KEY) and store.contains(OTHER)
+    assert store.stats()["objects"] == 2
+
+
+def test_stored_bytes_are_the_canonical_json(store):
+    store.put(make_result())
+    on_disk = (store.objects / KEY / "result.json").read_text()
+    assert on_disk == make_result().to_json()
+
+
+def test_artifacts_roundtrip(store):
+    arts = {"trace.json": b'{"spans": []}', "phases.csv": b"rank,phase\n"}
+    store.put(make_result(artifacts=tuple(sorted(arts))), artifacts=arts)
+    assert store.artifact_names(KEY) == ["phases.csv", "trace.json"]
+    path = store.artifact_path(KEY, "trace.json")
+    assert path is not None and path.read_bytes() == arts["trace.json"]
+
+
+def test_artifact_path_refuses_escapes(store):
+    store.put(make_result(), artifacts={"ok.txt": b"fine"})
+    for name in ("../secrets", "a/b", "..\\b", ".hidden", "", "result.json"):
+        assert store.artifact_path(KEY, name) is None
+    assert store.artifact_path(KEY, "ok.txt") is not None
+
+
+def test_put_rejects_malformed_artifact_names(store):
+    with pytest.raises(ValueError, match="malformed artifact name"):
+        store.put(make_result(), artifacts={"../evil": b"x"})
+    assert not store.contains(KEY)  # staged dir rolled back, nothing published
+
+
+def test_malformed_keys_rejected(store):
+    for bad in ("", "xyz!", "ABCDEF", "../../etc"):
+        with pytest.raises(ValueError, match="malformed content key"):
+            store.lookup(bad)
+    with pytest.raises(ValueError, match="malformed content key"):
+        store.put(make_result(key="not-hex"))
+
+
+def test_same_key_race_is_idempotent(store):
+    """Losing writer drops its stage; the first bytes stay published."""
+    store.put(make_result(), artifacts={"a.txt": b"first"})
+    store.put(make_result(), artifacts={"a.txt": b"first"})
+    assert store.lookup(KEY) == make_result()
+    assert store.artifact_path(KEY, "a.txt").read_bytes() == b"first"
+    # no stray staging directories left behind
+    assert list(store.tmp.iterdir()) == []
+
+
+def test_store_meta_roundtrip(tmp_path):
+    write_store_meta(tmp_path, "deadbeef0123")
+    assert read_store_meta(tmp_path) == {"code_version": "deadbeef0123"}
+    assert json.loads((tmp_path / "META.json").read_text())
+
+
+def test_store_meta_unreadable(tmp_path):
+    from repro.service.schema import SchemaError
+
+    with pytest.raises(SchemaError, match="META.json"):
+        read_store_meta(tmp_path / "nowhere")
